@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckSnapLine3(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-proto", "snap", "-topo", "line", "-n", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "VERIFIED") {
+		t.Fatalf("snap protocol not verified:\n%s", out.String())
+	}
+}
+
+func TestCheckSelfStabLine4FindsViolation(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-proto", "selfstab", "-topo", "line", "-n", "4"}, &out)
+	if err == nil {
+		t.Fatalf("baseline passed checking:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "SAFETY VIOLATION") {
+		t.Fatalf("violation not reported:\n%s", out.String())
+	}
+}
+
+func TestCheckFaultsMode(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mode", "faults", "-topo", "ring", "-n", "5", "-seeds", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "VERIFIED") {
+		t.Fatalf("faults mode not verified:\n%s", out.String())
+	}
+	// faults mode is snap-only.
+	var out2 strings.Builder
+	if err := run([]string{"-mode", "faults", "-proto", "selfstab"}, &out2); err == nil {
+		t.Fatal("faults mode accepted for the baseline")
+	}
+	var out3 strings.Builder
+	if err := run([]string{"-mode", "sideways"}, &out3); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestCheckRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-proto", "quantum"},
+		{"-topo", "kleinbottle"},
+		{"-daemon", "laplace"},
+		{"-topo", "ring", "-n", "2"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestCheckLimitFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-topo", "line", "-n", "3", "-limit", "100"}, &out); err == nil {
+		t.Fatal("limit not enforced")
+	}
+}

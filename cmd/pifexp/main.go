@@ -1,0 +1,101 @@
+// Command pifexp runs the experiment harness: for every result in the
+// paper (Theorems 1–4, Properties 1–3, the snap-stabilization claim, and
+// the baseline comparisons) it regenerates the corresponding table and
+// prints it, together with a reproduction verdict. EXPERIMENTS.md records
+// the output of a full run.
+//
+// Usage:
+//
+//	pifexp [-quick] [-trials N] [-seed S] [-only E4[,E7]] [-md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"snappif/internal/exp"
+	"snappif/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pifexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pifexp", flag.ContinueOnError)
+	var (
+		quick    = fs.Bool("quick", false, "small topologies and few trials")
+		trials   = fs.Int("trials", 0, "trials per table cell (0 = default)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		only     = fs.String("only", "", "comma-separated experiment IDs (e.g. E1,E4)")
+		markdown = fs.Bool("md", false, "emit tables as markdown")
+		csvDir   = fs.String("csv", "", "also write each table as <dir>/<id>.csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := make(map[string]bool)
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+
+	opt := exp.Options{Quick: *quick, Trials: *trials, Seed: *seed}
+	failures := 0
+	for _, e := range exp.All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		o, err := e.Run(opt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintf(out, "=== %s — %s (%.1fs)\n", e.ID, e.Paper, time.Since(start).Seconds())
+		if *markdown {
+			o.Table.Markdown(out)
+		} else {
+			o.Table.Render(out)
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, e.ID, o.Table); err != nil {
+				return err
+			}
+		}
+		ok := o.BoundExceeded == 0 && o.SnapViolations == 0
+		verdict := "REPRODUCED"
+		if !ok {
+			verdict = "FAILED"
+			failures++
+		}
+		fmt.Fprintf(out, "verdict: %s (bound exceeded: %d, snap violations: %d, baseline violations: %d)\n\n",
+			verdict, o.BoundExceeded, o.SnapViolations, o.BaselineViolations)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiments failed", failures)
+	}
+	return nil
+}
+
+// writeCSV writes one experiment table to <dir>/<id>.csv.
+func writeCSV(dir, id string, tbl *trace.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, strings.ToLower(id)+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tbl.CSV(f)
+}

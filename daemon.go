@@ -1,0 +1,63 @@
+package snappif
+
+import (
+	"snappif/internal/core"
+	"snappif/internal/sim"
+)
+
+// Daemon selects which enabled processors execute in each atomic step of a
+// run — the adversary of the self-stabilization model. All daemons are made
+// weakly fair by the runtime. The zero value is unusable; use one of the
+// constructors.
+type Daemon struct {
+	d sim.Daemon
+}
+
+// Name returns the daemon's name.
+func (d Daemon) Name() string {
+	if d.d == nil {
+		return "unset"
+	}
+	return d.d.Name()
+}
+
+// SynchronousDaemon executes every enabled processor at every step; one
+// step is exactly one round.
+func SynchronousDaemon() Daemon { return Daemon{d: sim.Synchronous{}} }
+
+// CentralDaemon executes one uniformly random enabled processor per step —
+// the weakest scheduler of the self-stabilization literature.
+func CentralDaemon() Daemon { return Daemon{d: sim.Central{Order: sim.CentralRandom}} }
+
+// DistributedDaemon executes each enabled processor independently with
+// probability p per step (at least one always runs).
+func DistributedDaemon(p float64) Daemon { return Daemon{d: sim.DistributedRandom{P: p}} }
+
+// LocallyCentralDaemon executes a random maximal set of enabled processors
+// no two of which are neighbors.
+func LocallyCentralDaemon() Daemon { return Daemon{d: sim.LocallyCentral{}} }
+
+// RoundRobinDaemon executes one processor per step, rotating fairly through
+// the processor IDs.
+func RoundRobinDaemon() Daemon { return Daemon{d: &sim.RoundRobin{}} }
+
+// AdversarialDaemon executes one processor per step, preferring the most
+// recently enabled one and preferring normal protocol actions over error
+// corrections — a legal but maximally unhelpful schedule.
+func AdversarialDaemon() Daemon {
+	return Daemon{d: &sim.Adversarial{PreferActions: []int{
+		core.ActionB, core.ActionFok, core.ActionF, core.ActionC, core.ActionCount,
+	}}}
+}
+
+// ProgressFirstDaemon executes, at every step, the single enabled action
+// that ranks earliest in the protocol's normal cycle (broadcast before
+// feedback before cleaning before counting), postponing error corrections
+// as long as legally possible. This is the schedule under which
+// self-stabilizing (non-snap) PIF protocols complete waves that were never
+// delivered; the snap-stabilizing protocol tolerates it.
+func ProgressFirstDaemon() Daemon {
+	return Daemon{d: sim.ActionPriority{Order: []int{
+		core.ActionB, core.ActionFok, core.ActionF, core.ActionC, core.ActionCount,
+	}}}
+}

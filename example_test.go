@@ -1,0 +1,111 @@
+package snappif_test
+
+import (
+	"fmt"
+	"log"
+
+	"snappif"
+)
+
+// The simplest possible use: one PIF wave over a small ring.
+func ExampleNetwork_Broadcast() {
+	topo, err := snappif.Ring(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The synchronous daemon makes the run fully deterministic.
+	net, err := snappif.NewNetwork(topo, 0, snappif.WithDaemon(snappif.SynchronousDaemon()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := net.Broadcast()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delivered %d/%d, acknowledged %d/%d, rounds %d ≤ 5h+5 = %d\n",
+		res.Delivered, topo.N()-1, res.Acknowledged, topo.N()-1,
+		res.Rounds, 5*res.Height+5)
+	// Output:
+	// delivered 7/7, acknowledged 7/7, rounds 20 ≤ 5h+5 = 25
+}
+
+// Snap-stabilization in one picture: corrupt everything, broadcast once —
+// the first wave is already correct.
+func ExampleNetwork_Corrupt() {
+	topo, err := snappif.Grid(3, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := snappif.NewNetwork(topo, 0, snappif.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := net.Corrupt(snappif.CorruptUniform); err != nil {
+		log.Fatal(err)
+	}
+	res, err := net.Broadcast()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first wave after corruption: delivered %d/%d, ok=%v\n",
+		res.Delivered, topo.N()-1, res.OK())
+	// Output:
+	// first wave after corruption: delivered 8/8, ok=true
+}
+
+// Feedback aggregation computes a distributed infimum in a single wave.
+func ExampleWithCombine() {
+	topo, err := snappif.Star(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := snappif.NewNetwork(topo, 0,
+		snappif.WithCombine(snappif.MinCombine),
+		snappif.WithDaemon(snappif.SynchronousDaemon()),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := net.SetValues([]int64{40, 17, 33, 5, 21, 60}); err != nil {
+		log.Fatal(err)
+	}
+	res, err := net.Broadcast()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("network minimum:", res.Aggregate)
+	// Output:
+	// network minimum: 5
+}
+
+// Leader election rides one wave ("universal transformer", Conclusions).
+func ExampleElection() {
+	topo, err := snappif.Ring(9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	el, err := snappif.NewElection(topo, 0, snappif.WithSeed(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	el.SetPriority(4, 100)
+	leader, err := el.Elect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("leader:", leader)
+	// Output:
+	// leader: 4
+}
+
+// Topologies expose their basic metrics.
+func ExampleTopology() {
+	topo, err := snappif.Hypercube(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d processors, %d links, diameter %d\n",
+		topo.Name(), topo.N(), topo.M(), topo.Diameter())
+	// Output:
+	// hypercube-4: 16 processors, 32 links, diameter 4
+}

@@ -1,0 +1,66 @@
+// Fault tolerance: what "snap-stabilizing" buys over "self-stabilizing".
+//
+// The program corrupts the protocol state of a network with every fault
+// pattern in the suite — phantom trees, inflated counters, premature
+// feedback authorization, a stale broadcast region — and shows that the
+// very FIRST wave after each corruption is already correct: every processor
+// receives the root's message and every acknowledgment reaches the root.
+// A merely self-stabilizing PIF only promises this eventually.
+//
+//	go run ./examples/faulttolerance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"snappif"
+)
+
+func main() {
+	topo, err := snappif.Grid(4, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %s — corrupting, then broadcasting immediately\n\n", topo)
+
+	corruptions := []struct {
+		kind snappif.Corruption
+		name string
+	}{
+		{snappif.CorruptUniform, "every variable scrambled uniformly"},
+		{snappif.CorruptPartial, "half the processors scrambled"},
+		{snappif.CorruptPhantomTree, "broadcast tree rooted at an impostor"},
+		{snappif.CorruptPrematureFok, "feedback authorization raised early"},
+		{snappif.CorruptInflatedCounts, "subtree counters forced to the maximum"},
+		{snappif.CorruptStaleFeedback, "random phase inversions in a planted tree"},
+		{snappif.CorruptMaxLevels, "everyone broadcasting at level Lmax"},
+		{snappif.CorruptStaleRegion, "self-contained stale region (defeats non-snap PIF)"},
+	}
+
+	for _, c := range corruptions {
+		net, err := snappif.NewNetwork(topo, 0,
+			snappif.WithSeed(int64(c.kind)*101),
+			snappif.WithInvariantChecking(),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := net.Corrupt(c.kind); err != nil {
+			log.Fatal(err)
+		}
+		res, err := net.Broadcast()
+		if err != nil {
+			log.Fatalf("%s: %v", c.name, err)
+		}
+		status := "FIRST WAVE CORRECT"
+		if !res.OK() || res.Delivered != topo.N()-1 {
+			status = fmt.Sprintf("VIOLATED (%v)", res.Violations)
+		}
+		fmt.Printf("%-55s → delivered %2d/%2d in %3d rounds — %s\n",
+			c.name, res.Delivered, topo.N()-1, res.Rounds, status)
+	}
+
+	fmt.Println("\nevery first-after-fault wave satisfied [PIF1] and [PIF2]:")
+	fmt.Println("that is Definition 1 (snap-stabilization) observed in action.")
+}

@@ -1,0 +1,59 @@
+// Message passing: the PIF protocol in an asynchronous message-passing
+// network. The paper's shared registers become cached neighbor states
+// refreshed over FIFO links with random delays (the classic link-register
+// construction). Composite atomicity — and with it the snap guarantee — is
+// lost in this weaker model, but the protocol's correction actions still
+// make it converge: the demo measures exactly how the first-after-fault
+// wave can degrade and how quickly later waves recover.
+//
+//	go run ./examples/msgpassing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"snappif"
+)
+
+func main() {
+	topo, err := snappif.Grid(4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("asynchronous message-passing network on %s\n\n", topo)
+
+	// Clean start: waves deliver exactly as in the shared-memory model.
+	res, err := snappif.RunMessagePassing(topo, 0, 3, snappif.MessagePassingOptions{Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clean start: %d messages, %v simulated time\n", res.Messages, res.Elapsed)
+	for i, w := range res.Waves {
+		fmt.Printf("  wave %d: delivered %2d/%2d acked %2d/%2d\n",
+			i+1, w.Delivered, topo.N()-1, w.Acknowledged, topo.N()-1)
+	}
+
+	// Corrupted start: the link-register model is weaker than the paper's
+	// (stale caches break composite atomicity), so the first wave may
+	// degrade — but convergence survives.
+	fmt.Println("\nafter uniform corruption (composite atomicity lost → snap not guaranteed):")
+	res, err = snappif.RunMessagePassing(topo, 0, 4, snappif.MessagePassingOptions{
+		Corrupt: snappif.CorruptUniform,
+		Seed:    9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, w := range res.Waves {
+		ok := w.Delivered == topo.N()-1 && w.Acknowledged == topo.N()-1
+		fmt.Printf("  wave %d: delivered %2d/%2d acked %2d/%2d ok=%v\n",
+			i+1, w.Delivered, topo.N()-1, w.Acknowledged, topo.N()-1, ok)
+	}
+	last := res.Waves[len(res.Waves)-1]
+	if last.Delivered != topo.N()-1 {
+		log.Fatal("failed to converge")
+	}
+	fmt.Println("\nconverged — in the paper's shared-memory model even the FIRST wave")
+	fmt.Println("would have been correct (compare examples/faulttolerance).")
+}

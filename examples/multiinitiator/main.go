@@ -1,0 +1,55 @@
+// Concurrent initiators: "any processor can be an initiator in a PIF
+// protocol, and several PIF protocols may be running simultaneously"
+// (the paper's introduction). Three processors run their own
+// snap-stabilizing waves at once over the same network — every processor
+// keeps one protocol state per initiator identity — and each initiator's
+// waves satisfy the specification independently, even when one instance's
+// state is corrupted.
+//
+//	go run ./examples/multiinitiator
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"snappif"
+)
+
+func main() {
+	topo, err := snappif.Torus(4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	initiators := []int{0, 5, 15}
+	net, err := snappif.NewMultiNetwork(topo, initiators, snappif.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network %s, concurrent initiators %v\n\n", topo, net.Initiators())
+
+	// Corrupt each instance with a different fault before anything runs.
+	for i, kind := range []snappif.Corruption{
+		snappif.CorruptUniform, snappif.CorruptPhantomTree, snappif.CorruptInflatedCounts,
+	} {
+		if err := net.CorruptInstance(i, kind); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("all three instances corrupted independently — now everyone broadcasts at once:")
+
+	waves, err := net.RunWavesEach(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range waves {
+		fmt.Printf("  initiator p%-2d wave m=%-3d delivered %2d/%2d acked %2d/%2d ok=%v\n",
+			w.Initiator, w.Message, w.Delivered, topo.N()-1,
+			w.Acknowledged, topo.N()-1, w.OK(topo.N()))
+		if !w.OK(topo.N()) {
+			log.Fatal("a concurrent wave violated the specification")
+		}
+	}
+	fmt.Println("\nevery initiator's first-after-fault wave was already correct —")
+	fmt.Println("the instances snap-stabilize independently under one shared scheduler.")
+}

@@ -1,0 +1,3 @@
+module snappif
+
+go 1.22

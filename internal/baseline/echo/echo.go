@@ -1,0 +1,155 @@
+// Package echo implements the classic message-passing PIF — the echo
+// algorithm of Chang [10] and Segall [21], which the paper's introduction
+// takes as the definition of the PIF/wave scheme. It is correct in a
+// fault-free asynchronous network but has no stabilization machinery at
+// all: it exists here as the historical baseline the self- and
+// snap-stabilizing protocols harden.
+//
+// Scheme: the root sends the message to every neighbor. A processor
+// receiving the message for the first time adopts the sender as its parent
+// and forwards the message to every other neighbor. Once a processor has
+// heard (message or echo) from every non-parent neighbor, it echoes to its
+// parent; when the root has heard from every neighbor, the wave is
+// complete.
+package echo
+
+import (
+	"fmt"
+	"time"
+
+	"snappif/internal/graph"
+	"snappif/internal/msgnet"
+)
+
+// payload kinds.
+type kind int
+
+const (
+	kindToken kind = iota + 1
+	kindEcho
+)
+
+// packet is the wire format.
+type packet struct {
+	kind kind
+	msg  uint64
+}
+
+// node is one echo participant.
+type node struct {
+	root bool
+
+	parent   int
+	msg      uint64
+	seen     bool
+	heard    map[int]bool
+	received time.Duration
+
+	done func(root *node)
+}
+
+var _ msgnet.Node = (*node)(nil)
+
+// Init implements msgnet.Node.
+func (nd *node) Init(ctx *msgnet.Context) {
+	nd.parent = -1
+	nd.heard = make(map[int]bool)
+	if nd.root {
+		nd.seen = true
+		ctx.Broadcast(packet{kind: kindToken, msg: nd.msg})
+		nd.maybeEcho(ctx) // degenerate single-node network completes at once
+	}
+}
+
+// Receive implements msgnet.Node.
+func (nd *node) Receive(ctx *msgnet.Context, m msgnet.Message) {
+	pkt, ok := m.Payload.(packet)
+	if !ok {
+		panic(fmt.Sprintf("echo: unexpected payload %T", m.Payload))
+	}
+	if pkt.kind == kindToken && !nd.seen {
+		nd.seen = true
+		nd.parent = m.From
+		nd.msg = pkt.msg
+		nd.received = ctx.Now()
+		for _, q := range ctx.Neighbors() {
+			if q != m.From {
+				ctx.Send(q, packet{kind: kindToken, msg: pkt.msg})
+			}
+		}
+	}
+	nd.heard[m.From] = true
+	nd.maybeEcho(ctx)
+}
+
+// maybeEcho fires the upward echo once the whole non-parent neighborhood
+// has been heard from.
+func (nd *node) maybeEcho(ctx *msgnet.Context) {
+	if !nd.seen {
+		return
+	}
+	for _, q := range ctx.Neighbors() {
+		if q != nd.parent && !nd.heard[q] {
+			return
+		}
+	}
+	switch {
+	case nd.root:
+		if nd.done != nil {
+			nd.done(nd)
+			nd.done = nil
+			ctx.Stop()
+		}
+	case nd.parent >= 0 && !nd.echoed():
+		nd.heard[-1] = true // mark echoed
+		ctx.Send(nd.parent, packet{kind: kindEcho, msg: nd.msg})
+	}
+}
+
+func (nd *node) echoed() bool { return nd.heard[-1] }
+
+// Tick implements msgnet.Node (unused).
+func (nd *node) Tick(*msgnet.Context) {}
+
+// Result reports one completed echo wave.
+type Result struct {
+	// Delivered counts non-root processors that received the message.
+	Delivered int
+	// Messages is the total message count (the classic 2·M bound).
+	Messages int
+	// Elapsed is the simulated completion time.
+	Elapsed time.Duration
+}
+
+// Run executes one echo wave on g from root with message value msg.
+func Run(g *graph.Graph, root int, msg uint64, opts msgnet.Options) (Result, error) {
+	nodes := make([]msgnet.Node, g.N())
+	impl := make([]*node, g.N())
+	for p := range nodes {
+		nd := &node{root: p == root}
+		if p == root {
+			nd.msg = msg
+		}
+		impl[p] = nd
+		nodes[p] = nd
+	}
+	completed := false
+	impl[root].done = func(*node) { completed = true }
+	net, err := msgnet.New(g, nodes, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := net.Run(); err != nil {
+		return Result{}, err
+	}
+	if !completed {
+		return Result{}, fmt.Errorf("echo: wave did not complete")
+	}
+	res := Result{Messages: net.Messages(), Elapsed: net.Now()}
+	for p, nd := range impl {
+		if p != root && nd.seen && nd.msg == msg {
+			res.Delivered++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,90 @@
+package echo_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"snappif/internal/baseline/echo"
+	"snappif/internal/graph"
+	"snappif/internal/msgnet"
+)
+
+func TestEchoDeliversEverywhere(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, build := range []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return graph.Line(10) },
+		func() (*graph.Graph, error) { return graph.Ring(12) },
+		func() (*graph.Graph, error) { return graph.Complete(8) },
+		func() (*graph.Graph, error) { return graph.Grid(4, 4) },
+		func() (*graph.Graph, error) { return graph.RandomConnected(20, 0.2, rng) },
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(g.Name(), func(t *testing.T) {
+			res, err := echo.Run(g, 0, 42, msgnet.Options{Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Delivered != g.N()-1 {
+				t.Fatalf("delivered %d/%d", res.Delivered, g.N()-1)
+			}
+			// Chang's bound: exactly 2·M messages (token or echo crosses
+			// every edge once in each direction).
+			if res.Messages != 2*g.M() {
+				t.Fatalf("messages = %d, want 2M = %d", res.Messages, 2*g.M())
+			}
+		})
+	}
+}
+
+func TestEchoFromEveryRoot(t *testing.T) {
+	g, err := graph.Lollipop(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for root := 0; root < g.N(); root++ {
+		res, err := echo.Run(g, root, uint64(root)+1, msgnet.Options{Seed: int64(root) + 1})
+		if err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+		if res.Delivered != g.N()-1 {
+			t.Fatalf("root %d: delivered %d/%d", root, res.Delivered, g.N()-1)
+		}
+	}
+}
+
+func TestEchoSingleNode(t *testing.T) {
+	g, err := graph.New("solo", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := echo.Run(g, 0, 7, msgnet.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 0 || res.Messages != 0 {
+		t.Fatalf("solo echo: %+v", res)
+	}
+}
+
+func TestEchoBreaksUnderLoss(t *testing.T) {
+	// The classic echo algorithm has no retransmission: with lossy links
+	// the wave cannot complete (the root keeps waiting for a neighbor it
+	// will never hear from). This is the contrast the stabilizing,
+	// refresh-based register emulation resolves (see msgnet/register).
+	g, err := graph.Grid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failures := 0
+	for seed := int64(0); seed < 10; seed++ {
+		if _, err := echo.Run(g, 0, 5, msgnet.Options{Seed: seed + 1, LossRate: 0.3}); err != nil {
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Fatal("echo completed every wave despite 30% loss — loss injection broken?")
+	}
+}

@@ -1,0 +1,104 @@
+package selfstab
+
+import (
+	"fmt"
+
+	"snappif/internal/sim"
+)
+
+// CycleRecord describes one observed cycle of the baseline: the window from
+// a root B-action to the root's F-action.
+type CycleRecord struct {
+	// Msg is the broadcast payload.
+	Msg uint64
+	// StartStep locates the root's B-action.
+	StartStep int
+	// FeedbackStep locates the root's F-action (0 while open).
+	FeedbackStep int
+	// Delivered counts processors that received Msg before the root's
+	// F-action.
+	Delivered int
+	// FedBack counts processors that acknowledged Msg before the root's
+	// F-action.
+	FedBack int
+	// Complete reports whether the root's F-action was observed.
+	Complete bool
+}
+
+// OK reports whether the cycle satisfied [PIF1] and [PIF2] for a network of
+// n processors.
+func (r CycleRecord) OK(n int) bool {
+	return r.Complete && r.Delivered == n-1 && r.FedBack == n-1
+}
+
+// CycleObserver measures delivery per cycle for the baseline, with the same
+// semantics as check.CycleObserver for the snap algorithm: a processor
+// "received m" if it executed B-action adopting payload m inside the window.
+type CycleObserver struct {
+	Proto *Protocol
+
+	// Cycles lists the observed cycles.
+	Cycles []CycleRecord
+
+	cur    *CycleRecord
+	joined map[int]bool
+	fed    map[int]bool
+}
+
+var _ sim.Observer = (*CycleObserver)(nil)
+
+// NewCycleObserver builds an observer for pr.
+func NewCycleObserver(pr *Protocol) *CycleObserver {
+	return &CycleObserver{Proto: pr}
+}
+
+// OnStep implements sim.Observer.
+func (o *CycleObserver) OnStep(step int, executed []sim.Choice, c *sim.Configuration) {
+	for _, ch := range executed {
+		switch {
+		case ch.Proc == o.Proto.Root && ch.Action == ActionB:
+			if o.cur != nil {
+				o.Cycles = append(o.Cycles, *o.cur)
+			}
+			o.cur = &CycleRecord{Msg: st(c, ch.Proc).Msg, StartStep: step}
+			o.joined = make(map[int]bool, c.N())
+			o.fed = make(map[int]bool, c.N())
+		case o.cur == nil:
+		case ch.Proc != o.Proto.Root && ch.Action == ActionB:
+			if st(c, ch.Proc).Msg == o.cur.Msg {
+				o.joined[ch.Proc] = true
+			}
+		case ch.Proc != o.Proto.Root && ch.Action == ActionF:
+			if st(c, ch.Proc).Msg == o.cur.Msg && o.joined[ch.Proc] {
+				o.fed[ch.Proc] = true
+			}
+		case ch.Proc == o.Proto.Root && ch.Action == ActionF:
+			o.cur.FeedbackStep = step
+			o.cur.Delivered = len(o.joined)
+			o.cur.FedBack = len(o.fed)
+			o.cur.Complete = true
+			o.Cycles = append(o.Cycles, *o.cur)
+			o.cur = nil
+		}
+	}
+}
+
+// CompletedCycles returns the number of closed cycles.
+func (o *CycleObserver) CompletedCycles() int { return len(o.Cycles) }
+
+// StopAfterCycles returns a stop predicate ending the run after n cycles.
+func (o *CycleObserver) StopAfterCycles(n int) func(*sim.RunState) bool {
+	return func(*sim.RunState) bool { return len(o.Cycles) >= n }
+}
+
+// FirstViolation returns a description of the first cycle violating the PIF
+// specification on a network of n processors, or "" if none.
+func (o *CycleObserver) FirstViolation(n int) string {
+	for i, rec := range o.Cycles {
+		if !rec.OK(n) {
+			return fmt.Sprintf("cycle %d (m=%d): delivered %d/%d, acked %d/%d",
+				i, rec.Msg, rec.Delivered, n-1, rec.FedBack, n-1)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,383 @@
+// Package selfstab implements the comparison baseline from the paper's
+// Contribution section: a *self-stabilizing* (but not snap-stabilizing) PIF
+// protocol for arbitrary rooted networks, in the spirit of Cournier, Datta,
+// Petit, Villain, ICDCS 2001 [12].
+//
+// The protocol has the same three-phase structure as the snap-stabilizing
+// algorithm (broadcast / feedback / cleaning over a dynamically built tree,
+// with the same minimum-level parent choice and the same correction actions)
+// but lacks the root's exact-size knowledge and the Count/Fok machinery.
+// Instead, a processor starts the feedback phase as soon as its local
+// neighborhood is fully engaged (no clean neighbor) and all of its children
+// have fed back. From a clean configuration this delivers to everyone; from
+// an arbitrary initial configuration a planted tree can feed back a wave
+// that nobody received — exactly the drawback the paper's Contribution
+// section describes ("it is not guaranteed that every processor will
+// receive V"), and the one its snap-stabilizing algorithm removes.
+package selfstab
+
+import (
+	"fmt"
+	"math/rand"
+
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+// Phase mirrors the PIF phase variable.
+type Phase uint8
+
+// Phases of the PIF cycle.
+const (
+	// C: clean, ready for the next cycle.
+	C Phase = iota + 1
+	// B: broadcasting.
+	B
+	// F: feedback sent.
+	F
+)
+
+// String implements fmt.Stringer.
+func (ph Phase) String() string {
+	switch ph {
+	case C:
+		return "C"
+	case B:
+		return "B"
+	case F:
+		return "F"
+	default:
+		return "?"
+	}
+}
+
+// ParNone is the root's parent value.
+const ParNone = -1
+
+// State is one processor's state: the snap algorithm's state minus Count
+// and Fok.
+type State struct {
+	// Pif is the phase variable.
+	Pif Phase
+	// Par is the parent pointer (ParNone at the root).
+	Par int
+	// L is the level (0 at the root).
+	L int
+	// Msg is the payload register, copied from the parent at B-action.
+	Msg uint64
+}
+
+var _ sim.State = State{}
+
+// Clone implements sim.State.
+func (s State) Clone() sim.State { return s }
+
+// Action IDs.
+const (
+	ActionB = iota
+	ActionF
+	ActionC
+	ActionBCorrection
+	ActionFCorrection
+	numActions
+)
+
+var actionNames = []string{
+	ActionB:           "B-action",
+	ActionF:           "F-action",
+	ActionC:           "C-action",
+	ActionBCorrection: "B-correction",
+	ActionFCorrection: "F-correction",
+}
+
+// Protocol is the self-stabilizing PIF baseline. It implements
+// sim.Protocol.
+type Protocol struct {
+	// Root is the initiator.
+	Root int
+	// Lmax bounds levels, ≥ N-1.
+	Lmax int
+
+	g       *graph.Graph
+	nextMsg uint64
+}
+
+var _ sim.Protocol = (*Protocol)(nil)
+
+// New builds the baseline on network g rooted at root.
+func New(g *graph.Graph, root int) (*Protocol, error) {
+	if root < 0 || root >= g.N() {
+		return nil, fmt.Errorf("selfstab: root %d out of range [0,%d)", root, g.N())
+	}
+	return &Protocol{Root: root, Lmax: maxInt(1, g.N()-1), g: g, nextMsg: 1}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(g *graph.Graph, root int) *Protocol {
+	pr, err := New(g, root)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+
+// Name implements sim.Protocol.
+func (pr *Protocol) Name() string { return "selfstab-pif" }
+
+// ActionNames implements sim.Protocol.
+func (pr *Protocol) ActionNames() []string { return append([]string(nil), actionNames...) }
+
+// InitialState implements sim.Protocol.
+func (pr *Protocol) InitialState(p int) sim.State {
+	s := State{Pif: C}
+	if p == pr.Root {
+		s.Par = ParNone
+	} else {
+		s.Par = pr.g.Neighbors(p)[0]
+		s.L = 1
+	}
+	return s
+}
+
+func st(c *sim.Configuration, p int) State { return c.States[p].(State) }
+
+// Normal reports GoodPif(p) ∧ GoodLevel(p) — the baseline's local
+// consistency predicate (no Count/Fok conditions exist).
+func (pr *Protocol) Normal(c *sim.Configuration, p int) bool {
+	s := st(c, p)
+	if p == pr.Root || s.Pif == C {
+		return true
+	}
+	par := st(c, s.Par)
+	if par.Pif != s.Pif && par.Pif != B {
+		return false
+	}
+	return s.L == par.L+1
+}
+
+// leaf reports that no participating neighbor points to p.
+func (pr *Protocol) leaf(c *sim.Configuration, p int) bool {
+	for _, q := range c.G.Neighbors(p) {
+		sq := st(c, q)
+		if sq.Pif != C && sq.Par == p {
+			return false
+		}
+	}
+	return true
+}
+
+// bLeaf reports that every neighbor pointing to p has fed back.
+func (pr *Protocol) bLeaf(c *sim.Configuration, p int) bool {
+	for _, q := range c.G.Neighbors(p) {
+		sq := st(c, q)
+		if sq.Par == p && sq.Pif != F {
+			return false
+		}
+	}
+	return true
+}
+
+// bFree reports that no neighbor is broadcasting.
+func (pr *Protocol) bFree(c *sim.Configuration, p int) bool {
+	for _, q := range c.G.Neighbors(p) {
+		if st(c, q).Pif == B {
+			return false
+		}
+	}
+	return true
+}
+
+// noCleanNeighbor reports that the whole neighborhood is engaged — the
+// baseline's (local, and therefore fallible) substitute for the snap
+// algorithm's global Count = N test.
+func (pr *Protocol) noCleanNeighbor(c *sim.Configuration, p int) bool {
+	for _, q := range c.G.Neighbors(p) {
+		if st(c, q).Pif == C {
+			return false
+		}
+	}
+	return true
+}
+
+// potential returns the minimum-level broadcast neighbors p may adopt.
+func (pr *Protocol) potential(c *sim.Configuration, p int) []int {
+	var pre []int
+	for _, q := range c.G.Neighbors(p) {
+		sq := st(c, q)
+		if sq.Pif == B && sq.Par != p && sq.L < pr.Lmax {
+			pre = append(pre, q)
+		}
+	}
+	if len(pre) == 0 {
+		return nil
+	}
+	minL := st(c, pre[0]).L
+	for _, q := range pre[1:] {
+		if l := st(c, q).L; l < minL {
+			minL = l
+		}
+	}
+	out := pre[:0]
+	for _, q := range pre {
+		if st(c, q).L == minL {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Enabled implements sim.Protocol.
+func (pr *Protocol) Enabled(c *sim.Configuration, p int) []int {
+	s := st(c, p)
+	if p == pr.Root {
+		switch {
+		case s.Pif == C && pr.allNeighborsClean(c, p):
+			return []int{ActionB}
+		case s.Pif == B && pr.bLeaf(c, p) && pr.noCleanNeighbor(c, p):
+			return []int{ActionF}
+		case s.Pif == F && pr.allNeighborsClean(c, p):
+			return []int{ActionC}
+		default:
+			return nil
+		}
+	}
+	switch {
+	case s.Pif == C && pr.leaf(c, p) && len(pr.potential(c, p)) > 0:
+		return []int{ActionB}
+	case s.Pif == B && pr.Normal(c, p) && pr.bLeaf(c, p) && pr.noCleanNeighbor(c, p):
+		return []int{ActionF}
+	case s.Pif == F && pr.Normal(c, p) && pr.leaf(c, p) && pr.bFree(c, p):
+		return []int{ActionC}
+	case s.Pif == B && !pr.Normal(c, p):
+		return []int{ActionBCorrection}
+	case s.Pif == F && !pr.Normal(c, p):
+		return []int{ActionFCorrection}
+	default:
+		return nil
+	}
+}
+
+func (pr *Protocol) allNeighborsClean(c *sim.Configuration, p int) bool {
+	for _, q := range c.G.Neighbors(p) {
+		if st(c, q).Pif != C {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply implements sim.Protocol.
+func (pr *Protocol) Apply(c *sim.Configuration, p int, a int) sim.State {
+	s := st(c, p)
+	switch a {
+	case ActionB:
+		if p == pr.Root {
+			s.Pif = B
+			s.Msg = pr.nextMsg
+			pr.nextMsg++
+		} else {
+			par := pr.potential(c, p)[0]
+			s.Par = par
+			s.L = st(c, par).L + 1
+			s.Pif = B
+			s.Msg = st(c, par).Msg
+		}
+	case ActionF:
+		s.Pif = F
+	case ActionC:
+		s.Pif = C
+	case ActionBCorrection:
+		s.Pif = F
+	case ActionFCorrection:
+		s.Pif = C
+	default:
+		panic(fmt.Sprintf("selfstab: action %d out of range", a))
+	}
+	return s
+}
+
+// RandomConfiguration scrambles every processor's state uniformly over its
+// domain (the baseline's "arbitrary initial configuration").
+func RandomConfiguration(c *sim.Configuration, pr *Protocol, rng *rand.Rand) {
+	for p := 0; p < c.N(); p++ {
+		s := State{
+			Pif: []Phase{B, F, C}[rng.Intn(3)],
+			Msg: uint64(rng.Int63()) | 1<<63,
+		}
+		if p == pr.Root {
+			s.Par = ParNone
+		} else {
+			nb := c.G.Neighbors(p)
+			s.Par = nb[rng.Intn(len(nb))]
+			s.L = 1 + rng.Intn(pr.Lmax)
+		}
+		c.States[p] = s
+	}
+}
+
+// PlantStaleRegion writes the adversarial configuration that defeats
+// self-stabilizing PIF, and returns whether the topology admits it
+// (it needs a processor at distance ≥ 4 from the root).
+//
+// The construction: three consecutive processors u–v–w on a shortest path,
+// all at distance ≥ 2 from the root, form a *self-contained* stale
+// broadcast region — u and w point at v, v points back at w, and all three
+// sit at levels near Lmax so no live processor ever adopts them. Because no
+// region member points at any live processor, no live adoption is blocked
+// (leaf guards pass), and because the region members are all non-clean, no
+// live feedback is blocked (the "no clean neighbor" test passes). The live
+// wave therefore broadcasts and feeds back around the region while u, v, w
+// never receive the message: the root completes a PIF cycle that violates
+// [PIF1]. Only v is abnormal (its level cannot be consistent inside the
+// pointer cycle), so a daemon that simply never schedules v's correction
+// during the short live wave — entirely legal under weak fairness —
+// produces the violation deterministically (see sim.ActionPriority).
+//
+// This is exactly the drawback the paper's Contribution section ascribes to
+// self-stabilizing PIF [12, 23], and the behavior the snap-stabilizing
+// algorithm's Count/Fok machinery (the root's exact knowledge of N) rules
+// out.
+func PlantStaleRegion(c *sim.Configuration, pr *Protocol) bool {
+	dist := c.G.BFS(pr.Root)
+	parent := c.G.BFSTree(pr.Root)
+	far, farDist := -1, -1
+	for p, d := range dist {
+		if d > farDist {
+			far, farDist = p, d
+		}
+	}
+	if farDist < 4 {
+		return false
+	}
+	// Walk up a shortest path from the farthest node: w–v–u, all ≥ 2 away.
+	w := far
+	v := parent[w]
+	u := parent[v]
+	for p := 0; p < c.N(); p++ {
+		s := State{Pif: C, Par: ParNone, Msg: 1 << 62}
+		if p != pr.Root {
+			s.Par = parent[p]
+			s.L = dist[p]
+		}
+		c.States[p] = s
+	}
+	lv := pr.Lmax - 1 // region levels at the top of the domain: never adoptable
+	set := func(p, par, l int) {
+		c.States[p] = State{Pif: B, Par: par, L: l, Msg: 1 << 62}
+	}
+	set(u, v, lv+1)
+	set(v, w, lv) // abnormal: L_v ≠ L_w + 1
+	set(w, v, lv+1)
+	return true
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// GuardsAreLocal implements sim.LocalProtocol: all guards read only the
+// closed neighborhood.
+func (pr *Protocol) GuardsAreLocal() bool { return true }

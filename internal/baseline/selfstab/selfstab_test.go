@@ -1,0 +1,129 @@
+package selfstab_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"snappif/internal/baseline/selfstab"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+func ring(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g, err := graph.Ring(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCleanStartDeliversToAll(t *testing.T) {
+	for _, build := range []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return graph.Line(8) },
+		func() (*graph.Graph, error) { return graph.Ring(8) },
+		func() (*graph.Graph, error) { return graph.Complete(6) },
+		func() (*graph.Graph, error) {
+			return graph.RandomConnected(10, 0.3, rand.New(rand.NewSource(3)))
+		},
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(g.Name(), func(t *testing.T) {
+			pr := selfstab.MustNew(g, 0)
+			cfg := sim.NewConfiguration(g, pr)
+			obs := selfstab.NewCycleObserver(pr)
+			if _, err := sim.Run(cfg, pr, sim.DistributedRandom{P: 0.6}, sim.Options{
+				Seed:      5,
+				Observers: []sim.Observer{obs},
+				StopWhen:  obs.StopAfterCycles(3),
+			}); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			for i, rec := range obs.Cycles {
+				if !rec.OK(g.N()) {
+					t.Errorf("clean-start cycle %d violated spec: delivered %d/%d acked %d/%d",
+						i, rec.Delivered, g.N()-1, rec.FedBack, g.N()-1)
+				}
+			}
+		})
+	}
+}
+
+func TestStaleRegionDefeatsFirstWave(t *testing.T) {
+	// The adversarial configuration from the paper's Contribution section:
+	// a self-contained stale broadcast region lets the baseline's first
+	// wave complete without the region ever receiving the message. This is
+	// the behavior snap-stabilization forbids, so the baseline must
+	// exhibit it (if it did not, it would not be a faithful non-snap
+	// baseline).
+	for _, build := range []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return graph.Ring(8) },
+		func() (*graph.Graph, error) { return graph.Line(9) },
+		func() (*graph.Graph, error) { return graph.Grid(2, 5) },
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(g.Name(), func(t *testing.T) {
+			pr := selfstab.MustNew(g, 0)
+			cfg := sim.NewConfiguration(g, pr)
+			if !selfstab.PlantStaleRegion(cfg, pr) {
+				t.Fatalf("topology %s does not admit the stale region", g)
+			}
+			obs := selfstab.NewCycleObserver(pr)
+			// Progress-before-corrections: the legal schedule in which the
+			// live wave outruns the pending correction at the region's one
+			// abnormal processor.
+			d := sim.ActionPriority{Order: []int{
+				selfstab.ActionB, selfstab.ActionF, selfstab.ActionC,
+			}}
+			if _, err := sim.Run(cfg, pr, d, sim.Options{
+				Observers: []sim.Observer{obs},
+				StopWhen:  obs.StopAfterCycles(1),
+			}); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if obs.CompletedCycles() == 0 {
+				t.Fatal("no cycle completed")
+			}
+			rec := obs.Cycles[0]
+			if rec.OK(g.N()) {
+				t.Fatalf("expected first-wave violation, but cycle delivered %d/%d",
+					rec.Delivered, g.N()-1)
+			}
+			if want := g.N() - 4; rec.Delivered != want {
+				t.Errorf("delivered = %d, want %d (all but the 3-processor stale region)",
+					rec.Delivered, want)
+			}
+		})
+	}
+}
+
+func TestEventuallyStabilizes(t *testing.T) {
+	// Self-stabilization: from random configurations, *eventually* the
+	// cycles are correct. Run past several cycles and require the last
+	// cycle to deliver to everyone.
+	g := ring(t, 8)
+	pr := selfstab.MustNew(g, 0)
+	for seed := int64(0); seed < 20; seed++ {
+		cfg := sim.NewConfiguration(g, pr)
+		selfstab.RandomConfiguration(cfg, pr, rand.New(rand.NewSource(seed)))
+		obs := selfstab.NewCycleObserver(pr)
+		if _, err := sim.Run(cfg, pr, sim.DistributedRandom{P: 0.6}, sim.Options{
+			Seed:      seed + 100,
+			Observers: []sim.Observer{obs},
+			StopWhen:  obs.StopAfterCycles(5),
+		}); err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		last := obs.Cycles[len(obs.Cycles)-1]
+		if !last.OK(g.N()) {
+			t.Errorf("seed %d: last cycle still incorrect: delivered %d/%d acked %d/%d",
+				seed, last.Delivered, g.N()-1, last.FedBack, g.N()-1)
+		}
+	}
+}

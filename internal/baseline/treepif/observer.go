@@ -1,0 +1,100 @@
+package treepif
+
+import "snappif/internal/sim"
+
+// CycleRecord describes one observed cycle of the tree baseline.
+type CycleRecord struct {
+	// Msg is the broadcast payload.
+	Msg uint64
+	// StartStep / StartRound locate the root's B-action.
+	StartStep  int
+	StartRound int
+	// FeedbackStep / FeedbackRound locate the root's F-action.
+	FeedbackStep  int
+	FeedbackRound int
+	// Delivered / FedBack count processors that received / acknowledged
+	// Msg inside the window.
+	Delivered int
+	FedBack   int
+	// Complete reports whether the root's F-action was observed.
+	Complete bool
+}
+
+// OK reports whether the cycle delivered to and collected from all n-1
+// non-root processors.
+func (r CycleRecord) OK(n int) bool {
+	return r.Complete && r.Delivered == n-1 && r.FedBack == n-1
+}
+
+// Rounds returns the broadcast-to-feedback length in rounds.
+func (r CycleRecord) Rounds() int { return r.FeedbackRound - r.StartRound + 1 }
+
+// CycleObserver measures delivery and cycle length for the tree baseline.
+type CycleObserver struct {
+	Proto *Protocol
+
+	// Cycles lists the observed cycles.
+	Cycles []CycleRecord
+
+	cur       *CycleRecord
+	joined    map[int]bool
+	fed       map[int]bool
+	lastRound int
+}
+
+var (
+	_ sim.Observer      = (*CycleObserver)(nil)
+	_ sim.RoundObserver = (*CycleObserver)(nil)
+)
+
+// NewCycleObserver builds an observer for pr.
+func NewCycleObserver(pr *Protocol) *CycleObserver {
+	return &CycleObserver{Proto: pr}
+}
+
+// OnRound implements sim.RoundObserver.
+func (o *CycleObserver) OnRound(round int, _ *sim.Configuration) { o.lastRound = round }
+
+// OnStep implements sim.Observer.
+func (o *CycleObserver) OnStep(step int, executed []sim.Choice, c *sim.Configuration) {
+	for _, ch := range executed {
+		switch {
+		case ch.Proc == o.Proto.Root && ch.Action == ActionB:
+			if o.cur != nil {
+				o.Cycles = append(o.Cycles, *o.cur)
+			}
+			o.cur = &CycleRecord{
+				Msg:        st(c, ch.Proc).Msg,
+				StartStep:  step,
+				StartRound: o.lastRound + 1,
+			}
+			o.joined = make(map[int]bool, c.N())
+			o.fed = make(map[int]bool, c.N())
+		case o.cur == nil:
+		case ch.Proc != o.Proto.Root && ch.Action == ActionB:
+			if st(c, ch.Proc).Msg == o.cur.Msg {
+				o.joined[ch.Proc] = true
+			}
+		case ch.Proc != o.Proto.Root && ch.Action == ActionF:
+			if st(c, ch.Proc).Msg == o.cur.Msg && o.joined[ch.Proc] {
+				o.fed[ch.Proc] = true
+			}
+		case ch.Proc == o.Proto.Root && ch.Action == ActionF:
+			o.cur.FeedbackStep = step
+			o.cur.FeedbackRound = o.lastRound + 1
+			o.cur.Delivered = len(o.joined)
+			o.cur.FedBack = len(o.fed)
+			o.cur.Complete = true
+			o.Cycles = append(o.Cycles, *o.cur)
+			o.cur = nil
+		}
+	}
+}
+
+// CompletedCycles returns the number of closed cycles.
+func (o *CycleObserver) CompletedCycles() int { return len(o.Cycles) }
+
+// StopAfterCycles returns a stop predicate ending the run after n cycles.
+func (o *CycleObserver) StopAfterCycles(n int) func(*sim.RunState) bool {
+	return func(*sim.RunState) bool { return len(o.Cycles) >= n }
+}

@@ -1,0 +1,247 @@
+// Package treepif implements the related-work baseline: a PFC-style
+// (propagation with feedback and cleaning) self-stabilizing PIF that runs on
+// a *pre-constructed spanning tree*, in the spirit of the tree-network PIF
+// protocols [7,8,9] the paper generalizes. The parent relation is an input
+// (e.g. a BFS tree of the network), not built by the protocol — exactly the
+// assumption the paper's algorithm removes.
+//
+// Two properties make it a useful comparison point:
+//
+//   - it uses only the tree edges, so a corrupted or wrong tree breaks it
+//     (experiment E9), while the snap algorithm needs no tree at all;
+//   - its cycles cost Θ(h_T) rounds for the *fixed* tree height h_T, versus
+//     5h+5 for the tree the snap algorithm re-builds each cycle.
+package treepif
+
+import (
+	"fmt"
+	"math/rand"
+
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+// Phase mirrors the PIF phase variable.
+type Phase uint8
+
+// Phases of the PIF cycle.
+const (
+	// C: clean.
+	C Phase = iota + 1
+	// B: broadcasting.
+	B
+	// F: feedback sent.
+	F
+)
+
+// String implements fmt.Stringer.
+func (ph Phase) String() string {
+	switch ph {
+	case C:
+		return "C"
+	case B:
+		return "B"
+	case F:
+		return "F"
+	default:
+		return "?"
+	}
+}
+
+// State is one processor's state. The parent pointer is a protocol
+// constant, not state — the tree is pre-constructed.
+type State struct {
+	// Pif is the phase variable.
+	Pif Phase
+	// Msg is the payload register.
+	Msg uint64
+}
+
+var _ sim.State = State{}
+
+// Clone implements sim.State.
+func (s State) Clone() sim.State { return s }
+
+// Action IDs.
+const (
+	ActionB = iota
+	ActionF
+	ActionC
+	ActionBCorrection
+	numActions
+)
+
+var actionNames = []string{
+	ActionB:           "B-action",
+	ActionF:           "F-action",
+	ActionC:           "C-action",
+	ActionBCorrection: "B-correction",
+}
+
+// Protocol is the tree-based PIF baseline. It implements sim.Protocol.
+type Protocol struct {
+	// Root is the initiator (the tree root).
+	Root int
+
+	g        *graph.Graph
+	parent   []int   // parent[p]; -1 at the root
+	children [][]int // children[p] in ascending order
+	nextMsg  uint64
+}
+
+var _ sim.Protocol = (*Protocol)(nil)
+
+// New builds the baseline over the given spanning tree of g (parent[root]
+// must be -1; every other parent must be a neighbor in g).
+func New(g *graph.Graph, root int, parent []int) (*Protocol, error) {
+	if root < 0 || root >= g.N() {
+		return nil, fmt.Errorf("treepif: root %d out of range [0,%d)", root, g.N())
+	}
+	if len(parent) != g.N() {
+		return nil, fmt.Errorf("treepif: parent vector has %d entries, want %d", len(parent), g.N())
+	}
+	children := make([][]int, g.N())
+	for p, par := range parent {
+		if p == root {
+			if par != -1 {
+				return nil, fmt.Errorf("treepif: root %d has parent %d, want -1", root, par)
+			}
+			continue
+		}
+		if !g.HasEdge(p, par) {
+			return nil, fmt.Errorf("treepif: tree edge (%d,%d) is not a network link", p, par)
+		}
+		children[par] = append(children[par], p)
+	}
+	// Reject forests/cycles: every node must reach the root.
+	for p := 0; p < g.N(); p++ {
+		cur, hops := p, 0
+		for cur != root {
+			cur = parent[cur]
+			hops++
+			if hops > g.N() {
+				return nil, fmt.Errorf("treepif: node %d does not reach the root", p)
+			}
+		}
+	}
+	return &Protocol{Root: root, g: g, parent: parent, children: children, nextMsg: 1}, nil
+}
+
+// NewBFS builds the baseline over the BFS tree of g rooted at root.
+func NewBFS(g *graph.Graph, root int) (*Protocol, error) {
+	return New(g, root, g.BFSTree(root))
+}
+
+// MustNewBFS is NewBFS but panics on error.
+func MustNewBFS(g *graph.Graph, root int) *Protocol {
+	pr, err := NewBFS(g, root)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+
+// Height returns the height of the input tree.
+func (pr *Protocol) Height() int {
+	h := 0
+	for p := range pr.parent {
+		d, cur := 0, p
+		for cur != pr.Root {
+			cur = pr.parent[cur]
+			d++
+		}
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// Name implements sim.Protocol.
+func (pr *Protocol) Name() string { return "tree-pif" }
+
+// ActionNames implements sim.Protocol.
+func (pr *Protocol) ActionNames() []string { return append([]string(nil), actionNames...) }
+
+// InitialState implements sim.Protocol.
+func (pr *Protocol) InitialState(int) sim.State { return State{Pif: C} }
+
+func st(c *sim.Configuration, p int) State { return c.States[p].(State) }
+
+// Enabled implements sim.Protocol.
+func (pr *Protocol) Enabled(c *sim.Configuration, p int) []int {
+	s := st(c, p)
+	if p == pr.Root {
+		switch {
+		case s.Pif == C && pr.childrenAll(c, p, C):
+			return []int{ActionB}
+		case s.Pif == B && pr.childrenAll(c, p, F):
+			return []int{ActionF}
+		case s.Pif == F:
+			return []int{ActionC}
+		default:
+			return nil
+		}
+	}
+	par := st(c, pr.parent[p])
+	switch {
+	case s.Pif == C && par.Pif == B && pr.childrenAll(c, p, C):
+		return []int{ActionB}
+	case s.Pif == B && par.Pif == B && pr.childrenAll(c, p, F):
+		return []int{ActionF}
+	case s.Pif == F && par.Pif != B:
+		return []int{ActionC}
+	case s.Pif == B && par.Pif != B:
+		// Phase inversion: the parent finished (or was never in) the wave
+		// this processor thinks it is part of.
+		return []int{ActionBCorrection}
+	default:
+		return nil
+	}
+}
+
+// childrenAll reports whether every child of p is in phase ph.
+func (pr *Protocol) childrenAll(c *sim.Configuration, p int, ph Phase) bool {
+	for _, q := range pr.children[p] {
+		if st(c, q).Pif != ph {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply implements sim.Protocol.
+func (pr *Protocol) Apply(c *sim.Configuration, p int, a int) sim.State {
+	s := st(c, p)
+	switch a {
+	case ActionB:
+		s.Pif = B
+		if p == pr.Root {
+			s.Msg = pr.nextMsg
+			pr.nextMsg++
+		} else {
+			s.Msg = st(c, pr.parent[p]).Msg
+		}
+	case ActionF:
+		s.Pif = F
+	case ActionC, ActionBCorrection:
+		s.Pif = C
+	default:
+		panic(fmt.Sprintf("treepif: action %d out of range", a))
+	}
+	return s
+}
+
+// RandomConfiguration scrambles every phase uniformly.
+func RandomConfiguration(c *sim.Configuration, rng *rand.Rand) {
+	for p := 0; p < c.N(); p++ {
+		c.States[p] = State{
+			Pif: []Phase{B, F, C}[rng.Intn(3)],
+			Msg: uint64(rng.Int63()) | 1<<63,
+		}
+	}
+}
+
+// GuardsAreLocal implements sim.LocalProtocol: guards read only the parent
+// and children, all of which are neighbors.
+func (pr *Protocol) GuardsAreLocal() bool { return true }

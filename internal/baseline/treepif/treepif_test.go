@@ -1,0 +1,119 @@
+package treepif_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"snappif/internal/baseline/treepif"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+func TestCleanStartCycles(t *testing.T) {
+	for _, build := range []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return graph.Line(9) },
+		func() (*graph.Graph, error) { return graph.Star(9) },
+		func() (*graph.Graph, error) { return graph.Grid(3, 4) },
+		func() (*graph.Graph, error) { return graph.BinaryTree(15) },
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(g.Name(), func(t *testing.T) {
+			pr := treepif.MustNewBFS(g, 0)
+			cfg := sim.NewConfiguration(g, pr)
+			obs := treepif.NewCycleObserver(pr)
+			if _, err := sim.Run(cfg, pr, sim.DistributedRandom{P: 0.7}, sim.Options{
+				Seed:      9,
+				Observers: []sim.Observer{obs},
+				StopWhen:  obs.StopAfterCycles(3),
+			}); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if obs.CompletedCycles() != 3 {
+				t.Fatalf("completed %d cycles, want 3", obs.CompletedCycles())
+			}
+			for i, rec := range obs.Cycles {
+				if !rec.OK(g.N()) {
+					t.Errorf("cycle %d: delivered %d/%d acked %d/%d",
+						i, rec.Delivered, g.N()-1, rec.FedBack, g.N()-1)
+				}
+			}
+		})
+	}
+}
+
+func TestSynchronousCycleRoundsTrackTreeHeight(t *testing.T) {
+	// Broadcast-to-feedback takes Θ(h_T) rounds under the synchronous
+	// daemon: the wave descends h_T levels and the feedback climbs back.
+	g, err := graph.Line(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := treepif.MustNewBFS(g, 0)
+	cfg := sim.NewConfiguration(g, pr)
+	obs := treepif.NewCycleObserver(pr)
+	if _, err := sim.Run(cfg, pr, sim.Synchronous{}, sim.Options{
+		Observers: []sim.Observer{obs},
+		StopWhen:  obs.StopAfterCycles(2),
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	h := pr.Height()
+	for i, rec := range obs.Cycles {
+		if got := rec.Rounds(); got < h || got > 3*h+3 {
+			t.Errorf("cycle %d: %d rounds, want within [h, 3h+3] = [%d, %d]", i, got, h, 3*h+3)
+		}
+	}
+}
+
+func TestRecoversFromRandomPhases(t *testing.T) {
+	g, err := graph.Grid(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := treepif.MustNewBFS(g, 0)
+	for seed := int64(0); seed < 20; seed++ {
+		cfg := sim.NewConfiguration(g, pr)
+		treepif.RandomConfiguration(cfg, rand.New(rand.NewSource(seed)))
+		obs := treepif.NewCycleObserver(pr)
+		if _, err := sim.Run(cfg, pr, sim.DistributedRandom{P: 0.6}, sim.Options{
+			Seed:      seed + 1,
+			Observers: []sim.Observer{obs},
+			StopWhen:  obs.StopAfterCycles(4),
+		}); err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		last := obs.Cycles[len(obs.Cycles)-1]
+		if !last.OK(g.N()) {
+			t.Errorf("seed %d: last cycle incorrect: delivered %d/%d",
+				seed, last.Delivered, g.N()-1)
+		}
+	}
+}
+
+func TestRejectsBadTrees(t *testing.T) {
+	g, err := graph.Ring(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		parent []int
+	}{
+		{name: "non-edge parent", parent: []int{-1, 3, 1, 2, 3, 4}}, // 1→3 is not a ring edge
+		{name: "cycle", parent: []int{-1, 2, 1, 2, 3, 4}},           // 1↔2 cycle
+		{name: "root has parent", parent: []int{1, 0, 1, 2, 3, 4}},  // root must be -1
+		{name: "wrong length", parent: []int{-1, 0, 1}},             // too short
+		{name: "self parent", parent: []int{-1, 1, 1, 2, 3, 4}},     // 1→1
+		{name: "unreachable", parent: []int{-1, 0, 1, 4, 3, 4}},     // 3↔4 loop
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := treepif.New(g, 0, tt.parent); err == nil {
+				t.Fatalf("New accepted invalid tree %v", tt.parent)
+			}
+		})
+	}
+}

@@ -1,0 +1,315 @@
+package check_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"snappif/internal/check"
+	"snappif/internal/core"
+	"snappif/internal/fault"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+// setup builds a clean configuration on a line of n.
+func setup(t *testing.T, n int) (*graph.Graph, *core.Protocol, *sim.Configuration) {
+	t.Helper()
+	g, err := graph.Line(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	return g, pr, sim.NewConfiguration(g, pr)
+}
+
+// plantLegalChain puts processors 0..k into a consistent broadcast chain.
+func plantLegalChain(cfg *sim.Configuration, k int) {
+	for p := 0; p <= k; p++ {
+		s := cfg.States[p].(core.State)
+		s.Pif = core.B
+		s.L = p
+		s.Count = 1
+		if p > 0 {
+			s.Par = p - 1
+		}
+		cfg.States[p] = s
+	}
+}
+
+func TestParentPathOnLegalChain(t *testing.T) {
+	_, pr, cfg := setup(t, 6)
+	plantLegalChain(cfg, 3)
+	path := check.ParentPath(cfg, pr, 3)
+	want := []int{3, 2, 1, 0}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if !check.InLegalTree(cfg, pr, 3) {
+		t.Fatal("chain member not in LegalTree")
+	}
+	if check.InLegalTree(cfg, pr, 5) {
+		t.Fatal("clean processor reported in LegalTree")
+	}
+}
+
+func TestParentPathStopsAtAbnormal(t *testing.T) {
+	_, pr, cfg := setup(t, 6)
+	plantLegalChain(cfg, 4)
+	// Break processor 2's level: both 2 (level inconsistent with 1) and 3
+	// (level inconsistent with 2) become abnormal, so 4's path ends at 3 —
+	// the first abnormal processor — and 2, 3, 4 leave the LegalTree.
+	s := cfg.States[2].(core.State)
+	s.L = 5
+	cfg.States[2] = s
+	if pr.Normal(cfg, 2) || pr.Normal(cfg, 3) {
+		t.Fatal("level-broken processors still normal")
+	}
+	path := check.ParentPath(cfg, pr, 4)
+	if last := path[len(path)-1]; last != 3 {
+		t.Fatalf("path %v should end at the first abnormal processor 3", path)
+	}
+	if check.InLegalTree(cfg, pr, 4) {
+		t.Fatal("processor behind abnormal ancestor still in LegalTree")
+	}
+	// Processor 1 is still fine.
+	if !check.InLegalTree(cfg, pr, 1) {
+		t.Fatal("processor 1 should remain in LegalTree")
+	}
+	members := check.LegalTree(cfg, pr)
+	if len(members) != 2 { // 0 and 1
+		t.Fatalf("LegalTree = %v, want [0 1]", members)
+	}
+}
+
+func TestParentPathSurvivesParCycle(t *testing.T) {
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 1) // root elsewhere
+	cfg := sim.NewConfiguration(g, pr)
+	// 2 and 3 point at each other with "consistent-looking" junk levels.
+	s2 := cfg.States[2].(core.State)
+	s2.Pif, s2.Par, s2.L = core.B, 3, 2
+	cfg.States[2] = s2
+	s3 := cfg.States[3].(core.State)
+	s3.Pif, s3.Par, s3.L = core.B, 2, 3
+	cfg.States[3] = s3
+	// Must terminate despite the pointer cycle.
+	path := check.ParentPath(cfg, pr, 2)
+	if len(path) == 0 || len(path) > 4 {
+		t.Fatalf("unexpected path %v", path)
+	}
+	if check.InLegalTree(cfg, pr, 2) || check.InLegalTree(cfg, pr, 3) {
+		t.Fatal("cycle members cannot be in the LegalTree")
+	}
+}
+
+func TestSourcesAndSubtreeSizes(t *testing.T) {
+	g, err := graph.Star(5) // center 0, leaves 1..4
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	cfg := sim.NewConfiguration(g, pr)
+	// Root broadcasting with two attached leaves.
+	s0 := cfg.States[0].(core.State)
+	s0.Pif = core.B
+	s0.Count = 3
+	cfg.States[0] = s0
+	for _, leaf := range []int{1, 2} {
+		s := cfg.States[leaf].(core.State)
+		s.Pif, s.Par, s.L, s.Count = core.B, 0, 1, 1
+		cfg.States[leaf] = s
+	}
+	sources := check.Sources(cfg, pr)
+	if len(sources) != 2 || sources[0] != 1 || sources[1] != 2 {
+		t.Fatalf("sources = %v, want [1 2]", sources)
+	}
+	sizes := check.SubtreeSizes(cfg, pr)
+	if sizes[0] != 3 || sizes[1] != 1 || sizes[2] != 1 || sizes[3] != 0 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	if h := check.TreeHeight(cfg, pr); h != 1 {
+		t.Fatalf("height = %d, want 1", h)
+	}
+}
+
+func TestTreesForest(t *testing.T) {
+	// Line 0-1-2-3-4-5: legal chain 0←1, plus an abnormal chain 3←4 where
+	// 3 is abnormal (its level cannot match its clean parent's).
+	_, pr, cfg := setup(t, 6)
+	plantLegalChain(cfg, 1)
+	s3 := cfg.States[3].(core.State)
+	s3.Pif, s3.Par, s3.L = core.B, 2, 4 // parent 2 is clean → abnormal
+	cfg.States[3] = s3
+	s4 := cfg.States[4].(core.State)
+	s4.Pif, s4.Par, s4.L = core.B, 3, 5 // consistent with 3 → normal, in 3's tree
+	cfg.States[4] = s4
+
+	forest := check.Trees(cfg, pr)
+	if len(forest) != 2 {
+		t.Fatalf("forest = %+v, want 2 trees", forest)
+	}
+	legal := forest[0]
+	if legal.Root != 0 || legal.Abnormal || len(legal.Members) != 2 {
+		t.Fatalf("legal tree = %+v", legal)
+	}
+	abn := forest[1]
+	if abn.Root != 3 || !abn.Abnormal {
+		t.Fatalf("abnormal tree = %+v", abn)
+	}
+	if len(abn.Members) != 2 || abn.Members[0] != 3 || abn.Members[1] != 4 {
+		t.Fatalf("abnormal tree members = %v, want [3 4]", abn.Members)
+	}
+}
+
+func TestConfigurationClasses(t *testing.T) {
+	_, pr, cfg := setup(t, 4)
+	// Fresh clean configuration: SBN.
+	if !check.IsSBN(cfg, pr) || !check.IsAllClean(cfg) || !check.IsNormalConfiguration(cfg, pr) {
+		t.Fatal("clean start misclassified")
+	}
+	if check.IsEBN(cfg, pr) || check.IsEndFeedback(cfg, pr) {
+		t.Fatal("clean start claimed EBN/EF")
+	}
+	// All broadcasting at consistent levels: EBN.
+	plantLegalChain(cfg, 3)
+	if !check.IsEBN(cfg, pr) {
+		t.Fatal("full consistent broadcast not EBN")
+	}
+	if !check.IsBroadcastConfiguration(cfg, pr) {
+		t.Fatal("root B with ¬Fok not a Broadcast configuration")
+	}
+	// Root switches to F: EF (and EFN once everyone is F... here only the
+	// root, which leaves children abnormal — EF but not EFN).
+	s := cfg.States[0].(core.State)
+	s.Pif = core.F
+	cfg.States[0] = s
+	if !check.IsEndFeedback(cfg, pr) {
+		t.Fatal("root F not EF")
+	}
+	if check.IsEFN(cfg, pr) {
+		t.Fatal("EFN claimed while children are abnormal")
+	}
+}
+
+func TestGoodConfigurationDetectsBadOutsider(t *testing.T) {
+	g, err := graph.Line(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	cfg := sim.NewConfiguration(g, pr)
+	plantLegalChain(cfg, 1) // 0,1 in tree
+	if !check.IsGoodConfiguration(cfg, pr) {
+		t.Fatal("clean remainder should be a Good Configuration")
+	}
+	// Processor 2: outside the tree (wrong level → abnormal), parent in
+	// tree, with an inflated Count violating GoodCount.
+	s := cfg.States[2].(core.State)
+	s.Pif, s.Par, s.L, s.Count = core.B, 1, 3, 4
+	cfg.States[2] = s
+	if check.InLegalTree(cfg, pr, 2) {
+		t.Fatal("abnormal processor in LegalTree")
+	}
+	if check.IsGoodConfiguration(cfg, pr) {
+		t.Fatal("GoodCount violation by an attached outsider not detected")
+	}
+}
+
+func TestDomainsCatchesEachViolation(t *testing.T) {
+	_, pr, cfg := setup(t, 4)
+	if err := check.Domains(cfg, pr); err != nil {
+		t.Fatalf("clean config: %v", err)
+	}
+	break1 := cfg.Clone()
+	s := break1.States[2].(core.State)
+	s.Count = 0
+	break1.States[2] = s
+	if check.Domains(break1, pr) == nil {
+		t.Fatal("Count=0 accepted")
+	}
+	break2 := cfg.Clone()
+	s = break2.States[2].(core.State)
+	s.L = 99
+	break2.States[2] = s
+	if check.Domains(break2, pr) == nil {
+		t.Fatal("L out of range accepted")
+	}
+	break3 := cfg.Clone()
+	s = break3.States[2].(core.State)
+	s.Par = 0 // not a neighbor of 2 on the line
+	break3.States[2] = s
+	if check.Domains(break3, pr) == nil {
+		t.Fatal("non-neighbor parent accepted")
+	}
+	break4 := cfg.Clone()
+	s = break4.States[0].(core.State)
+	s.Par = 1
+	break4.States[0] = s
+	if check.Domains(break4, pr) == nil {
+		t.Fatal("root with a parent accepted")
+	}
+	break5 := cfg.Clone()
+	s = break5.States[0].(core.State)
+	s.L = 1
+	break5.States[0] = s
+	if check.Domains(break5, pr) == nil {
+		t.Fatal("root with nonzero level accepted")
+	}
+	break6 := cfg.Clone()
+	s = break6.States[1].(core.State)
+	s.Pif = core.Phase(9)
+	break6.States[1] = s
+	if check.Domains(break6, pr) == nil {
+		t.Fatal("invalid phase accepted")
+	}
+}
+
+func TestPropertiesVacuousAndViolations(t *testing.T) {
+	_, pr, cfg := setup(t, 5)
+	// Clean configuration: both properties hold trivially.
+	if err := check.Property1(cfg, pr); err != nil {
+		t.Fatal(err)
+	}
+	if err := check.Property2(cfg, pr); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupted configuration is handled without error (vacuous or not).
+	fault.UniformRandom().Apply(cfg, pr, rand.New(rand.NewSource(1)))
+	_ = check.Property1(cfg, pr) // must not panic; may or may not flag
+	_ = check.Property2(cfg, pr)
+}
+
+func TestMonitorAggregatesViolations(t *testing.T) {
+	_, pr, cfg := setup(t, 4)
+	mon := check.NewMonitor(pr, []check.Check{{
+		Name: "always-bad",
+		Fn: func(*sim.Configuration, *core.Protocol) error {
+			return errAlways
+		},
+	}})
+	if mon.Err() != nil {
+		t.Fatal("fresh monitor reports error")
+	}
+	mon.OnStep(1, nil, cfg)
+	mon.OnStep(2, nil, cfg)
+	if mon.StepsChecked != 2 || len(mon.Violations) != 2 {
+		t.Fatalf("checked=%d violations=%d, want 2/2", mon.StepsChecked, len(mon.Violations))
+	}
+	if err := mon.Err(); err == nil {
+		t.Fatal("monitor with violations returned nil error")
+	}
+}
+
+var errAlways = errDummy("always fails")
+
+type errDummy string
+
+func (e errDummy) Error() string { return string(e) }

@@ -1,0 +1,197 @@
+package check
+
+import (
+	"fmt"
+
+	"snappif/internal/core"
+	"snappif/internal/sim"
+)
+
+// This file implements the invariants of Section 4.2 (Properties 1 and 2),
+// the chordless-ParentPath property from the proof of Theorem 4, and domain
+// checks on the variables. Each check returns nil or an error describing the
+// first violation found — the experiment harness treats any non-nil result
+// as a reproduction failure.
+
+// Property1 checks the paper's Property 1: while the root broadcasts with
+// Fok lowered, every LegalTree member is broadcasting at the right level
+// with Fok lowered and Count ≤ Sum. The paper's induction implicitly starts
+// from a root satisfying its own Good predicates (a corrupted root is about
+// to execute B-correction and its tree is vacuous), so the check is
+// conditioned on Normal(r).
+func Property1(c *sim.Configuration, pr *core.Protocol) error {
+	sr := stateOf(c, pr.Root)
+	if sr.Pif != core.B || sr.Fok || !pr.Normal(c, pr.Root) {
+		return nil
+	}
+	for _, p := range LegalTree(c, pr) {
+		s := stateOf(c, p)
+		if s.Pif != core.B {
+			return fmt.Errorf("check: property 1: p%d in LegalTree has Pif=%v, want B", p, s.Pif)
+		}
+		if p != pr.Root && s.L != stateOf(c, s.Par).L+1 {
+			return fmt.Errorf("check: property 1: p%d has L=%d, parent p%d has L=%d",
+				p, s.L, s.Par, stateOf(c, s.Par).L)
+		}
+		if s.Fok {
+			return fmt.Errorf("check: property 1: p%d in LegalTree has Fok raised", p)
+		}
+		if sum := pr.Sum(c, p); s.Count > sum {
+			return fmt.Errorf("check: property 1: p%d has Count=%d > Sum=%d", p, s.Count, sum)
+		}
+	}
+	return nil
+}
+
+// Property2 checks the paper's Property 2 in normal configurations:
+//
+//  1. every participating processor belongs to the (Good)LegalTree;
+//  2. Pif_r = C implies every processor is clean;
+//  3. Pif_r = F implies every LegalTree member is in feedback;
+//  4. while broadcasting with Fok lowered, Count never exceeds the true
+//     subtree size.
+//
+// In configurations that are not normal the property is vacuous and nil is
+// returned.
+func Property2(c *sim.Configuration, pr *core.Protocol) error {
+	if !IsNormalConfiguration(c, pr) {
+		return nil
+	}
+	inTree := make(map[int]bool)
+	for _, p := range LegalTree(c, pr) {
+		inTree[p] = true
+	}
+	sr := stateOf(c, pr.Root)
+	for p := 0; p < c.N(); p++ {
+		s := stateOf(c, p)
+		if s.Pif != core.C && !inTree[p] {
+			return fmt.Errorf("check: property 2.1: participating p%d (Pif=%v) outside LegalTree", p, s.Pif)
+		}
+		if sr.Pif == core.C && s.Pif != core.C {
+			return fmt.Errorf("check: property 2.2: root clean but p%d has Pif=%v", p, s.Pif)
+		}
+		if sr.Pif == core.F && inTree[p] && s.Pif != core.F {
+			return fmt.Errorf("check: property 2.3: root in feedback but tree member p%d has Pif=%v", p, s.Pif)
+		}
+	}
+	if sr.Pif == core.B && !sr.Fok {
+		sizes := SubtreeSizes(c, pr)
+		for _, p := range LegalTree(c, pr) {
+			if cnt := stateOf(c, p).Count; cnt > sizes[p] {
+				return fmt.Errorf("check: property 2.4: p%d has Count=%d > #Subtree=%d", p, cnt, sizes[p])
+			}
+		}
+	}
+	return nil
+}
+
+// ChordlessParentPaths checks the structural property established in the
+// proof of Theorem 4: every ParentPath of a LegalTree member is an
+// elementary chordless path of the network. The property holds for trees
+// the algorithm builds from a clean start; it is not guaranteed for
+// adversarially injected initial configurations, so callers attach this
+// check only to clean-start runs.
+func ChordlessParentPaths(c *sim.Configuration, pr *core.Protocol) error {
+	for _, p := range LegalTree(c, pr) {
+		if p == pr.Root || stateOf(c, p).Pif == core.C {
+			continue
+		}
+		path := ParentPath(c, pr, p)
+		if !c.G.IsChordlessPath(path) {
+			return fmt.Errorf("check: ParentPath(%d) = %v is not chordless", p, path)
+		}
+	}
+	return nil
+}
+
+// Domains checks that every variable stays in its declared domain:
+// Pif ∈ {B,F,C}, Par_p ∈ Neig_p (⊥ at the root), L_r = 0 and
+// L_p ∈ [1,Lmax] otherwise, Count ∈ [1,N'].
+func Domains(c *sim.Configuration, pr *core.Protocol) error {
+	for p := 0; p < c.N(); p++ {
+		s := stateOf(c, p)
+		if s.Pif != core.B && s.Pif != core.F && s.Pif != core.C {
+			return fmt.Errorf("check: p%d has Pif=%d outside {B,F,C}", p, s.Pif)
+		}
+		if s.Count < 1 || s.Count > pr.NPrime {
+			return fmt.Errorf("check: p%d has Count=%d outside [1,%d]", p, s.Count, pr.NPrime)
+		}
+		if p == pr.Root {
+			if s.Par != core.ParNone {
+				return fmt.Errorf("check: root Par=%d, want ⊥", s.Par)
+			}
+			if s.L != 0 {
+				return fmt.Errorf("check: root L=%d, want 0", s.L)
+			}
+			continue
+		}
+		if s.L < 1 || s.L > pr.Lmax {
+			return fmt.Errorf("check: p%d has L=%d outside [1,%d]", p, s.L, pr.Lmax)
+		}
+		if !c.G.HasEdge(p, s.Par) {
+			return fmt.Errorf("check: p%d has Par=%d which is not a neighbor", p, s.Par)
+		}
+	}
+	return nil
+}
+
+// Check is one named configuration predicate used by Monitor.
+type Check struct {
+	Name string
+	Fn   func(*sim.Configuration, *core.Protocol) error
+}
+
+// StandardChecks returns the invariant set safe on any run, including runs
+// from corrupted initial configurations.
+func StandardChecks() []Check {
+	return []Check{
+		{Name: "domains", Fn: Domains},
+		{Name: "property-1", Fn: Property1},
+		{Name: "property-2", Fn: Property2},
+	}
+}
+
+// CleanStartChecks returns StandardChecks plus the checks that are only
+// guaranteed on runs started from the normal starting configuration.
+func CleanStartChecks() []Check {
+	return append(StandardChecks(),
+		Check{Name: "chordless-parentpaths", Fn: ChordlessParentPaths})
+}
+
+// Monitor is a sim.Observer that evaluates a set of invariant checks after
+// every computation step and records violations.
+type Monitor struct {
+	Proto  *core.Protocol
+	Checks []Check
+
+	// Violations collects one message per violated (step, check).
+	Violations []string
+	// StepsChecked counts how many steps were examined.
+	StepsChecked int
+}
+
+var _ sim.Observer = (*Monitor)(nil)
+
+// NewMonitor builds a Monitor over the given checks.
+func NewMonitor(pr *core.Protocol, checks []Check) *Monitor {
+	return &Monitor{Proto: pr, Checks: checks}
+}
+
+// OnStep implements sim.Observer.
+func (m *Monitor) OnStep(step int, _ []sim.Choice, c *sim.Configuration) {
+	m.StepsChecked++
+	for _, chk := range m.Checks {
+		if err := chk.Fn(c, m.Proto); err != nil {
+			m.Violations = append(m.Violations,
+				fmt.Sprintf("step %d: %s: %v", step, chk.Name, err))
+		}
+	}
+}
+
+// Err returns an error summarizing the recorded violations, or nil.
+func (m *Monitor) Err() error {
+	if len(m.Violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("check: %d invariant violations, first: %s", len(m.Violations), m.Violations[0])
+}

@@ -1,0 +1,216 @@
+package check
+
+import (
+	"fmt"
+
+	"snappif/internal/core"
+	"snappif/internal/sim"
+)
+
+// CycleRecord describes one observed PIF cycle: the computation window
+// opened by a root B-action (the broadcast of message m, Definition 2) and
+// closed by the next return to the all-clean configuration.
+type CycleRecord struct {
+	// Msg is the message value the root broadcast.
+	Msg uint64
+	// StartStep / StartRound locate the root's B-action.
+	StartStep  int
+	StartRound int
+	// FeedbackStep / FeedbackRound locate the root's F-action — the moment
+	// [PIF2] requires all acknowledgments to have reached the root.
+	FeedbackStep  int
+	FeedbackRound int
+	// CleanStep / CleanRound locate the return to the all-clean
+	// configuration (the end of the cleaning phase; the system is back in
+	// the normal starting configuration).
+	CleanStep  int
+	CleanRound int
+	// Height is the height h of the tree constructed during the cycle,
+	// measured at the root's F-action (Theorem 4's h).
+	Height int
+	// Delivered counts the processors that received m ([PIF1]).
+	Delivered int
+	// FedBack counts the processors that acknowledged within the cycle.
+	FedBack int
+	// Violations lists specification violations detected for this cycle.
+	Violations []string
+	// Complete reports whether the cycle closed (reached all-clean) before
+	// the run ended.
+	Complete bool
+	feedback bool
+}
+
+// Rounds returns the full SBN→SBN cycle length in rounds (Theorem 4's
+// quantity) for a complete cycle.
+func (r CycleRecord) Rounds() int { return r.CleanRound - r.StartRound + 1 }
+
+// OK reports whether the cycle satisfied [PIF1] and [PIF2].
+func (r CycleRecord) OK() bool { return r.Complete && len(r.Violations) == 0 }
+
+// CycleObserver watches a run of the snap-stabilizing PIF and verifies the
+// PIF-cycle specification (Specification 1):
+//
+//	[PIF1] every processor p ≠ r receives the message m broadcast by the
+//	       root (observed as: p executes B-action adopting payload m, and
+//	       still holds m when the root executes its F-action);
+//	[PIF2] the root receives an acknowledgment from every processor
+//	       (observed as: every p ≠ r executed F-action inside the window,
+//	       and at the root's F-action every processor is in phase F —
+//	       the feedback wave has closed over the whole network).
+//
+// Snap-stabilization (Definition 1) demands this for *every* cycle,
+// including the first one started from an arbitrary initial configuration.
+type CycleObserver struct {
+	Proto *core.Protocol
+
+	// Cycles records every observed cycle in order.
+	Cycles []CycleRecord
+
+	cur       *CycleRecord
+	joined    map[int]bool
+	fed       map[int]bool
+	lastRound int
+}
+
+var (
+	_ sim.Observer      = (*CycleObserver)(nil)
+	_ sim.RoundObserver = (*CycleObserver)(nil)
+)
+
+// NewCycleObserver builds an observer for the given protocol instance.
+func NewCycleObserver(pr *core.Protocol) *CycleObserver {
+	return &CycleObserver{Proto: pr}
+}
+
+// OnRound implements sim.RoundObserver.
+func (o *CycleObserver) OnRound(round int, _ *sim.Configuration) { o.lastRound = round }
+
+// round returns the 1-based index of the round in progress.
+func (o *CycleObserver) round() int { return o.lastRound + 1 }
+
+// OnStep implements sim.Observer.
+func (o *CycleObserver) OnStep(step int, executed []sim.Choice, c *sim.Configuration) {
+	for _, ch := range executed {
+		switch {
+		case ch.Proc == o.Proto.Root && ch.Action == core.ActionB:
+			o.startCycle(step, c)
+		case o.cur == nil:
+			// Pre-broadcast garbage activity (corrections from a corrupted
+			// initial configuration); the specification does not constrain
+			// it (Remark 1).
+		case ch.Proc != o.Proto.Root && ch.Action == core.ActionB:
+			s := stateOf(c, ch.Proc)
+			if s.Msg == o.cur.Msg {
+				o.joined[ch.Proc] = true
+				if s.L > o.cur.Height {
+					// The height h of the constructed tree is the deepest
+					// level any processor joins at; it must be recorded at
+					// join time because the cleaning phase dismantles deep
+					// branches before the root's F-action.
+					o.cur.Height = s.L
+				}
+			}
+		case ch.Proc != o.Proto.Root && ch.Action == core.ActionF:
+			if stateOf(c, ch.Proc).Msg == o.cur.Msg && o.joined[ch.Proc] {
+				o.fed[ch.Proc] = true
+			}
+		case ch.Proc == o.Proto.Root && ch.Action == core.ActionF:
+			o.rootFeedback(step, c)
+		case ch.Proc == o.Proto.Root && ch.Action == core.ActionBCorrection:
+			// The root aborted the cycle — possible only from a corrupted
+			// configuration in which the root was already broadcasting
+			// before the observed B-action. A genuine violation.
+			o.cur.Violations = append(o.cur.Violations,
+				fmt.Sprintf("step %d: root aborted cycle via B-correction", step))
+		}
+	}
+	if o.cur != nil && o.cur.feedback && IsAllClean(c) {
+		o.closeCycle(step)
+	}
+}
+
+// startCycle opens a cycle window at the root's B-action.
+func (o *CycleObserver) startCycle(step int, c *sim.Configuration) {
+	if o.cur != nil {
+		// Previous cycle never closed before a new broadcast: under the
+		// root's Broadcast guard this cannot happen (the guard requires
+		// every neighbor clean and the cleaning to have finished); record
+		// it as a violation if it ever does.
+		o.cur.Violations = append(o.cur.Violations,
+			fmt.Sprintf("step %d: new broadcast before previous cycle closed", step))
+		o.Cycles = append(o.Cycles, *o.cur)
+	}
+	o.cur = &CycleRecord{
+		Msg:        stateOf(c, o.Proto.Root).Msg,
+		StartStep:  step,
+		StartRound: o.round(),
+	}
+	o.joined = make(map[int]bool, c.N())
+	o.fed = make(map[int]bool, c.N())
+}
+
+// rootFeedback validates [PIF1] and [PIF2] at the root's F-action.
+func (o *CycleObserver) rootFeedback(step int, c *sim.Configuration) {
+	rec := o.cur
+	rec.feedback = true
+	rec.FeedbackStep = step
+	rec.FeedbackRound = o.round()
+	rec.Delivered = len(o.joined)
+	rec.FedBack = len(o.fed)
+	for p := 0; p < c.N(); p++ {
+		if p == o.Proto.Root {
+			continue
+		}
+		s := stateOf(c, p)
+		switch {
+		case !o.joined[p]:
+			rec.Violations = append(rec.Violations,
+				fmt.Sprintf("PIF1: p%d never received m=%d", p, rec.Msg))
+		case s.Msg != rec.Msg:
+			rec.Violations = append(rec.Violations,
+				fmt.Sprintf("PIF1: p%d holds m=%d, want %d", p, s.Msg, rec.Msg))
+		}
+		if !o.fed[p] {
+			rec.Violations = append(rec.Violations,
+				fmt.Sprintf("PIF2: p%d never acknowledged m=%d", p, rec.Msg))
+		}
+		// The cleaning phase runs in parallel with (and behind) the
+		// feedback phase, so at the root's F-action a processor is either
+		// still in feedback or already cleaned — never still broadcasting.
+		if s.Pif == core.B {
+			rec.Violations = append(rec.Violations,
+				fmt.Sprintf("PIF2: at root feedback p%d still broadcasting", p))
+		}
+	}
+}
+
+// closeCycle ends the window once the system is back in the normal starting
+// configuration.
+func (o *CycleObserver) closeCycle(step int) {
+	o.cur.CleanStep = step
+	o.cur.CleanRound = o.round()
+	o.cur.Complete = true
+	o.Cycles = append(o.Cycles, *o.cur)
+	o.cur = nil
+}
+
+// CompletedCycles returns the number of closed cycle windows.
+func (o *CycleObserver) CompletedCycles() int { return len(o.Cycles) }
+
+// Err returns an error describing the first specification violation across
+// all observed cycles, or nil.
+func (o *CycleObserver) Err() error {
+	for i, rec := range o.Cycles {
+		if len(rec.Violations) > 0 {
+			return fmt.Errorf("check: cycle %d (m=%d): %d violations, first: %s",
+				i, rec.Msg, len(rec.Violations), rec.Violations[0])
+		}
+	}
+	return nil
+}
+
+// StopAfterCycles returns a stop predicate for sim.Run that ends the run
+// once n cycles have closed.
+func (o *CycleObserver) StopAfterCycles(n int) func(*sim.RunState) bool {
+	return func(*sim.RunState) bool { return len(o.Cycles) >= n }
+}

@@ -1,0 +1,132 @@
+package check_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"snappif/internal/check"
+	"snappif/internal/core"
+	"snappif/internal/fault"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+func TestCycleObserverRecordsFullCycles(t *testing.T) {
+	g, err := graph.Grid(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	cfg := sim.NewConfiguration(g, pr)
+	obs := check.NewCycleObserver(pr)
+	if _, err := sim.Run(cfg, pr, sim.Synchronous{}, sim.Options{
+		Observers: []sim.Observer{obs},
+		StopWhen:  obs.StopAfterCycles(2),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if obs.CompletedCycles() != 2 {
+		t.Fatalf("cycles = %d, want 2", obs.CompletedCycles())
+	}
+	if err := obs.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range obs.Cycles {
+		if !rec.Complete || !rec.OK() {
+			t.Fatalf("cycle %d: complete=%v violations=%v", i, rec.Complete, rec.Violations)
+		}
+		if rec.FeedbackRound <= rec.StartRound || rec.CleanRound < rec.FeedbackRound {
+			t.Fatalf("cycle %d: inconsistent rounds %d/%d/%d",
+				i, rec.StartRound, rec.FeedbackRound, rec.CleanRound)
+		}
+		if rec.Rounds() != rec.CleanRound-rec.StartRound+1 {
+			t.Fatalf("cycle %d: Rounds() mismatch", i)
+		}
+		if rec.Msg != uint64(i+1) {
+			t.Fatalf("cycle %d: msg = %d", i, rec.Msg)
+		}
+	}
+}
+
+func TestCycleObserverIgnoresPreBroadcastGarbage(t *testing.T) {
+	// From a corrupted configuration a garbage pre-cycle may complete
+	// before the root's first B-action; the observer must not record it
+	// (Remark 1: computations without a root broadcast are vacuously PIF
+	// cycles).
+	g, err := graph.Ring(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	cfg := sim.NewConfiguration(g, pr)
+	fault.PrematureFok().Apply(cfg, pr, rand.New(rand.NewSource(3)))
+	obs := check.NewCycleObserver(pr)
+	if _, err := sim.Run(cfg, pr, sim.DistributedRandom{P: 0.5}, sim.Options{
+		Seed:      5,
+		Observers: []sim.Observer{obs},
+		StopWhen:  obs.StopAfterCycles(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if obs.CompletedCycles() != 1 {
+		t.Fatalf("cycles = %d", obs.CompletedCycles())
+	}
+	rec := obs.Cycles[0]
+	if !rec.OK() {
+		t.Fatalf("first real cycle violated: %v", rec.Violations)
+	}
+	if rec.Msg&(1<<63) != 0 {
+		t.Fatalf("observer recorded a garbage-payload cycle: m=%d", rec.Msg)
+	}
+}
+
+func TestStopAfterCyclesPredicate(t *testing.T) {
+	g, err := graph.Line(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	obs := check.NewCycleObserver(pr)
+	stop := obs.StopAfterCycles(0)
+	if !stop(nil) {
+		t.Fatal("zero-cycle stop should fire immediately")
+	}
+	stop1 := obs.StopAfterCycles(1)
+	if stop1(nil) {
+		t.Fatal("one-cycle stop fired with no cycles")
+	}
+}
+
+func TestTreeHeightAndSourcesOnLiveRun(t *testing.T) {
+	g, err := graph.Lollipop(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	cfg := sim.NewConfiguration(g, pr)
+	// Drive to the EBN configuration, then inspect tree analytics.
+	stopAtEBN := func(rs *sim.RunState) bool { return check.IsEBN(rs.Config, pr) }
+	if _, err := sim.Run(cfg, pr, sim.Synchronous{}, sim.Options{StopWhen: stopAtEBN}); err != nil {
+		t.Fatal(err)
+	}
+	if !check.IsEBN(cfg, pr) {
+		t.Fatal("EBN not reached")
+	}
+	if h := check.TreeHeight(cfg, pr); h < g.Eccentricity(0) {
+		t.Fatalf("height %d below eccentricity %d", h, g.Eccentricity(0))
+	}
+	srcs := check.Sources(cfg, pr)
+	if len(srcs) == 0 {
+		t.Fatal("no sources in a full tree")
+	}
+	sizes := check.SubtreeSizes(cfg, pr)
+	if sizes[0] != g.N() {
+		t.Fatalf("root subtree = %d, want %d", sizes[0], g.N())
+	}
+	if !check.IsGoodConfiguration(cfg, pr) {
+		t.Fatal("EBN configuration not Good")
+	}
+	if !check.IsBroadcastConfiguration(cfg, pr) {
+		t.Fatal("EBN not a Broadcast configuration")
+	}
+}

@@ -1,0 +1,214 @@
+// Package check implements the correctness machinery of Section 4 of the
+// paper: ParentPaths, Trees, the LegalTree and the GLT (Definitions 3–16),
+// the configuration classes (Normal, SB, SBN, EBN, EF, EFN, Good), the
+// invariants Property 1 and Property 2, the chordless-ParentPath property
+// from the proof of Theorem 4, and an observer that checks the PIF-cycle
+// specification ([PIF1], [PIF2], Specification 1) on live runs.
+//
+// Everything here is *read-only* analysis over configurations; the checkers
+// reuse the protocol's own predicate implementations so that the
+// classification in experiments is exactly the paper's.
+package check
+
+import (
+	"sort"
+
+	"snappif/internal/core"
+	"snappif/internal/sim"
+)
+
+// stateOf extracts p's PIF state.
+func stateOf(c *sim.Configuration, p int) core.State {
+	return c.States[p].(core.State)
+}
+
+// ParentPath returns the ParentPath of p (Definition 4): the maximal chain
+// p = p0, p1, … following Par pointers while each pi (i < k) is normal,
+// ending at the root or at the first abnormal processor. It returns nil when
+// Pif_p = C (the paper defines ParentPath only for participating
+// processors). A Par cycle among corrupted states terminates the path at the
+// first revisited processor, which is then reported as the (abnormal)
+// extremity.
+func ParentPath(c *sim.Configuration, pr *core.Protocol, p int) []int {
+	if stateOf(c, p).Pif == core.C {
+		return nil
+	}
+	path := []int{p}
+	visited := map[int]bool{p: true}
+	cur := p
+	for cur != pr.Root && pr.Normal(c, cur) {
+		next := stateOf(c, cur).Par
+		if visited[next] {
+			// Corrupted Par cycle: treat the revisited processor as the
+			// extremity. It is necessarily abnormal in any configuration
+			// the protocol maintains (GoodLevel forbids cycles), so this
+			// only triggers on injected faults.
+			path = append(path, next)
+			return path
+		}
+		visited[next] = true
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+// InLegalTree reports whether p belongs to the LegalTree (Definitions 5–6):
+// the extremity of ParentPath(p) is the root and every processor before the
+// extremity is normal. The root itself always belongs to its tree.
+func InLegalTree(c *sim.Configuration, pr *core.Protocol, p int) bool {
+	if p == pr.Root {
+		return true
+	}
+	if stateOf(c, p).Pif == core.C {
+		return false
+	}
+	path := ParentPath(c, pr, p)
+	return path[len(path)-1] == pr.Root
+}
+
+// LegalTree returns the sorted member list of the LegalTree.
+func LegalTree(c *sim.Configuration, pr *core.Protocol) []int {
+	var out []int
+	for p := 0; p < c.N(); p++ {
+		if p == pr.Root || InLegalTree(c, pr, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Abnormal returns the sorted list of abnormal processors (¬Normal(p)).
+// Processors with Pif_p = C are always normal.
+func Abnormal(c *sim.Configuration, pr *core.Protocol) []int {
+	var out []int
+	for p := 0; p < c.N(); p++ {
+		if !pr.Normal(c, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Sources returns the sources of the LegalTree (Definition 7): members no
+// other member points to — the processors from which the feedback phase can
+// start.
+func Sources(c *sim.Configuration, pr *core.Protocol) []int {
+	members := LegalTree(c, pr)
+	inTree := make(map[int]bool, len(members))
+	for _, p := range members {
+		inTree[p] = true
+	}
+	pointed := make(map[int]bool, len(members))
+	for _, p := range members {
+		if p == pr.Root {
+			continue
+		}
+		pointed[stateOf(c, p).Par] = true
+	}
+	var out []int
+	for _, p := range members {
+		if !pointed[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Tree is one tree of Definition 5: the processors whose ParentPath ends at
+// Root, which is either the protocol root (the LegalTree, Definition 6) or
+// an abnormal processor.
+type Tree struct {
+	// Root is the tree's extremity (the protocol root or an abnormal
+	// processor).
+	Root int
+	// Abnormal reports whether Root is an abnormal processor.
+	Abnormal bool
+	// Members lists the tree's processors in ascending order (the root
+	// included).
+	Members []int
+}
+
+// Trees computes the full forest of Definition 5: one tree rooted at the
+// protocol root plus one per abnormal processor. Every participating
+// processor belongs to exactly one tree; clean processors (other than a
+// clean protocol root) belong to none.
+func Trees(c *sim.Configuration, pr *core.Protocol) []Tree {
+	members := make(map[int][]int)
+	for p := 0; p < c.N(); p++ {
+		if p == pr.Root {
+			members[pr.Root] = append(members[pr.Root], p)
+			continue
+		}
+		if stateOf(c, p).Pif == core.C {
+			continue
+		}
+		path := ParentPath(c, pr, p)
+		ext := path[len(path)-1]
+		if ext == p && !pr.Normal(c, p) {
+			// p itself is abnormal: it roots its own tree.
+			members[p] = append(members[p], p)
+			continue
+		}
+		members[ext] = append(members[ext], p)
+	}
+	roots := make([]int, 0, len(members))
+	for r := range members {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([]Tree, 0, len(roots))
+	for _, r := range roots {
+		sort.Ints(members[r])
+		out = append(out, Tree{
+			Root:     r,
+			Abnormal: !pr.Normal(c, r),
+			Members:  members[r],
+		})
+	}
+	return out
+}
+
+// SubtreeSizes returns, for every LegalTree member, the size of its subtree
+// within the LegalTree (#Subtree(p) in Property 2); non-members map to 0.
+func SubtreeSizes(c *sim.Configuration, pr *core.Protocol) []int {
+	sizes := make([]int, c.N())
+	members := LegalTree(c, pr)
+	inTree := make(map[int]bool, len(members))
+	for _, p := range members {
+		inTree[p] = true
+		sizes[p] = 1
+	}
+	// Accumulate bottom-up: process members in decreasing level order (the
+	// root has level 0, children strictly deeper).
+	byLevel := append([]int(nil), members...)
+	for i := 0; i < len(byLevel); i++ {
+		for j := i + 1; j < len(byLevel); j++ {
+			if stateOf(c, byLevel[j]).L > stateOf(c, byLevel[i]).L {
+				byLevel[i], byLevel[j] = byLevel[j], byLevel[i]
+			}
+		}
+	}
+	for _, p := range byLevel {
+		if p == pr.Root {
+			continue
+		}
+		par := stateOf(c, p).Par
+		if inTree[par] {
+			sizes[par] += sizes[p]
+		}
+	}
+	return sizes
+}
+
+// TreeHeight returns the maximum level among LegalTree members — the height
+// h of the constructed tree (Theorem 4).
+func TreeHeight(c *sim.Configuration, pr *core.Protocol) int {
+	h := 0
+	for _, p := range LegalTree(c, pr) {
+		if l := stateOf(c, p).L; l > h {
+			h = l
+		}
+	}
+	return h
+}

@@ -1,0 +1,124 @@
+// Package core implements the paper's contribution: the snap-stabilizing
+// Propagation of Information with Feedback (PIF) protocol for arbitrary
+// networks (Algorithms 1 and 2 of Cournier, Datta, Petit, Villain,
+// ICDCS 2002).
+//
+// The protocol is expressed in the guarded-action model of internal/sim.
+// Every processor p maintains:
+//
+//	Pif_p   ∈ {B, F, C} — broadcast / feedback / clean phase
+//	Par_p   ∈ Neig_p    — parent in the dynamically built B-tree (root: ⊥)
+//	L_p     ∈ [1,Lmax]  — level, the length of the broadcast path (root: 0)
+//	Count_p ∈ [1,N']    — size of the B-subtree rooted at p
+//	Fok_p   boolean     — the "feedback OK" wave raised by the root once
+//	                      Count_r = N (the root knows the exact network
+//	                      size N; this knowledge is what buys
+//	                      snap-stabilization)
+//
+// In addition to the paper's variables, each state carries a message payload
+// register Msg_p (copied from the chosen parent at B-action time) and an
+// optional feedback-aggregation register Agg_p. These extensions make the
+// specification [PIF1]/[PIF2] checkable literally ("every processor receives
+// the value V the root broadcast") and support the PIF applications from the
+// paper's introduction (infimum computation, snapshot, reset); they do not
+// feed back into any guard, so the protocol's behavior is exactly the
+// paper's.
+package core
+
+import "snappif/internal/sim"
+
+// Phase is the value of the Pif variable.
+type Phase uint8
+
+// Phases of the PIF cycle.
+const (
+	// C: the processor is ready to participate in the next PIF cycle.
+	C Phase = iota + 1
+	// B: the processor has received and re-broadcast the message.
+	B
+	// F: the processor has fed the acknowledgment back toward the root.
+	F
+)
+
+// String implements fmt.Stringer.
+func (ph Phase) String() string {
+	switch ph {
+	case C:
+		return "C"
+	case B:
+		return "B"
+	case F:
+		return "F"
+	default:
+		return "?"
+	}
+}
+
+// ParNone is the root's Par value (the constant ⊥ of Algorithm 1).
+const ParNone = -1
+
+// State is the local state of one processor.
+type State struct {
+	// Pif is the phase variable.
+	Pif Phase
+	// Par is the parent pointer; ParNone at the root.
+	Par int
+	// L is the level; 0 at the root (constant), in [1,Lmax] elsewhere.
+	L int
+	// Count is the number of processors in this processor's B-subtree.
+	Count int
+	// Fok is the feedback-authorization flag.
+	Fok bool
+
+	// Msg is the payload extension: the value the current broadcast wave
+	// carries, copied parent-to-child at B-action time.
+	Msg uint64
+	// Val is the application input to feedback aggregation (extension).
+	Val int64
+	// Agg is the aggregated feedback value computed at F-action time
+	// (extension).
+	Agg int64
+}
+
+var _ sim.State = State{}
+
+// Clone implements sim.State.
+func (s State) Clone() sim.State { return s }
+
+// String renders the state compactly, e.g. "B par=2 L=3 cnt=4 fok m=7".
+func (s State) String() string {
+	out := s.Pif.String()
+	if s.Par != ParNone {
+		out += " par=" + itoa(s.Par)
+	}
+	out += " L=" + itoa(s.L) + " cnt=" + itoa(s.Count)
+	if s.Fok {
+		out += " fok"
+	}
+	if s.Msg != 0 {
+		out += " m=" + utoa(s.Msg)
+	}
+	return out
+}
+
+// itoa avoids pulling fmt into the hot path for a debug helper.
+func itoa(v int) string {
+	if v < 0 {
+		return "-" + utoa(uint64(-v))
+	}
+	return utoa(uint64(v))
+}
+
+func utoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,179 @@
+package core_test
+
+// Scenario tests for the error-correction machinery (Section 3.2): each
+// test plants a configuration violating exactly one Good predicate and
+// asserts which correction fires and what it does. These pin the
+// correction actions at predicate granularity, complementing the
+// run-level lemma tests.
+
+import (
+	"testing"
+
+	"snappif/internal/core"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+// lineSetup returns a clean configuration on line-4 rooted at 0.
+func lineSetup(t *testing.T) (*core.Protocol, *sim.Configuration) {
+	t.Helper()
+	g, err := graph.Line(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	return pr, sim.NewConfiguration(g, pr)
+}
+
+// mut mutates processor p's state.
+func mut(c *sim.Configuration, p int, f func(*core.State)) {
+	s := c.States[p].(core.State)
+	f(&s)
+	c.States[p] = s
+}
+
+// onlyEnabled asserts that exactly action a is enabled at p.
+func onlyEnabled(t *testing.T, pr *core.Protocol, c *sim.Configuration, p, a int) {
+	t.Helper()
+	en := pr.Enabled(c, p)
+	if len(en) != 1 || en[0] != a {
+		t.Fatalf("enabled(%d) = %v, want [%s]", p, en, pr.ActionNames()[a])
+	}
+}
+
+func TestGoodPifViolationTriggersBCorrection(t *testing.T) {
+	pr, cfg := lineSetup(t)
+	// p1 broadcasting while its parent (the root) is clean: GoodPif fails.
+	mut(cfg, 1, func(s *core.State) { s.Pif = core.B; s.Par = 0; s.L = 1 })
+	if pr.GoodPif(cfg, 1) {
+		t.Fatal("GoodPif should fail")
+	}
+	if pr.GoodLevel(cfg, 1) != true {
+		t.Fatal("only GoodPif should fail here")
+	}
+	onlyEnabled(t, pr, cfg, 1, core.ActionBCorrection)
+	next := pr.Apply(cfg, 1, core.ActionBCorrection).(core.State)
+	if next.Pif != core.F {
+		t.Fatalf("B-correction set Pif=%v, want F", next.Pif)
+	}
+}
+
+func TestGoodLevelViolationTriggersBCorrection(t *testing.T) {
+	pr, cfg := lineSetup(t)
+	// Consistent phases, broken level arithmetic.
+	mut(cfg, 0, func(s *core.State) { s.Pif = core.B })
+	mut(cfg, 1, func(s *core.State) { s.Pif = core.B; s.Par = 0; s.L = 2 }) // want 1
+	if pr.GoodLevel(cfg, 1) {
+		t.Fatal("GoodLevel should fail")
+	}
+	if !pr.GoodPif(cfg, 1) {
+		t.Fatal("GoodPif should hold")
+	}
+	onlyEnabled(t, pr, cfg, 1, core.ActionBCorrection)
+}
+
+func TestGoodFokViolationTriggersBCorrection(t *testing.T) {
+	pr, cfg := lineSetup(t)
+	// Child has Fok raised while the parent's is lowered: the flag can only
+	// flow downward, so GoodFok fails at the child.
+	mut(cfg, 0, func(s *core.State) { s.Pif = core.B })
+	mut(cfg, 1, func(s *core.State) {
+		s.Pif = core.B
+		s.Par = 0
+		s.L = 1
+		s.Fok = true
+	})
+	if pr.GoodFok(cfg, 1) {
+		t.Fatal("GoodFok should fail")
+	}
+	onlyEnabled(t, pr, cfg, 1, core.ActionBCorrection)
+}
+
+func TestGoodCountViolationTriggersBCorrection(t *testing.T) {
+	pr, cfg := lineSetup(t)
+	mut(cfg, 0, func(s *core.State) { s.Pif = core.B })
+	mut(cfg, 1, func(s *core.State) {
+		s.Pif = core.B
+		s.Par = 0
+		s.L = 1
+		s.Count = 4 // Sum_1 = 1 (no children): overcounted
+	})
+	if pr.GoodCount(cfg, 1) {
+		t.Fatal("GoodCount should fail")
+	}
+	onlyEnabled(t, pr, cfg, 1, core.ActionBCorrection)
+}
+
+func TestAbnormalFeedbackTriggersFCorrection(t *testing.T) {
+	pr, cfg := lineSetup(t)
+	// p1 in feedback while its parent is clean: GoodPif fails, F-correction.
+	mut(cfg, 1, func(s *core.State) { s.Pif = core.F; s.Par = 0; s.L = 1 })
+	onlyEnabled(t, pr, cfg, 1, core.ActionFCorrection)
+	next := pr.Apply(cfg, 1, core.ActionFCorrection).(core.State)
+	if next.Pif != core.C {
+		t.Fatalf("F-correction set Pif=%v, want C", next.Pif)
+	}
+}
+
+func TestRootBCorrectionResetsToClean(t *testing.T) {
+	pr, cfg := lineSetup(t)
+	// Root broadcasting with an overcount: GoodCount(r) fails; the root's
+	// B-correction goes straight to C (Algorithm 1), not to F.
+	mut(cfg, 0, func(s *core.State) { s.Pif = core.B; s.Count = 3; s.Fok = false })
+	if pr.Normal(cfg, 0) {
+		t.Fatal("root should be abnormal")
+	}
+	onlyEnabled(t, pr, cfg, 0, core.ActionBCorrection)
+	next := pr.Apply(cfg, 0, core.ActionBCorrection).(core.State)
+	if next.Pif != core.C {
+		t.Fatalf("root B-correction set Pif=%v, want C", next.Pif)
+	}
+}
+
+func TestRootFokOnlyWithFullCount(t *testing.T) {
+	pr, cfg := lineSetup(t)
+	// Root broadcasting, Fok raised, Count < N: the repaired GoodFok(r)
+	// flags it.
+	mut(cfg, 0, func(s *core.State) { s.Pif = core.B; s.Count = 2; s.Fok = true })
+	if pr.GoodFok(cfg, 0) {
+		t.Fatal("GoodFok(r) should fail with Fok ∧ Count < N")
+	}
+	onlyEnabled(t, pr, cfg, 0, core.ActionBCorrection)
+	// With the full count it is legal.
+	mut(cfg, 0, func(s *core.State) { s.Count = 4 })
+	if !pr.GoodFok(cfg, 0) {
+		t.Fatal("GoodFok(r) should hold with Fok ∧ Count = N")
+	}
+}
+
+func TestCorrectionCascadeTopDown(t *testing.T) {
+	// Lemma 5 in miniature: a chain 0(B)←1(B)←2(B) with the middle's level
+	// broken. Corrections must dismantle top-down: 1 corrects (B→F), which
+	// makes 2 abnormal (parent F), which corrects in turn.
+	pr, cfg := lineSetup(t)
+	mut(cfg, 0, func(s *core.State) { s.Pif = core.B; s.Count = 3 })
+	mut(cfg, 1, func(s *core.State) { s.Pif = core.B; s.Par = 0; s.L = 2; s.Count = 2 }) // broken level
+	mut(cfg, 2, func(s *core.State) { s.Pif = core.B; s.Par = 1; s.L = 3; s.Count = 1 }) // consistent w/ 1
+
+	if pr.Normal(cfg, 1) {
+		t.Fatal("p1 should be abnormal")
+	}
+	if !pr.Normal(cfg, 2) {
+		t.Fatal("p2 should still look normal")
+	}
+	// Step 1: p1 corrects.
+	cfg.States[1] = pr.Apply(cfg, 1, core.ActionBCorrection)
+	// Now p2's parent is F while p2 is B: GoodPif(2) fails.
+	if pr.Normal(cfg, 2) {
+		t.Fatal("p2 must become abnormal after its parent corrected")
+	}
+	onlyEnabled(t, pr, cfg, 2, core.ActionBCorrection)
+	cfg.States[2] = pr.Apply(cfg, 2, core.ActionBCorrection)
+	// p2 (now F) has parent F: GoodPif holds again; p1 (F) has parent B…
+	// and must eventually clean via F-correction because its level is
+	// still broken.
+	if pr.Normal(cfg, 1) {
+		t.Fatal("p1 still has a broken level")
+	}
+	onlyEnabled(t, pr, cfg, 1, core.ActionFCorrection)
+}

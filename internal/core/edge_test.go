@@ -1,0 +1,270 @@
+package core_test
+
+import (
+	"testing"
+
+	"snappif/internal/check"
+	"snappif/internal/core"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+func TestSingleProcessorNetwork(t *testing.T) {
+	// N = 1: the root broadcasts to nobody, Fok is raised immediately
+	// (1 = N), and the cycle is root-only: B → F → C.
+	g, err := graph.New("solo", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	cfg := sim.NewConfiguration(g, pr)
+	obs := check.NewCycleObserver(pr)
+	res, err := sim.Run(cfg, pr, sim.Synchronous{}, sim.Options{
+		Observers: []sim.Observer{obs},
+		StopWhen:  obs.StopAfterCycles(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.CompletedCycles() != 2 {
+		t.Fatalf("cycles = %d", obs.CompletedCycles())
+	}
+	for i, rec := range obs.Cycles {
+		if !rec.OK() {
+			t.Fatalf("cycle %d: %v", i, rec.Violations)
+		}
+		if rec.Rounds() != 3 { // B, F, C
+			t.Errorf("cycle %d took %d rounds, want 3", i, rec.Rounds())
+		}
+	}
+	if res.MovesPerAction["B-correction"] != 0 {
+		t.Error("solo network executed corrections")
+	}
+}
+
+func TestCleanRunsNeverCorrect(t *testing.T) {
+	// From the normal starting configuration no correction action may ever
+	// fire (corrections exist only for corrupted configurations).
+	g, err := graph.Grid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	cfg := sim.NewConfiguration(g, pr)
+	obs := check.NewCycleObserver(pr)
+	res, err := sim.Run(cfg, pr, sim.DistributedRandom{P: 0.4}, sim.Options{
+		Seed:      11,
+		Observers: []sim.Observer{obs},
+		StopWhen:  obs.StopAfterCycles(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"B-correction", "F-correction"} {
+		if n := res.MovesPerAction[bad]; n != 0 {
+			t.Fatalf("%s executed %d times on a clean run", bad, n)
+		}
+	}
+}
+
+func TestParentChoiceUsesLocalOrder(t *testing.T) {
+	// On K4 rooted at 3, every other processor sees exactly one potential
+	// parent (the root, the unique minimum-level candidate) and must pick
+	// it; after that, everyone is at level 1 and the tree has height 1.
+	g, err := graph.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 3)
+	cfg := sim.NewConfiguration(g, pr)
+	obs := check.NewCycleObserver(pr)
+	if _, err := sim.Run(cfg, pr, sim.Synchronous{}, sim.Options{
+		Observers: []sim.Observer{obs},
+		StopWhen:  obs.StopAfterCycles(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if h := obs.Cycles[0].Height; h != 1 {
+		t.Fatalf("complete-graph tree height = %d, want 1", h)
+	}
+}
+
+func TestPotentialPrefersMinimumLevel(t *testing.T) {
+	// Construct a configuration where p has two broadcasting neighbors at
+	// different levels; Potential must contain only the lower one, and
+	// B-action must adopt it.
+	g, err := graph.New("tri+1", 4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	cfg := sim.NewConfiguration(g, pr)
+	set := func(p int, s core.State) { cfg.States[p] = s }
+	set(0, core.State{Pif: core.B, Par: core.ParNone, L: 0, Count: 1})
+	set(1, core.State{Pif: core.B, Par: 0, L: 1, Count: 1})
+	set(2, core.State{Pif: core.B, Par: 1, L: 2, Count: 1})
+	// p3 sees neighbor 1 (level 1) and neighbor 2 (level 2).
+	if got := pr.Potential(cfg, 3); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Potential(3) = %v, want [1]", got)
+	}
+	next := pr.Apply(cfg, 3, core.ActionB).(core.State)
+	if next.Par != 1 || next.L != 2 {
+		t.Fatalf("B-action adopted par=%d L=%d, want par=1 L=2", next.Par, next.L)
+	}
+}
+
+func TestSumSetEmptyWhenFokRaised(t *testing.T) {
+	// As printed, Sum_Set_p filters on the reader's own ¬Fok: with Fok
+	// raised the set is empty and Sum degenerates to 1.
+	g, err := graph.Star(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	cfg := sim.NewConfiguration(g, pr)
+	root := cfg.States[0].(core.State)
+	root.Pif = core.B
+	root.Fok = true
+	cfg.States[0] = root
+	for _, leaf := range []int{1, 2, 3} {
+		s := cfg.States[leaf].(core.State)
+		s.Pif, s.Par, s.L, s.Count = core.B, 0, 1, 1
+		cfg.States[leaf] = s
+	}
+	if got := pr.SumSet(cfg, 0); got != nil {
+		t.Fatalf("SumSet with Fok raised = %v, want empty", got)
+	}
+	if got := pr.Sum(cfg, 0); got != 1 {
+		t.Fatalf("Sum with Fok raised = %d, want 1", got)
+	}
+	root.Fok = false
+	cfg.States[0] = root
+	if got := pr.Sum(cfg, 0); got != 4 {
+		t.Fatalf("Sum = %d, want 4", got)
+	}
+}
+
+func TestConstructorOptions(t *testing.T) {
+	g, err := graph.Ring(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.New(g, -1); err == nil {
+		t.Fatal("negative root accepted")
+	}
+	if _, err := core.New(g, 6); err == nil {
+		t.Fatal("out-of-range root accepted")
+	}
+	if _, err := core.New(g, 0, core.WithLmax(3)); err == nil {
+		t.Fatal("Lmax < N-1 accepted")
+	}
+	if _, err := core.New(g, 0, core.WithNPrime(4)); err == nil {
+		t.Fatal("N' < N accepted")
+	}
+	pr, err := core.New(g, 0, core.WithLmax(10), core.WithNPrime(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Lmax != 10 || pr.NPrime != 12 {
+		t.Fatalf("options not applied: Lmax=%d N'=%d", pr.Lmax, pr.NPrime)
+	}
+	// The protocol still completes cycles with slack bounds.
+	cfg := sim.NewConfiguration(g, pr)
+	obs := check.NewCycleObserver(pr)
+	if _, err := sim.Run(cfg, pr, sim.Synchronous{}, sim.Options{
+		Observers: []sim.Observer{obs},
+		StopWhen:  obs.StopAfterCycles(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !obs.Cycles[0].OK() {
+		t.Fatalf("cycle with slack bounds violated: %v", obs.Cycles[0].Violations)
+	}
+}
+
+func TestRootCanBeAnyProcessor(t *testing.T) {
+	// "Any processor can be an initiator": run rooted at every node of an
+	// asymmetric topology.
+	g, err := graph.Lollipop(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for root := 0; root < g.N(); root++ {
+		pr := core.MustNew(g, root)
+		cfg := sim.NewConfiguration(g, pr)
+		obs := check.NewCycleObserver(pr)
+		if _, err := sim.Run(cfg, pr, sim.DistributedRandom{P: 0.6}, sim.Options{
+			Seed:      int64(root) + 1,
+			Observers: []sim.Observer{obs},
+			StopWhen:  obs.StopAfterCycles(1),
+		}); err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+		if !obs.Cycles[0].OK() {
+			t.Fatalf("root %d: %v", root, obs.Cycles[0].Violations)
+		}
+	}
+}
+
+func TestFokWaveOrdering(t *testing.T) {
+	// In a clean synchronous run on a line, Fok must reach the leaf only
+	// after Count_r = N, and no F-action may precede the leaf's Fok.
+	g, err := graph.Line(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	cfg := sim.NewConfiguration(g, pr)
+	watch := &fokWatch{pr: pr}
+	obs := check.NewCycleObserver(pr)
+	if _, err := sim.Run(cfg, pr, sim.Synchronous{}, sim.Options{
+		Observers: []sim.Observer{obs, watch},
+		StopWhen:  obs.StopAfterCycles(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if watch.violation != "" {
+		t.Fatal(watch.violation)
+	}
+	if !watch.sawFok {
+		t.Fatal("Fok wave never observed")
+	}
+}
+
+type fokWatch struct {
+	pr        *core.Protocol
+	sawFok    bool
+	violation string
+}
+
+func (w *fokWatch) OnStep(step int, executed []sim.Choice, c *sim.Configuration) {
+	for _, ch := range executed {
+		switch ch.Action {
+		case core.ActionFok:
+			w.sawFok = true
+			// The root must already have its full count.
+			if got := c.States[w.pr.Root].(core.State).Count; got != w.pr.N {
+				w.violation = "Fok propagated before Count_r = N"
+			}
+		case core.ActionF:
+			if !w.sawFok && ch.Proc != w.pr.Root && c.N() > 1 {
+				// Leaves feedback only once the Fok wave reached them; on
+				// a line the deep leaf needs the Fok relay first.
+				if c.States[ch.Proc].(core.State).L > 1 {
+					w.violation = "feedback before any Fok relay"
+				}
+			}
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	s := core.State{Pif: core.B, Par: 2, L: 3, Count: 4, Fok: true, Msg: 7}
+	if got := s.String(); got != "B par=2 L=3 cnt=4 fok m=7" {
+		t.Fatalf("String() = %q", got)
+	}
+	root := core.State{Pif: core.C, Par: core.ParNone, L: 0, Count: 1}
+	if got := root.String(); got != "C L=0 cnt=1" {
+		t.Fatalf("root String() = %q", got)
+	}
+}

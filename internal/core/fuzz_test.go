@@ -1,0 +1,62 @@
+package core_test
+
+// Native fuzz targets. Under plain `go test` only the seed corpus runs;
+// `go test -fuzz=FuzzSnapDelivery ./internal/core` explores further. Both
+// targets encode the repository's central invariant: whatever the topology
+// seed, fault pattern, daemon, and schedule seed, the first completed wave
+// satisfies the PIF specification and the step relation stays inside the
+// variable domains.
+
+import (
+	"math/rand"
+	"testing"
+
+	"snappif/internal/check"
+	"snappif/internal/core"
+	"snappif/internal/fault"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+func FuzzSnapDelivery(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0), uint8(8))
+	f.Add(int64(42), uint8(3), uint8(2), uint8(12))
+	f.Add(int64(-7), uint8(7), uint8(4), uint8(5))
+	injs := fault.All()
+	daemons := []func() sim.Daemon{
+		func() sim.Daemon { return sim.Synchronous{} },
+		func() sim.Daemon { return sim.Central{Order: sim.CentralRandom} },
+		func() sim.Daemon { return &sim.RoundRobin{} },
+		func() sim.Daemon { return sim.DistributedRandom{P: 0.5} },
+		func() sim.Daemon { return sim.LocallyCentral{} },
+		func() sim.Daemon { return &sim.Adversarial{} },
+	}
+	f.Fuzz(func(t *testing.T, seed int64, faultPick, daemonPick, nRaw uint8) {
+		n := int(nRaw%14) + 3
+		g, err := graph.RandomConnected(n, 0.3, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatalf("topology: %v", err)
+		}
+		pr := core.MustNew(g, 0)
+		cfg := sim.NewConfiguration(g, pr)
+		injs[int(faultPick)%len(injs)].Apply(cfg, pr, rand.New(rand.NewSource(seed+1)))
+		if err := check.Domains(cfg, pr); err != nil {
+			t.Fatalf("injected configuration outside domains: %v", err)
+		}
+		obs := check.NewCycleObserver(pr)
+		mon := check.NewMonitor(pr, check.StandardChecks())
+		if _, err := sim.Run(cfg, pr, daemons[int(daemonPick)%len(daemons)](), sim.Options{
+			Seed:      seed + 2,
+			Observers: []sim.Observer{obs, mon},
+			StopWhen:  obs.StopAfterCycles(1),
+		}); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if err := obs.Err(); err != nil {
+			t.Fatalf("snap-stabilization violated: %v", err)
+		}
+		if err := mon.Err(); err != nil {
+			t.Fatalf("invariant violated: %v", err)
+		}
+	})
+}

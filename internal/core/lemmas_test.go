@@ -1,0 +1,226 @@
+package core_test
+
+// Executable counterparts of the paper's proof skeleton (Section 4.3): each
+// test tracks one lemma's claim along randomized corrupted runs and fails
+// on the first counterexample. Together with the round-bound experiments
+// (E2/E3) these pin the implementation to the paper's argument, not just
+// its end-to-end statement.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"snappif/internal/check"
+	"snappif/internal/core"
+	"snappif/internal/fault"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+// lemmaWatch tracks per-round claims along a run.
+type lemmaWatch struct {
+	pr *core.Protocol
+
+	// lemma 1: processors with ¬GoodCount at the round start must execute
+	// B-correction or satisfy GoodCount during the round.
+	badCount map[int]bool
+	// lemma 4: processors abnormal at a round boundary must be normal in
+	// some configuration within the next two rounds.
+	abnormalSince map[int]int
+	round         int
+
+	violations []string
+}
+
+var _ sim.Observer = (*lemmaWatch)(nil)
+var _ sim.RoundObserver = (*lemmaWatch)(nil)
+
+func newLemmaWatch(pr *core.Protocol, c *sim.Configuration) *lemmaWatch {
+	w := &lemmaWatch{
+		pr:            pr,
+		badCount:      make(map[int]bool),
+		abnormalSince: make(map[int]int),
+	}
+	w.snapshot(c)
+	return w
+}
+
+// snapshot refreshes the round-start claim sets.
+func (w *lemmaWatch) snapshot(c *sim.Configuration) {
+	for p := 0; p < c.N(); p++ {
+		if !w.pr.GoodCount(c, p) {
+			w.badCount[p] = true
+		}
+		if !w.pr.Normal(c, p) {
+			if _, ok := w.abnormalSince[p]; !ok {
+				w.abnormalSince[p] = w.round
+			}
+		}
+	}
+}
+
+// OnStep discharges claims satisfied mid-round.
+func (w *lemmaWatch) OnStep(_ int, executed []sim.Choice, c *sim.Configuration) {
+	for _, ch := range executed {
+		if ch.Action == core.ActionBCorrection {
+			delete(w.badCount, ch.Proc)
+		}
+	}
+	for p := range w.badCount {
+		if w.pr.GoodCount(c, p) {
+			delete(w.badCount, p)
+		}
+	}
+	for p := range w.abnormalSince {
+		if w.pr.Normal(c, p) {
+			delete(w.abnormalSince, p)
+		}
+	}
+}
+
+// OnRound asserts the round-scoped claims and resnapshots.
+func (w *lemmaWatch) OnRound(round int, c *sim.Configuration) {
+	w.round = round
+	// Lemma 1: every ¬GoodCount processor from the round start has either
+	// corrected or satisfied GoodCount by now.
+	for p := range w.badCount {
+		w.violations = append(w.violations,
+			fmt.Sprintf("lemma 1: p%d kept ¬GoodCount through round %d", p, round))
+	}
+	w.badCount = make(map[int]bool)
+	// Lemma 4: nobody stays abnormal across two full rounds.
+	for p, since := range w.abnormalSince {
+		if round-since >= 2 {
+			w.violations = append(w.violations,
+				fmt.Sprintf("lemma 4: p%d abnormal from round %d through round %d", p, since, round))
+		}
+	}
+	w.snapshot(c)
+}
+
+func runLemmaWatch(t *testing.T, g *graph.Graph, inj fault.Injector, seed int64) *lemmaWatch {
+	t.Helper()
+	pr := core.MustNew(g, 0)
+	cfg := sim.NewConfiguration(g, pr)
+	inj.Apply(cfg, pr, rand.New(rand.NewSource(seed)))
+	w := newLemmaWatch(pr, cfg)
+	obs := check.NewCycleObserver(pr)
+	if _, err := sim.Run(cfg, pr, sim.DistributedRandom{P: 0.5}, sim.Options{
+		Seed:      seed + 1,
+		Observers: []sim.Observer{obs, w},
+		StopWhen:  obs.StopAfterCycles(2),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestLemma1AndLemma4AlongRuns(t *testing.T) {
+	g, err := graph.RandomConnected(12, 0.25, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inj := range fault.All() {
+		t.Run(inj.Name, func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				w := runLemmaWatch(t, g, inj, seed)
+				if len(w.violations) > 0 {
+					t.Fatalf("seed %d: %s", seed, w.violations[0])
+				}
+			}
+		})
+	}
+}
+
+// TestProperty3GoodCountForever: after at most Lmax+1 rounds GoodCount
+// holds at every processor and never breaks again.
+func TestProperty3GoodCountForever(t *testing.T) {
+	g, err := graph.Ring(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	bound := pr.Lmax + 1
+	for seed := int64(0); seed < 15; seed++ {
+		cfg := sim.NewConfiguration(g, pr)
+		fault.InflatedCounts().Apply(cfg, pr, rand.New(rand.NewSource(seed)))
+		var firstAllGood, brokenAfter int
+		firstAllGood = -1
+		watch := roundFn(func(round int, c *sim.Configuration) {
+			allGood := true
+			for p := 0; p < c.N(); p++ {
+				if !pr.GoodCount(c, p) {
+					allGood = false
+					break
+				}
+			}
+			switch {
+			case allGood && firstAllGood < 0:
+				firstAllGood = round
+			case !allGood && firstAllGood >= 0 && brokenAfter == 0:
+				brokenAfter = round
+			}
+		})
+		obs := check.NewCycleObserver(pr)
+		if _, err := sim.Run(cfg, pr, sim.DistributedRandom{P: 0.5}, sim.Options{
+			Seed:      seed + 1,
+			Observers: []sim.Observer{obs, watch},
+			StopWhen:  obs.StopAfterCycles(2),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if firstAllGood < 0 || firstAllGood > bound {
+			t.Fatalf("seed %d: all-GoodCount first at round %d, bound %d", seed, firstAllGood, bound)
+		}
+		if brokenAfter != 0 {
+			t.Fatalf("seed %d: GoodCount broke again at round %d (must hold forever)", seed, brokenAfter)
+		}
+	}
+}
+
+// TestCorollary2NormalWithinBound: from a configuration where GoodCount
+// already holds everywhere, every processor is normal within 2·Lmax+2
+// rounds.
+func TestCorollary2NormalWithinBound(t *testing.T) {
+	g, err := graph.Grid(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	bound := 2*pr.Lmax + 2
+	for seed := int64(0); seed < 15; seed++ {
+		cfg := sim.NewConfiguration(g, pr)
+		// Phase/level corruption only: plant a stale tree (counts stay 1,
+		// so GoodCount holds everywhere from the start).
+		fault.StaleFeedback().Apply(cfg, pr, rand.New(rand.NewSource(seed)))
+		for p := 0; p < g.N(); p++ {
+			if !pr.GoodCount(cfg, p) {
+				t.Fatalf("seed %d: precondition broken at p%d", seed, p)
+			}
+		}
+		lastAbnormal := 0
+		watch := roundFn(func(round int, c *sim.Configuration) {
+			if len(check.Abnormal(c, pr)) > 0 {
+				lastAbnormal = round
+			}
+		})
+		obs := check.NewCycleObserver(pr)
+		if _, err := sim.Run(cfg, pr, sim.DistributedRandom{P: 0.5}, sim.Options{
+			Seed:      seed + 1,
+			Observers: []sim.Observer{obs, watch},
+			StopWhen:  obs.StopAfterCycles(2),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if lastAbnormal > bound {
+			t.Fatalf("seed %d: abnormal processors until round %d > bound %d", seed, lastAbnormal, bound)
+		}
+	}
+}
+
+// roundFn adapts a function to the observer interfaces.
+type roundFn func(round int, c *sim.Configuration)
+
+func (roundFn) OnStep(int, []sim.Choice, *sim.Configuration) {}
+func (f roundFn) OnRound(round int, c *sim.Configuration)    { f(round, c) }

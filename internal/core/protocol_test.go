@@ -1,0 +1,164 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"snappif/internal/check"
+	"snappif/internal/core"
+	"snappif/internal/fault"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+// mustGraph builds one of the small test topologies.
+func mustGraph(t *testing.T, name string, n int) *graph.Graph {
+	t.Helper()
+	var (
+		g   *graph.Graph
+		err error
+	)
+	switch name {
+	case "line":
+		g, err = graph.Line(n)
+	case "ring":
+		g, err = graph.Ring(n)
+	case "star":
+		g, err = graph.Star(n)
+	case "complete":
+		g, err = graph.Complete(n)
+	case "random":
+		g, err = graph.RandomConnected(n, 0.3, rand.New(rand.NewSource(7)))
+	default:
+		t.Fatalf("unknown topology %q", name)
+	}
+	if err != nil {
+		t.Fatalf("build %s-%d: %v", name, n, err)
+	}
+	return g
+}
+
+func TestSingleCycleFromCleanStart(t *testing.T) {
+	daemons := []sim.Daemon{
+		sim.Synchronous{},
+		sim.Central{Order: sim.CentralRandom},
+		sim.Central{Order: sim.CentralLowestID},
+		sim.DistributedRandom{P: 0.5},
+		sim.LocallyCentral{},
+	}
+	for _, topo := range []string{"line", "ring", "star", "complete", "random"} {
+		for _, d := range daemons {
+			t.Run(topo+"/"+d.Name(), func(t *testing.T) {
+				g := mustGraph(t, topo, 8)
+				pr := core.MustNew(g, 0)
+				cfg := sim.NewConfiguration(g, pr)
+				obs := check.NewCycleObserver(pr)
+				mon := check.NewMonitor(pr, check.CleanStartChecks())
+				_, err := sim.Run(cfg, pr, d, sim.Options{
+					Seed:      42,
+					Observers: []sim.Observer{obs, mon},
+					StopWhen:  obs.StopAfterCycles(3),
+				})
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				if got := obs.CompletedCycles(); got != 3 {
+					t.Fatalf("completed cycles = %d, want 3", got)
+				}
+				if err := obs.Err(); err != nil {
+					t.Fatalf("spec: %v", err)
+				}
+				if err := mon.Err(); err != nil {
+					t.Fatalf("invariants: %v", err)
+				}
+				for i, rec := range obs.Cycles {
+					if rec.Delivered != g.N()-1 || rec.FedBack != g.N()-1 {
+						t.Errorf("cycle %d: delivered=%d fedback=%d, want %d",
+							i, rec.Delivered, rec.FedBack, g.N()-1)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestCycleRoundsWithinTheorem4Bound(t *testing.T) {
+	// Theorem 4: from an SBN configuration a PIF cycle takes at most 5h+5
+	// rounds, h the height of the constructed tree.
+	for _, topo := range []string{"line", "ring", "star", "complete", "random"} {
+		for _, n := range []int{4, 9, 16} {
+			t.Run(topo, func(t *testing.T) {
+				g := mustGraph(t, topo, n)
+				pr := core.MustNew(g, 0)
+				cfg := sim.NewConfiguration(g, pr)
+				obs := check.NewCycleObserver(pr)
+				_, err := sim.Run(cfg, pr, sim.Synchronous{}, sim.Options{
+					Observers: []sim.Observer{obs},
+					StopWhen:  obs.StopAfterCycles(2),
+				})
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				for i, rec := range obs.Cycles {
+					bound := 5*rec.Height + 5
+					if rec.Rounds() > bound {
+						t.Errorf("cycle %d on %s: %d rounds > bound 5h+5 = %d (h=%d)",
+							i, g, rec.Rounds(), bound, rec.Height)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestSnapStabilizationFromArbitraryConfigurations(t *testing.T) {
+	// Definition 1: every computation satisfies the specification — the
+	// first root-initiated broadcast must reach every processor and collect
+	// every acknowledgment, no matter the initial configuration.
+	injectors := append(fault.All(), fault.Clean())
+	for _, topo := range []string{"line", "ring", "complete", "random"} {
+		g := mustGraph(t, topo, 7)
+		pr := core.MustNew(g, 0)
+		for _, inj := range injectors {
+			t.Run(topo+"/"+inj.Name, func(t *testing.T) {
+				for seed := int64(0); seed < 10; seed++ {
+					cfg := sim.NewConfiguration(g, pr)
+					inj.Apply(cfg, pr, rand.New(rand.NewSource(seed)))
+					obs := check.NewCycleObserver(pr)
+					mon := check.NewMonitor(pr, check.StandardChecks())
+					_, err := sim.Run(cfg, pr, sim.DistributedRandom{P: 0.7}, sim.Options{
+						Seed:      seed + 1,
+						Observers: []sim.Observer{obs, mon},
+						StopWhen:  obs.StopAfterCycles(2),
+					})
+					if err != nil {
+						t.Fatalf("seed %d: run: %v", seed, err)
+					}
+					if err := obs.Err(); err != nil {
+						t.Fatalf("seed %d: snap-stabilization violated: %v", seed, err)
+					}
+					if err := mon.Err(); err != nil {
+						t.Fatalf("seed %d: invariants: %v", seed, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestGuardsMutuallyExclusive(t *testing.T) {
+	// The paper's guards are pairwise exclusive: at most one action enabled
+	// per processor in any reachable or corrupted configuration.
+	g := mustGraph(t, "random", 9)
+	pr := core.MustNew(g, 0)
+	inj := fault.UniformRandom()
+	for seed := int64(0); seed < 200; seed++ {
+		cfg := sim.NewConfiguration(g, pr)
+		inj.Apply(cfg, pr, rand.New(rand.NewSource(seed)))
+		for p := 0; p < g.N(); p++ {
+			if en := pr.Enabled(cfg, p); len(en) > 1 {
+				t.Fatalf("seed %d: processor %d has %d enabled actions: %v", seed, p, len(en), en)
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"snappif/internal/check"
+	"snappif/internal/core"
+	"snappif/internal/fault"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+// Property: a single computation step from any (corrupted) configuration
+// keeps every variable inside its declared domain — the step relation is
+// closed over the state space.
+func TestStepClosureProperty(t *testing.T) {
+	f := func(seed int64, nRaw, steps uint8) bool {
+		n := int(nRaw%10) + 3
+		g, err := graph.RandomConnected(n, 0.3, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		pr := core.MustNew(g, 0)
+		cfg := sim.NewConfiguration(g, pr)
+		fault.UniformRandom().Apply(cfg, pr, rand.New(rand.NewSource(seed+1)))
+		if err := check.Domains(cfg, pr); err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed + 2))
+		for s := 0; s < int(steps%30)+1; s++ {
+			enabled := sim.EnabledChoices(cfg, pr)
+			if len(enabled) == 0 {
+				return false // no deadlock allowed either
+			}
+			ch := enabled[rng.Intn(len(enabled))]
+			cfg.States[ch.Proc] = pr.Apply(cfg, ch.Proc, ch.Action)
+			if err := check.Domains(cfg, pr); err != nil {
+				t.Logf("closure violated after %s at p%d: %v",
+					pr.ActionNames()[ch.Action], ch.Proc, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Normal(p) is monotone under the disable relation the paper
+// uses — once the whole configuration is normal, no step creates a new
+// abnormal processor (Lemma 5's contrapositive: abnormality only spreads
+// from abnormal parents).
+func TestNormalityPreservedProperty(t *testing.T) {
+	f := func(seed int64, nRaw, steps uint8) bool {
+		n := int(nRaw%10) + 3
+		g, err := graph.RandomConnected(n, 0.25, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		pr := core.MustNew(g, 0)
+		cfg := sim.NewConfiguration(g, pr) // clean, hence normal
+		rng := rand.New(rand.NewSource(seed + 1))
+		for s := 0; s < int(steps%50)+1; s++ {
+			enabled := sim.EnabledChoices(cfg, pr)
+			if len(enabled) == 0 {
+				return false
+			}
+			ch := enabled[rng.Intn(len(enabled))]
+			cfg.States[ch.Proc] = pr.Apply(cfg, ch.Proc, ch.Action)
+			if len(check.Abnormal(cfg, pr)) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: delivery holds for every (topology seed, fault, daemon seed)
+// triple — the snap property as a quick-checked predicate over the whole
+// daemon/fault/topology space, including the round-robin daemon.
+func TestSnapQuickProperty(t *testing.T) {
+	injs := fault.All()
+	f := func(seed int64, pick uint8, daemonPick uint8) bool {
+		n := int(seed%8+8) % 16
+		if n < 4 {
+			n += 4
+		}
+		g, err := graph.RandomConnected(n, 0.3, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		pr := core.MustNew(g, 0)
+		cfg := sim.NewConfiguration(g, pr)
+		injs[int(pick)%len(injs)].Apply(cfg, pr, rand.New(rand.NewSource(seed+1)))
+		daemons := []sim.Daemon{
+			sim.Synchronous{},
+			sim.Central{Order: sim.CentralRandom},
+			&sim.RoundRobin{},
+			sim.DistributedRandom{P: 0.5},
+			sim.LocallyCentral{},
+		}
+		d := daemons[int(daemonPick)%len(daemons)]
+		obs := check.NewCycleObserver(pr)
+		if _, err := sim.Run(cfg, pr, d, sim.Options{
+			Seed:      seed + 2,
+			Observers: []sim.Observer{obs},
+			StopWhen:  obs.StopAfterCycles(1),
+		}); err != nil {
+			return false
+		}
+		return obs.CompletedCycles() == 1 && obs.Cycles[0].OK()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

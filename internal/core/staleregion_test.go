@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"snappif/internal/check"
+	"snappif/internal/core"
+	"snappif/internal/fault"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+// TestSnapResistsStaleRegionAttack is the head-to-head heart of the
+// reproduction: the exact configuration and schedule that make the
+// self-stabilizing baseline complete a wave without delivering
+// (selfstab.PlantStaleRegion + progress-before-corrections scheduling) must
+// be harmless against the snap-stabilizing algorithm. The root's exact
+// knowledge of N means Count_r cannot reach N — and hence the Fok wave and
+// every feedback cannot start — until the stale region has been dismantled
+// and genuinely joined the legal tree.
+func TestSnapResistsStaleRegionAttack(t *testing.T) {
+	for _, build := range []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return graph.Ring(8) },
+		func() (*graph.Graph, error) { return graph.Line(9) },
+		func() (*graph.Graph, error) { return graph.Grid(2, 5) },
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(g.Name(), func(t *testing.T) {
+			pr := core.MustNew(g, 0)
+			cfg := sim.NewConfiguration(g, pr)
+			fault.StaleRegion().Apply(cfg, pr, rand.New(rand.NewSource(1)))
+			obs := check.NewCycleObserver(pr)
+			// Progress-before-corrections: the schedule that defeats the
+			// baseline.
+			d := sim.ActionPriority{Order: []int{
+				core.ActionB, core.ActionFok, core.ActionF,
+				core.ActionC, core.ActionCount,
+			}}
+			if _, err := sim.Run(cfg, pr, d, sim.Options{
+				Observers: []sim.Observer{obs},
+				StopWhen:  obs.StopAfterCycles(1),
+			}); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if obs.CompletedCycles() == 0 {
+				t.Fatal("no cycle completed")
+			}
+			rec := obs.Cycles[0]
+			if !rec.OK() {
+				t.Fatalf("snap-stabilization violated: %v", rec.Violations)
+			}
+			if rec.Delivered != g.N()-1 {
+				t.Fatalf("delivered %d/%d despite snap-stabilization", rec.Delivered, g.N()-1)
+			}
+		})
+	}
+}

@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"snappif/internal/fault"
+	"snappif/internal/trace"
+	"snappif/internal/wave"
+)
+
+// Applications is experiment E10 (Introduction / Conclusions): the PIF-based
+// applications — infimum computation, distributed reset, barrier
+// synchronization, consistent snapshot — each run once per fault pattern
+// starting from a corrupted configuration, and their *first* operation must
+// already be correct (the snap guarantee transfers to the application
+// layer).
+func Applications(opt Options) (Outcome, error) {
+	opt = opt.withDefaults()
+	tbl := trace.NewTable("E10 — PIF applications, first operation after corruption (must all be correct)",
+		"topology", "fault", "infimum", "reset", "barrier", "snapshot")
+	out := Outcome{Table: tbl}
+	for _, tp := range selectTopologies(opt) {
+		for _, inj := range injectors() {
+			rng := rand.New(rand.NewSource(opt.Seed + 17))
+
+			infOK, err := infimumTrial(tp, inj, rng.Int63())
+			if err != nil {
+				return out, fmt.Errorf("exp: E10 infimum: %w", err)
+			}
+			resetOK, err := resetTrial(tp, inj, rng.Int63())
+			if err != nil {
+				return out, fmt.Errorf("exp: E10 reset: %w", err)
+			}
+			barrierOK, err := barrierTrial(tp, inj, rng.Int63())
+			if err != nil {
+				return out, fmt.Errorf("exp: E10 barrier: %w", err)
+			}
+			snapOK, err := snapshotTrial(tp, inj, rng.Int63())
+			if err != nil {
+				return out, fmt.Errorf("exp: E10 snapshot: %w", err)
+			}
+			for _, ok := range []bool{infOK, resetOK, barrierOK, snapOK} {
+				if !ok {
+					out.SnapViolations++
+				}
+			}
+			tbl.AddRow(tp.g.Name(), inj.Name,
+				verdict(infOK), verdict(resetOK), verdict(barrierOK), verdict(snapOK))
+		}
+	}
+	return out, nil
+}
+
+func infimumTrial(tp topology, inj fault.Injector, seed int64) (bool, error) {
+	sys, err := wave.NewSystem(tp.g, 0, wave.Min, wave.WithSeed(seed))
+	if err != nil {
+		return false, err
+	}
+	want := int64(1 << 40)
+	for p := 0; p < tp.g.N(); p++ {
+		v := int64((p*37)%100 - 50)
+		sys.SetValue(p, v)
+		if v < want {
+			want = v
+		}
+	}
+	inj.Apply(sys.Cfg, sys.Proto, rand.New(rand.NewSource(seed)))
+	if _, err := sys.RunWave(); err != nil {
+		return false, err
+	}
+	return sys.RootAggregate() == want, nil
+}
+
+func resetTrial(tp topology, inj fault.Injector, seed int64) (bool, error) {
+	rc, err := wave.NewResetCoordinator(tp.g, 0, wave.WithSeed(seed))
+	if err != nil {
+		return false, err
+	}
+	inj.Apply(rc.System().Cfg, rc.System().Proto, rand.New(rand.NewSource(seed)))
+	epoch, err := rc.Reset()
+	if err != nil {
+		return false, err
+	}
+	got, uniform := rc.Uniform()
+	return uniform && got == epoch, nil
+}
+
+func barrierTrial(tp topology, inj fault.Injector, seed int64) (bool, error) {
+	sy, err := wave.NewSynchronizer(tp.g, 0, wave.WithSeed(seed))
+	if err != nil {
+		return false, err
+	}
+	inj.Apply(sy.System().Cfg, sy.System().Proto, rand.New(rand.NewSource(seed)))
+	if err := sy.Barrier(); err != nil {
+		return false, err
+	}
+	for p := 0; p < tp.g.N(); p++ {
+		if sy.Pulse(p) != 1 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func snapshotTrial(tp topology, inj fault.Injector, seed int64) (bool, error) {
+	sc, err := wave.NewSnapshotCollector(tp.g, 0, wave.WithSeed(seed))
+	if err != nil {
+		return false, err
+	}
+	for p := 0; p < tp.g.N(); p++ {
+		sc.System().SetValue(p, int64(7000+p))
+	}
+	inj.Apply(sc.System().Cfg, sc.System().Proto, rand.New(rand.NewSource(seed)))
+	snap, err := sc.Collect()
+	if err != nil {
+		return false, err
+	}
+	for p, v := range snap {
+		if v != int64(7000+p) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

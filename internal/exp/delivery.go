@@ -1,0 +1,228 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"snappif/internal/baseline/selfstab"
+	"snappif/internal/check"
+	"snappif/internal/core"
+	"snappif/internal/fault"
+	"snappif/internal/sim"
+	"snappif/internal/trace"
+)
+
+// snapFirstWave runs the snap protocol from an injected configuration until
+// the first root-initiated cycle completes and reports whether it satisfied
+// the specification.
+func snapFirstWave(tp topology, corrupt func(*sim.Configuration, *core.Protocol, *rand.Rand), d sim.Daemon, seed int64) (ok bool, err error) {
+	pr, err := core.New(tp.g, 0)
+	if err != nil {
+		return false, err
+	}
+	cfg := sim.NewConfiguration(tp.g, pr)
+	corrupt(cfg, pr, rand.New(rand.NewSource(seed)))
+	obs := check.NewCycleObserver(pr)
+	if _, err := sim.Run(cfg, pr, d, sim.Options{
+		MaxSteps:  20_000_000,
+		Seed:      seed + 1,
+		Observers: []sim.Observer{obs},
+		StopWhen:  obs.StopAfterCycles(1),
+	}); err != nil {
+		return false, err
+	}
+	if obs.CompletedCycles() == 0 {
+		return false, fmt.Errorf("snap first wave never completed on %s", tp.g)
+	}
+	return obs.Cycles[0].OK(), nil
+}
+
+// selfstabFirstWave does the same for the self-stabilizing baseline.
+func selfstabFirstWave(tp topology, corrupt func(*sim.Configuration, *selfstab.Protocol, *rand.Rand), d sim.Daemon, seed int64) (ok bool, err error) {
+	pr, err := selfstab.New(tp.g, 0)
+	if err != nil {
+		return false, err
+	}
+	cfg := sim.NewConfiguration(tp.g, pr)
+	corrupt(cfg, pr, rand.New(rand.NewSource(seed)))
+	obs := selfstab.NewCycleObserver(pr)
+	if _, err := sim.Run(cfg, pr, d, sim.Options{
+		MaxSteps:  20_000_000,
+		Seed:      seed + 1,
+		Observers: []sim.Observer{obs},
+		StopWhen:  obs.StopAfterCycles(1),
+	}); err != nil {
+		return false, err
+	}
+	if obs.CompletedCycles() == 0 {
+		return false, fmt.Errorf("selfstab first wave never completed on %s", tp.g)
+	}
+	return obs.Cycles[0].OK(tp.g.N()), nil
+}
+
+// SnapVsSelfStab is experiment E4, the paper's headline claim: from any
+// initial configuration, the *first* wave of the snap-stabilizing protocol
+// satisfies [PIF1]/[PIF2], while a merely self-stabilizing PIF [12,23] can
+// complete a first wave that some processors never received. The table
+// reports first-wave violation counts over random configurations under a
+// random daemon, and under the deterministic stale-region attack with the
+// progress-first schedule.
+func SnapVsSelfStab(opt Options) (Outcome, error) {
+	opt = opt.withDefaults()
+	tbl := trace.NewTable("E4 — snap-stabilization (first-wave violations; snap must be 0/…)",
+		"topology", "scenario", "snap violations", "selfstab violations")
+	out := Outcome{Table: tbl}
+
+	snapD := sim.DistributedRandom{P: 0.5}
+	selfD := sim.DistributedRandom{P: 0.5}
+	attackSnapD := sim.ActionPriority{Order: []int{
+		core.ActionB, core.ActionFok, core.ActionF, core.ActionC, core.ActionCount,
+	}}
+	attackSelfD := sim.ActionPriority{Order: []int{
+		selfstab.ActionB, selfstab.ActionF, selfstab.ActionC,
+	}}
+
+	for _, tp := range selectTopologies(opt) {
+		// Scenario 1: uniformly random configurations, random daemon.
+		snapViol, selfViol := 0, 0
+		for trial := 0; trial < opt.Trials; trial++ {
+			seed := opt.Seed + int64(trial)*13
+			ok, err := snapFirstWave(tp, fault.UniformRandom().Apply, snapD, seed)
+			if err != nil {
+				return out, fmt.Errorf("exp: E4 snap: %w", err)
+			}
+			if !ok {
+				snapViol++
+			}
+			ok, err = selfstabFirstWave(tp, func(c *sim.Configuration, pr *selfstab.Protocol, rng *rand.Rand) {
+				selfstab.RandomConfiguration(c, pr, rng)
+			}, selfD, seed)
+			if err != nil {
+				return out, fmt.Errorf("exp: E4 selfstab: %w", err)
+			}
+			if !ok {
+				selfViol++
+			}
+		}
+		out.SnapViolations += snapViol
+		out.BaselineViolations += selfViol
+		tbl.AddRow(tp.g.Name(), fmt.Sprintf("uniform-random x%d", opt.Trials),
+			fmt.Sprintf("%d/%d", snapViol, opt.Trials),
+			fmt.Sprintf("%d/%d", selfViol, opt.Trials))
+
+		// Scenario 2: the deterministic stale-region attack under the
+		// progress-first schedule. Only meaningful when the topology
+		// admits the region (eccentricity ≥ 4 from the root).
+		admits := tp.g.Eccentricity(0) >= 4
+		if !admits {
+			tbl.AddRow(tp.g.Name(), "stale-region attack", "n/a", "n/a")
+			continue
+		}
+		snapOK, err := snapFirstWave(tp, fault.StaleRegion().Apply, attackSnapD, opt.Seed)
+		if err != nil {
+			return out, fmt.Errorf("exp: E4 snap attack: %w", err)
+		}
+		selfOK, err := selfstabFirstWave(tp, func(c *sim.Configuration, pr *selfstab.Protocol, _ *rand.Rand) {
+			selfstab.PlantStaleRegion(c, pr)
+		}, attackSelfD, opt.Seed)
+		if err != nil {
+			return out, fmt.Errorf("exp: E4 selfstab attack: %w", err)
+		}
+		if !snapOK {
+			out.SnapViolations++
+		}
+		if !selfOK {
+			out.BaselineViolations++
+		}
+		tbl.AddRow(tp.g.Name(), "stale-region attack",
+			fmt.Sprintf("%d/1", b2i(!snapOK)), fmt.Sprintf("%d/1", b2i(!selfOK)))
+	}
+	return out, nil
+}
+
+// AblationFokGate is experiment E7: the design ablation of the paper's key
+// mechanism. The Count/Fok gate (exact knowledge of N at the root) is what
+// separates the snap algorithm from the self-stabilizing baseline — the
+// baseline *is* the algorithm with the gate removed. The table quantifies
+// what the gate costs (extra rounds per clean cycle, synchronous daemon)
+// and what it buys (first-wave correctness under attack).
+func AblationFokGate(opt Options) (Outcome, error) {
+	opt = opt.withDefaults()
+	tbl := trace.NewTable("E7 — ablation of the Count/Fok gate (snap = with gate, selfstab = without)",
+		"topology", "snap rounds", "no-gate rounds", "overhead", "snap attack ok", "no-gate attack ok")
+	out := Outcome{Table: tbl}
+	attackSnapD := sim.ActionPriority{Order: []int{
+		core.ActionB, core.ActionFok, core.ActionF, core.ActionC, core.ActionCount,
+	}}
+	attackSelfD := sim.ActionPriority{Order: []int{
+		selfstab.ActionB, selfstab.ActionF, selfstab.ActionC,
+	}}
+	for _, tp := range selectTopologies(opt) {
+		// Cost: clean-start cycle rounds.
+		recs, err := runCycles(tp.g, sim.Synchronous{}, opt.Trials, opt.Seed)
+		if err != nil {
+			return out, err
+		}
+		var snapRounds trace.Sample
+		for _, rec := range recs {
+			snapRounds.Add(rec.Rounds())
+			if !rec.OK() {
+				out.SnapViolations++
+			}
+		}
+		pr, err := selfstab.New(tp.g, 0)
+		if err != nil {
+			return out, err
+		}
+		cfg := sim.NewConfiguration(tp.g, pr)
+		obs := selfstab.NewCycleObserver(pr)
+		if _, err := sim.Run(cfg, pr, sim.Synchronous{}, sim.Options{
+			MaxSteps:  20_000_000,
+			Seed:      opt.Seed,
+			Observers: []sim.Observer{obs},
+			StopWhen:  obs.StopAfterCycles(opt.Trials),
+		}); err != nil {
+			return out, err
+		}
+		var baseRounds trace.Sample
+		for i := 1; i < len(obs.Cycles); i++ {
+			// Start-to-start spacing approximates the full cycle length.
+			baseRounds.Add(obs.Cycles[i].StartStep - obs.Cycles[i-1].StartStep)
+		}
+
+		// Benefit: the stale-region attack.
+		snapOK, selfOK := true, false
+		if tp.g.Eccentricity(0) >= 4 {
+			snapOK, err = snapFirstWave(tp, fault.StaleRegion().Apply, attackSnapD, opt.Seed)
+			if err != nil {
+				return out, err
+			}
+			selfOK, err = selfstabFirstWave(tp, func(c *sim.Configuration, p *selfstab.Protocol, _ *rand.Rand) {
+				selfstab.PlantStaleRegion(c, p)
+			}, attackSelfD, opt.Seed)
+			if err != nil {
+				return out, err
+			}
+		}
+		if !snapOK {
+			out.SnapViolations++
+		}
+		if !selfOK {
+			out.BaselineViolations++
+		}
+		overhead := "n/a"
+		if baseRounds.N() > 0 && baseRounds.Mean() > 0 {
+			overhead = fmt.Sprintf("%.2fx", snapRounds.Mean()/baseRounds.Mean())
+		}
+		tbl.AddRow(tp.g.Name(), snapRounds.Mean(), baseRounds.Mean(), overhead,
+			verdict(snapOK), verdict(selfOK))
+	}
+	return out, nil
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

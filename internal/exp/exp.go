@@ -1,0 +1,140 @@
+// Package exp implements the experiment harness: one experiment per result
+// of the paper (Properties 1–3, Theorems 1–4, the snap-stabilization claim,
+// and the baseline comparisons), each regenerating a table whose shape must
+// match the proved bound or claim. See DESIGN.md §3 for the experiment
+// index and EXPERIMENTS.md for recorded paper-vs-measured outcomes.
+//
+// The harness is shared by cmd/pifexp (prints every table) and the
+// repository-level benchmarks (one Benchmark per experiment).
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"snappif/internal/check"
+	"snappif/internal/core"
+	"snappif/internal/fault"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+	"snappif/internal/trace"
+)
+
+// Options scales an experiment.
+type Options struct {
+	// Quick shrinks topology sizes and trial counts for tests/benchmarks.
+	Quick bool
+	// Trials is the number of repetitions per table cell (default 5 quick,
+	// 20 full).
+	Trials int
+	// Seed seeds all randomness (default 1).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Trials == 0 {
+		if o.Quick {
+			o.Trials = 5
+		} else {
+			o.Trials = 20
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Outcome is an experiment's result: the rendered table plus the aggregate
+// verdict counters the tests assert on.
+type Outcome struct {
+	// Table is the regenerated result table.
+	Table *trace.Table
+	// BoundExceeded counts measurements above the paper's bound (must be 0
+	// for a successful reproduction).
+	BoundExceeded int
+	// SnapViolations counts PIF-specification violations by the
+	// snap-stabilizing protocol (must be 0).
+	SnapViolations int
+	// BaselineViolations counts specification violations by the non-snap
+	// baselines (expected > 0 in the adversarial experiments — that gap is
+	// the paper's contribution).
+	BaselineViolations int
+}
+
+// topology is one experiment network.
+type topology struct {
+	g *graph.Graph
+}
+
+// topologies returns the experiment topology suite.
+func topologies(quick bool, seed int64) []topology {
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(g *graph.Graph, err error) topology {
+		if err != nil {
+			panic(fmt.Sprintf("exp: topology construction: %v", err))
+		}
+		return topology{g: g}
+	}
+	if quick {
+		return []topology{
+			mk(graph.Line(12)),
+			mk(graph.Ring(12)),
+			mk(graph.Star(12)),
+			mk(graph.Complete(8)),
+			mk(graph.Grid(3, 4)),
+			mk(graph.Hypercube(3)),
+			mk(graph.BinaryTree(15)),
+			mk(graph.Caterpillar(4, 2)),
+			mk(graph.Lollipop(4, 4)),
+			mk(graph.RandomConnected(12, 0.2, rng)),
+		}
+	}
+	return []topology{
+		mk(graph.Line(16)),
+		mk(graph.Line(48)),
+		mk(graph.Ring(16)),
+		mk(graph.Ring(48)),
+		mk(graph.Star(32)),
+		mk(graph.Complete(16)),
+		mk(graph.Grid(5, 5)),
+		mk(graph.Grid(8, 8)),
+		mk(graph.Torus(5, 5)),
+		mk(graph.Hypercube(5)),
+		mk(graph.BinaryTree(31)),
+		mk(graph.BinaryTree(63)),
+		mk(graph.KaryTree(3, 40)),
+		mk(graph.Caterpillar(8, 3)),
+		mk(graph.Lollipop(8, 8)),
+		mk(graph.Barbell(8, 4)),
+		mk(graph.Wheel(24)),
+		mk(graph.Circulant(24, []int{1, 3, 5})),
+		mk(graph.CompleteBipartite(8, 12)),
+		mk(graph.RandomConnected(32, 0.1, rng)),
+		mk(graph.RandomConnected(32, 0.3, rng)),
+		mk(graph.RandomConnected(64, 0.1, rng)),
+	}
+}
+
+// runCycles runs k clean-start PIF cycles of the snap protocol and returns
+// the cycle records.
+func runCycles(g *graph.Graph, d sim.Daemon, k int, seed int64) ([]check.CycleRecord, error) {
+	pr, err := core.New(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.NewConfiguration(g, pr)
+	obs := check.NewCycleObserver(pr)
+	if _, err := sim.Run(cfg, pr, d, sim.Options{
+		MaxSteps:  20_000_000,
+		Seed:      seed,
+		Observers: []sim.Observer{obs},
+		StopWhen:  obs.StopAfterCycles(k),
+	}); err != nil {
+		return nil, err
+	}
+	return obs.Cycles, nil
+}
+
+// injectors returns the fault suite used by the stabilization experiments.
+func injectors() []fault.Injector { return fault.All() }

@@ -1,0 +1,220 @@
+package exp_test
+
+import (
+	"strings"
+	"testing"
+
+	"snappif/internal/exp"
+)
+
+func quick() exp.Options { return exp.Options{Quick: true, Trials: 2, Seed: 1} }
+
+func TestE1CycleRoundsWithinBound(t *testing.T) {
+	out, err := exp.CycleRounds(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.BoundExceeded != 0 {
+		t.Fatalf("Theorem 4 bound exceeded %d times:\n%s", out.BoundExceeded, out.Table)
+	}
+	if out.SnapViolations != 0 {
+		t.Fatalf("spec violations: %d", out.SnapViolations)
+	}
+	if out.Table.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestE2ErrorCorrectionWithinBound(t *testing.T) {
+	out, err := exp.ErrorCorrection(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.BoundExceeded != 0 {
+		t.Fatalf("Theorem 1 bound exceeded %d times:\n%s", out.BoundExceeded, out.Table)
+	}
+}
+
+func TestE3StabilizationWithinBound(t *testing.T) {
+	out, err := exp.Stabilization(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.BoundExceeded != 0 {
+		t.Fatalf("stabilization bound exceeded %d times:\n%s", out.BoundExceeded, out.Table)
+	}
+}
+
+func TestE4SnapNeverViolatesAndBaselineDoes(t *testing.T) {
+	out, err := exp.SnapVsSelfStab(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SnapViolations != 0 {
+		t.Fatalf("snap protocol violated the spec %d times:\n%s", out.SnapViolations, out.Table)
+	}
+	if out.BaselineViolations == 0 {
+		t.Fatalf("self-stabilizing baseline never violated — the separation did not reproduce:\n%s", out.Table)
+	}
+}
+
+func TestE5InvariantsHold(t *testing.T) {
+	out, err := exp.Invariants(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SnapViolations != 0 {
+		t.Fatalf("invariant violations: %d\n%s", out.SnapViolations, out.Table)
+	}
+}
+
+func TestE6ChordlessHolds(t *testing.T) {
+	out, err := exp.Chordless(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SnapViolations != 0 || out.BoundExceeded != 0 {
+		t.Fatalf("chordless property failed: violations=%d exceeded=%d\n%s",
+			out.SnapViolations, out.BoundExceeded, out.Table)
+	}
+}
+
+func TestE7AblationSeparates(t *testing.T) {
+	out, err := exp.AblationFokGate(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SnapViolations != 0 {
+		t.Fatalf("snap protocol failed under attack:\n%s", out.Table)
+	}
+	if out.BaselineViolations == 0 {
+		t.Fatalf("gate-less protocol survived the attack — ablation shows no separation:\n%s", out.Table)
+	}
+}
+
+func TestE8AllDaemonsDeliver(t *testing.T) {
+	out, err := exp.Daemons(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SnapViolations != 0 {
+		t.Fatalf("delivery failed under some daemon:\n%s", out.Table)
+	}
+}
+
+func TestE9TreeBaselineComparable(t *testing.T) {
+	out, err := exp.TreeBaseline(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SnapViolations != 0 || out.BaselineViolations != 0 {
+		t.Fatalf("clean-start cycles failed: snap=%d tree=%d\n%s",
+			out.SnapViolations, out.BaselineViolations, out.Table)
+	}
+}
+
+func TestE10ApplicationsCorrectAfterCorruption(t *testing.T) {
+	out, err := exp.Applications(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SnapViolations != 0 {
+		t.Fatalf("application-level failures: %d\n%s", out.SnapViolations, out.Table)
+	}
+}
+
+func TestRegistryRunsEverything(t *testing.T) {
+	ids := make(map[string]bool)
+	for _, e := range exp.All() {
+		if e.Run == nil {
+			t.Fatalf("experiment %s has no Run", e.ID)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment ID %s", e.ID)
+		}
+		ids[e.ID] = true
+		if !strings.HasPrefix(e.ID, "E") && !strings.HasPrefix(e.ID, "F") && e.ID != "MC" {
+			t.Fatalf("unexpected ID %q", e.ID)
+		}
+	}
+	if len(ids) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(ids))
+	}
+}
+
+func TestF4MidWaveFaults(t *testing.T) {
+	out, err := exp.MidWaveFaults(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SnapViolations != 0 {
+		t.Fatalf("post-fault wave violated the spec:\n%s", out.Table)
+	}
+}
+
+func TestF1ScalingFigure(t *testing.T) {
+	out, err := exp.ScalingFigure(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.BoundExceeded != 0 || out.SnapViolations != 0 {
+		t.Fatalf("F1 failed: exceeded=%d violations=%d\n%s",
+			out.BoundExceeded, out.SnapViolations, out.Table)
+	}
+}
+
+func TestF2LmaxSensitivity(t *testing.T) {
+	out, err := exp.LmaxSensitivity(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.BoundExceeded != 0 {
+		t.Fatalf("F2 bound exceeded:\n%s", out.Table)
+	}
+}
+
+func TestF3MoveComplexity(t *testing.T) {
+	out, err := exp.MoveComplexity(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Table.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestE11MessagePassing(t *testing.T) {
+	out, err := exp.MessagePassing(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SnapViolations != 0 {
+		t.Fatalf("register emulation failed to converge: %d\n%s", out.SnapViolations, out.Table)
+	}
+	if out.BaselineViolations != 0 {
+		t.Fatalf("echo failed on a fault-free network: %d\n%s", out.BaselineViolations, out.Table)
+	}
+}
+
+func TestE12MultiInitiator(t *testing.T) {
+	out, err := exp.MultiInitiator(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SnapViolations != 0 {
+		t.Fatalf("concurrent-initiator waves violated:\n%s", out.Table)
+	}
+}
+
+func TestMCExperiment(t *testing.T) {
+	out, err := exp.ModelChecking(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SnapViolations != 0 {
+		t.Fatalf("exhaustive checking failed:\n%s", out.Table)
+	}
+	if out.BaselineViolations == 0 {
+		t.Fatalf("baseline counterexample not synthesized:\n%s", out.Table)
+	}
+}

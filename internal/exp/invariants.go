@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"snappif/internal/check"
+	"snappif/internal/core"
+	"snappif/internal/sim"
+	"snappif/internal/trace"
+)
+
+// Invariants is experiment E5 (Properties 1 and 2, plus variable domains):
+// the invariant monitors are attached to long runs that start from every
+// fault pattern and must record zero violations across every examined
+// configuration.
+func Invariants(opt Options) (Outcome, error) {
+	opt = opt.withDefaults()
+	tbl := trace.NewTable("E5 — invariant monitoring (Properties 1 & 2, domains; must be violation-free)",
+		"topology", "fault", "steps checked", "violations", "ok")
+	out := Outcome{Table: tbl}
+	for _, tp := range selectTopologies(opt) {
+		for _, inj := range injectors() {
+			pr, err := core.New(tp.g, 0)
+			if err != nil {
+				return out, err
+			}
+			cfg := sim.NewConfiguration(tp.g, pr)
+			inj.Apply(cfg, pr, rand.New(rand.NewSource(opt.Seed)))
+			obs := check.NewCycleObserver(pr)
+			mon := check.NewMonitor(pr, check.StandardChecks())
+			if _, err := sim.Run(cfg, pr, sim.DistributedRandom{P: 0.5}, sim.Options{
+				MaxSteps:  20_000_000,
+				Seed:      opt.Seed + 3,
+				Observers: []sim.Observer{obs, mon},
+				StopWhen:  obs.StopAfterCycles(opt.Trials),
+			}); err != nil {
+				return out, fmt.Errorf("exp: E5 on %s after %s: %w", tp.g, inj.Name, err)
+			}
+			out.SnapViolations += len(mon.Violations)
+			tbl.AddRow(tp.g.Name(), inj.Name, mon.StepsChecked, len(mon.Violations),
+				verdict(len(mon.Violations) == 0))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"snappif/internal/check"
+	"snappif/internal/core"
+	"snappif/internal/fault"
+	"snappif/internal/sim"
+	"snappif/internal/trace"
+)
+
+// faultAtStep is an observer that fires one injector into the live
+// configuration at a chosen step — a transient fault striking mid-wave.
+type faultAtStep struct {
+	at    int
+	inj   fault.Injector
+	pr    *core.Protocol
+	rng   *rand.Rand
+	fired bool
+}
+
+var _ sim.MutatingObserver = (*faultAtStep)(nil)
+
+func (f *faultAtStep) OnStep(step int, _ []sim.Choice, c *sim.Configuration) {
+	if !f.fired && step >= f.at {
+		f.inj.Apply(c, f.pr, f.rng)
+		f.fired = true
+	}
+}
+
+// MutatesConfiguration implements sim.MutatingObserver: the injected fault
+// rewrites states behind the runner's back, so the incremental
+// guard-evaluation fast path must be disabled.
+func (f *faultAtStep) MutatesConfiguration() bool { return true }
+
+// MidWaveFaults is experiment F4: the exact boundary of Definition 1. A
+// transient fault strikes *while a wave is in flight*. The wave already in
+// progress started from a pre-fault configuration, so the specification
+// says nothing about it (and it may indeed fail — the fault can erase its
+// tree); but every wave whose broadcast happens after the fault is a
+// "computation starting from an arbitrary configuration" and must satisfy
+// [PIF1]/[PIF2]. The table reports both sides.
+func MidWaveFaults(opt Options) (Outcome, error) {
+	opt = opt.withDefaults()
+	tbl := trace.NewTable("F4 — faults striking mid-wave (post-fault waves must be perfect; in-flight wave is fair game)",
+		"topology", "fault", "trials", "in-flight wave survived", "post-fault waves ok", "ok")
+	out := Outcome{Table: tbl}
+	for _, tp := range selectTopologies(opt) {
+		for _, inj := range injectors() {
+			survived, postOK, postTotal := 0, 0, 0
+			for trial := 0; trial < opt.Trials; trial++ {
+				seed := opt.Seed + int64(trial)*41
+				pr, err := core.New(tp.g, 0)
+				if err != nil {
+					return out, err
+				}
+				cfg := sim.NewConfiguration(tp.g, pr)
+				obs := check.NewCycleObserver(pr)
+				// Strike roughly mid-broadcast of the first wave.
+				strike := &faultAtStep{
+					at:  2 + int(seed)%tp.g.N(),
+					inj: inj,
+					pr:  pr,
+					rng: rand.New(rand.NewSource(seed)),
+				}
+				if _, err := sim.Run(cfg, pr, sim.DistributedRandom{P: 0.5}, sim.Options{
+					MaxSteps:  20_000_000,
+					Seed:      seed + 1,
+					Observers: []sim.Observer{obs, strike},
+					StopWhen:  obs.StopAfterCycles(3),
+				}); err != nil {
+					return out, fmt.Errorf("exp: F4 %s/%s: %w", tp.g, inj.Name, err)
+				}
+				faultStep := strike.at
+				for _, rec := range obs.Cycles {
+					if rec.StartStep <= faultStep {
+						// The in-flight (pre-fault) wave: informational.
+						if rec.OK() {
+							survived++
+						}
+						continue
+					}
+					postTotal++
+					if rec.OK() {
+						postOK++
+					} else {
+						out.SnapViolations++
+					}
+				}
+			}
+			tbl.AddRow(tp.g.Name(), inj.Name, opt.Trials,
+				fmt.Sprintf("%d/%d", survived, opt.Trials),
+				fmt.Sprintf("%d/%d", postOK, postTotal),
+				verdict(postOK == postTotal))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,332 @@
+// Package fault builds the "arbitrary initial configurations" that
+// snap-stabilization quantifies over: uniformly random states over the full
+// variable domains, plus hand-crafted adversarial corruption patterns that
+// target the algorithm's error-correction machinery (phantom trees, level
+// inconsistencies, inflated counts, premature Fok waves, stale feedback).
+//
+// Injectors mutate a configuration in place. They always produce states
+// inside the declared variable domains — the model guarantees domains (a
+// variable physically cannot hold an out-of-domain value); transient faults
+// scramble values *within* domains.
+package fault
+
+import (
+	"math/rand"
+
+	"snappif/internal/core"
+	"snappif/internal/sim"
+)
+
+// GarbageMsgBit marks payload values that did not originate from a real
+// root broadcast, so experiments can tell stale payloads from real ones.
+// Real broadcasts use small counter values; corrupted registers get values
+// with this bit set.
+const GarbageMsgBit = uint64(1) << 63
+
+// Injector is a named initial-configuration corruption.
+type Injector struct {
+	// Name identifies the pattern in experiment tables.
+	Name string
+	// Apply mutates c in place using rng.
+	Apply func(c *sim.Configuration, pr *core.Protocol, rng *rand.Rand)
+}
+
+// garbageMsg returns a payload value recognizable as corruption.
+func garbageMsg(rng *rand.Rand) uint64 {
+	return GarbageMsgBit | uint64(rng.Int63())
+}
+
+// randomPhase returns a uniformly random phase.
+func randomPhase(rng *rand.Rand) core.Phase {
+	return []core.Phase{core.B, core.F, core.C}[rng.Intn(3)]
+}
+
+// setState writes s into the configuration.
+func setState(c *sim.Configuration, p int, s core.State) { c.States[p] = s }
+
+// getState reads p's state.
+func getState(c *sim.Configuration, p int) core.State { return c.States[p].(core.State) }
+
+// UniformRandom scrambles every variable of every processor uniformly over
+// its domain. This is the canonical "arbitrary configuration".
+func UniformRandom() Injector {
+	return Injector{
+		Name: "uniform-random",
+		Apply: func(c *sim.Configuration, pr *core.Protocol, rng *rand.Rand) {
+			for p := 0; p < c.N(); p++ {
+				s := core.State{
+					Pif:   randomPhase(rng),
+					Count: 1 + rng.Intn(pr.NPrime),
+					Fok:   rng.Intn(2) == 0,
+					Msg:   garbageMsg(rng),
+					Agg:   rng.Int63(),
+				}
+				if p == pr.Root {
+					s.Par = core.ParNone
+					s.L = 0
+				} else {
+					nb := c.G.Neighbors(p)
+					s.Par = nb[rng.Intn(len(nb))]
+					s.L = 1 + rng.Intn(pr.Lmax)
+				}
+				s.Val = getState(c, p).Val
+				setState(c, p, s)
+			}
+		},
+	}
+}
+
+// PartialRandom scrambles each processor independently with the given
+// probability, leaving the rest clean — models a transient fault hitting a
+// subset of the network.
+func PartialRandom(prob float64) Injector {
+	uni := UniformRandom()
+	return Injector{
+		Name: "partial-random",
+		Apply: func(c *sim.Configuration, pr *core.Protocol, rng *rand.Rand) {
+			tmp := c.Clone()
+			uni.Apply(tmp, pr, rng)
+			for p := 0; p < c.N(); p++ {
+				if rng.Float64() < prob {
+					c.States[p] = tmp.States[p]
+				}
+			}
+		},
+	}
+}
+
+// PhantomTree plants a consistent-looking broadcast tree rooted at a random
+// *non-root* processor: the phantom root is abnormal (its own parent
+// relation cannot be justified) but its whole subtree looks locally normal,
+// forcing the correction wave of Section 4.3 to dismantle it top-down.
+func PhantomTree() Injector {
+	return Injector{
+		Name: "phantom-tree",
+		Apply: func(c *sim.Configuration, pr *core.Protocol, rng *rand.Rand) {
+			if c.N() < 2 {
+				return
+			}
+			fake := rng.Intn(c.N())
+			for fake == pr.Root {
+				fake = rng.Intn(c.N())
+			}
+			parent := c.G.BFSTree(fake)
+			dist := c.G.BFS(fake)
+			msg := garbageMsg(rng)
+			for p := 0; p < c.N(); p++ {
+				s := getState(c, p)
+				if p == pr.Root {
+					// Keep the real root clean: it must still broadcast.
+					s.Pif = core.C
+					setState(c, p, s)
+					continue
+				}
+				s.Pif = core.B
+				s.Fok = false
+				s.Count = 1
+				s.Msg = msg
+				if p == fake {
+					// The phantom root pretends to be level Lmax-deep so
+					// its children (level clamp below) stay plausible.
+					nb := c.G.Neighbors(p)
+					s.Par = nb[rng.Intn(len(nb))]
+					s.L = 1
+				} else {
+					s.Par = parent[p]
+					s.L = clampLevel(1+dist[p], pr.Lmax)
+				}
+				setState(c, p, s)
+			}
+		},
+	}
+}
+
+// PrematureFok plants a legal-looking broadcast tree rooted at the real
+// root with the Fok wave already (wrongly) raised and the root count forced
+// to N: the feedback phase fires immediately for a broadcast that never
+// happened. The observed "cycle" precedes any root B-action, so the
+// specification tolerates it (Remark 1) — but the *next* real broadcast
+// must still reach everyone.
+func PrematureFok() Injector {
+	return Injector{
+		Name: "premature-fok",
+		Apply: func(c *sim.Configuration, pr *core.Protocol, rng *rand.Rand) {
+			plantTree(c, pr, rng, func(s *core.State) {
+				s.Fok = true
+				s.Count = pr.N
+			})
+		},
+	}
+}
+
+// InflatedCounts plants a legal-looking broadcast tree whose Count values
+// are all forced to the domain maximum N', violating GoodCount everywhere
+// above the leaves.
+func InflatedCounts() Injector {
+	return Injector{
+		Name: "inflated-counts",
+		Apply: func(c *sim.Configuration, pr *core.Protocol, rng *rand.Rand) {
+			plantTree(c, pr, rng, func(s *core.State) {
+				s.Count = pr.NPrime
+				s.Fok = false
+			})
+		},
+	}
+}
+
+// StaleFeedback plants a tree in which a random half of the processors are
+// already in feedback while their subtrees still broadcast — phase
+// inversions that violate GoodPif along many edges.
+func StaleFeedback() Injector {
+	return Injector{
+		Name: "stale-feedback",
+		Apply: func(c *sim.Configuration, pr *core.Protocol, rng *rand.Rand) {
+			plantTree(c, pr, rng, func(s *core.State) {
+				if rng.Intn(2) == 0 {
+					s.Pif = core.F
+				}
+				s.Fok = rng.Intn(2) == 0
+			})
+		},
+	}
+}
+
+// MaxLevels sets every non-root processor broadcasting at level Lmax with a
+// random parent: no processor can be anyone's potential parent
+// (Pre_Potential requires L < Lmax), and levels are mutually inconsistent.
+func MaxLevels() Injector {
+	return Injector{
+		Name: "max-levels",
+		Apply: func(c *sim.Configuration, pr *core.Protocol, rng *rand.Rand) {
+			for p := 0; p < c.N(); p++ {
+				s := getState(c, p)
+				if p == pr.Root {
+					s.Pif = core.C
+					setState(c, p, s)
+					continue
+				}
+				nb := c.G.Neighbors(p)
+				s.Pif = core.B
+				s.Par = nb[rng.Intn(len(nb))]
+				s.L = pr.Lmax
+				s.Count = 1 + rng.Intn(pr.NPrime)
+				s.Fok = rng.Intn(2) == 0
+				s.Msg = garbageMsg(rng)
+				setState(c, p, s)
+			}
+		},
+	}
+}
+
+// StaleRegion plants the self-contained stale broadcast region that defeats
+// the self-stabilizing baseline (see selfstab.PlantStaleRegion): three
+// consecutive processors u–v–w at distance ≥ 2 from the root pointing only
+// at each other, at levels near Lmax, with the rest of the network clean.
+// Against the snap-stabilizing algorithm the region is harmless: the root's
+// Count can never reach N while u, v, w are outside the legal tree, so the
+// Fok wave — and with it every feedback — waits until the region has been
+// dismantled and genuinely re-joined. On topologies with eccentricity < 4
+// the injector leaves the configuration clean.
+func StaleRegion() Injector {
+	return Injector{
+		Name: "stale-region",
+		Apply: func(c *sim.Configuration, pr *core.Protocol, rng *rand.Rand) {
+			dist := c.G.BFS(pr.Root)
+			parent := c.G.BFSTree(pr.Root)
+			far, farDist := -1, -1
+			for p, d := range dist {
+				if d > farDist {
+					far, farDist = p, d
+				}
+			}
+			if farDist < 4 {
+				return
+			}
+			w := far
+			v := parent[w]
+			u := parent[v]
+			lv := pr.Lmax - 1
+			msg := garbageMsg(rng)
+			set := func(p, par, l int) {
+				s := getState(c, p)
+				s.Pif = core.B
+				s.Par = par
+				s.L = l
+				s.Count = 1
+				s.Fok = false
+				s.Msg = msg
+				setState(c, p, s)
+			}
+			set(u, v, lv+1)
+			set(v, w, lv) // abnormal: L_v ≠ L_w + 1
+			set(w, v, lv+1)
+		},
+	}
+}
+
+// Clean is the identity injector: the normal starting configuration.
+func Clean() Injector {
+	return Injector{
+		Name:  "clean",
+		Apply: func(*sim.Configuration, *core.Protocol, *rand.Rand) {},
+	}
+}
+
+// All returns every adversarial injector plus the uniform scrambler; Clean
+// is excluded (it is the control, not a fault).
+func All() []Injector {
+	return []Injector{
+		UniformRandom(),
+		PartialRandom(0.5),
+		PhantomTree(),
+		PrematureFok(),
+		InflatedCounts(),
+		StaleFeedback(),
+		MaxLevels(),
+		StaleRegion(),
+	}
+}
+
+// plantTree writes a structurally consistent broadcast tree rooted at the
+// real root (BFS tree, correct levels, Pif = B, stale payload), then lets
+// mutate corrupt each state.
+func plantTree(c *sim.Configuration, pr *core.Protocol, rng *rand.Rand, mutate func(*core.State)) {
+	parent := c.G.BFSTree(pr.Root)
+	dist := c.G.BFS(pr.Root)
+	msg := garbageMsg(rng)
+	for p := 0; p < c.N(); p++ {
+		s := getState(c, p)
+		s.Pif = core.B
+		s.Msg = msg
+		s.Count = 1
+		s.Fok = false
+		if p == pr.Root {
+			s.Par = core.ParNone
+			s.L = 0
+		} else {
+			s.Par = parent[p]
+			s.L = clampLevel(dist[p], pr.Lmax)
+		}
+		mutate(&s)
+		if p == pr.Root {
+			// Re-clamp root invariant fields whatever mutate did.
+			s.Par = core.ParNone
+			s.L = 0
+			if s.Count < 1 {
+				s.Count = 1
+			}
+		}
+		setState(c, p, s)
+	}
+}
+
+// clampLevel keeps an intended level inside [1,Lmax].
+func clampLevel(l, lmax int) int {
+	if l < 1 {
+		return 1
+	}
+	if l > lmax {
+		return lmax
+	}
+	return l
+}

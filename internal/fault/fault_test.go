@@ -1,0 +1,198 @@
+package fault_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"snappif/internal/check"
+	"snappif/internal/core"
+	"snappif/internal/fault"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+func build(t *testing.T, n int, seed int64) (*core.Protocol, *sim.Configuration) {
+	t.Helper()
+	g, err := graph.RandomConnected(n, 0.3, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	return pr, sim.NewConfiguration(g, pr)
+}
+
+func TestInjectorsPreserveDomains(t *testing.T) {
+	// A transient fault scrambles values *within* their domains — the
+	// model's variables cannot physically hold out-of-domain values. Every
+	// injector must respect that.
+	for _, inj := range append(fault.All(), fault.Clean()) {
+		t.Run(inj.Name, func(t *testing.T) {
+			for seed := int64(0); seed < 50; seed++ {
+				pr, cfg := build(t, 10, 3)
+				inj.Apply(cfg, pr, rand.New(rand.NewSource(seed)))
+				if err := check.Domains(cfg, pr); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+func TestInjectorsAreDeterministic(t *testing.T) {
+	for _, inj := range fault.All() {
+		t.Run(inj.Name, func(t *testing.T) {
+			pr, cfg1 := build(t, 10, 3)
+			_, cfg2 := build(t, 10, 3)
+			inj.Apply(cfg1, pr, rand.New(rand.NewSource(7)))
+			inj.Apply(cfg2, pr, rand.New(rand.NewSource(7)))
+			for p := range cfg1.States {
+				if cfg1.States[p].(core.State) != cfg2.States[p].(core.State) {
+					t.Fatalf("processor %d differs across identical seeds", p)
+				}
+			}
+		})
+	}
+}
+
+func TestUniformRandomActuallyScrambles(t *testing.T) {
+	pr, cfg := build(t, 12, 3)
+	before := make([]core.State, len(cfg.States))
+	for p := range cfg.States {
+		before[p] = cfg.States[p].(core.State)
+	}
+	fault.UniformRandom().Apply(cfg, pr, rand.New(rand.NewSource(1)))
+	changed := 0
+	for p := range cfg.States {
+		if cfg.States[p].(core.State) != before[p] {
+			changed++
+		}
+	}
+	if changed < len(cfg.States)/2 {
+		t.Fatalf("only %d/%d processors changed", changed, len(cfg.States))
+	}
+}
+
+func TestUniformRandomPreservesApplicationValues(t *testing.T) {
+	// Faults corrupt protocol state; the application inputs (Val) are the
+	// payload under protection and stay intact.
+	pr, cfg := build(t, 8, 3)
+	for p := range cfg.States {
+		s := cfg.States[p].(core.State)
+		s.Val = int64(p * 11)
+		cfg.States[p] = s
+	}
+	fault.UniformRandom().Apply(cfg, pr, rand.New(rand.NewSource(5)))
+	for p := range cfg.States {
+		if got := cfg.States[p].(core.State).Val; got != int64(p*11) {
+			t.Fatalf("Val[%d] = %d, want %d", p, got, p*11)
+		}
+	}
+}
+
+func TestGarbageMsgsAreMarked(t *testing.T) {
+	pr, cfg := build(t, 8, 3)
+	fault.UniformRandom().Apply(cfg, pr, rand.New(rand.NewSource(2)))
+	for p := range cfg.States {
+		if msg := cfg.States[p].(core.State).Msg; msg&fault.GarbageMsgBit == 0 {
+			t.Fatalf("processor %d got unmarked garbage payload %d", p, msg)
+		}
+	}
+}
+
+func TestPhantomTreeKeepsRootClean(t *testing.T) {
+	pr, cfg := build(t, 12, 3)
+	fault.PhantomTree().Apply(cfg, pr, rand.New(rand.NewSource(3)))
+	if got := cfg.States[pr.Root].(core.State).Pif; got != core.C {
+		t.Fatalf("root phase = %v, want C", got)
+	}
+	// Everyone else broadcasts in the phantom tree.
+	broadcasting := 0
+	for p := range cfg.States {
+		if p != pr.Root && cfg.States[p].(core.State).Pif == core.B {
+			broadcasting++
+		}
+	}
+	if broadcasting != cfg.N()-1 {
+		t.Fatalf("%d/%d processors broadcasting", broadcasting, cfg.N()-1)
+	}
+}
+
+func TestInflatedCountsViolateGoodCount(t *testing.T) {
+	pr, cfg := build(t, 12, 3)
+	fault.InflatedCounts().Apply(cfg, pr, rand.New(rand.NewSource(4)))
+	if len(check.Abnormal(cfg, pr)) == 0 {
+		t.Fatal("inflated counts produced no abnormal processor")
+	}
+}
+
+func TestStaleRegionShape(t *testing.T) {
+	g, err := graph.Line(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	cfg := sim.NewConfiguration(g, pr)
+	fault.StaleRegion().Apply(cfg, pr, rand.New(rand.NewSource(1)))
+	// Exactly three processors broadcast, all at levels ≥ Lmax-1, and
+	// exactly one of them is abnormal.
+	region := 0
+	for p := range cfg.States {
+		s := cfg.States[p].(core.State)
+		if s.Pif == core.B {
+			region++
+			if s.L < pr.Lmax-1 {
+				t.Fatalf("region member %d at low level %d", p, s.L)
+			}
+		}
+	}
+	if region != 3 {
+		t.Fatalf("region size = %d, want 3", region)
+	}
+	if ab := check.Abnormal(cfg, pr); len(ab) != 1 {
+		t.Fatalf("abnormal = %v, want exactly one", ab)
+	}
+}
+
+func TestStaleRegionNoopOnSmallEccentricity(t *testing.T) {
+	g, err := graph.Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	cfg := sim.NewConfiguration(g, pr)
+	fault.StaleRegion().Apply(cfg, pr, rand.New(rand.NewSource(1)))
+	if !check.IsAllClean(cfg) {
+		t.Fatal("stale region planted on a diameter-1 graph")
+	}
+}
+
+// Property: after any injector with any seed on any small random graph, a
+// broadcast still completes and satisfies the spec — the combined fault ×
+// snap-stabilization property, driven by testing/quick.
+func TestAnyFaultAnySeedStillSnap(t *testing.T) {
+	injs := fault.All()
+	f := func(seed int64, pick uint8, nRaw uint8) bool {
+		n := int(nRaw%12) + 4
+		g, err := graph.RandomConnected(n, 0.25, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		pr := core.MustNew(g, 0)
+		cfg := sim.NewConfiguration(g, pr)
+		inj := injs[int(pick)%len(injs)]
+		inj.Apply(cfg, pr, rand.New(rand.NewSource(seed+1)))
+		obs := check.NewCycleObserver(pr)
+		if _, err := sim.Run(cfg, pr, sim.DistributedRandom{P: 0.6}, sim.Options{
+			Seed:      seed + 2,
+			Observers: []sim.Observer{obs},
+			StopWhen:  obs.StopAfterCycles(1),
+		}); err != nil {
+			return false
+		}
+		return obs.CompletedCycles() == 1 && obs.Cycles[0].OK()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

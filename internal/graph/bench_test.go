@@ -1,0 +1,54 @@
+package graph_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"snappif/internal/graph"
+)
+
+func benchGraph(b *testing.B, n int) *graph.Graph {
+	b.Helper()
+	g, err := graph.RandomConnected(n, 0.05, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkBFS(b *testing.B) {
+	g := benchGraph(b, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := g.BFS(i % g.N()); d[0] < 0 && i%g.N() != 0 {
+			b.Fatal("unreachable")
+		}
+	}
+}
+
+func BenchmarkDiameter(b *testing.B) {
+	g := benchGraph(b, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.Diameter() <= 0 {
+			b.Fatal("bad diameter")
+		}
+	}
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	g := benchGraph(b, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HasEdge(i%g.N(), (i*7)%g.N())
+	}
+}
+
+func BenchmarkRandomConnected(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.RandomConnected(256, 0.05, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

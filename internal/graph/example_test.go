@@ -1,0 +1,51 @@
+package graph_test
+
+import (
+	"fmt"
+	"log"
+
+	"snappif/internal/graph"
+)
+
+func ExampleNew() {
+	g, err := graph.New("triangle+tail", 4, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(g, "diameter:", g.Diameter(), "neighbors of 2:", g.Neighbors(2))
+	// Output:
+	// triangle+tail{n=4 m=4} diameter: 2 neighbors of 2: [0 1 3]
+}
+
+func ExampleGraph_BFSTree() {
+	g, err := graph.Ring(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(g.BFSTree(0))
+	// Output:
+	// [-1 0 1 2 5 0]
+}
+
+func ExampleGraph_IsChordlessPath() {
+	g, err := graph.Ring(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(g.IsChordlessPath([]int{0, 1, 2, 3}))
+	fmt.Println(g.IsChordlessPath([]int{5, 0, 1, 2, 3, 4})) // edge 4–5 closes a chord
+	// Output:
+	// true
+	// false
+}
+
+func ExampleLollipop() {
+	g, err := graph.Lollipop(4, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	minDeg, maxDeg, _ := g.DegreeStats()
+	fmt.Printf("%s min-degree=%d max-degree=%d\n", g, minDeg, maxDeg)
+	// Output:
+	// lollipop-4+3{n=7 m=9} min-degree=1 max-degree=4
+}

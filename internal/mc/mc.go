@@ -1,0 +1,593 @@
+// Package mc is an exhaustive model checker for PIF protocols on small
+// networks. Where the simulator samples executions, the checker enumerates
+// them: it builds the full transition system over
+//
+//   - every initial configuration (the complete product of the variable
+//     domains — "starting from any configuration" taken literally), and
+//   - every daemon choice (under the central daemon every single enabled
+//     processor; under the full distributed daemon every non-empty subset
+//     of enabled processors),
+//
+// and verifies, over all reachable states:
+//
+//	safety    — whenever the root completes a feedback ([PIF2]'s moment),
+//	            every processor received the current broadcast and fed
+//	            back ([PIF1], [PIF2]);
+//	no-deadlock — every reachable configuration has an enabled processor
+//	            (the PIF scheme never terminates: a new cycle always
+//	            follows);
+//	liveness  — from every reachable configuration some execution reaches
+//	            an all-clean configuration (EF SBN; the stronger
+//	            AF-liveness under weak fairness is what Theorems 1–4
+//	            bound, validated empirically by the experiment harness).
+//
+// Message payloads are abstracted to one bit ("carries the current
+// broadcast"), which is exactly the information the specification test
+// needs and keeps the state space finite.
+//
+// Checking the snap-stabilizing protocol (SnapModel) proves the paper's
+// claim exhaustively on small instances — and exposed two deadlocks in the
+// algorithm as transcribed (see DESIGN.md §2, repairs 3 and 4). Checking
+// the self-stabilizing baseline (SelfStabModel) automatically produces a
+// concrete counterexample: a corrupted configuration and schedule whose
+// first completed wave was never delivered.
+package mc
+
+import (
+	"fmt"
+
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+// ActionKind classifies a protocol action for the specification monitor.
+type ActionKind int
+
+// Action kinds.
+const (
+	// KindOther is any action that neither opens a wave nor feeds back.
+	KindOther ActionKind = iota
+	// KindBroadcast is a B-action (joins or, at the root, opens a wave).
+	KindBroadcast
+	// KindFeedback is an F-action.
+	KindFeedback
+)
+
+// Model adapts one protocol to the checker: it enumerates the per-processor
+// variable domains (with the message register abstracted to one bit) and
+// classifies actions and states.
+type Model interface {
+	// Proto returns the protocol.
+	Proto() sim.Protocol
+	// Graph returns the network.
+	Graph() *graph.Graph
+	// Root returns the initiator.
+	Root() int
+	// Domain enumerates every domain value of processor p's state.
+	Domain(p int) []sim.State
+	// Kind classifies action a at processor p.
+	Kind(p, a int) ActionKind
+	// Msg returns the one-bit message register of s.
+	Msg(s sim.State) uint64
+	// WithMsg returns s with the message register set to bit.
+	WithMsg(s sim.State, bit uint64) sim.State
+	// Clean reports whether s is in the clean phase.
+	Clean(s sim.State) bool
+	// Key appends a canonical encoding of s to b.
+	Key(b []byte, s sim.State) []byte
+	// Render renders s readably for counterexample traces.
+	Render(p int, s sim.State) string
+}
+
+// Composite extends Model for protocols composed of several concurrent,
+// independent wave instances (internal/multi): the specification monitor
+// keeps one broadcast window per instance. Plain (single-instance) models
+// need not implement it.
+type Composite interface {
+	Model
+
+	// Instances returns the number of composed instances.
+	Instances() int
+	// InstanceRoot returns instance i's initiator.
+	InstanceRoot(i int) int
+	// InstanceOf returns the instance an action belongs to.
+	InstanceOf(a int) int
+	// MsgAt returns instance i's one-bit message register in s.
+	MsgAt(s sim.State, i int) uint64
+	// WithMsgAt returns s with instance i's message register set.
+	WithMsgAt(s sim.State, i int, bit uint64) sim.State
+}
+
+// singleComposite adapts a plain Model to the Composite view.
+type singleComposite struct {
+	Model
+}
+
+func (sc singleComposite) Instances() int       { return 1 }
+func (sc singleComposite) InstanceRoot(int) int { return sc.Model.Root() }
+func (sc singleComposite) InstanceOf(int) int   { return 0 }
+func (sc singleComposite) MsgAt(s sim.State, _ int) uint64 {
+	return sc.Model.Msg(s)
+}
+func (sc singleComposite) WithMsgAt(s sim.State, _ int, bit uint64) sim.State {
+	return sc.Model.WithMsg(s, bit)
+}
+
+// asComposite upgrades any Model to the Composite view.
+func asComposite(m Model) Composite {
+	if c, ok := m.(Composite); ok {
+		return c
+	}
+	return singleComposite{Model: m}
+}
+
+// DaemonPower selects how much scheduling nondeterminism to explore.
+type DaemonPower int
+
+// Daemon powers.
+const (
+	// CentralPower explores one enabled processor per step.
+	CentralPower DaemonPower = iota + 1
+	// DistributedPower explores every non-empty subset of enabled
+	// processors per step (exponentially more transitions; sound and
+	// complete for the paper's distributed daemon).
+	DistributedPower
+)
+
+// Result reports a completed state-space exploration.
+type Result struct {
+	// States is the number of distinct reachable states (configuration ×
+	// monitor).
+	States int
+	// Transitions is the number of explored transitions.
+	Transitions int
+	// InitialStates is the number of enumerated initial configurations.
+	InitialStates int
+	// SafetyViolation describes a specification violation (with the
+	// violating state), nil if safety holds.
+	SafetyViolation []string
+	// Deadlock is a trace to a deadlocked state, nil if none exists.
+	Deadlock []string
+	// LivenessViolation is a trace to a state from which no all-clean
+	// configuration is reachable, nil if EF-SBN holds everywhere.
+	LivenessViolation []string
+}
+
+// OK reports whether all three checked properties hold.
+func (r Result) OK() bool {
+	return r.SafetyViolation == nil && r.Deadlock == nil && r.LivenessViolation == nil
+}
+
+// Checker explores the product of a protocol state space and the
+// specification monitor.
+type Checker struct {
+	m     Model
+	comp  Composite
+	k     int
+	roots []int
+	power DaemonPower
+
+	index map[string]int32
+	stash []*state
+	preds [][]int32
+	first []int32 // first predecessor (-1 for initial states): trace spine
+	sbn   []bool
+	limit int
+
+	queue []int32
+}
+
+// New builds a checker for the given model (plain or Composite).
+func New(m Model, power DaemonPower) *Checker {
+	comp := asComposite(m)
+	k := comp.Instances()
+	roots := make([]int, k)
+	for i := range roots {
+		roots[i] = comp.InstanceRoot(i)
+	}
+	return &Checker{m: m, comp: comp, k: k, roots: roots, power: power, index: make(map[string]int32)}
+}
+
+// state is one node of the product transition system. The monitor keeps
+// one broadcast window per composed instance (k = 1 for plain models).
+type state struct {
+	cfg *sim.Configuration
+	// inCycle[i] reports whether instance i's broadcast window is open.
+	inCycle []bool
+	// fed[i][p] marks p's acknowledgment for instance i's current wave.
+	fed [][]bool
+}
+
+// newState allocates the monitor fields for k instances over n processors.
+func newState(cfg *sim.Configuration, k int) *state {
+	st := &state{cfg: cfg, inCycle: make([]bool, k), fed: make([][]bool, k)}
+	for i := range st.fed {
+		st.fed[i] = make([]bool, cfg.N())
+	}
+	return st
+}
+
+// clone deep-copies the state.
+func (s *state) clone() *state {
+	fed := make([][]bool, len(s.fed))
+	for i := range fed {
+		fed[i] = append([]bool(nil), s.fed[i]...)
+	}
+	return &state{
+		cfg:     s.cfg.Clone(),
+		inCycle: append([]bool(nil), s.inCycle...),
+		fed:     fed,
+	}
+}
+
+// key renders the state canonically for interning.
+func (c *Checker) key(s *state) string {
+	b := make([]byte, 0, (8+c.k)*len(s.cfg.States)+c.k)
+	for p := range s.cfg.States {
+		b = c.m.Key(b, s.cfg.States[p])
+		for i := 0; i < c.k; i++ {
+			b = append(b, boolByte(s.fed[i][p]))
+		}
+	}
+	for i := 0; i < c.k; i++ {
+		b = append(b, boolByte(s.inCycle[i]))
+	}
+	return string(b)
+}
+
+// render is a human-readable form for counterexample traces.
+func (c *Checker) render(s *state) string {
+	out := ""
+	for p := range s.cfg.States {
+		if p > 0 {
+			out += " "
+		}
+		out += c.m.Render(p, s.cfg.States[p])
+		for i := 0; i < c.k; i++ {
+			if s.fed[i][p] {
+				out += "*"
+			}
+		}
+	}
+	for i := 0; i < c.k; i++ {
+		if s.inCycle[i] {
+			out += fmt.Sprintf(" [cycle %d open]", i)
+		}
+	}
+	return out
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Limit, when set on a Checker, bounds the number of interned states; an
+// exploration that exceeds it returns an error instead of exhausting
+// memory.
+func (c *Checker) SetLimit(states int) { c.limit = states }
+
+// Run enumerates the full domain product as the initial state set, then
+// explores and checks all properties.
+func (c *Checker) Run() (Result, error) {
+	var res Result
+	c.seed(&res)
+	return c.explore(res)
+}
+
+// RunFrom explores only from the given initial configurations — systematic
+// full-schedule checking from chosen corruptions, usable on instances whose
+// full domain product is out of reach. The monitor starts outside any cycle
+// window and all fed-marks cleared, exactly as in Run.
+func (c *Checker) RunFrom(configs []*sim.Configuration) (Result, error) {
+	var res Result
+	for _, cfg := range configs {
+		st := newState(cfg.Clone(), c.k)
+		// Normalize the message abstraction: "1" is reserved for the live
+		// broadcast, so stale payloads map to 0 ("does not carry the
+		// current message").
+		for p := range st.cfg.States {
+			for i := 0; i < c.k; i++ {
+				if c.comp.MsgAt(st.cfg.States[p], i) != 0 {
+					st.cfg.States[p] = c.comp.WithMsgAt(st.cfg.States[p], i, 0)
+				}
+			}
+		}
+		res.InitialStates++
+		c.intern(st)
+	}
+	return c.explore(res)
+}
+
+// explore drains the queue and runs the liveness pass.
+func (c *Checker) explore(res Result) (Result, error) {
+	for len(c.queue) > 0 {
+		if c.limit > 0 && len(c.stash) > c.limit {
+			return res, fmt.Errorf("mc: state limit %d exceeded", c.limit)
+		}
+		id := c.queue[0]
+		c.queue = c.queue[1:]
+		if done := c.expand(id, c.stash[id], &res); done {
+			res.States = len(c.stash)
+			return res, nil
+		}
+	}
+	res.States = len(c.stash)
+
+	// Liveness: every state must reach an all-clean (SBN) state.
+	reaches := make([]bool, len(c.stash))
+	var q []int32
+	for id := range c.stash {
+		if c.sbn[id] {
+			reaches[id] = true
+			q = append(q, int32(id))
+		}
+	}
+	for len(q) > 0 {
+		id := q[0]
+		q = q[1:]
+		for _, pred := range c.preds[id] {
+			if !reaches[pred] {
+				reaches[pred] = true
+				q = append(q, pred)
+			}
+		}
+	}
+	for id := range c.stash {
+		if !reaches[id] {
+			res.LivenessViolation = append(c.traceTo(int32(id)),
+				"LIVENESS: no all-clean configuration reachable from here")
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// seed enumerates every initial configuration over the full variable
+// domains and interns them.
+func (c *Checker) seed(res *Result) {
+	g := c.m.Graph()
+	n := g.N()
+	cur := newState(&sim.Configuration{G: g, States: make([]sim.State, n)}, c.k)
+	domains := make([][]sim.State, n)
+	for p := 0; p < n; p++ {
+		domains[p] = c.m.Domain(p)
+	}
+	var rec func(p int)
+	rec = func(p int) {
+		if p == n {
+			res.InitialStates++
+			c.intern(cur)
+			return
+		}
+		for _, s := range domains[p] {
+			cur.cfg.States[p] = s
+			rec(p + 1)
+		}
+	}
+	rec(0)
+}
+
+// intern registers a state if new and returns its ID; from records the
+// discovering predecessor (-1 for initial states).
+func (c *Checker) intern(s *state) int32 {
+	return c.internFrom(s, -1)
+}
+
+func (c *Checker) internFrom(s *state, from int32) int32 {
+	k := c.key(s)
+	if id, ok := c.index[k]; ok {
+		return id
+	}
+	id := int32(len(c.stash))
+	c.index[k] = id
+	c.stash = append(c.stash, s.clone())
+	c.preds = append(c.preds, nil)
+	c.first = append(c.first, from)
+	c.sbn = append(c.sbn, false)
+	c.queue = append(c.queue, id)
+	return id
+}
+
+// traceTo reconstructs the discovery path from an initial state to id,
+// rendering at most the last maxTraceStates states.
+const maxTraceStates = 24
+
+func (c *Checker) traceTo(id int32) []string {
+	var ids []int32
+	for cur := id; cur >= 0; cur = c.first[cur] {
+		ids = append(ids, cur)
+	}
+	// ids is target…initial; reverse into execution order.
+	for i, j := 0, len(ids)-1; i < j; i, j = i+1, j-1 {
+		ids[i], ids[j] = ids[j], ids[i]
+	}
+	var out []string
+	if len(ids) > maxTraceStates {
+		out = append(out, fmt.Sprintf("… (%d earlier states)", len(ids)-maxTraceStates))
+		ids = ids[len(ids)-maxTraceStates:]
+	}
+	for i, sid := range ids {
+		out = append(out, fmt.Sprintf("%3d: %s", i, c.render(c.stash[sid])))
+	}
+	return out
+}
+
+// ExclusiveGuards marks models whose per-processor guards are pairwise
+// exclusive (at most one enabled action per processor and instance); the
+// checker then verifies exclusivity over every reachable state, turning the
+// sampled property test into an exhaustive one.
+type ExclusiveGuards interface {
+	// GuardsAreExclusive reports whether exclusivity should be enforced.
+	GuardsAreExclusive() bool
+}
+
+// StateInvariant marks models carrying a per-configuration invariant (for
+// the snap protocol: Properties 1–2 and the variable domains); the checker
+// evaluates it on every reachable state, upgrading the simulator's sampled
+// invariant monitoring to an exhaustive proof on small instances.
+type StateInvariant interface {
+	// Invariant returns nil when the configuration satisfies the model's
+	// invariants.
+	Invariant(c *sim.Configuration) error
+}
+
+// expand generates all successors of a state and checks safety on each
+// transition. It returns true when a violation ends the exploration.
+func (c *Checker) expand(id int32, st *state, res *Result) bool {
+	enabled := sim.EnabledChoices(st.cfg, c.m.Proto())
+	c.sbn[id] = c.allClean(st.cfg)
+	if len(enabled) == 0 {
+		res.Deadlock = append(c.traceTo(id), "DEADLOCK: no processor enabled")
+		return true
+	}
+	if si, ok := c.m.(StateInvariant); ok {
+		if err := si.Invariant(st.cfg); err != nil {
+			res.SafetyViolation = append(c.traceTo(id),
+				fmt.Sprintf("INVARIANT violated: %v", err))
+			return true
+		}
+	}
+	if eg, ok := c.m.(ExclusiveGuards); ok && eg.GuardsAreExclusive() {
+		perProc := make(map[[2]int]int, len(enabled))
+		for _, ch := range enabled {
+			key := [2]int{ch.Proc, c.comp.InstanceOf(ch.Action)}
+			perProc[key]++
+			if perProc[key] > 1 {
+				res.SafetyViolation = append(c.traceTo(id),
+					fmt.Sprintf("GUARD EXCLUSIVITY violated: p%d has %d enabled actions in one instance",
+						ch.Proc, perProc[key]))
+				return true
+			}
+		}
+	}
+	for _, sel := range c.subsets(enabled) {
+		next, violation := c.apply(st, sel)
+		if violation != "" {
+			res.SafetyViolation = append(c.traceTo(id), violation)
+			return true
+		}
+		nid := c.internFrom(next, id)
+		c.preds[nid] = append(c.preds[nid], id)
+		res.Transitions++
+	}
+	return false
+}
+
+// subsets returns the daemon selections to explore.
+func (c *Checker) subsets(enabled []sim.Choice) [][]sim.Choice {
+	if c.power == CentralPower {
+		out := make([][]sim.Choice, len(enabled))
+		for i, ch := range enabled {
+			out[i] = []sim.Choice{ch}
+		}
+		return out
+	}
+	var out [][]sim.Choice
+	total := 1 << len(enabled)
+	for mask := 1; mask < total; mask++ {
+		var sel []sim.Choice
+		for i, ch := range enabled {
+			if mask&(1<<i) != 0 {
+				sel = append(sel, ch)
+			}
+		}
+		out = append(out, sel)
+	}
+	return out
+}
+
+// apply executes one daemon selection with composite atomicity and updates
+// the specification monitor, returning the successor and a safety-violation
+// description ("" if fine).
+func (c *Checker) apply(st *state, sel []sim.Choice) (*state, string) {
+	proto := c.m.Proto()
+	next := st.clone()
+	newStates := make([]sim.State, len(sel))
+	for i, ch := range sel {
+		newStates[i] = proto.Apply(st.cfg, ch.Proc, ch.Action)
+	}
+	rootBroadcast := make([]bool, c.k)
+	var violation string
+	for i, ch := range sel {
+		ns := newStates[i]
+		inst := c.comp.InstanceOf(ch.Action)
+		root := c.roots[inst]
+		switch c.m.Kind(ch.Proc, ch.Action) {
+		case KindBroadcast:
+			if ch.Proc == root {
+				rootBroadcast[inst] = true
+				ns = c.comp.WithMsgAt(ns, inst, 1)
+			}
+			// Non-root B-actions copied the parent's message bit via
+			// Apply, reading the pre-step configuration — exactly the
+			// shared-memory semantics.
+		case KindFeedback:
+			if ch.Proc == root {
+				if next.inCycle[inst] {
+					if v := c.checkDelivery(inst, st, sel); v != "" && violation == "" {
+						violation = v
+					}
+					next.inCycle[inst] = false
+				}
+			} else if c.comp.MsgAt(ns, inst) == 1 {
+				next.fed[inst][ch.Proc] = true
+			}
+		}
+		next.cfg.States[ch.Proc] = ns
+	}
+	for inst, fired := range rootBroadcast {
+		if !fired {
+			continue
+		}
+		next.inCycle[inst] = true
+		for p := range next.fed[inst] {
+			next.fed[inst][p] = false
+			if p != c.roots[inst] {
+				next.cfg.States[p] = c.comp.WithMsgAt(next.cfg.States[p], inst, 0)
+			}
+		}
+	}
+	return next, violation
+}
+
+// checkDelivery evaluates [PIF1]/[PIF2] at a root F-action: in the pre-step
+// configuration every non-root processor must hold the current message and
+// have fed back (or be feeding back in this very step).
+func (c *Checker) checkDelivery(inst int, st *state, sel []sim.Choice) string {
+	root := c.roots[inst]
+	feedingNow := make(map[int]bool, len(sel))
+	for _, ch := range sel {
+		if ch.Proc != root && c.comp.InstanceOf(ch.Action) == inst &&
+			c.m.Kind(ch.Proc, ch.Action) == KindFeedback {
+			if c.comp.MsgAt(st.cfg.States[ch.Proc], inst) == 1 {
+				feedingNow[ch.Proc] = true
+			}
+		}
+	}
+	for p := 0; p < c.m.Graph().N(); p++ {
+		if p == root {
+			continue
+		}
+		if c.comp.MsgAt(st.cfg.States[p], inst) != 1 {
+			return fmt.Sprintf("PIF1 violated: instance %d, p%d never received the broadcast (%s)",
+				inst, p, c.render(st))
+		}
+		if !st.fed[inst][p] && !feedingNow[p] {
+			return fmt.Sprintf("PIF2 violated: instance %d, p%d never acknowledged (%s)",
+				inst, p, c.render(st))
+		}
+	}
+	return ""
+}
+
+func (c *Checker) allClean(cfg *sim.Configuration) bool {
+	for p := range cfg.States {
+		if !c.m.Clean(cfg.States[p]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,113 @@
+package mc_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"snappif/internal/core"
+	"snappif/internal/fault"
+	"snappif/internal/graph"
+	"snappif/internal/mc"
+	"snappif/internal/sim"
+)
+
+// TestSystematicFromInjectedFaults performs systematic concurrency testing
+// on instances whose full domain product is out of reach for exhaustive
+// enumeration: it seeds the checker with every fault injector's output (on
+// several seeds) and explores *all* central-daemon schedules from each.
+// This covers exactly the nondeterminism random testing samples.
+func TestSystematicFromInjectedFaults(t *testing.T) {
+	for _, build := range []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return graph.Ring(5) },
+		func() (*graph.Graph, error) { return graph.Line(5) },
+		func() (*graph.Graph, error) { return graph.Star(5) },
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(g.Name(), func(t *testing.T) {
+			m, err := mc.NewSnapModel(g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pr := core.MustNew(g, 0)
+			var configs []*sim.Configuration
+			for _, inj := range append(fault.All(), fault.Clean()) {
+				for seed := int64(0); seed < 3; seed++ {
+					cfg := sim.NewConfiguration(g, pr)
+					inj.Apply(cfg, pr, rand.New(rand.NewSource(seed)))
+					configs = append(configs, cfg)
+				}
+			}
+			c := mc.New(m, mc.CentralPower)
+			c.SetLimit(3_000_000)
+			res, err := c.RunFrom(configs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("seeds=%d states=%d transitions=%d",
+				res.InitialStates, res.States, res.Transitions)
+			if res.SafetyViolation != nil {
+				t.Fatalf("safety violated:\n%v", res.SafetyViolation)
+			}
+			if res.Deadlock != nil {
+				t.Fatalf("deadlock reachable:\n%v", res.Deadlock)
+			}
+			if res.LivenessViolation != nil {
+				t.Fatalf("EF-SBN violated:\n%v", res.LivenessViolation)
+			}
+		})
+	}
+}
+
+// TestSystematicDistributedSmall runs the same systematic check with the
+// full distributed-daemon subset power on a tiny instance.
+func TestSystematicDistributedSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subset power in -short mode")
+	}
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mc.NewSnapModel(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	var configs []*sim.Configuration
+	for _, inj := range append(fault.All(), fault.Clean()) {
+		for seed := int64(0); seed < 2; seed++ {
+			cfg := sim.NewConfiguration(g, pr)
+			inj.Apply(cfg, pr, rand.New(rand.NewSource(seed)))
+			configs = append(configs, cfg)
+		}
+	}
+	c := mc.New(m, mc.DistributedPower)
+	c.SetLimit(3_000_000)
+	res, err := c.RunFrom(configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("verification failed: %+v", res)
+	}
+}
+
+// TestStateLimitEnforced ensures runaway explorations fail loudly.
+func TestStateLimitEnforced(t *testing.T) {
+	g, err := graph.Line(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mc.NewSnapModel(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mc.New(m, mc.CentralPower)
+	c.SetLimit(100)
+	if _, err := c.Run(); err == nil {
+		t.Fatal("limit not enforced")
+	}
+}

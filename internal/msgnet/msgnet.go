@@ -1,0 +1,242 @@
+// Package msgnet is a deterministic discrete-event simulator for
+// asynchronous message-passing networks: FIFO links with randomized
+// (seeded) delays, per-node timers, and an event loop. The paper defines
+// PIF in message-passing terms first (Chang [10], Segall [21]) before
+// moving to the shared-memory model; this substrate hosts
+//
+//   - the classic echo algorithm (internal/baseline/echo), the
+//     non-fault-tolerant ancestor of PIF, and
+//   - a link-register emulation of the shared-memory snap-stabilizing
+//     protocol (internal/msgnet/register), the classic construction that
+//     carries guarded-action protocols onto message passing.
+package msgnet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"snappif/internal/graph"
+)
+
+// ErrEventLimit is returned when the event budget is exhausted before the
+// stop condition held.
+var ErrEventLimit = errors.New("msgnet: event limit exhausted")
+
+// Message is a payload in flight between two adjacent nodes.
+type Message struct {
+	// From and To identify the link endpoints.
+	From, To int
+	// Payload is the protocol-specific content.
+	Payload any
+}
+
+// Node is a message-passing protocol participant.
+type Node interface {
+	// Init is called once before any event fires.
+	Init(ctx *Context)
+	// Receive is called on message delivery.
+	Receive(ctx *Context, m Message)
+	// Tick is called when a timer set via ctx.SetTimer fires.
+	Tick(ctx *Context)
+}
+
+// Context is a node's interface to the network during a callback.
+type Context struct {
+	net  *Network
+	self int
+}
+
+// ID returns the node's identifier.
+func (c *Context) ID() int { return c.self }
+
+// N returns the network size.
+func (c *Context) N() int { return c.net.g.N() }
+
+// Neighbors returns the node's neighbor IDs (shared slice; read-only).
+func (c *Context) Neighbors() []int { return c.net.g.Neighbors(c.self) }
+
+// Now returns the current simulated time.
+func (c *Context) Now() time.Duration { return c.net.now }
+
+// Send enqueues a message to an adjacent node; delivery happens after the
+// link's randomized delay, FIFO per link.
+func (c *Context) Send(to int, payload any) {
+	c.net.send(c.self, to, payload)
+}
+
+// Broadcast sends payload to every neighbor.
+func (c *Context) Broadcast(payload any) {
+	for _, q := range c.net.g.Neighbors(c.self) {
+		c.net.send(c.self, q, payload)
+	}
+}
+
+// SetTimer schedules a Tick for this node after d of simulated time.
+func (c *Context) SetTimer(d time.Duration) {
+	c.net.schedule(event{
+		at:   c.net.now + d,
+		kind: evTick,
+		to:   c.self,
+	})
+}
+
+// Stop ends the simulation after the current event.
+func (c *Context) Stop() { c.net.stopped = true }
+
+type eventKind int
+
+const (
+	evDeliver eventKind = iota + 1
+	evTick
+)
+
+type event struct {
+	at   time.Duration
+	seq  uint64 // tie-break for determinism
+	kind eventKind
+	to   int
+	msg  Message
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() (out any) {
+	old := *q
+	n := len(old)
+	out = old[n-1]
+	*q = old[:n-1]
+	return out
+}
+
+// Options configures a Network.
+type Options struct {
+	// Seed drives link delays and losses (default 1).
+	Seed int64
+	// MinDelay and MaxDelay bound per-message link delays (defaults 1ms
+	// and 10ms of simulated time).
+	MinDelay, MaxDelay time.Duration
+	// MaxEvents bounds the run (default 10_000_000).
+	MaxEvents int
+	// LossRate drops each message independently with this probability
+	// (default 0 — reliable links). Protocols without retransmission
+	// (the classic echo) break under loss; the link-register emulation
+	// tolerates it thanks to its periodic state refresh.
+	LossRate float64
+}
+
+// Network is an asynchronous message-passing network over a topology.
+type Network struct {
+	g     *graph.Graph
+	nodes []Node
+	opts  Options
+	rng   *rand.Rand
+
+	now      time.Duration
+	queue    eventQueue
+	seq      uint64
+	lastIn   map[[2]int]time.Duration // FIFO per directed link
+	events   int
+	messages int
+	dropped  int
+	stopped  bool
+}
+
+// New builds a network of the given nodes (one per graph node).
+func New(g *graph.Graph, nodes []Node, opts Options) (*Network, error) {
+	if len(nodes) != g.N() {
+		return nil, fmt.Errorf("msgnet: %d nodes for %d-vertex graph", len(nodes), g.N())
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.MinDelay <= 0 {
+		opts.MinDelay = time.Millisecond
+	}
+	if opts.MaxDelay < opts.MinDelay {
+		opts.MaxDelay = 10 * time.Millisecond
+	}
+	if opts.MaxEvents <= 0 {
+		opts.MaxEvents = 10_000_000
+	}
+	return &Network{
+		g:      g,
+		nodes:  nodes,
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+		lastIn: make(map[[2]int]time.Duration),
+	}, nil
+}
+
+// Messages returns the number of messages delivered so far.
+func (n *Network) Messages() int { return n.messages }
+
+// Dropped returns the number of messages lost to LossRate.
+func (n *Network) Dropped() int { return n.dropped }
+
+// Now returns the current simulated time.
+func (n *Network) Now() time.Duration { return n.now }
+
+// send enqueues a delivery with FIFO-per-link discipline.
+func (n *Network) send(from, to int, payload any) {
+	if !n.g.HasEdge(from, to) {
+		panic(fmt.Sprintf("msgnet: node %d sending to non-neighbor %d", from, to))
+	}
+	if n.opts.LossRate > 0 && n.rng.Float64() < n.opts.LossRate {
+		n.dropped++
+		return
+	}
+	delay := n.opts.MinDelay
+	if span := n.opts.MaxDelay - n.opts.MinDelay; span > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(span)))
+	}
+	at := n.now + delay
+	link := [2]int{from, to}
+	if last := n.lastIn[link]; at <= last {
+		at = last + time.Nanosecond // FIFO: never overtake
+	}
+	n.lastIn[link] = at
+	n.schedule(event{at: at, kind: evDeliver, to: to, msg: Message{From: from, To: to, Payload: payload}})
+}
+
+func (n *Network) schedule(ev event) {
+	ev.seq = n.seq
+	n.seq++
+	heap.Push(&n.queue, ev)
+}
+
+// Run initializes every node and processes events until the queue drains
+// (quiescence), a node calls Stop, or the event budget runs out (an error).
+func (n *Network) Run() error {
+	for p := range n.nodes {
+		n.nodes[p].Init(&Context{net: n, self: p})
+	}
+	for n.queue.Len() > 0 && !n.stopped {
+		if n.events >= n.opts.MaxEvents {
+			return fmt.Errorf("msgnet: after %d events at t=%v: %w", n.events, n.now, ErrEventLimit)
+		}
+		ev := heap.Pop(&n.queue).(event)
+		n.now = ev.at
+		n.events++
+		ctx := &Context{net: n, self: ev.to}
+		switch ev.kind {
+		case evDeliver:
+			n.messages++
+			n.nodes[ev.to].Receive(ctx, ev.msg)
+		case evTick:
+			n.nodes[ev.to].Tick(ctx)
+		}
+	}
+	return nil
+}

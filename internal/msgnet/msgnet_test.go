@@ -1,0 +1,159 @@
+package msgnet_test
+
+import (
+	"testing"
+	"time"
+
+	"snappif/internal/graph"
+	"snappif/internal/msgnet"
+)
+
+// pingNode counts received pings and echoes them back once.
+type pingNode struct {
+	start    bool
+	got      int
+	lastFrom int
+	order    []int
+}
+
+func (n *pingNode) Init(ctx *msgnet.Context) {
+	if n.start {
+		for i := 0; i < 3; i++ {
+			ctx.Broadcast(i)
+		}
+	}
+}
+
+func (n *pingNode) Receive(ctx *msgnet.Context, m msgnet.Message) {
+	n.got++
+	n.lastFrom = m.From
+	n.order = append(n.order, m.Payload.(int))
+}
+
+func (n *pingNode) Tick(*msgnet.Context) {}
+
+func TestFIFODeliveryPerLink(t *testing.T) {
+	g, err := graph.Line(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &pingNode{start: true}
+	b := &pingNode{}
+	net, err := msgnet.New(g, []msgnet.Node{a, b}, msgnet.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if b.got != 3 {
+		t.Fatalf("b received %d messages, want 3", b.got)
+	}
+	for i, v := range b.order {
+		if v != i {
+			t.Fatalf("FIFO violated: order %v", b.order)
+		}
+	}
+	if net.Messages() != 3 {
+		t.Fatalf("message count = %d", net.Messages())
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	g, err := graph.Ring(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(seed int64) time.Duration {
+		nodes := make([]msgnet.Node, g.N())
+		for p := range nodes {
+			nodes[p] = &pingNode{start: p == 0}
+		}
+		net, err := msgnet.New(g, nodes, msgnet.Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return net.Now()
+	}
+	if run(3) != run(3) {
+		t.Fatal("same seed produced different end times")
+	}
+	if run(3) == run(4) {
+		t.Log("different seeds coincided (possible but unlikely)")
+	}
+}
+
+// timerNode reschedules itself a fixed number of times.
+type timerNode struct {
+	ticks int
+	left  int
+}
+
+func (n *timerNode) Init(ctx *msgnet.Context) {
+	if n.left > 0 {
+		ctx.SetTimer(time.Millisecond)
+	}
+}
+func (n *timerNode) Receive(*msgnet.Context, msgnet.Message) {}
+func (n *timerNode) Tick(ctx *msgnet.Context) {
+	n.ticks++
+	n.left--
+	if n.left > 0 {
+		ctx.SetTimer(time.Millisecond)
+	}
+}
+
+func TestTimers(t *testing.T) {
+	g, err := graph.Line(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &timerNode{left: 5}
+	b := &timerNode{}
+	net, err := msgnet.New(g, []msgnet.Node{a, b}, msgnet.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.ticks != 5 || b.ticks != 0 {
+		t.Fatalf("ticks = %d/%d, want 5/0", a.ticks, b.ticks)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g, err := graph.Line(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := msgnet.New(g, []msgnet.Node{&pingNode{}}, msgnet.Options{}); err == nil {
+		t.Fatal("node-count mismatch accepted")
+	}
+}
+
+// floodNode sends forever to trigger the event limit.
+type floodNode struct{}
+
+func (floodNode) Init(ctx *msgnet.Context) { ctx.Broadcast(0) }
+func (floodNode) Receive(ctx *msgnet.Context, m msgnet.Message) {
+	ctx.Send(m.From, 0)
+}
+func (floodNode) Tick(*msgnet.Context) {}
+
+func TestEventLimit(t *testing.T) {
+	g, err := graph.Line(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := msgnet.New(g, []msgnet.Node{floodNode{}, floodNode{}}, msgnet.Options{MaxEvents: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(); err == nil {
+		t.Fatal("flood terminated without error")
+	}
+}

@@ -1,0 +1,171 @@
+// Package multi implements the concurrent-initiator setting of the paper's
+// introduction: "any processor may need to initiate a global computation.
+// Thus, any processor can be an initiator in a PIF protocol, and several
+// PIF protocols may be running simultaneously. To cope with this concurrent
+// execution of the PIF algorithms, every processor maintains the identity
+// of the initiators."
+//
+// The composition is the product of k independent snap-stabilizing PIF
+// instances, one per initiator, over the same network: every processor
+// keeps one full PIF state per initiator (indexed by the initiator's
+// identity — exactly the bookkeeping the paper describes), the instances
+// share the daemon, and in each step a processor executes an action of at
+// most one instance. Because the instances never read each other's
+// variables, each one individually remains snap-stabilizing: every
+// initiator's first wave after an arbitrary fault satisfies [PIF1]/[PIF2]
+// regardless of how the daemon interleaves the instances (experiment E12).
+package multi
+
+import (
+	"fmt"
+
+	"snappif/internal/core"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+// State is one processor's composite state: one PIF state per initiator.
+type State struct {
+	// Per is indexed like Protocol.Roots.
+	Per []core.State
+}
+
+var _ sim.State = State{}
+
+// Clone implements sim.State.
+func (s State) Clone() sim.State {
+	return State{Per: append([]core.State(nil), s.Per...)}
+}
+
+// Protocol composes one snap-PIF instance per initiator. It implements
+// sim.Protocol. Not safe for concurrent use (the per-instance projection
+// buffers are shared).
+type Protocol struct {
+	// Roots lists the initiators, one instance each.
+	Roots []int
+
+	g         *graph.Graph
+	instances []*core.Protocol
+	scratch   []*sim.Configuration
+	names     []string
+	perNames  int
+}
+
+var _ sim.Protocol = (*Protocol)(nil)
+
+// New builds the composition of one instance per initiator in roots.
+func New(g *graph.Graph, roots []int, opts ...core.Option) (*Protocol, error) {
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("multi: need at least one initiator")
+	}
+	seen := make(map[int]bool, len(roots))
+	mp := &Protocol{Roots: append([]int(nil), roots...), g: g}
+	for _, r := range roots {
+		if seen[r] {
+			return nil, fmt.Errorf("multi: duplicate initiator %d", r)
+		}
+		seen[r] = true
+		inst, err := core.New(g, r, opts...)
+		if err != nil {
+			return nil, err
+		}
+		mp.instances = append(mp.instances, inst)
+		sc := &sim.Configuration{G: g, States: make([]sim.State, g.N())}
+		for p := range sc.States {
+			sc.States[p] = inst.InitialState(p)
+		}
+		mp.scratch = append(mp.scratch, sc)
+	}
+	coreNames := mp.instances[0].ActionNames()
+	mp.perNames = len(coreNames)
+	for _, r := range roots {
+		for _, n := range coreNames {
+			mp.names = append(mp.names, fmt.Sprintf("r%d/%s", r, n))
+		}
+	}
+	return mp, nil
+}
+
+// Instances returns the per-initiator protocol instances (read-only use).
+func (mp *Protocol) Instances() []*core.Protocol {
+	return append([]*core.Protocol(nil), mp.instances...)
+}
+
+// Name implements sim.Protocol.
+func (mp *Protocol) Name() string { return fmt.Sprintf("multi-snap-pif-%d", len(mp.Roots)) }
+
+// ActionNames implements sim.Protocol. Action IDs encode (instance, core
+// action) as instance*numCoreActions + coreAction.
+func (mp *Protocol) ActionNames() []string { return append([]string(nil), mp.names...) }
+
+// Decode splits a composite action ID into (instance index, core action).
+func (mp *Protocol) Decode(a int) (inst, coreAction int) {
+	return a / mp.perNames, a % mp.perNames
+}
+
+// InitialState implements sim.Protocol.
+func (mp *Protocol) InitialState(p int) sim.State {
+	per := make([]core.State, len(mp.instances))
+	for i, inst := range mp.instances {
+		per[i] = inst.InitialState(p).(core.State)
+	}
+	return State{Per: per}
+}
+
+// project fills instance i's scratch configuration with the closed
+// neighborhood of p (the only states the core guards and statements read).
+func (mp *Protocol) project(c *sim.Configuration, i, p int) *sim.Configuration {
+	sc := mp.scratch[i]
+	sc.States[p] = c.States[p].(State).Per[i]
+	for _, q := range mp.g.Neighbors(p) {
+		sc.States[q] = c.States[q].(State).Per[i]
+	}
+	return sc
+}
+
+// Enabled implements sim.Protocol: the union of the instances' enabled
+// actions; the daemon layer picks at most one per processor per step, so
+// the instances interleave fairly.
+func (mp *Protocol) Enabled(c *sim.Configuration, p int) []int {
+	var out []int
+	for i, inst := range mp.instances {
+		for _, a := range inst.Enabled(mp.project(c, i, p), p) {
+			out = append(out, i*mp.perNames+a)
+		}
+	}
+	return out
+}
+
+// Apply implements sim.Protocol.
+func (mp *Protocol) Apply(c *sim.Configuration, p int, a int) sim.State {
+	i, ca := mp.Decode(a)
+	next := mp.instances[i].Apply(mp.project(c, i, p), p, ca).(core.State)
+	composite := c.States[p].(State).Clone().(State)
+	composite.Per[i] = next
+	return composite
+}
+
+// GuardsAreLocal implements sim.LocalProtocol: every instance's guards are
+// local, hence so is their union.
+func (mp *Protocol) GuardsAreLocal() bool { return true }
+
+// Project returns a standalone configuration holding instance i's states —
+// for checkers and fault injectors that speak the core protocol's language.
+func Project(c *sim.Configuration, i int) *sim.Configuration {
+	out := &sim.Configuration{G: c.G, States: make([]sim.State, c.N())}
+	for p := range out.States {
+		out.States[p] = c.States[p].(State).Per[i]
+	}
+	return out
+}
+
+// Inject replaces instance i's states in the composite configuration with
+// those of the given core-shaped configuration (e.g. after running a fault
+// injector on a projection).
+func Inject(c *sim.Configuration, i int, inst *sim.Configuration) {
+	for p := range c.States {
+		composite := c.States[p].(State).Clone().(State)
+		composite.Per[i] = inst.States[p].(core.State)
+		c.States[p] = composite
+	}
+}

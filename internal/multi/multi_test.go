@@ -1,0 +1,157 @@
+package multi_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"snappif/internal/fault"
+	"snappif/internal/graph"
+	"snappif/internal/multi"
+	"snappif/internal/sim"
+)
+
+func randGraph(t *testing.T, n int, seed int64) *graph.Graph {
+	t.Helper()
+	g, err := graph.RandomConnected(n, 0.3, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestConcurrentInitiatorsCleanStart(t *testing.T) {
+	g := randGraph(t, 10, 3)
+	mp, err := multi.New(g, []int{0, 4, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.NewConfiguration(g, mp)
+	obs := multi.NewObserver(mp)
+	if _, err := sim.Run(cfg, mp, sim.DistributedRandom{P: 0.5}, sim.Options{
+		Seed:      7,
+		Observers: []sim.Observer{obs},
+		StopWhen:  obs.StopAfterCyclesEach(2),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v := obs.FirstViolation(g.N()); v != "" {
+		t.Fatalf("concurrent waves violated the spec: %s", v)
+	}
+	for i, n := range obs.CompletedPerInstance() {
+		if n < 2 {
+			t.Fatalf("initiator %d completed only %d waves", mp.Roots[i], n)
+		}
+	}
+}
+
+func TestConcurrentInitiatorsFromCorruption(t *testing.T) {
+	// Each instance corrupted independently with a different pattern; every
+	// initiator's first wave must still satisfy the spec.
+	g := randGraph(t, 9, 5)
+	mp, err := multi.New(g, []int{0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.NewConfiguration(g, mp)
+	insts := mp.Instances()
+	for i, inj := range []fault.Injector{fault.UniformRandom(), fault.PhantomTree()} {
+		proj := multi.Project(cfg, i)
+		inj.Apply(proj, insts[i], rand.New(rand.NewSource(int64(i)+11)))
+		multi.Inject(cfg, i, proj)
+	}
+	obs := multi.NewObserver(mp)
+	if _, err := sim.Run(cfg, mp, sim.DistributedRandom{P: 0.5}, sim.Options{
+		Seed:      13,
+		Observers: []sim.Observer{obs},
+		StopWhen:  obs.StopAfterCyclesEach(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v := obs.FirstViolation(g.N()); v != "" {
+		t.Fatalf("post-fault concurrent waves violated: %s", v)
+	}
+}
+
+func TestInstancesAreIndependent(t *testing.T) {
+	// Corrupting one instance must not affect the other's wave at all.
+	g := randGraph(t, 8, 9)
+	mp, err := multi.New(g, []int{0, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.NewConfiguration(g, mp)
+	insts := mp.Instances()
+	proj := multi.Project(cfg, 1)
+	fault.InflatedCounts().Apply(proj, insts[1], rand.New(rand.NewSource(3)))
+	multi.Inject(cfg, 1, proj)
+
+	obs := multi.NewObserver(mp)
+	if _, err := sim.Run(cfg, mp, sim.Central{Order: sim.CentralRandom}, sim.Options{
+		Seed:      5,
+		Observers: []sim.Observer{obs},
+		StopWhen:  obs.StopAfterCyclesEach(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v := obs.FirstViolation(g.N()); v != "" {
+		t.Fatalf("violation: %s", v)
+	}
+}
+
+func TestAllProcessorsAsInitiators(t *testing.T) {
+	// The fully general setting: every processor initiates.
+	g, err := graph.Ring(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := []int{0, 1, 2, 3, 4, 5}
+	mp, err := multi.New(g, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.NewConfiguration(g, mp)
+	obs := multi.NewObserver(mp)
+	if _, err := sim.Run(cfg, mp, sim.DistributedRandom{P: 0.4}, sim.Options{
+		Seed:      3,
+		MaxSteps:  5_000_000,
+		Observers: []sim.Observer{obs},
+		StopWhen:  obs.StopAfterCyclesEach(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v := obs.FirstViolation(g.N()); v != "" {
+		t.Fatalf("violation with all-processor initiators: %s", v)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := randGraph(t, 6, 1)
+	if _, err := multi.New(g, nil); err == nil {
+		t.Fatal("empty initiator set accepted")
+	}
+	if _, err := multi.New(g, []int{0, 0}); err == nil {
+		t.Fatal("duplicate initiators accepted")
+	}
+	if _, err := multi.New(g, []int{99}); err == nil {
+		t.Fatal("out-of-range initiator accepted")
+	}
+}
+
+func TestActionNamesAndDecode(t *testing.T) {
+	g := randGraph(t, 5, 2)
+	mp, err := multi.New(g, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := mp.ActionNames()
+	if len(names) != 14 { // 2 instances × 7 core actions
+		t.Fatalf("got %d action names", len(names))
+	}
+	if names[0] != "r1/B-action" || names[7] != "r3/B-action" {
+		t.Fatalf("unexpected names: %v", names[:8])
+	}
+	inst, ca := mp.Decode(9)
+	if inst != 1 || ca != 2 {
+		t.Fatalf("Decode(9) = (%d,%d)", inst, ca)
+	}
+}

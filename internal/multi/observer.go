@@ -1,0 +1,114 @@
+package multi
+
+import (
+	"fmt"
+
+	"snappif/internal/core"
+	"snappif/internal/sim"
+)
+
+// CycleRecord describes one completed wave of one initiator.
+type CycleRecord struct {
+	// Instance indexes Protocol.Roots.
+	Instance int
+	// Root is the initiator.
+	Root int
+	// Msg is the broadcast payload.
+	Msg uint64
+	// Delivered and Acked count non-root processors.
+	Delivered, Acked int
+}
+
+// OK reports whether the wave satisfied [PIF1]/[PIF2] on n processors.
+func (r CycleRecord) OK(n int) bool { return r.Delivered == n-1 && r.Acked == n-1 }
+
+// Observer tracks, per instance, wave delivery across a run of the
+// composed protocol.
+type Observer struct {
+	mp *Protocol
+
+	// Cycles lists completed waves of every initiator in completion order.
+	Cycles []CycleRecord
+
+	msg    []uint64
+	open   []bool
+	joined []map[int]bool
+	fed    []map[int]bool
+}
+
+var _ sim.Observer = (*Observer)(nil)
+
+// NewObserver builds an observer for the composed protocol.
+func NewObserver(mp *Protocol) *Observer {
+	k := len(mp.Roots)
+	return &Observer{
+		mp:     mp,
+		msg:    make([]uint64, k),
+		open:   make([]bool, k),
+		joined: make([]map[int]bool, k),
+		fed:    make([]map[int]bool, k),
+	}
+}
+
+// OnStep implements sim.Observer.
+func (o *Observer) OnStep(_ int, executed []sim.Choice, c *sim.Configuration) {
+	for _, ch := range executed {
+		i, ca := o.mp.Decode(ch.Action)
+		root := o.mp.Roots[i]
+		s := c.States[ch.Proc].(State).Per[i]
+		switch {
+		case ch.Proc == root && ca == core.ActionB:
+			o.open[i] = true
+			o.msg[i] = s.Msg
+			o.joined[i] = make(map[int]bool, c.N())
+			o.fed[i] = make(map[int]bool, c.N())
+		case !o.open[i]:
+		case ch.Proc != root && ca == core.ActionB && s.Msg == o.msg[i]:
+			o.joined[i][ch.Proc] = true
+		case ch.Proc != root && ca == core.ActionF && s.Msg == o.msg[i] && o.joined[i][ch.Proc]:
+			o.fed[i][ch.Proc] = true
+		case ch.Proc == root && ca == core.ActionF:
+			o.Cycles = append(o.Cycles, CycleRecord{
+				Instance:  i,
+				Root:      root,
+				Msg:       o.msg[i],
+				Delivered: len(o.joined[i]),
+				Acked:     len(o.fed[i]),
+			})
+			o.open[i] = false
+		}
+	}
+}
+
+// CompletedPerInstance returns the number of completed waves per instance.
+func (o *Observer) CompletedPerInstance() []int {
+	out := make([]int, len(o.mp.Roots))
+	for _, rec := range o.Cycles {
+		out[rec.Instance]++
+	}
+	return out
+}
+
+// StopAfterCyclesEach returns a stop predicate that fires once every
+// initiator completed at least k waves.
+func (o *Observer) StopAfterCyclesEach(k int) func(*sim.RunState) bool {
+	return func(*sim.RunState) bool {
+		for _, n := range o.CompletedPerInstance() {
+			if n < k {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// FirstViolation describes the first spec-violating wave, or "".
+func (o *Observer) FirstViolation(n int) string {
+	for _, rec := range o.Cycles {
+		if !rec.OK(n) {
+			return fmt.Sprintf("initiator %d wave m=%d: delivered %d/%d acked %d/%d",
+				rec.Root, rec.Msg, rec.Delivered, n-1, rec.Acked, n-1)
+		}
+	}
+	return ""
+}

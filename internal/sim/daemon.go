@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Daemon selects which enabled processors execute in each computation step.
+// The paper assumes a weakly fair distributed daemon: during a step, at
+// least one enabled processor executes, and a continuously enabled processor
+// is eventually chosen. The Runner enforces weak fairness on top of any
+// Daemon via aging (see Options.FairnessAge), so Daemon implementations are
+// free to be arbitrarily nasty.
+type Daemon interface {
+	// Name identifies the daemon in traces and tables.
+	Name() string
+
+	// Select returns the non-empty subset of enabled choices to execute in
+	// this step, at most one choice per processor. enabled is non-empty and
+	// sorted by processor ID. Implementations must not retain enabled.
+	Select(step int, c *Configuration, enabled []Choice, rng *rand.Rand) []Choice
+}
+
+// Synchronous executes every enabled processor in every step. With it, one
+// computation step is exactly one round.
+type Synchronous struct{}
+
+var _ Daemon = Synchronous{}
+
+// Name implements Daemon.
+func (Synchronous) Name() string { return "synchronous" }
+
+// Select implements Daemon.
+func (Synchronous) Select(_ int, _ *Configuration, enabled []Choice, rng *rand.Rand) []Choice {
+	return onePerProc(enabled, rng)
+}
+
+// CentralOrder is the selection strategy of a Central daemon.
+type CentralOrder int
+
+// Central daemon strategies.
+const (
+	// CentralRandom picks a uniformly random enabled processor.
+	CentralRandom CentralOrder = iota + 1
+	// CentralLowestID always picks the smallest enabled processor ID,
+	// starving high IDs until aging rescues them.
+	CentralLowestID
+	// CentralHighestID always picks the largest enabled processor ID.
+	CentralHighestID
+)
+
+// RoundRobin is a stateful central daemon that rotates a cursor over the
+// processor IDs and executes the first enabled processor at or after it —
+// the textbook fair central schedule (fair even without the Runner's
+// aging).
+type RoundRobin struct {
+	cursor int
+}
+
+var _ Daemon = (*RoundRobin)(nil)
+
+// Name implements Daemon.
+func (*RoundRobin) Name() string { return "central-roundrobin" }
+
+// Select implements Daemon.
+func (d *RoundRobin) Select(_ int, c *Configuration, enabled []Choice, rng *rand.Rand) []Choice {
+	enabled = onePerProc(enabled, rng)
+	pick := enabled[0]
+	for _, ch := range enabled {
+		if ch.Proc >= d.cursor {
+			pick = ch
+			break
+		}
+	}
+	d.cursor = (pick.Proc + 1) % c.N()
+	return []Choice{pick}
+}
+
+// Central executes exactly one enabled processor per step (the "central
+// daemon" of the self-stabilization literature, the weakest scheduler).
+type Central struct {
+	Order CentralOrder
+}
+
+var _ Daemon = Central{}
+
+// Name implements Daemon.
+func (d Central) Name() string {
+	switch d.Order {
+	case CentralLowestID:
+		return "central-lowest"
+	case CentralHighestID:
+		return "central-highest"
+	default:
+		return "central-random"
+	}
+}
+
+// Select implements Daemon.
+func (d Central) Select(_ int, _ *Configuration, enabled []Choice, rng *rand.Rand) []Choice {
+	enabled = onePerProc(enabled, rng)
+	switch d.Order {
+	case CentralLowestID:
+		return enabled[:1]
+	case CentralHighestID:
+		return enabled[len(enabled)-1:]
+	default:
+		return []Choice{enabled[rng.Intn(len(enabled))]}
+	}
+}
+
+// DistributedRandom includes each enabled processor independently with
+// probability P (at least one is always selected). This is the generic
+// asynchronous distributed daemon.
+type DistributedRandom struct {
+	// P is the per-processor inclusion probability, in (0,1].
+	P float64
+}
+
+var _ Daemon = DistributedRandom{}
+
+// Name implements Daemon.
+func (d DistributedRandom) Name() string { return fmt.Sprintf("dist-random-%.2f", d.P) }
+
+// Select implements Daemon.
+func (d DistributedRandom) Select(_ int, _ *Configuration, enabled []Choice, rng *rand.Rand) []Choice {
+	enabled = onePerProc(enabled, rng)
+	out := make([]Choice, 0, len(enabled))
+	for _, ch := range enabled {
+		if rng.Float64() < d.P {
+			out = append(out, ch)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, enabled[rng.Intn(len(enabled))])
+	}
+	return out
+}
+
+// LocallyCentral selects a random maximal set of enabled processors no two
+// of which are neighbors — the "locally central" daemon, and also the
+// schedule the goroutine runtime's neighborhood locking realizes.
+type LocallyCentral struct{}
+
+var _ Daemon = LocallyCentral{}
+
+// Name implements Daemon.
+func (LocallyCentral) Name() string { return "locally-central" }
+
+// Select implements Daemon.
+func (LocallyCentral) Select(_ int, c *Configuration, enabled []Choice, rng *rand.Rand) []Choice {
+	enabled = onePerProc(enabled, rng)
+	order := rng.Perm(len(enabled))
+	blocked := make(map[int]bool, len(enabled))
+	var out []Choice
+	for _, i := range order {
+		ch := enabled[i]
+		if blocked[ch.Proc] {
+			continue
+		}
+		out = append(out, ch)
+		blocked[ch.Proc] = true
+		for _, q := range c.G.Neighbors(ch.Proc) {
+			blocked[q] = true
+		}
+	}
+	return out
+}
+
+// Adversarial is a nasty-but-legal daemon: each step it executes exactly one
+// processor, preferring the most recently enabled one (LIFO — the classic
+// worst case for fairness-based bounds) and, among equally recent ones, the
+// processor whose action appears earliest in PreferActions. The Runner's
+// aging keeps it weakly fair.
+type Adversarial struct {
+	// PreferActions lists action IDs from most to least preferred; actions
+	// not listed rank last. For PIF experiments preferring non-correction
+	// actions delays error correction as long as legally possible.
+	PreferActions []int
+
+	lastEnabled map[int]int // proc -> first step of current enabled stretch
+}
+
+var _ Daemon = (*Adversarial)(nil)
+
+// Name implements Daemon.
+func (*Adversarial) Name() string { return "adversarial-lifo" }
+
+// Select implements Daemon.
+func (d *Adversarial) Select(step int, _ *Configuration, enabled []Choice, rng *rand.Rand) []Choice {
+	if d.lastEnabled == nil {
+		d.lastEnabled = make(map[int]int)
+	}
+	enabled = onePerProc(enabled, rng)
+	nowEnabled := make(map[int]bool, len(enabled))
+	for _, ch := range enabled {
+		nowEnabled[ch.Proc] = true
+		if _, ok := d.lastEnabled[ch.Proc]; !ok {
+			d.lastEnabled[ch.Proc] = step
+		}
+	}
+	for p := range d.lastEnabled {
+		if !nowEnabled[p] {
+			delete(d.lastEnabled, p)
+		}
+	}
+	best := enabled[0]
+	for _, ch := range enabled[1:] {
+		if d.better(ch, best) {
+			best = ch
+		}
+	}
+	return []Choice{best}
+}
+
+// better reports whether a is a nastier pick than b: enabled more recently,
+// ties broken by action preference then by higher processor ID.
+func (d *Adversarial) better(a, b Choice) bool {
+	sa, sb := d.lastEnabled[a.Proc], d.lastEnabled[b.Proc]
+	if sa != sb {
+		return sa > sb // more recently enabled wins (LIFO)
+	}
+	pa, pb := d.prefRank(a.Action), d.prefRank(b.Action)
+	if pa != pb {
+		return pa < pb
+	}
+	return a.Proc > b.Proc
+}
+
+func (d *Adversarial) prefRank(action int) int {
+	for i, a := range d.PreferActions {
+		if a == action {
+			return i
+		}
+	}
+	return len(d.PreferActions)
+}
+
+// onePerProc reduces the choice list to at most one choice per processor,
+// picking uniformly among a processor's enabled actions. The input is sorted
+// by processor; the output preserves that order.
+func onePerProc(enabled []Choice, rng *rand.Rand) []Choice {
+	out := make([]Choice, 0, len(enabled))
+	for i := 0; i < len(enabled); {
+		j := i
+		for j < len(enabled) && enabled[j].Proc == enabled[i].Proc {
+			j++
+		}
+		if j-i == 1 {
+			out = append(out, enabled[i])
+		} else {
+			out = append(out, enabled[i+rng.Intn(j-i)])
+		}
+		i = j
+	}
+	return out
+}

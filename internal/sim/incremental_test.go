@@ -1,0 +1,79 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"snappif/internal/check"
+	"snappif/internal/core"
+	"snappif/internal/fault"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+// hideLocal wraps a protocol so it no longer implements sim.LocalProtocol,
+// forcing the runner onto the full-recomputation path.
+type hideLocal struct {
+	p sim.Protocol
+}
+
+func (h hideLocal) Name() string                              { return h.p.Name() }
+func (h hideLocal) ActionNames() []string                     { return h.p.ActionNames() }
+func (h hideLocal) InitialState(p int) sim.State              { return h.p.InitialState(p) }
+func (h hideLocal) Enabled(c *sim.Configuration, p int) []int { return h.p.Enabled(c, p) }
+func (h hideLocal) Apply(c *sim.Configuration, p, a int) sim.State {
+	return h.p.Apply(c, p, a)
+}
+
+// TestIncrementalEquivalence checks that the incremental guard-evaluation
+// fast path produces bit-identical runs to full recomputation, across
+// random topologies, corruptions, and daemons.
+func TestIncrementalEquivalence(t *testing.T) {
+	f := func(seed int64, nRaw, faultPick uint8) bool {
+		n := int(nRaw%12) + 4
+		g, err := graph.RandomConnected(n, 0.3, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		injs := fault.All()
+		inj := injs[int(faultPick)%len(injs)]
+
+		run := func(hide bool) (sim.Result, *sim.Configuration, error) {
+			pr := core.MustNew(g, 0)
+			cfg := sim.NewConfiguration(g, pr)
+			inj.Apply(cfg, pr, rand.New(rand.NewSource(seed+1)))
+			var proto sim.Protocol = pr
+			if hide {
+				proto = hideLocal{p: pr}
+			}
+			obs := check.NewCycleObserver(pr)
+			res, err := sim.Run(cfg, proto, sim.DistributedRandom{P: 0.5}, sim.Options{
+				Seed:      seed + 2,
+				Observers: []sim.Observer{obs},
+				StopWhen:  obs.StopAfterCycles(2),
+			})
+			return res, cfg, err
+		}
+		fastRes, fastCfg, err1 := run(false)
+		slowRes, slowCfg, err2 := run(true)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if fastRes.Steps != slowRes.Steps || fastRes.Moves != slowRes.Moves ||
+			fastRes.Rounds != slowRes.Rounds {
+			t.Logf("diverged: fast %+v vs slow %+v", fastRes, slowRes)
+			return false
+		}
+		for p := range fastCfg.States {
+			if fastCfg.States[p].(core.State) != slowCfg.States[p].(core.State) {
+				t.Logf("state of p%d diverged", p)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrStepLimit is returned (wrapped) when a run exhausts Options.MaxSteps
+// without reaching a terminal configuration or satisfying StopWhen.
+var ErrStepLimit = errors.New("sim: step limit exhausted")
+
+// Observer receives a callback after every committed computation step.
+// Implementations that also implement RoundObserver additionally get round
+// boundaries.
+type Observer interface {
+	// OnStep is called after the step's writes commit. executed lists the
+	// choices that ran; c is the post-step configuration (read-only).
+	OnStep(step int, executed []Choice, c *Configuration)
+}
+
+// RoundObserver is an optional extension of Observer notified when a round
+// (per the paper's definition) completes.
+type RoundObserver interface {
+	// OnRound is called when round number round (1-based) completes; c is
+	// the configuration at the round boundary.
+	OnRound(round int, c *Configuration)
+}
+
+// RunState is the evolving state of a run, visible to stop predicates.
+type RunState struct {
+	Config *Configuration
+	Steps  int
+	Moves  int
+	Rounds int
+}
+
+// Options configures a run. The zero value is usable: it means "run to a
+// terminal configuration with a default step limit and seed 1".
+type Options struct {
+	// MaxSteps bounds the number of computation steps (default 1_000_000).
+	MaxSteps int
+	// Seed seeds the run's private RNG (default 1).
+	Seed int64
+	// StopWhen, if non-nil, stops the run after any step for which it
+	// returns true. It is also evaluated once before the first step.
+	StopWhen func(*RunState) bool
+	// Observers receive step (and optionally round) callbacks.
+	Observers []Observer
+	// FairnessAge forces a processor that has been continuously enabled
+	// without executing for this many steps to be included in the next
+	// step, making any daemon weakly fair (default 4·N steps, minimum 1).
+	FairnessAge int
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Steps is the number of computation steps executed.
+	Steps int
+	// Moves is the total number of action executions (≥ Steps).
+	Moves int
+	// Rounds is the number of *completed* rounds per the paper's
+	// definition.
+	Rounds int
+	// MovesPerAction counts executions per action label.
+	MovesPerAction map[string]int
+	// Terminal reports whether the run ended in a terminal configuration.
+	Terminal bool
+	// Stopped reports whether StopWhen ended the run.
+	Stopped bool
+	// Final is the final configuration.
+	Final *Configuration
+}
+
+// Run executes protocol p on configuration c (mutated in place) under daemon
+// d until a terminal configuration, the stop predicate, or the step limit.
+// It returns an error only when the step limit is hit, which in every
+// experiment in this repository indicates a bug, not a long run.
+func Run(c *Configuration, p Protocol, d Daemon, opts Options) (Result, error) {
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 1_000_000
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.FairnessAge <= 0 {
+		opts.FairnessAge = 4 * c.N()
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	names := p.ActionNames()
+	res := Result{MovesPerAction: make(map[string]int, len(names)), Final: c}
+	rs := &RunState{Config: c}
+
+	if opts.StopWhen != nil && opts.StopWhen(rs) {
+		res.Stopped = true
+		return res, nil
+	}
+
+	age := make([]int, c.N()) // consecutive steps enabled without executing
+
+	// cache holds per-processor enabled actions; for LocalProtocol
+	// implementations only the moved processors' neighborhoods are
+	// re-evaluated after each step. Observers that mutate the
+	// configuration (fault injection mid-run) force full re-evaluation.
+	incremental := false
+	if lp, ok := p.(LocalProtocol); ok && lp.GuardsAreLocal() {
+		incremental = true
+		for _, o := range opts.Observers {
+			if mo, ok := o.(MutatingObserver); ok && mo.MutatesConfiguration() {
+				incremental = false
+				break
+			}
+		}
+	}
+	cache := newEnabledCache(c, p, incremental)
+	enabled := cache.choices()
+
+	// pending tracks the processors continuously enabled since the start of
+	// the current round that have executed neither a protocol action nor
+	// the disable action yet.
+	pending := procSet(enabled)
+
+	for len(enabled) > 0 {
+		if res.Steps >= opts.MaxSteps {
+			return res, fmt.Errorf("sim: %s under %s after %d steps (%d rounds): %w",
+				p.Name(), d.Name(), res.Steps, res.Rounds, ErrStepLimit)
+		}
+
+		selected := d.Select(res.Steps, c, append([]Choice(nil), enabled...), rng)
+		selected = forceAged(selected, enabled, age, opts.FairnessAge, rng)
+		if len(selected) == 0 {
+			// Defensive: a daemon must select at least one processor.
+			selected = []Choice{enabled[rng.Intn(len(enabled))]}
+		}
+
+		// Execute: all statements read the pre-step configuration, then all
+		// writes commit at once (composite atomicity, distributed daemon).
+		newStates := make([]State, len(selected))
+		for i, ch := range selected {
+			newStates[i] = p.Apply(c, ch.Proc, ch.Action)
+		}
+		executedSet := make(map[int]bool, len(selected))
+		for i, ch := range selected {
+			c.States[ch.Proc] = newStates[i]
+			executedSet[ch.Proc] = true
+			res.Moves++
+			res.MovesPerAction[names[ch.Action]]++
+		}
+		res.Steps++
+		rs.Steps, rs.Moves = res.Steps, res.Moves
+
+		for _, o := range opts.Observers {
+			o.OnStep(res.Steps, selected, c)
+		}
+
+		cache.refresh(selected)
+		enabled = cache.choices()
+		enabledSet := procSet(enabled)
+
+		// Round accounting: a pending processor leaves the round when it
+		// executes, or when it becomes disabled (the disable action).
+		for proc := range pending {
+			if executedSet[proc] || !enabledSet[proc] {
+				delete(pending, proc)
+			}
+		}
+		if len(pending) == 0 {
+			res.Rounds++
+			rs.Rounds = res.Rounds
+			for _, o := range opts.Observers {
+				if ro, ok := o.(RoundObserver); ok {
+					ro.OnRound(res.Rounds, c)
+				}
+			}
+			pending = procSet(enabled)
+		}
+
+		// Aging for weak fairness.
+		for proc := 0; proc < c.N(); proc++ {
+			switch {
+			case !enabledSet[proc], executedSet[proc]:
+				age[proc] = 0
+			default:
+				age[proc]++
+			}
+		}
+
+		if opts.StopWhen != nil && opts.StopWhen(rs) {
+			res.Stopped = true
+			return res, nil
+		}
+	}
+	res.Terminal = true
+	return res, nil
+}
+
+// forceAged adds to selected every enabled processor whose age has reached
+// the fairness bound, keeping at most one choice per processor.
+func forceAged(selected, enabled []Choice, age []int, bound int, rng *rand.Rand) []Choice {
+	have := make(map[int]bool, len(selected))
+	for _, ch := range selected {
+		have[ch.Proc] = true
+	}
+	forced := make([]Choice, 0, 4)
+	for i := 0; i < len(enabled); {
+		j := i
+		for j < len(enabled) && enabled[j].Proc == enabled[i].Proc {
+			j++
+		}
+		proc := enabled[i].Proc
+		if age[proc] >= bound && !have[proc] {
+			forced = append(forced, enabled[i+rng.Intn(j-i)])
+			have[proc] = true
+		}
+		i = j
+	}
+	return append(selected, forced...)
+}
+
+func procSet(choices []Choice) map[int]bool {
+	s := make(map[int]bool, len(choices))
+	for _, ch := range choices {
+		s[ch.Proc] = true
+	}
+	return s
+}
+
+// MutatingObserver marks observers that modify the configuration during
+// OnStep (e.g. mid-run fault injection); their presence disables the
+// incremental guard-evaluation fast path.
+type MutatingObserver interface {
+	Observer
+
+	// MutatesConfiguration reports whether OnStep may write to the
+	// configuration.
+	MutatesConfiguration() bool
+}
+
+// enabledCache tracks the per-processor enabled actions across steps.
+type enabledCache struct {
+	c           *Configuration
+	p           Protocol
+	incremental bool
+	acts        [][]int
+	scratch     map[int]bool
+}
+
+func newEnabledCache(c *Configuration, p Protocol, incremental bool) *enabledCache {
+	ec := &enabledCache{
+		c:           c,
+		p:           p,
+		incremental: incremental,
+		acts:        make([][]int, c.N()),
+		scratch:     make(map[int]bool, 16),
+	}
+	for proc := 0; proc < c.N(); proc++ {
+		ec.acts[proc] = p.Enabled(c, proc)
+	}
+	return ec
+}
+
+// refresh re-evaluates guards after a committed step. With local guards
+// only the executed processors' closed neighborhoods can have changed.
+func (ec *enabledCache) refresh(executed []Choice) {
+	if !ec.incremental {
+		for proc := 0; proc < ec.c.N(); proc++ {
+			ec.acts[proc] = ec.p.Enabled(ec.c, proc)
+		}
+		return
+	}
+	for k := range ec.scratch {
+		delete(ec.scratch, k)
+	}
+	for _, ch := range executed {
+		if !ec.scratch[ch.Proc] {
+			ec.scratch[ch.Proc] = true
+			ec.acts[ch.Proc] = ec.p.Enabled(ec.c, ch.Proc)
+		}
+		for _, q := range ec.c.G.Neighbors(ch.Proc) {
+			if !ec.scratch[q] {
+				ec.scratch[q] = true
+				ec.acts[q] = ec.p.Enabled(ec.c, q)
+			}
+		}
+	}
+}
+
+// choices materializes the enabled list in ascending processor order.
+func (ec *enabledCache) choices() []Choice {
+	var out []Choice
+	for proc, acts := range ec.acts {
+		for _, a := range acts {
+			out = append(out, Choice{Proc: proc, Action: a})
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+// Package sim implements the computational model of the paper (Section 2):
+// the locally shared memory model with guarded actions, atomically executed
+// steps under a distributed daemon, and round-based time complexity.
+//
+// A protocol is a set of guarded actions per processor. A configuration is
+// the vector of all processor states. In one computation step the daemon
+// selects a non-empty subset of the enabled processors; every selected
+// processor atomically evaluates its guard and executes the corresponding
+// statement, reading the *pre-step* configuration (composite atomicity). The
+// engine counts steps, moves (individual action executions), and rounds
+// exactly per the paper's definition of round (Dolev, Israeli, Moran [16]):
+// a round is a minimal computation segment in which every processor that was
+// continuously enabled from the segment's first configuration executes an
+// action — where "action" includes the disable action (becoming disabled
+// because a neighbor moved).
+package sim
+
+import (
+	"fmt"
+
+	"snappif/internal/graph"
+)
+
+// State is the local state of one processor. Protocols define concrete state
+// types; the engine only needs to duplicate them when committing steps.
+type State interface {
+	// Clone returns a deep copy of the state.
+	Clone() State
+}
+
+// Protocol is a distributed algorithm expressed as guarded actions, e.g. the
+// snap-stabilizing PIF of the paper (internal/core) or the baselines.
+type Protocol interface {
+	// Name identifies the protocol in traces and tables.
+	Name() string
+
+	// ActionNames returns the label of every action, indexed by action ID.
+	// Labels follow the paper ("B-action", "F-correction", …).
+	ActionNames() []string
+
+	// Enabled returns the IDs of all actions whose guard holds at processor
+	// p in configuration c. For the protocols in this repository guards are
+	// mutually exclusive, so the slice has length 0 or 1 (enforced by
+	// property tests); the engine nevertheless supports the general case.
+	Enabled(c *Configuration, p int) []int
+
+	// Apply executes action a at processor p: it reads the pre-step
+	// configuration c and returns p's next state. Apply must not mutate c.
+	Apply(c *Configuration, p int, a int) State
+
+	// InitialState returns p's state in the protocol's normal starting
+	// configuration (for PIF: Pif_p = C everywhere).
+	InitialState(p int) State
+}
+
+// LocalProtocol marks protocols whose guards depend only on the closed
+// neighborhood: Enabled(c, p) reads only the states of p and p's neighbors.
+// Every protocol in the locally shared memory model has this property; the
+// marker lets the runner re-evaluate guards incrementally (only around the
+// processors that moved) instead of over the whole network each step.
+type LocalProtocol interface {
+	Protocol
+
+	// GuardsAreLocal is a marker; implementations return true.
+	GuardsAreLocal() bool
+}
+
+// Configuration is a global system configuration: the topology plus the
+// vector of all processor states.
+type Configuration struct {
+	G      *graph.Graph
+	States []State
+}
+
+// NewConfiguration builds the protocol's normal starting configuration on g.
+func NewConfiguration(g *graph.Graph, p Protocol) *Configuration {
+	states := make([]State, g.N())
+	for i := range states {
+		states[i] = p.InitialState(i)
+	}
+	return &Configuration{G: g, States: states}
+}
+
+// Clone returns a deep copy of the configuration (sharing the immutable
+// graph).
+func (c *Configuration) Clone() *Configuration {
+	states := make([]State, len(c.States))
+	for i, s := range c.States {
+		states[i] = s.Clone()
+	}
+	return &Configuration{G: c.G, States: states}
+}
+
+// N returns the number of processors.
+func (c *Configuration) N() int { return c.G.N() }
+
+// Choice identifies one enabled (processor, action) pair.
+type Choice struct {
+	Proc   int
+	Action int
+}
+
+// String renders the choice as "p3/a1".
+func (ch Choice) String() string { return fmt.Sprintf("p%d/a%d", ch.Proc, ch.Action) }
+
+// EnabledChoices lists every enabled (processor, action) pair in c, in
+// ascending processor order.
+func EnabledChoices(c *Configuration, p Protocol) []Choice {
+	var out []Choice
+	for proc := 0; proc < c.N(); proc++ {
+		for _, a := range p.Enabled(c, proc) {
+			out = append(out, Choice{Proc: proc, Action: a})
+		}
+	}
+	return out
+}
+
+// IsTerminal reports whether no processor is enabled in c.
+func IsTerminal(c *Configuration, p Protocol) bool {
+	for proc := 0; proc < c.N(); proc++ {
+		if len(p.Enabled(c, proc)) > 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,318 @@
+package sim_test
+
+import (
+	"errors"
+	"testing"
+
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+// intState is a trivial protocol state: a counter.
+type intState int
+
+func (s intState) Clone() sim.State { return s }
+
+// onceProto lets every processor execute exactly one action.
+type onceProto struct{}
+
+func (onceProto) Name() string                                       { return "once" }
+func (onceProto) ActionNames() []string                              { return []string{"fire"} }
+func (onceProto) InitialState(int) sim.State                         { return intState(0) }
+func (onceProto) Apply(_ *sim.Configuration, _ int, _ int) sim.State { return intState(1) }
+func (onceProto) Enabled(c *sim.Configuration, p int) []int {
+	if c.States[p].(intState) == 0 {
+		return []int{0}
+	}
+	return nil
+}
+
+// gateProto: processor 0 may always fire once; every other processor is
+// enabled only while processor 0 has not fired. Executing 0 first disables
+// everyone else — the "disable action" case of the round definition.
+type gateProto struct{}
+
+func (gateProto) Name() string                                       { return "gate" }
+func (gateProto) ActionNames() []string                              { return []string{"fire"} }
+func (gateProto) InitialState(int) sim.State                         { return intState(0) }
+func (gateProto) Apply(_ *sim.Configuration, _ int, _ int) sim.State { return intState(1) }
+func (gateProto) Enabled(c *sim.Configuration, p int) []int {
+	if c.States[p].(intState) != 0 {
+		return nil
+	}
+	if p == 0 || c.States[0].(intState) == 0 {
+		return []int{0}
+	}
+	return nil
+}
+
+// foreverProto keeps every processor enabled forever, counting executions.
+type foreverProto struct{ actions int }
+
+func (f foreverProto) Name() string { return "forever" }
+func (f foreverProto) ActionNames() []string {
+	names := make([]string, f.actions)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	return names
+}
+func (foreverProto) InitialState(int) sim.State { return intState(0) }
+func (foreverProto) Apply(c *sim.Configuration, p int, _ int) sim.State {
+	return c.States[p].(intState) + 1
+}
+func (f foreverProto) Enabled(*sim.Configuration, int) []int {
+	out := make([]int, f.actions)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func line(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g, err := graph.Line(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSynchronousOneStepPerRound(t *testing.T) {
+	g := line(t, 8)
+	cfg := sim.NewConfiguration(g, onceProto{})
+	res, err := sim.Run(cfg, onceProto{}, sim.Synchronous{}, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminal {
+		t.Fatal("run did not reach a terminal configuration")
+	}
+	if res.Steps != 1 || res.Rounds != 1 || res.Moves != 8 {
+		t.Fatalf("steps=%d rounds=%d moves=%d, want 1/1/8", res.Steps, res.Rounds, res.Moves)
+	}
+	if res.MovesPerAction["fire"] != 8 {
+		t.Fatalf("fire moves = %d, want 8", res.MovesPerAction["fire"])
+	}
+}
+
+func TestCentralOneRoundManySteps(t *testing.T) {
+	g := line(t, 8)
+	cfg := sim.NewConfiguration(g, onceProto{})
+	res, err := sim.Run(cfg, onceProto{}, sim.Central{Order: sim.CentralLowestID}, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eight steps, one per processor; the single round completes when the
+	// last pending processor fires.
+	if res.Steps != 8 || res.Rounds != 1 {
+		t.Fatalf("steps=%d rounds=%d, want 8/1", res.Steps, res.Rounds)
+	}
+}
+
+func TestDisableActionClosesRound(t *testing.T) {
+	g := line(t, 8)
+	cfg := sim.NewConfiguration(g, gateProto{})
+	res, err := sim.Run(cfg, gateProto{}, sim.Central{Order: sim.CentralLowestID}, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 1 executes processor 0, which *disables* every other processor:
+	// their disable actions complete the round per the paper's definition.
+	if res.Steps != 1 || res.Rounds != 1 || res.Moves != 1 {
+		t.Fatalf("steps=%d rounds=%d moves=%d, want 1/1/1", res.Steps, res.Rounds, res.Moves)
+	}
+}
+
+func TestAdversarialDaemonIsWeaklyFair(t *testing.T) {
+	g := line(t, 6)
+	proto := foreverProto{actions: 1}
+	cfg := sim.NewConfiguration(g, proto)
+	res, err := sim.Run(cfg, proto, &sim.Adversarial{}, sim.Options{
+		FairnessAge: 10,
+		StopWhen:    func(rs *sim.RunState) bool { return rs.Steps >= 400 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("run did not stop via predicate")
+	}
+	// Weak fairness (via aging) must have let every processor move.
+	for p := 0; p < g.N(); p++ {
+		if cfg.States[p].(intState) == 0 {
+			t.Fatalf("processor %d starved by the adversarial daemon", p)
+		}
+	}
+	// Rounds advance: continuously enabled processors keep being forced.
+	if res.Rounds == 0 {
+		t.Fatal("no round completed in 400 steps despite fairness aging")
+	}
+}
+
+func TestAllDaemonsTerminateOnceProtocol(t *testing.T) {
+	daemons := []sim.Daemon{
+		sim.Synchronous{},
+		sim.Central{Order: sim.CentralRandom},
+		sim.Central{Order: sim.CentralLowestID},
+		sim.Central{Order: sim.CentralHighestID},
+		sim.DistributedRandom{P: 0.3},
+		sim.LocallyCentral{},
+		&sim.Adversarial{},
+		sim.ActionPriority{Order: []int{0}},
+	}
+	for _, d := range daemons {
+		t.Run(d.Name(), func(t *testing.T) {
+			g := line(t, 10)
+			cfg := sim.NewConfiguration(g, onceProto{})
+			res, err := sim.Run(cfg, onceProto{}, d, sim.Options{Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Terminal || res.Moves != 10 {
+				t.Fatalf("terminal=%v moves=%d, want true/10", res.Terminal, res.Moves)
+			}
+		})
+	}
+}
+
+func TestLocallyCentralNeverRunsNeighbors(t *testing.T) {
+	g := line(t, 12)
+	proto := foreverProto{actions: 1}
+	cfg := sim.NewConfiguration(g, proto)
+	seen := &neighborWatch{g: g}
+	_, err := sim.Run(cfg, proto, sim.LocallyCentral{}, sim.Options{
+		Observers: []sim.Observer{seen},
+		// Disable aging interference: locally-central already selects
+		// maximal independent sets, aging could add adjacent processors.
+		FairnessAge: 1 << 30,
+		StopWhen:    func(rs *sim.RunState) bool { return rs.Steps >= 200 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen.violated {
+		t.Fatal("locally central daemon executed two neighbors in one step")
+	}
+}
+
+type neighborWatch struct {
+	g        *graph.Graph
+	violated bool
+}
+
+func (w *neighborWatch) OnStep(_ int, executed []sim.Choice, _ *sim.Configuration) {
+	for i, a := range executed {
+		for _, b := range executed[i+1:] {
+			if w.g.HasEdge(a.Proc, b.Proc) {
+				w.violated = true
+			}
+		}
+	}
+}
+
+func TestMultipleEnabledActionsOnePerStep(t *testing.T) {
+	g := line(t, 4)
+	proto := foreverProto{actions: 3}
+	cfg := sim.NewConfiguration(g, proto)
+	res, err := sim.Run(cfg, proto, sim.Synchronous{}, sim.Options{
+		Seed:     7,
+		StopWhen: func(rs *sim.RunState) bool { return rs.Steps >= 50 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one action per processor per step.
+	if res.Moves != 50*4 {
+		t.Fatalf("moves = %d, want 200", res.Moves)
+	}
+	// With a uniform pick among three actions, all should appear.
+	for _, name := range []string{"a", "b", "c"} {
+		if res.MovesPerAction[name] == 0 {
+			t.Fatalf("action %q never selected: %v", name, res.MovesPerAction)
+		}
+	}
+}
+
+func TestStepLimitSurfacesError(t *testing.T) {
+	g := line(t, 4)
+	proto := foreverProto{actions: 1}
+	cfg := sim.NewConfiguration(g, proto)
+	_, err := sim.Run(cfg, proto, sim.Synchronous{}, sim.Options{MaxSteps: 10})
+	if !errors.Is(err, sim.ErrStepLimit) {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestStopWhenBeforeFirstStep(t *testing.T) {
+	g := line(t, 4)
+	cfg := sim.NewConfiguration(g, onceProto{})
+	res, err := sim.Run(cfg, onceProto{}, sim.Synchronous{}, sim.Options{
+		StopWhen: func(*sim.RunState) bool { return true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped || res.Steps != 0 {
+		t.Fatalf("stopped=%v steps=%d, want true/0", res.Stopped, res.Steps)
+	}
+}
+
+func TestEnabledChoicesOrderingAndTerminal(t *testing.T) {
+	g := line(t, 5)
+	cfg := sim.NewConfiguration(g, onceProto{})
+	choices := sim.EnabledChoices(cfg, onceProto{})
+	if len(choices) != 5 {
+		t.Fatalf("got %d choices, want 5", len(choices))
+	}
+	for i, ch := range choices {
+		if ch.Proc != i || ch.Action != 0 {
+			t.Fatalf("choice %d = %v", i, ch)
+		}
+	}
+	if sim.IsTerminal(cfg, onceProto{}) {
+		t.Fatal("fresh configuration reported terminal")
+	}
+	for p := range cfg.States {
+		cfg.States[p] = intState(1)
+	}
+	if !sim.IsTerminal(cfg, onceProto{}) {
+		t.Fatal("exhausted configuration not terminal")
+	}
+}
+
+func TestConfigurationClone(t *testing.T) {
+	g := line(t, 3)
+	cfg := sim.NewConfiguration(g, onceProto{})
+	cp := cfg.Clone()
+	cp.States[1] = intState(9)
+	if cfg.States[1].(intState) == 9 {
+		t.Fatal("Clone shares state with the original")
+	}
+	if cp.G != cfg.G {
+		t.Fatal("Clone must share the immutable graph")
+	}
+	if cp.N() != 3 {
+		t.Fatalf("clone N = %d", cp.N())
+	}
+}
+
+func TestRoundObserverFires(t *testing.T) {
+	g := line(t, 6)
+	cfg := sim.NewConfiguration(g, onceProto{})
+	ro := &roundCounter{}
+	res, err := sim.Run(cfg, onceProto{}, sim.Central{Order: sim.CentralHighestID}, sim.Options{
+		Observers: []sim.Observer{ro},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.rounds != res.Rounds {
+		t.Fatalf("observer saw %d rounds, result says %d", ro.rounds, res.Rounds)
+	}
+}
+
+type roundCounter struct{ rounds int }
+
+func (r *roundCounter) OnStep(int, []sim.Choice, *sim.Configuration) {}
+func (r *roundCounter) OnRound(round int, _ *sim.Configuration)      { r.rounds = round }

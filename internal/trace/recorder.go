@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"snappif/internal/sim"
+)
+
+// StepEvent records the action executions of one computation step.
+type StepEvent struct {
+	// Step is the 1-based step index.
+	Step int
+	// Executed lists the (processor, action) pairs that ran.
+	Executed []sim.Choice
+}
+
+// Recorder is a sim.Observer that keeps a bounded log of step events plus
+// running totals; the examples and the CLI use it to narrate runs.
+type Recorder struct {
+	// ActionNames translates action IDs to labels (from
+	// Protocol.ActionNames).
+	ActionNames []string
+	// Limit bounds the number of retained events (0 = unlimited).
+	Limit int
+
+	// Events holds the retained step events.
+	Events []StepEvent
+	// Dropped counts events discarded due to Limit.
+	Dropped int
+	// Moves counts executions per action label.
+	Moves map[string]int
+}
+
+var _ sim.Observer = (*Recorder)(nil)
+
+// NewRecorder builds a Recorder for a protocol's actions.
+func NewRecorder(p sim.Protocol, limit int) *Recorder {
+	return &Recorder{
+		ActionNames: p.ActionNames(),
+		Limit:       limit,
+		Moves:       make(map[string]int),
+	}
+}
+
+// OnStep implements sim.Observer.
+func (r *Recorder) OnStep(step int, executed []sim.Choice, _ *sim.Configuration) {
+	for _, ch := range executed {
+		r.Moves[r.ActionNames[ch.Action]]++
+	}
+	if r.Limit > 0 && len(r.Events) >= r.Limit {
+		r.Dropped++
+		return
+	}
+	r.Events = append(r.Events, StepEvent{
+		Step:     step,
+		Executed: append([]sim.Choice(nil), executed...),
+	})
+}
+
+// Dump writes the event log to w, one step per line:
+//
+//	step    3: p1:B-action p4:B-action
+func (r *Recorder) Dump(w io.Writer) {
+	for _, ev := range r.Events {
+		parts := make([]string, len(ev.Executed))
+		for i, ch := range ev.Executed {
+			parts[i] = fmt.Sprintf("p%d:%s", ch.Proc, r.ActionNames[ch.Action])
+		}
+		fmt.Fprintf(w, "step %4d: %s\n", ev.Step, strings.Join(parts, " "))
+	}
+	if r.Dropped > 0 {
+		fmt.Fprintf(w, "… %d further steps not recorded (limit %d)\n", r.Dropped, r.Limit)
+	}
+}
+
+// MovesTable renders the per-action move counts as a Table.
+func (r *Recorder) MovesTable() *Table {
+	t := NewTable("moves per action", "action", "moves")
+	for _, name := range r.ActionNames {
+		if n := r.Moves[name]; n > 0 {
+			t.AddRow(name, n)
+		}
+	}
+	return t
+}
+
+// Choices extracts the per-step executed choices, in the exact shape
+// sim.Replay consumes: replaying them against the same protocol and
+// initial configuration reproduces the recorded run.
+func (r *Recorder) Choices() [][]sim.Choice {
+	out := make([][]sim.Choice, 0, len(r.Events))
+	for _, ev := range r.Events {
+		out = append(out, append([]sim.Choice(nil), ev.Executed...))
+	}
+	return out
+}
+
+// jsonEvent is the JSON wire format of one step.
+type jsonEvent struct {
+	Step     int          `json:"step"`
+	Executed []jsonChoice `json:"executed"`
+}
+
+type jsonChoice struct {
+	Proc   int    `json:"proc"`
+	Action string `json:"action"`
+}
+
+type jsonTrace struct {
+	Events  []jsonEvent    `json:"events"`
+	Dropped int            `json:"droppedSteps,omitempty"`
+	Moves   map[string]int `json:"movesPerAction"`
+}
+
+// JSON writes the recorded trace as JSON, for external analysis tooling.
+func (r *Recorder) JSON(w io.Writer) error {
+	out := jsonTrace{Dropped: r.Dropped, Moves: r.Moves}
+	for _, ev := range r.Events {
+		je := jsonEvent{Step: ev.Step}
+		for _, ch := range ev.Executed {
+			je.Executed = append(je.Executed, jsonChoice{
+				Proc:   ch.Proc,
+				Action: r.ActionNames[ch.Action],
+			})
+		}
+		out.Events = append(out.Events, je)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

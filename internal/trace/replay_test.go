@@ -1,0 +1,103 @@
+package trace_test
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"snappif/internal/check"
+	"snappif/internal/core"
+	"snappif/internal/fault"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+	"snappif/internal/trace"
+)
+
+// TestRecordReplayRoundTrip records a randomized corrupted-start run and
+// replays it: the replay must reproduce the original bit for bit.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	g, err := graph.RandomConnected(10, 0.3, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(d sim.Daemon, rec *trace.Recorder) (sim.Result, *sim.Configuration) {
+		pr := core.MustNew(g, 0)
+		cfg := sim.NewConfiguration(g, pr)
+		fault.UniformRandom().Apply(cfg, pr, rand.New(rand.NewSource(7)))
+		obs := check.NewCycleObserver(pr)
+		observers := []sim.Observer{obs}
+		if rec != nil {
+			observers = append(observers, rec)
+		}
+		res, err := sim.Run(cfg, pr, d, sim.Options{
+			Seed:      11,
+			Observers: observers,
+			StopWhen:  obs.StopAfterCycles(2),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, cfg
+	}
+
+	protoForNames := core.MustNew(g, 0)
+	rec := trace.NewRecorder(protoForNames, 0)
+	orig, origCfg := run(sim.DistributedRandom{P: 0.5}, rec)
+
+	replay := &sim.Replay{Script: rec.Choices()}
+	redo, redoCfg := run(replay, nil)
+
+	if orig.Steps != redo.Steps || orig.Moves != redo.Moves || orig.Rounds != redo.Rounds {
+		t.Fatalf("replay diverged: %+v vs %+v", orig, redo)
+	}
+	for p := range origCfg.States {
+		if origCfg.States[p].(core.State) != redoCfg.States[p].(core.State) {
+			t.Fatalf("state of p%d diverged", p)
+		}
+	}
+	if !replay.Exhausted() {
+		t.Fatal("script not fully consumed")
+	}
+}
+
+func TestRecorderJSON(t *testing.T) {
+	g, err := graph.Line(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	cfg := sim.NewConfiguration(g, pr)
+	rec := trace.NewRecorder(pr, 0)
+	obs := check.NewCycleObserver(pr)
+	if _, err := sim.Run(cfg, pr, sim.Synchronous{}, sim.Options{
+		Observers: []sim.Observer{rec, obs},
+		StopWhen:  obs.StopAfterCycles(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := rec.JSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Events []struct {
+			Step     int `json:"step"`
+			Executed []struct {
+				Proc   int    `json:"proc"`
+				Action string `json:"action"`
+			} `json:"executed"`
+		} `json:"events"`
+		Moves map[string]int `json:"movesPerAction"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded.Events) == 0 || decoded.Moves["B-action"] != 4 {
+		t.Fatalf("unexpected trace: %d events, moves %v", len(decoded.Events), decoded.Moves)
+	}
+	if decoded.Events[0].Executed[0].Action != "B-action" {
+		t.Fatalf("first action = %q", decoded.Events[0].Executed[0].Action)
+	}
+}

@@ -1,0 +1,129 @@
+package transform_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"snappif/internal/fault"
+	"snappif/internal/graph"
+	"snappif/internal/transform"
+	"snappif/internal/wave"
+)
+
+func randGraph(t *testing.T, n int, seed int64) *graph.Graph {
+	t.Helper()
+	g, err := graph.RandomConnected(n, 0.25, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEvaluateArbitraryQuery(t *testing.T) {
+	g := randGraph(t, 12, 3)
+	svc, err := transform.NewService(g, 0, wave.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(0)
+	for p := 0; p < g.N(); p++ {
+		v := int64(p*p - 7)
+		svc.SetInput(p, v)
+		want += v * v // a query no simple fold prepares for: Σ v²
+	}
+	got, err := svc.Evaluate(func(values []int64) int64 {
+		var acc int64
+		for _, v := range values {
+			acc += v * v
+		}
+		return acc
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("Σv² = %d, want %d", got, want)
+	}
+	if _, err := svc.Evaluate(nil); err == nil {
+		t.Fatal("nil query accepted")
+	}
+}
+
+func TestFirstQueryAfterEveryFaultIsExact(t *testing.T) {
+	g := randGraph(t, 10, 7)
+	for _, inj := range fault.All() {
+		t.Run(inj.Name, func(t *testing.T) {
+			svc, err := transform.NewService(g, 0, wave.WithSeed(11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want int64
+			for p := 0; p < g.N(); p++ {
+				v := int64(3*p + 1)
+				svc.SetInput(p, v)
+				want += v
+			}
+			inj.Apply(svc.System().Cfg, svc.System().Proto, rand.New(rand.NewSource(13)))
+			got, err := svc.Evaluate(func(values []int64) int64 {
+				var acc int64
+				for _, v := range values {
+					acc += v
+				}
+				return acc
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("first query after %s = %d, want %d", inj.Name, got, want)
+			}
+		})
+	}
+}
+
+func TestElection(t *testing.T) {
+	g := randGraph(t, 9, 11)
+	el, err := transform.NewElection(g, 0, wave.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default priorities are IDs: the highest ID wins.
+	leader, err := el.Elect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leader != g.N()-1 {
+		t.Fatalf("leader = %d, want %d", leader, g.N()-1)
+	}
+	// Override priorities: processor 2 becomes the leader.
+	el.SetPriority(2, 1000)
+	if leader, err = el.Elect(); err != nil {
+		t.Fatal(err)
+	} else if leader != 2 {
+		t.Fatalf("leader = %d, want 2", leader)
+	}
+	// Ties break toward the higher ID.
+	el.SetPriority(5, 1000)
+	if leader, err = el.Elect(); err != nil {
+		t.Fatal(err)
+	} else if leader != 5 {
+		t.Fatalf("tie leader = %d, want 5", leader)
+	}
+}
+
+func TestElectionSurvivesCorruption(t *testing.T) {
+	g := randGraph(t, 8, 17)
+	el, err := transform.NewElection(g, 3, wave.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	el.SetPriority(1, 555)
+	fault.PhantomTree().Apply(el.System().Cfg, el.System().Proto, rand.New(rand.NewSource(2)))
+	leader, err := el.Elect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leader != 1 {
+		t.Fatalf("first election after fault chose %d, want 1", leader)
+	}
+}

@@ -1,0 +1,154 @@
+// Package viz renders configurations of the PIF protocol as ASCII art for
+// the CLI tools and examples: a compact one-line phase strip, a per-
+// processor table, and a drawing of the currently built broadcast tree.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"snappif/internal/check"
+	"snappif/internal/core"
+	"snappif/internal/sim"
+)
+
+// PhaseStrip renders the configuration as one character per processor:
+// 'B', 'F', or 'C' (uppercase for normal processors, lowercase for
+// abnormal ones), e.g. "BBBfFCC..C".
+func PhaseStrip(c *sim.Configuration, pr *core.Protocol) string {
+	var b strings.Builder
+	for p := 0; p < c.N(); p++ {
+		s := c.States[p].(core.State)
+		ch := s.Pif.String()
+		if !pr.Normal(c, p) {
+			ch = strings.ToLower(ch)
+		}
+		b.WriteString(ch)
+	}
+	return b.String()
+}
+
+// StateTable writes one row per processor with every protocol variable.
+func StateTable(w io.Writer, c *sim.Configuration, pr *core.Protocol) {
+	fmt.Fprintln(w, "proc  phase  par  L    count  fok    normal  in-tree")
+	fmt.Fprintln(w, "----  -----  ---  ---  -----  -----  ------  -------")
+	for p := 0; p < c.N(); p++ {
+		s := c.States[p].(core.State)
+		fmt.Fprintf(w, "p%-4d %-6s %-4d %-4d %-6d %-6v %-7v %v\n",
+			p, s.Pif, s.Par, s.L, s.Count, s.Fok,
+			pr.Normal(c, p), check.InLegalTree(c, pr, p))
+	}
+}
+
+// Tree draws the current LegalTree as an indented outline:
+//
+//	r0 (B cnt=5)
+//	├── p2 (B cnt=3)
+//	│   └── p4 (F)
+//	└── p1 (B cnt=1)
+//
+// Processors outside the LegalTree are listed below the tree.
+func Tree(w io.Writer, c *sim.Configuration, pr *core.Protocol) {
+	members := check.LegalTree(c, pr)
+	inTree := make(map[int]bool, len(members))
+	for _, p := range members {
+		inTree[p] = true
+	}
+	children := make(map[int][]int)
+	for _, p := range members {
+		if p == pr.Root {
+			continue
+		}
+		par := c.States[p].(core.State).Par
+		children[par] = append(children[par], p)
+	}
+	for _, kids := range children {
+		sort.Ints(kids)
+	}
+	var draw func(p int, prefix string, last bool)
+	draw = func(p int, prefix string, last bool) {
+		s := c.States[p].(core.State)
+		label := fmt.Sprintf("p%d (%s cnt=%d", p, s.Pif, s.Count)
+		if s.Fok {
+			label += " fok"
+		}
+		label += ")"
+		if p == pr.Root {
+			fmt.Fprintln(w, label)
+		} else {
+			connector := "├── "
+			if last {
+				connector = "└── "
+			}
+			fmt.Fprintln(w, prefix+connector+label)
+		}
+		kids := children[p]
+		childPrefix := prefix
+		if p != pr.Root {
+			if last {
+				childPrefix += "    "
+			} else {
+				childPrefix += "│   "
+			}
+		}
+		for i, k := range kids {
+			draw(k, childPrefix, i == len(kids)-1)
+		}
+	}
+	draw(pr.Root, "", true)
+	var outside []string
+	for p := 0; p < c.N(); p++ {
+		if !inTree[p] {
+			outside = append(outside, fmt.Sprintf("p%d(%s)", p, c.States[p].(core.State).Pif))
+		}
+	}
+	if len(outside) > 0 {
+		fmt.Fprintf(w, "outside the legal tree: %s\n", strings.Join(outside, " "))
+	}
+}
+
+// Forest draws the full forest of Definition 5: the LegalTree plus every
+// tree rooted at an abnormal processor, as flat member lists:
+//
+//	legal tree (root p0): p0 p1 p2
+//	abnormal tree (root p5): p5 p6
+func Forest(w io.Writer, c *sim.Configuration, pr *core.Protocol) {
+	for _, t := range check.Trees(c, pr) {
+		kind := "legal tree"
+		if t.Abnormal {
+			kind = "abnormal tree"
+		}
+		parts := make([]string, len(t.Members))
+		for i, p := range t.Members {
+			parts[i] = fmt.Sprintf("p%d", p)
+		}
+		fmt.Fprintf(w, "%s (root p%d): %s\n", kind, t.Root, strings.Join(parts, " "))
+	}
+}
+
+// Watcher is a sim.Observer printing a phase strip at every round boundary,
+// for pifsim's -watch flag.
+type Watcher struct {
+	W     io.Writer
+	Proto *core.Protocol
+	// Every prints only every k-th round when > 1.
+	Every int
+}
+
+var (
+	_ sim.Observer      = (*Watcher)(nil)
+	_ sim.RoundObserver = (*Watcher)(nil)
+)
+
+// OnStep implements sim.Observer.
+func (v *Watcher) OnStep(int, []sim.Choice, *sim.Configuration) {}
+
+// OnRound implements sim.RoundObserver.
+func (v *Watcher) OnRound(round int, c *sim.Configuration) {
+	if v.Every > 1 && round%v.Every != 0 {
+		return
+	}
+	fmt.Fprintf(v.W, "round %4d  %s\n", round, PhaseStrip(c, v.Proto))
+}

@@ -1,0 +1,165 @@
+package viz_test
+
+import (
+	"strings"
+	"testing"
+
+	"snappif/internal/check"
+	"snappif/internal/core"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+	"snappif/internal/viz"
+)
+
+func setup(t *testing.T) (*core.Protocol, *sim.Configuration) {
+	t.Helper()
+	g, err := graph.Line(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	return pr, sim.NewConfiguration(g, pr)
+}
+
+func TestPhaseStripCleanAndCorrupt(t *testing.T) {
+	pr, cfg := setup(t)
+	if got := viz.PhaseStrip(cfg, pr); got != "CCCC" {
+		t.Fatalf("clean strip = %q, want CCCC", got)
+	}
+	// Plant an abnormal broadcaster: lowercase letter expected.
+	s := cfg.States[2].(core.State)
+	s.Pif = core.B
+	s.L = 1 // parent 1 is clean → GoodPif fails → abnormal
+	cfg.States[2] = s
+	got := viz.PhaseStrip(cfg, pr)
+	if got != "CCbC" {
+		t.Fatalf("strip = %q, want CCbC", got)
+	}
+}
+
+func TestStateTableAndTree(t *testing.T) {
+	pr, cfg := setup(t)
+	// Build a small legal tree: 0 ← 1 ← 2.
+	for p := 0; p <= 2; p++ {
+		s := cfg.States[p].(core.State)
+		s.Pif = core.B
+		s.L = p
+		if p > 0 {
+			s.Par = p - 1
+		}
+		cfg.States[p] = s
+	}
+	var table strings.Builder
+	viz.StateTable(&table, cfg, pr)
+	for _, want := range []string{"p0", "p3", "true", "false"} {
+		if !strings.Contains(table.String(), want) {
+			t.Fatalf("state table missing %q:\n%s", want, table.String())
+		}
+	}
+	var tree strings.Builder
+	viz.Tree(&tree, cfg, pr)
+	out := tree.String()
+	for _, want := range []string{"p0 (B", "└── p1 (B", "└── p2 (B", "outside the legal tree: p3(C)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tree missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTreeBranching(t *testing.T) {
+	g, err := graph.Star(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	cfg := sim.NewConfiguration(g, pr)
+	s := cfg.States[0].(core.State)
+	s.Pif = core.B
+	cfg.States[0] = s
+	for _, leaf := range []int{1, 2, 3} {
+		ls := cfg.States[leaf].(core.State)
+		ls.Pif, ls.Par, ls.L = core.B, 0, 1
+		cfg.States[leaf] = ls
+	}
+	var b strings.Builder
+	viz.Tree(&b, cfg, pr)
+	out := b.String()
+	if !strings.Contains(out, "├── p1") || !strings.Contains(out, "├── p2") ||
+		!strings.Contains(out, "└── p3") {
+		t.Fatalf("branch connectors wrong:\n%s", out)
+	}
+	if strings.Contains(out, "outside") {
+		t.Fatalf("no processor should be outside:\n%s", out)
+	}
+}
+
+func TestWatcherPrintsRounds(t *testing.T) {
+	g, err := graph.Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	cfg := sim.NewConfiguration(g, pr)
+	var b strings.Builder
+	w := &viz.Watcher{W: &b, Proto: pr, Every: 1}
+	obs := check.NewCycleObserver(pr)
+	if _, err := sim.Run(cfg, pr, sim.Synchronous{}, sim.Options{
+		Observers: []sim.Observer{obs, w},
+		StopWhen:  obs.StopAfterCycles(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(b.String(), "\n")
+	if lines < 5 {
+		t.Fatalf("watcher printed %d lines:\n%s", lines, b.String())
+	}
+	if !strings.Contains(b.String(), "round") || !strings.Contains(b.String(), "B") {
+		t.Fatalf("unexpected watcher output:\n%s", b.String())
+	}
+	// Every=3 prints roughly a third as many lines.
+	var b2 strings.Builder
+	cfg2 := sim.NewConfiguration(g, pr)
+	obs2 := check.NewCycleObserver(pr)
+	w2 := &viz.Watcher{W: &b2, Proto: pr, Every: 3}
+	if _, err := sim.Run(cfg2, pr, sim.Synchronous{}, sim.Options{
+		Observers: []sim.Observer{obs2, w2},
+		StopWhen:  obs2.StopAfterCycles(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(b2.String(), "\n") >= lines {
+		t.Fatal("Every=3 did not reduce output")
+	}
+}
+
+func TestForest(t *testing.T) {
+	g, err := graph.Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	cfg := sim.NewConfiguration(g, pr)
+	// Legal chain 0←1 and an abnormal broadcaster at 3.
+	for p := 0; p <= 1; p++ {
+		s := cfg.States[p].(core.State)
+		s.Pif = core.B
+		s.L = p
+		if p > 0 {
+			s.Par = p - 1
+		}
+		cfg.States[p] = s
+	}
+	s3 := cfg.States[3].(core.State)
+	s3.Pif, s3.Par, s3.L = core.B, 2, 3
+	cfg.States[3] = s3
+
+	var b strings.Builder
+	viz.Forest(&b, cfg, pr)
+	out := b.String()
+	if !strings.Contains(out, "legal tree (root p0): p0 p1") {
+		t.Fatalf("legal tree missing:\n%s", out)
+	}
+	if !strings.Contains(out, "abnormal tree (root p3): p3") {
+		t.Fatalf("abnormal tree missing:\n%s", out)
+	}
+}

@@ -1,0 +1,60 @@
+package wave_test
+
+import (
+	"fmt"
+	"log"
+
+	"snappif/internal/graph"
+	"snappif/internal/wave"
+)
+
+func ExampleInfimum() {
+	g, err := graph.Star(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	minimum, err := wave.Infimum(g, 0, []int64{40, 17, 33, 5, 21}, wave.Min)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("network minimum:", minimum)
+	// Output:
+	// network minimum: 5
+}
+
+func ExampleResetCoordinator_Reset() {
+	g, err := graph.Ring(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rc, err := wave.NewResetCoordinator(g, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	epoch, err := rc.Reset()
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, uniform := rc.Uniform()
+	fmt.Printf("epoch %d installed uniformly: %v\n", epoch, uniform)
+	// Output:
+	// epoch 1 installed uniformly: true
+}
+
+func ExampleSpanningTree_Build() {
+	g, err := graph.Grid(2, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := wave.NewSpanningTree(g, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := st.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("valid:", tree.Validate(g) == nil, "height:", tree.Height())
+	// Output:
+	// valid: true height: 3
+}

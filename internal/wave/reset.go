@@ -1,0 +1,60 @@
+package wave
+
+import (
+	"snappif/internal/core"
+	"snappif/internal/graph"
+)
+
+// ResetCoordinator implements a distributed reset on top of PIF waves —
+// the "most general method to repair the system" from the paper's Related
+// Work section, where reset protocols are described as PIF-based.
+//
+// A reset is one PIF wave: the broadcast carries a fresh epoch identifier
+// to every processor (each processor abandons state from older epochs when
+// it observes the new identifier), and the feedback tells the initiator
+// that every processor has switched. Snap-stabilization makes the reset
+// itself resettable: even from a corrupted configuration, the first Reset
+// call installs its epoch at every processor before returning.
+type ResetCoordinator struct {
+	sys *System
+}
+
+// NewResetCoordinator builds a coordinator on g with the initiator root.
+func NewResetCoordinator(g *graph.Graph, root int, opts ...SystemOption) (*ResetCoordinator, error) {
+	sys, err := NewSystem(g, root, nil, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &ResetCoordinator{sys: sys}, nil
+}
+
+// System exposes the underlying system (for corruption in tests/demos).
+func (rc *ResetCoordinator) System() *System { return rc.sys }
+
+// Reset performs one distributed reset and returns the installed epoch.
+// When it returns, every processor's Epoch equals the returned value and
+// the initiator has collected every acknowledgment.
+func (rc *ResetCoordinator) Reset() (epoch uint64, err error) {
+	rec, err := rc.sys.RunWave()
+	if err != nil {
+		return 0, err
+	}
+	return rec.Msg, nil
+}
+
+// Epoch returns the epoch processor p currently belongs to.
+func (rc *ResetCoordinator) Epoch(p int) uint64 {
+	return rc.sys.Cfg.States[p].(core.State).Msg
+}
+
+// Uniform reports whether every processor belongs to the same epoch, and
+// that epoch.
+func (rc *ResetCoordinator) Uniform() (uint64, bool) {
+	e := rc.Epoch(0)
+	for p := 1; p < rc.sys.G.N(); p++ {
+		if rc.Epoch(p) != e {
+			return 0, false
+		}
+	}
+	return e, true
+}

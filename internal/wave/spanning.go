@@ -1,0 +1,137 @@
+package wave
+
+import (
+	"fmt"
+
+	"snappif/internal/core"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+// SpanningTree is the first application the paper's introduction lists for
+// the PIF scheme: spanning tree construction. Each wave dynamically builds
+// a tree rooted at the initiator; this collector freezes that tree — each
+// processor's parent and level at its feedback point — and returns it.
+// Thanks to snap-stabilization the FIRST tree built after an arbitrary
+// fault is already a valid spanning tree of the network.
+type SpanningTree struct {
+	sys *System
+}
+
+// NewSpanningTree builds a constructor on g rooted at root.
+func NewSpanningTree(g *graph.Graph, root int, opts ...SystemOption) (*SpanningTree, error) {
+	sys, err := NewSystem(g, root, nil, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &SpanningTree{sys: sys}, nil
+}
+
+// System exposes the underlying system.
+func (st *SpanningTree) System() *System { return st.sys }
+
+// Tree is a rooted spanning tree of the network.
+type Tree struct {
+	// Root is the tree root.
+	Root int
+	// Parent maps each processor to its tree parent (-1 at the root).
+	Parent []int
+	// Level maps each processor to its depth.
+	Level []int
+}
+
+// Height returns the tree height.
+func (t Tree) Height() int {
+	h := 0
+	for _, l := range t.Level {
+		if l > h {
+			h = l
+		}
+	}
+	return h
+}
+
+// Validate checks that the tree is a spanning tree of g rooted at Root:
+// every parent edge is a network link, levels increase by one along edges,
+// and every processor reaches the root.
+func (t Tree) Validate(g *graph.Graph) error {
+	if len(t.Parent) != g.N() || len(t.Level) != g.N() {
+		return fmt.Errorf("wave: tree arity %d/%d for %d-vertex graph", len(t.Parent), len(t.Level), g.N())
+	}
+	for p := 0; p < g.N(); p++ {
+		if p == t.Root {
+			if t.Parent[p] != -1 || t.Level[p] != 0 {
+				return fmt.Errorf("wave: root has parent=%d level=%d", t.Parent[p], t.Level[p])
+			}
+			continue
+		}
+		par := t.Parent[p]
+		if !g.HasEdge(p, par) {
+			return fmt.Errorf("wave: tree edge (%d,%d) is not a link", p, par)
+		}
+		if t.Level[p] != t.Level[par]+1 {
+			return fmt.Errorf("wave: level gap at %d: %d vs parent %d", p, t.Level[p], t.Level[par])
+		}
+		cur, hops := p, 0
+		for cur != t.Root {
+			cur = t.Parent[cur]
+			hops++
+			if hops > g.N() {
+				return fmt.Errorf("wave: processor %d does not reach the root", p)
+			}
+		}
+	}
+	return nil
+}
+
+// treeObserver freezes Par/L at each processor's F-action for the current
+// wave.
+type treeObserver struct {
+	sys    *System
+	msg    uint64
+	parent map[int]int
+	level  map[int]int
+}
+
+var _ sim.Observer = (*treeObserver)(nil)
+
+func (to *treeObserver) OnStep(_ int, executed []sim.Choice, c *sim.Configuration) {
+	root := to.sys.Proto.Root
+	for _, ch := range executed {
+		s := c.States[ch.Proc].(core.State)
+		switch {
+		case ch.Proc == root && ch.Action == core.ActionB:
+			to.msg = s.Msg
+			to.parent = make(map[int]int, c.N())
+			to.level = make(map[int]int, c.N())
+		case to.parent == nil:
+		case ch.Action == core.ActionF && s.Msg == to.msg:
+			if ch.Proc == root {
+				to.parent[root] = -1
+				to.level[root] = 0
+			} else {
+				to.parent[ch.Proc] = s.Par
+				to.level[ch.Proc] = s.L
+			}
+		}
+	}
+}
+
+// Build runs one wave and returns the spanning tree it constructed.
+func (st *SpanningTree) Build() (Tree, error) {
+	to := &treeObserver{sys: st.sys}
+	if _, err := st.sys.RunWave(to); err != nil {
+		return Tree{}, err
+	}
+	n := st.sys.G.N()
+	tree := Tree{Root: st.sys.Proto.Root, Parent: make([]int, n), Level: make([]int, n)}
+	for p := 0; p < n; p++ {
+		par, ok := to.parent[p]
+		if !ok {
+			return Tree{}, fmt.Errorf("wave: processor %d missing from the constructed tree", p)
+		}
+		tree.Parent[p] = par
+		tree.Level[p] = to.level[p]
+	}
+	return tree, nil
+}

@@ -1,0 +1,91 @@
+package wave_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"snappif/internal/fault"
+	"snappif/internal/graph"
+	"snappif/internal/wave"
+)
+
+func TestSpanningTreeCleanStart(t *testing.T) {
+	for _, build := range []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return graph.Line(9) },
+		func() (*graph.Graph, error) { return graph.Ring(9) },
+		func() (*graph.Graph, error) { return graph.Grid(3, 4) },
+		func() (*graph.Graph, error) {
+			return graph.RandomConnected(14, 0.2, rand.New(rand.NewSource(5)))
+		},
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(g.Name(), func(t *testing.T) {
+			st, err := wave.NewSpanningTree(g, 0, wave.WithSeed(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree, err := st.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tree.Validate(g); err != nil {
+				t.Fatal(err)
+			}
+			if tree.Root != 0 {
+				t.Fatalf("root = %d", tree.Root)
+			}
+			if h := tree.Height(); h < g.Eccentricity(0) {
+				t.Fatalf("height %d below eccentricity %d — impossible", h, g.Eccentricity(0))
+			}
+		})
+	}
+}
+
+func TestSpanningTreeFirstBuildAfterFault(t *testing.T) {
+	g, err := graph.Grid(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inj := range fault.All() {
+		t.Run(inj.Name, func(t *testing.T) {
+			st, err := wave.NewSpanningTree(g, 0, wave.WithSeed(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			inj.Apply(st.System().Cfg, st.System().Proto, rand.New(rand.NewSource(9)))
+			tree, err := st.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tree.Validate(g); err != nil {
+				t.Fatalf("first tree after %s invalid: %v", inj.Name, err)
+			}
+		})
+	}
+}
+
+func TestTreeValidateRejectsBadTrees(t *testing.T) {
+	g, err := graph.Line(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := wave.Tree{Root: 0, Parent: []int{-1, 0, 1, 2}, Level: []int{0, 1, 2, 3}}
+	if err := good.Validate(g); err != nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+	bad := []wave.Tree{
+		{Root: 0, Parent: []int{-1, 0, 1}, Level: []int{0, 1, 2}},       // wrong arity
+		{Root: 0, Parent: []int{-1, 0, 0, 2}, Level: []int{0, 1, 1, 2}}, // non-edge 2–0
+		{Root: 0, Parent: []int{-1, 0, 1, 2}, Level: []int{0, 1, 3, 4}}, // level gap
+		{Root: 0, Parent: []int{1, 0, 1, 2}, Level: []int{0, 1, 2, 3}},  // root has parent
+		{Root: 0, Parent: []int{-1, 2, 1, 2}, Level: []int{0, 1, 2, 3}}, // cycle 1↔2
+	}
+	for i, tree := range bad {
+		if err := tree.Validate(g); err == nil {
+			t.Errorf("bad tree %d accepted", i)
+		}
+	}
+}

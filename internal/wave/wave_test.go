@@ -1,0 +1,222 @@
+package wave_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"snappif/internal/fault"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+	"snappif/internal/wave"
+)
+
+func randGraph(t *testing.T, n int, seed int64) *graph.Graph {
+	t.Helper()
+	g, err := graph.RandomConnected(n, 0.25, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestInfimumComputesMin(t *testing.T) {
+	g := randGraph(t, 12, 3)
+	values := make([]int64, g.N())
+	rng := rand.New(rand.NewSource(7))
+	want := int64(1 << 40)
+	for p := range values {
+		values[p] = rng.Int63n(1000) - 500
+		if values[p] < want {
+			want = values[p]
+		}
+	}
+	got, err := wave.Infimum(g, 0, values, wave.Min, wave.WithSeed(11))
+	if err != nil {
+		t.Fatalf("infimum: %v", err)
+	}
+	if got != want {
+		t.Fatalf("infimum = %d, want %d", got, want)
+	}
+}
+
+func TestInfimumFoldsAcrossCombines(t *testing.T) {
+	g := randGraph(t, 10, 5)
+	values := make([]int64, g.N())
+	var sum int64
+	var maxV int64 = -1 << 60
+	for p := range values {
+		values[p] = int64(p * p)
+		sum += values[p]
+		if values[p] > maxV {
+			maxV = values[p]
+		}
+	}
+	gotSum, err := wave.Infimum(g, 0, values, wave.Sum)
+	if err != nil {
+		t.Fatalf("sum: %v", err)
+	}
+	if gotSum != sum {
+		t.Errorf("sum = %d, want %d", gotSum, sum)
+	}
+	gotMax, err := wave.Infimum(g, 0, values, wave.Max)
+	if err != nil {
+		t.Fatalf("max: %v", err)
+	}
+	if gotMax != maxV {
+		t.Errorf("max = %d, want %d", gotMax, maxV)
+	}
+}
+
+func TestInfimumCorrectDespiteCorruption(t *testing.T) {
+	// The snap guarantee transfers to the application: the first infimum
+	// computed after an arbitrary corruption is already exact.
+	g := randGraph(t, 9, 9)
+	for _, inj := range fault.All() {
+		t.Run(inj.Name, func(t *testing.T) {
+			sys, err := wave.NewSystem(g, 0, wave.Min, wave.WithSeed(13))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := int64(1 << 40)
+			for p := 0; p < g.N(); p++ {
+				v := int64(100 - 7*p)
+				sys.SetValue(p, v)
+				if v < want {
+					want = v
+				}
+			}
+			inj.Apply(sys.Cfg, sys.Proto, rand.New(rand.NewSource(21)))
+			// Corruption scrambles Agg but must not touch Val (application
+			// state is the payload being protected, not protocol state).
+			if _, err := sys.RunWave(); err != nil {
+				t.Fatalf("wave: %v", err)
+			}
+			if got := sys.RootAggregate(); got != want {
+				t.Fatalf("infimum after %s = %d, want %d", inj.Name, got, want)
+			}
+		})
+	}
+}
+
+func TestResetInstallsUniformEpoch(t *testing.T) {
+	g := randGraph(t, 11, 17)
+	rc, err := wave.NewResetCoordinator(g, 0, wave.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt, then reset: first reset must already be uniform.
+	fault.UniformRandom().Apply(rc.System().Cfg, rc.System().Proto, rand.New(rand.NewSource(2)))
+	epoch1, err := rc.Reset()
+	if err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	if got, ok := rc.Uniform(); !ok || got != epoch1 {
+		t.Fatalf("after reset: uniform=%v epoch=%d, want uniform at %d", ok, got, epoch1)
+	}
+	epoch2, err := rc.Reset()
+	if err != nil {
+		t.Fatalf("second reset: %v", err)
+	}
+	if epoch2 <= epoch1 {
+		t.Fatalf("epochs must increase: %d then %d", epoch1, epoch2)
+	}
+	if got, ok := rc.Uniform(); !ok || got != epoch2 {
+		t.Fatalf("after second reset: uniform=%v epoch=%d, want %d", ok, got, epoch2)
+	}
+}
+
+func TestSynchronizerBarriers(t *testing.T) {
+	g := randGraph(t, 10, 23)
+	sy, err := wave.NewSynchronizer(g, 0, wave.WithSeed(3),
+		wave.WithDaemon(sim.DistributedRandom{P: 0.4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := sy.Barrier(); err != nil {
+			t.Fatalf("barrier %d: %v", i, err)
+		}
+	}
+	if sy.Barriers() != 5 {
+		t.Fatalf("barriers = %d, want 5", sy.Barriers())
+	}
+	for p := 0; p < g.N(); p++ {
+		if sy.Pulse(p) != 5 {
+			t.Fatalf("processor %d at pulse %d, want 5", p, sy.Pulse(p))
+		}
+	}
+}
+
+func TestSnapshotIsComplete(t *testing.T) {
+	g := randGraph(t, 10, 31)
+	sc, err := wave.NewSnapshotCollector(g, 0, wave.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < g.N(); p++ {
+		sc.System().SetValue(p, int64(1000+p))
+	}
+	snap, err := sc.Collect()
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	for p, v := range snap {
+		if v != int64(1000+p) {
+			t.Errorf("snapshot[%d] = %d, want %d", p, v, 1000+p)
+		}
+	}
+}
+
+func TestTerminationDetector(t *testing.T) {
+	g := randGraph(t, 8, 41)
+	td, err := wave.NewTerminationDetector(g, 0, wave.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All active: not terminated.
+	done, err := td.Detect()
+	if err != nil {
+		t.Fatalf("detect: %v", err)
+	}
+	if done {
+		t.Fatal("detected termination while all processors active")
+	}
+	// All but one passive: still not terminated.
+	for p := 0; p < g.N(); p++ {
+		td.SetPassive(p, p != 3)
+	}
+	if done, err = td.Detect(); err != nil {
+		t.Fatalf("detect: %v", err)
+	} else if done {
+		t.Fatal("detected termination with processor 3 active")
+	}
+	// Everyone passive: terminated.
+	td.SetPassive(3, true)
+	if done, err = td.Detect(); err != nil {
+		t.Fatalf("detect: %v", err)
+	} else if !done {
+		t.Fatal("failed to detect termination with all processors passive")
+	}
+}
+
+func TestRootValueParticipatesInAggregate(t *testing.T) {
+	g, err := graph.Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := wave.NewSystem(g, 0, wave.Min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The minimum sits at the root itself.
+	sys.SetValue(0, -99)
+	for p := 1; p < g.N(); p++ {
+		sys.SetValue(p, int64(p))
+	}
+	if _, err := sys.RunWave(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.RootAggregate(); got != -99 {
+		t.Fatalf("aggregate = %d, want -99", got)
+	}
+}

@@ -1,0 +1,64 @@
+package snappif_test
+
+import (
+	"testing"
+
+	"snappif"
+)
+
+func TestMultiNetworkFacade(t *testing.T) {
+	topo, err := snappif.Grid(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := snappif.NewMultiNetwork(topo, []int{0, 11}, snappif.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Initiators(); len(got) != 2 || got[0] != 0 || got[1] != 11 {
+		t.Fatalf("initiators = %v", got)
+	}
+	if err := net.CorruptInstance(0, snappif.CorruptUniform); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.CorruptInstance(1, snappif.CorruptStaleFeedback); err != nil {
+		t.Fatal(err)
+	}
+	waves, err := net.RunWavesEach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perInit := make(map[int]int)
+	for _, w := range waves {
+		if !w.OK(topo.N()) {
+			t.Fatalf("wave violated: %+v", w)
+		}
+		perInit[w.Initiator]++
+	}
+	if perInit[0] < 2 || perInit[11] < 2 {
+		t.Fatalf("per-initiator waves: %v", perInit)
+	}
+}
+
+func TestMultiNetworkValidation(t *testing.T) {
+	topo, err := snappif.Ring(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snappif.NewMultiNetwork(snappif.Topology{}, []int{0}); err == nil {
+		t.Fatal("zero topology accepted")
+	}
+	if _, err := snappif.NewMultiNetwork(topo, nil); err == nil {
+		t.Fatal("empty initiators accepted")
+	}
+	net, err := snappif.NewMultiNetwork(topo, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.CorruptInstance(5, snappif.CorruptUniform); err == nil {
+		t.Fatal("out-of-range instance accepted")
+	}
+	if err := net.CorruptInstance(0, snappif.Corruption(77)); err == nil {
+		t.Fatal("unknown corruption accepted")
+	}
+}

@@ -1,0 +1,148 @@
+package snappif_test
+
+import (
+	"testing"
+	"time"
+
+	"snappif"
+)
+
+func TestRunConcurrentFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("goroutine runtime in -short mode")
+	}
+	topo, err := snappif.Random(16, 0.25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := snappif.RunConcurrent(topo, 0, 2, snappif.ConcurrentOptions{
+		Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Waves) < 2 {
+		t.Fatalf("waves = %d", len(res.Waves))
+	}
+	for i, w := range res.Waves[:2] {
+		if w.Delivered != topo.N()-1 || w.Acknowledged != topo.N()-1 {
+			t.Fatalf("wave %d: %+v", i, w)
+		}
+	}
+	if res.Moves == 0 || res.Elapsed == 0 {
+		t.Fatalf("suspicious accounting: %+v", res)
+	}
+}
+
+func TestRunConcurrentWithCorruption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("goroutine runtime in -short mode")
+	}
+	topo, err := snappif.Grid(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := snappif.RunConcurrent(topo, 0, 2, snappif.ConcurrentOptions{
+		Corrupt: snappif.CorruptUniform,
+		Seed:    9,
+		Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range res.Waves[:2] {
+		if w.Delivered != topo.N()-1 {
+			t.Fatalf("wave %d after corruption: delivered %d/%d", i, w.Delivered, topo.N()-1)
+		}
+	}
+	// Unknown corruption rejected.
+	if _, err := snappif.RunConcurrent(topo, 0, 1, snappif.ConcurrentOptions{
+		Corrupt: snappif.Corruption(99),
+	}); err == nil {
+		t.Fatal("unknown corruption accepted")
+	}
+}
+
+func TestRunMessagePassingFacade(t *testing.T) {
+	topo, err := snappif.Ring(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := snappif.RunMessagePassing(topo, 0, 2, snappif.MessagePassingOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Waves) < 2 || res.Messages == 0 || res.Elapsed == 0 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	for i, w := range res.Waves[:2] {
+		if w.Delivered != topo.N()-1 {
+			t.Fatalf("wave %d: delivered %d/%d", i, w.Delivered, topo.N()-1)
+		}
+	}
+	// Corrupted start converges by the last wave.
+	res, err = snappif.RunMessagePassing(topo, 0, 4, snappif.MessagePassingOptions{
+		Corrupt: snappif.CorruptUniform,
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Waves[len(res.Waves)-1]
+	if last.Delivered != topo.N()-1 {
+		t.Fatalf("failed to converge: %+v", last)
+	}
+	if _, err := snappif.RunMessagePassing(topo, 0, 1, snappif.MessagePassingOptions{
+		Corrupt: snappif.Corruption(42),
+	}); err == nil {
+		t.Fatal("unknown corruption accepted")
+	}
+}
+
+func TestWithRoundTrace(t *testing.T) {
+	topo, err := snappif.Line(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf tslog
+	net, err := snappif.NewNetwork(topo, 0,
+		snappif.WithDaemon(snappif.SynchronousDaemon()),
+		snappif.WithRoundTrace(&buf, 1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Broadcast(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.lines == 0 {
+		t.Fatal("round trace produced no output")
+	}
+}
+
+// tslog counts written lines.
+type tslog struct{ lines int }
+
+func (l *tslog) Write(p []byte) (int, error) {
+	for _, b := range p {
+		if b == '\n' {
+			l.lines++
+		}
+	}
+	return len(p), nil
+}
+
+func TestCombineHelpers(t *testing.T) {
+	if snappif.MaxCombine(3, 9) != 9 || snappif.MaxCombine(9, 3) != 9 {
+		t.Fatal("MaxCombine broken")
+	}
+	if snappif.SumCombine(3, 9) != 12 {
+		t.Fatal("SumCombine broken")
+	}
+	if snappif.AndCombine(1, 1) != 1 || snappif.AndCombine(1, 0) != 0 || snappif.AndCombine(0, 1) != 0 {
+		t.Fatal("AndCombine broken")
+	}
+	if snappif.MinCombine(-2, 5) != -2 {
+		t.Fatal("MinCombine broken")
+	}
+}

@@ -1,0 +1,54 @@
+package snappif_test
+
+import (
+	"testing"
+
+	"snappif"
+)
+
+// TestSoakManyWaves runs 200 consecutive waves with full invariant
+// monitoring, interleaving corruption every 25 waves — a long-horizon
+// stability check of Specification 1 ("the PIF scheme is an infinite
+// sequence of PIF cycles").
+func TestSoakManyWaves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak in -short mode")
+	}
+	topo, err := snappif.Random(20, 0.15, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := snappif.NewNetwork(topo, 0,
+		snappif.WithSeed(13),
+		snappif.WithInvariantChecking(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptions := []snappif.Corruption{
+		snappif.CorruptUniform, snappif.CorruptPhantomTree,
+		snappif.CorruptInflatedCounts, snappif.CorruptStaleRegion,
+		snappif.CorruptPartial, snappif.CorruptMaxLevels,
+		snappif.CorruptPrematureFok, snappif.CorruptStaleFeedback,
+	}
+	var lastMsg uint64
+	for wave := 0; wave < 200; wave++ {
+		if wave%25 == 24 {
+			if err := net.Corrupt(corruptions[(wave/25)%len(corruptions)]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := net.Broadcast()
+		if err != nil {
+			t.Fatalf("wave %d: %v", wave, err)
+		}
+		if !res.OK() || res.Delivered != topo.N()-1 {
+			t.Fatalf("wave %d violated: delivered %d/%d, %v",
+				wave, res.Delivered, topo.N()-1, res.Violations)
+		}
+		if res.Message <= lastMsg {
+			t.Fatalf("wave %d: message id regressed (%d after %d)", wave, res.Message, lastMsg)
+		}
+		lastMsg = res.Message
+	}
+}

@@ -1,0 +1,121 @@
+// Package snappif is a Go implementation of the snap-stabilizing
+// Propagation of Information with Feedback (PIF) protocol for arbitrary
+// networks of Cournier, Datta, Petit, and Villain (ICDCS 2002), together
+// with the simulation machinery needed to run, corrupt, observe, and
+// benchmark it.
+//
+// A PIF wave broadcasts a message from a distinguished root processor to
+// every processor of an arbitrary connected network and collects an
+// acknowledgment from every processor back at the root, building the
+// spanning tree it needs on the fly — no pre-constructed spanning tree is
+// assumed. The protocol is snap-stabilizing: started from *any* initial
+// configuration (e.g. after an arbitrary transient fault), the very first
+// wave the root initiates already behaves according to the specification.
+//
+// Quick start:
+//
+//	topo, _ := snappif.Ring(16)
+//	net, _ := snappif.NewNetwork(topo, 0)
+//	res, _ := net.Broadcast()
+//	fmt.Println(res.Delivered, res.Rounds)
+//
+// See the examples/ directory for complete programs, and DESIGN.md /
+// EXPERIMENTS.md for the mapping back to the paper.
+package snappif
+
+import (
+	"math/rand"
+
+	"snappif/internal/graph"
+)
+
+// Topology is a connected simple undirected network over processors
+// 0..N-1.
+type Topology struct {
+	g *graph.Graph
+}
+
+// N returns the number of processors.
+func (t Topology) N() int { return t.g.N() }
+
+// M returns the number of bidirectional links.
+func (t Topology) M() int { return t.g.M() }
+
+// Name returns the topology's name (e.g. "ring-16").
+func (t Topology) Name() string { return t.g.Name() }
+
+// Diameter returns the network diameter.
+func (t Topology) Diameter() int { return t.g.Diameter() }
+
+// Neighbors returns a copy of processor p's neighbor list in its local
+// order.
+func (t Topology) Neighbors(p int) []int {
+	return append([]int(nil), t.g.Neighbors(p)...)
+}
+
+// String implements fmt.Stringer.
+func (t Topology) String() string { return t.g.String() }
+
+func wrap(g *graph.Graph, err error) (Topology, error) {
+	if err != nil {
+		return Topology{}, err
+	}
+	return Topology{g: g}, nil
+}
+
+// Line returns the path topology on n processors.
+func Line(n int) (Topology, error) { return wrap(graph.Line(n)) }
+
+// Ring returns the cycle topology on n ≥ 3 processors.
+func Ring(n int) (Topology, error) { return wrap(graph.Ring(n)) }
+
+// Star returns the star topology with center 0 and n-1 leaves.
+func Star(n int) (Topology, error) { return wrap(graph.Star(n)) }
+
+// Complete returns the fully connected topology on n processors.
+func Complete(n int) (Topology, error) { return wrap(graph.Complete(n)) }
+
+// Grid returns the rows×cols mesh topology.
+func Grid(rows, cols int) (Topology, error) { return wrap(graph.Grid(rows, cols)) }
+
+// Torus returns the rows×cols torus topology (dims ≥ 3).
+func Torus(rows, cols int) (Topology, error) { return wrap(graph.Torus(rows, cols)) }
+
+// Hypercube returns the dim-dimensional hypercube topology.
+func Hypercube(dim int) (Topology, error) { return wrap(graph.Hypercube(dim)) }
+
+// BinaryTree returns the complete binary tree on n processors.
+func BinaryTree(n int) (Topology, error) { return wrap(graph.BinaryTree(n)) }
+
+// Caterpillar returns a spine-with-legs tree topology.
+func Caterpillar(spine, legs int) (Topology, error) { return wrap(graph.Caterpillar(spine, legs)) }
+
+// Lollipop returns a clique with a path tail attached.
+func Lollipop(clique, tail int) (Topology, error) { return wrap(graph.Lollipop(clique, tail)) }
+
+// Wheel returns a hub connected to every node of an outer cycle.
+func Wheel(n int) (Topology, error) { return wrap(graph.Wheel(n)) }
+
+// Circulant returns the circulant topology C_n(jumps).
+func Circulant(n int, jumps []int) (Topology, error) { return wrap(graph.Circulant(n, jumps)) }
+
+// Barbell returns two cliques joined by a bridge path.
+func Barbell(clique, bridge int) (Topology, error) { return wrap(graph.Barbell(clique, bridge)) }
+
+// CompleteBipartite returns K_{a,b}.
+func CompleteBipartite(a, b int) (Topology, error) { return wrap(graph.CompleteBipartite(a, b)) }
+
+// KaryTree returns the complete k-ary tree on n processors.
+func KaryTree(k, n int) (Topology, error) { return wrap(graph.KaryTree(k, n)) }
+
+// Random returns a connected random topology: a random spanning tree plus
+// each extra link with probability p, deterministically from seed.
+func Random(n int, p float64, seed int64) (Topology, error) {
+	return wrap(graph.RandomConnected(n, p, rand.New(rand.NewSource(seed))))
+}
+
+// Custom builds a topology from an explicit edge list; it must be
+// connected, simple, and self-loop free.
+func Custom(name string, n int, edges [][2]int) (Topology, error) {
+	return wrap(graph.New(name, n, edges))
+}

@@ -1,0 +1,99 @@
+package snappif
+
+import (
+	"math/rand"
+
+	"snappif/internal/transform"
+	"snappif/internal/wave"
+)
+
+// newSeededRand builds a deterministic RNG for corruption injection.
+func newSeededRand(seed int64) *rand.Rand {
+	if seed == 0 {
+		seed = 1
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// QueryFunc computes a global query result from the consistent vector of
+// per-processor inputs (index = processor ID).
+type QueryFunc = transform.QueryFunc
+
+// QueryService evaluates arbitrary global queries with snap semantics (the
+// paper's concluding "universal transformer" idea): each Evaluate runs one
+// PIF wave that gathers a consistent input vector at the root and applies
+// the query function. The first evaluation after an arbitrary transient
+// fault is already exact.
+type QueryService struct {
+	svc *transform.Service
+}
+
+// NewQueryService builds a query service on topo with initiator root.
+func NewQueryService(topo Topology, root int, opts ...NetworkOption) (*QueryService, error) {
+	o := collectOptions(opts)
+	svc, err := transform.NewService(topo.g, root, wave.WithSeed(o.seed))
+	if err != nil {
+		return nil, err
+	}
+	return &QueryService{svc: svc}, nil
+}
+
+// SetInput sets processor p's query input.
+func (qs *QueryService) SetInput(p int, v int64) { qs.svc.SetInput(p, v) }
+
+// Evaluate runs one wave and applies f to the gathered input vector.
+func (qs *QueryService) Evaluate(f QueryFunc) (int64, error) { return qs.svc.Evaluate(f) }
+
+// Corrupt injects a corruption pattern into the service's protocol state.
+func (qs *QueryService) Corrupt(kind Corruption, seed int64) error {
+	return corruptWaveSystem(qs.svc.System(), kind, seed)
+}
+
+// Election is snap-stabilizing leader election built on the query service:
+// the processor with the highest priority wins (ties toward the higher ID),
+// and every Elect call — including the first after a fault — is exact.
+type Election struct {
+	el *transform.Election
+}
+
+// NewElection builds an election on topo; the wave initiator is root and
+// default priorities are the processor IDs.
+func NewElection(topo Topology, root int, opts ...NetworkOption) (*Election, error) {
+	o := collectOptions(opts)
+	el, err := transform.NewElection(topo.g, root, wave.WithSeed(o.seed))
+	if err != nil {
+		return nil, err
+	}
+	return &Election{el: el}, nil
+}
+
+// SetPriority overrides processor p's election priority.
+func (e *Election) SetPriority(p int, priority int64) { e.el.SetPriority(p, priority) }
+
+// Elect runs one wave and returns the elected leader.
+func (e *Election) Elect() (int, error) { return e.el.Elect() }
+
+// Corrupt injects a corruption pattern into the election's protocol state.
+func (e *Election) Corrupt(kind Corruption, seed int64) error {
+	return corruptWaveSystem(e.el.System(), kind, seed)
+}
+
+// collectOptions extracts the network options relevant to wave-based
+// services (currently the seed).
+func collectOptions(opts []NetworkOption) networkOptions {
+	o := networkOptions{seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// corruptWaveSystem applies a public corruption kind to a wave system.
+func corruptWaveSystem(sys *wave.System, kind Corruption, seed int64) error {
+	inj, err := injectorFor(kind)
+	if err != nil {
+		return err
+	}
+	inj.Apply(sys.Cfg, sys.Proto, newSeededRand(seed))
+	return nil
+}

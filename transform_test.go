@@ -1,0 +1,77 @@
+package snappif_test
+
+import (
+	"testing"
+
+	"snappif"
+)
+
+func TestQueryServiceFacade(t *testing.T) {
+	topo, err := snappif.Wheel(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := snappif.NewQueryService(topo, 0, snappif.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for p := 0; p < topo.N(); p++ {
+		v := int64(p * 3)
+		qs.SetInput(p, v)
+		want += v
+	}
+	sum := func(values []int64) int64 {
+		var acc int64
+		for _, v := range values {
+			acc += v
+		}
+		return acc
+	}
+	got, err := qs.Evaluate(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	// Exact again right after corruption.
+	if err := qs.Corrupt(snappif.CorruptUniform, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = qs.Evaluate(sum); err != nil {
+		t.Fatal(err)
+	} else if got != want {
+		t.Fatalf("post-fault sum = %d, want %d", got, want)
+	}
+	if err := qs.Corrupt(snappif.Corruption(77), 1); err == nil {
+		t.Fatal("unknown corruption accepted")
+	}
+}
+
+func TestElectionFacade(t *testing.T) {
+	topo, err := snappif.Circulant(11, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := snappif.NewElection(topo, 4, snappif.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leader, err := el.Elect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leader != topo.N()-1 {
+		t.Fatalf("leader = %d, want %d", leader, topo.N()-1)
+	}
+	el.SetPriority(6, 999)
+	if err := el.Corrupt(snappif.CorruptStaleRegion, 3); err != nil {
+		t.Fatal(err)
+	}
+	if leader, err = el.Elect(); err != nil {
+		t.Fatal(err)
+	} else if leader != 6 {
+		t.Fatalf("post-fault leader = %d, want 6", leader)
+	}
+}
