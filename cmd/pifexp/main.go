@@ -6,16 +6,25 @@
 //
 // Usage:
 //
-//	pifexp [-quick] [-trials N] [-seed S] [-only E4[,E7]] [-md]
+//	pifexp [-quick] [-trials N] [-seed S] [-only E4[,E7]] [-md] [-parallel] [-bench FILE]
+//
+// -parallel fans both the experiments and their table cells across
+// GOMAXPROCS workers; every cell derives its randomness from its own seed,
+// so stdout is byte-identical to a serial run (timing goes to stderr).
+// -bench additionally measures the simulation hot path and writes a JSON
+// report (steps/sec, allocs/step) to the given file.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"snappif/internal/exp"
@@ -38,6 +47,8 @@ func run(args []string, out io.Writer) error {
 		only     = fs.String("only", "", "comma-separated experiment IDs (e.g. E1,E4)")
 		markdown = fs.Bool("md", false, "emit tables as markdown")
 		csvDir   = fs.String("csv", "", "also write each table as <dir>/<id>.csv")
+		parallel = fs.Bool("parallel", false, "fan experiments and table cells across GOMAXPROCS workers (stdout identical to serial)")
+		bench    = fs.String("bench", "", "measure the simulation hot path and write a JSON report to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,36 +61,108 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	opt := exp.Options{Quick: *quick, Trials: *trials, Seed: *seed}
-	failures := 0
+	timings := &trace.Timings{}
+	opt := exp.Options{
+		Quick:    *quick,
+		Trials:   *trials,
+		Seed:     *seed,
+		Parallel: *parallel,
+		Timings:  timings,
+	}
+
+	var selected []exp.Experiment
 	for _, e := range exp.All() {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
+		selected = append(selected, e)
+	}
+
+	// Each experiment renders into its own buffer; buffers are flushed to
+	// out in registry order, so stdout is identical whether the experiments
+	// ran sequentially or concurrently. Wall-clock timing goes to stderr —
+	// it is the one line that legitimately differs between the modes.
+	type result struct {
+		buf     bytes.Buffer
+		elapsed time.Duration
+		failed  bool
+		err     error
+	}
+	results := make([]result, len(selected))
+	runOne := func(i int) {
+		e, r := selected[i], &results[i]
 		start := time.Now()
 		o, err := e.Run(opt)
+		r.elapsed = time.Since(start)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+			r.err = fmt.Errorf("%s: %w", e.ID, err)
+			return
 		}
-		fmt.Fprintf(out, "=== %s — %s (%.1fs)\n", e.ID, e.Paper, time.Since(start).Seconds())
+		fmt.Fprintf(&r.buf, "=== %s — %s\n", e.ID, e.Paper)
 		if *markdown {
-			o.Table.Markdown(out)
+			o.Table.Markdown(&r.buf)
 		} else {
-			o.Table.Render(out)
+			o.Table.Render(&r.buf)
 		}
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, e.ID, o.Table); err != nil {
-				return err
+				r.err = err
+				return
 			}
 		}
 		ok := o.BoundExceeded == 0 && o.SnapViolations == 0
 		verdict := "REPRODUCED"
 		if !ok {
 			verdict = "FAILED"
+			r.failed = true
+		}
+		fmt.Fprintf(&r.buf, "verdict: %s (bound exceeded: %d, snap violations: %d, baseline violations: %d)\n\n",
+			verdict, o.BoundExceeded, o.SnapViolations, o.BaselineViolations)
+	}
+	if *parallel {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(selected) {
+			workers = len(selected)
+		}
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					runOne(i)
+				}
+			}()
+		}
+		for i := range selected {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	} else {
+		for i := range selected {
+			runOne(i)
+		}
+	}
+
+	failures := 0
+	for i := range results {
+		if results[i].err != nil {
+			return results[i].err
+		}
+		if _, err := io.Copy(out, &results[i].buf); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "pifexp: %s %.1fs\n", selected[i].ID, results[i].elapsed.Seconds())
+		if results[i].failed {
 			failures++
 		}
-		fmt.Fprintf(out, "verdict: %s (bound exceeded: %d, snap violations: %d, baseline violations: %d)\n\n",
-			verdict, o.BoundExceeded, o.SnapViolations, o.BaselineViolations)
+	}
+	if *bench != "" {
+		if err := writeBench(*bench, timings); err != nil {
+			return err
+		}
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d experiments failed", failures)

@@ -25,14 +25,14 @@ func setup(t *testing.T, n int) (*graph.Graph, *core.Protocol, *sim.Configuratio
 // plantLegalChain puts processors 0..k into a consistent broadcast chain.
 func plantLegalChain(cfg *sim.Configuration, k int) {
 	for p := 0; p <= k; p++ {
-		s := cfg.States[p].(core.State)
+		s := core.At(cfg, p)
 		s.Pif = core.B
 		s.L = p
 		s.Count = 1
 		if p > 0 {
 			s.Par = p - 1
 		}
-		cfg.States[p] = s
+		core.Set(cfg, p, s)
 	}
 }
 
@@ -63,9 +63,9 @@ func TestParentPathStopsAtAbnormal(t *testing.T) {
 	// Break processor 2's level: both 2 (level inconsistent with 1) and 3
 	// (level inconsistent with 2) become abnormal, so 4's path ends at 3 —
 	// the first abnormal processor — and 2, 3, 4 leave the LegalTree.
-	s := cfg.States[2].(core.State)
+	s := core.At(cfg, 2)
 	s.L = 5
-	cfg.States[2] = s
+	core.Set(cfg, 2, s)
 	if pr.Normal(cfg, 2) || pr.Normal(cfg, 3) {
 		t.Fatal("level-broken processors still normal")
 	}
@@ -94,12 +94,12 @@ func TestParentPathSurvivesParCycle(t *testing.T) {
 	pr := core.MustNew(g, 1) // root elsewhere
 	cfg := sim.NewConfiguration(g, pr)
 	// 2 and 3 point at each other with "consistent-looking" junk levels.
-	s2 := cfg.States[2].(core.State)
+	s2 := core.At(cfg, 2)
 	s2.Pif, s2.Par, s2.L = core.B, 3, 2
-	cfg.States[2] = s2
-	s3 := cfg.States[3].(core.State)
+	core.Set(cfg, 2, s2)
+	s3 := core.At(cfg, 3)
 	s3.Pif, s3.Par, s3.L = core.B, 2, 3
-	cfg.States[3] = s3
+	core.Set(cfg, 3, s3)
 	// Must terminate despite the pointer cycle.
 	path := check.ParentPath(cfg, pr, 2)
 	if len(path) == 0 || len(path) > 4 {
@@ -118,14 +118,14 @@ func TestSourcesAndSubtreeSizes(t *testing.T) {
 	pr := core.MustNew(g, 0)
 	cfg := sim.NewConfiguration(g, pr)
 	// Root broadcasting with two attached leaves.
-	s0 := cfg.States[0].(core.State)
+	s0 := core.At(cfg, 0)
 	s0.Pif = core.B
 	s0.Count = 3
-	cfg.States[0] = s0
+	core.Set(cfg, 0, s0)
 	for _, leaf := range []int{1, 2} {
-		s := cfg.States[leaf].(core.State)
+		s := core.At(cfg, leaf)
 		s.Pif, s.Par, s.L, s.Count = core.B, 0, 1, 1
-		cfg.States[leaf] = s
+		core.Set(cfg, leaf, s)
 	}
 	sources := check.Sources(cfg, pr)
 	if len(sources) != 2 || sources[0] != 1 || sources[1] != 2 {
@@ -145,12 +145,12 @@ func TestTreesForest(t *testing.T) {
 	// 3 is abnormal (its level cannot match its clean parent's).
 	_, pr, cfg := setup(t, 6)
 	plantLegalChain(cfg, 1)
-	s3 := cfg.States[3].(core.State)
+	s3 := core.At(cfg, 3)
 	s3.Pif, s3.Par, s3.L = core.B, 2, 4 // parent 2 is clean → abnormal
-	cfg.States[3] = s3
-	s4 := cfg.States[4].(core.State)
+	core.Set(cfg, 3, s3)
+	s4 := core.At(cfg, 4)
 	s4.Pif, s4.Par, s4.L = core.B, 3, 5 // consistent with 3 → normal, in 3's tree
-	cfg.States[4] = s4
+	core.Set(cfg, 4, s4)
 
 	forest := check.Trees(cfg, pr)
 	if len(forest) != 2 {
@@ -188,9 +188,9 @@ func TestConfigurationClasses(t *testing.T) {
 	}
 	// Root switches to F: EF (and EFN once everyone is F... here only the
 	// root, which leaves children abnormal — EF but not EFN).
-	s := cfg.States[0].(core.State)
+	s := core.At(cfg, 0)
 	s.Pif = core.F
-	cfg.States[0] = s
+	core.Set(cfg, 0, s)
 	if !check.IsEndFeedback(cfg, pr) {
 		t.Fatal("root F not EF")
 	}
@@ -212,9 +212,9 @@ func TestGoodConfigurationDetectsBadOutsider(t *testing.T) {
 	}
 	// Processor 2: outside the tree (wrong level → abnormal), parent in
 	// tree, with an inflated Count violating GoodCount.
-	s := cfg.States[2].(core.State)
+	s := core.At(cfg, 2)
 	s.Pif, s.Par, s.L, s.Count = core.B, 1, 3, 4
-	cfg.States[2] = s
+	core.Set(cfg, 2, s)
 	if check.InLegalTree(cfg, pr, 2) {
 		t.Fatal("abnormal processor in LegalTree")
 	}
@@ -229,44 +229,44 @@ func TestDomainsCatchesEachViolation(t *testing.T) {
 		t.Fatalf("clean config: %v", err)
 	}
 	break1 := cfg.Clone()
-	s := break1.States[2].(core.State)
+	s := core.At(break1, 2)
 	s.Count = 0
-	break1.States[2] = s
+	core.Set(break1, 2, s)
 	if check.Domains(break1, pr) == nil {
 		t.Fatal("Count=0 accepted")
 	}
 	break2 := cfg.Clone()
-	s = break2.States[2].(core.State)
+	s = core.At(break2, 2)
 	s.L = 99
-	break2.States[2] = s
+	core.Set(break2, 2, s)
 	if check.Domains(break2, pr) == nil {
 		t.Fatal("L out of range accepted")
 	}
 	break3 := cfg.Clone()
-	s = break3.States[2].(core.State)
+	s = core.At(break3, 2)
 	s.Par = 0 // not a neighbor of 2 on the line
-	break3.States[2] = s
+	core.Set(break3, 2, s)
 	if check.Domains(break3, pr) == nil {
 		t.Fatal("non-neighbor parent accepted")
 	}
 	break4 := cfg.Clone()
-	s = break4.States[0].(core.State)
+	s = core.At(break4, 0)
 	s.Par = 1
-	break4.States[0] = s
+	core.Set(break4, 0, s)
 	if check.Domains(break4, pr) == nil {
 		t.Fatal("root with a parent accepted")
 	}
 	break5 := cfg.Clone()
-	s = break5.States[0].(core.State)
+	s = core.At(break5, 0)
 	s.L = 1
-	break5.States[0] = s
+	core.Set(break5, 0, s)
 	if check.Domains(break5, pr) == nil {
 		t.Fatal("root with nonzero level accepted")
 	}
 	break6 := cfg.Clone()
-	s = break6.States[1].(core.State)
+	s = core.At(break6, 1)
 	s.Pif = core.Phase(9)
-	break6.States[1] = s
+	core.Set(break6, 1, s)
 	if check.Domains(break6, pr) == nil {
 		t.Fatal("invalid phase accepted")
 	}

@@ -19,7 +19,7 @@ import (
 
 // stateOf extracts p's PIF state.
 func stateOf(c *sim.Configuration, p int) core.State {
-	return c.States[p].(core.State)
+	return core.At(c, p)
 }
 
 // ParentPath returns the ParentPath of p (Definition 4): the maximal chain

@@ -80,10 +80,29 @@ type State struct {
 	Agg int64
 }
 
-var _ sim.State = State{}
+var _ sim.State = (*State)(nil)
 
-// Clone implements sim.State.
-func (s State) Clone() sim.State { return s }
+// Clone implements sim.State. States are stored in configurations as *State
+// boxes (so the engine's zero-allocation commit path can overwrite them in
+// place, see sim.InPlaceProtocol); Clone returns a fresh box holding a copy.
+func (s *State) Clone() sim.State { c := *s; return &c }
+
+// At returns processor p's state by value. It is the exported counterpart of
+// the package-internal accessor the guards use; checkers, fault injectors,
+// and tools read configurations through it.
+func At(c *sim.Configuration, p int) State {
+	s, ok := c.States[p].(*State)
+	if !ok {
+		panic("core: configuration does not hold *core.State")
+	}
+	return *s
+}
+
+// Set installs s as processor p's state, in a fresh box. Writers outside the
+// engine's hot path (fault injectors, tests, tools) must use Set rather than
+// assigning into Configuration.States directly, so that no two
+// configurations ever share a state box.
+func Set(c *sim.Configuration, p int, s State) { c.States[p] = &s }
 
 // String renders the state compactly, e.g. "B par=2 L=3 cnt=4 fok m=7".
 func (s State) String() string {

@@ -27,9 +27,9 @@ func lineSetup(t *testing.T) (*core.Protocol, *sim.Configuration) {
 
 // mut mutates processor p's state.
 func mut(c *sim.Configuration, p int, f func(*core.State)) {
-	s := c.States[p].(core.State)
+	s := core.At(c, p)
 	f(&s)
-	c.States[p] = s
+	core.Set(c, p, s)
 }
 
 // onlyEnabled asserts that exactly action a is enabled at p.
@@ -52,7 +52,7 @@ func TestGoodPifViolationTriggersBCorrection(t *testing.T) {
 		t.Fatal("only GoodPif should fail here")
 	}
 	onlyEnabled(t, pr, cfg, 1, core.ActionBCorrection)
-	next := pr.Apply(cfg, 1, core.ActionBCorrection).(core.State)
+	next := *pr.Apply(cfg, 1, core.ActionBCorrection).(*core.State)
 	if next.Pif != core.F {
 		t.Fatalf("B-correction set Pif=%v, want F", next.Pif)
 	}
@@ -109,7 +109,7 @@ func TestAbnormalFeedbackTriggersFCorrection(t *testing.T) {
 	// p1 in feedback while its parent is clean: GoodPif fails, F-correction.
 	mut(cfg, 1, func(s *core.State) { s.Pif = core.F; s.Par = 0; s.L = 1 })
 	onlyEnabled(t, pr, cfg, 1, core.ActionFCorrection)
-	next := pr.Apply(cfg, 1, core.ActionFCorrection).(core.State)
+	next := *pr.Apply(cfg, 1, core.ActionFCorrection).(*core.State)
 	if next.Pif != core.C {
 		t.Fatalf("F-correction set Pif=%v, want C", next.Pif)
 	}
@@ -124,7 +124,7 @@ func TestRootBCorrectionResetsToClean(t *testing.T) {
 		t.Fatal("root should be abnormal")
 	}
 	onlyEnabled(t, pr, cfg, 0, core.ActionBCorrection)
-	next := pr.Apply(cfg, 0, core.ActionBCorrection).(core.State)
+	next := *pr.Apply(cfg, 0, core.ActionBCorrection).(*core.State)
 	if next.Pif != core.C {
 		t.Fatalf("root B-correction set Pif=%v, want C", next.Pif)
 	}

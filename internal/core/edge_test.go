@@ -99,7 +99,7 @@ func TestPotentialPrefersMinimumLevel(t *testing.T) {
 	}
 	pr := core.MustNew(g, 0)
 	cfg := sim.NewConfiguration(g, pr)
-	set := func(p int, s core.State) { cfg.States[p] = s }
+	set := func(p int, s core.State) { core.Set(cfg, p, s) }
 	set(0, core.State{Pif: core.B, Par: core.ParNone, L: 0, Count: 1})
 	set(1, core.State{Pif: core.B, Par: 0, L: 1, Count: 1})
 	set(2, core.State{Pif: core.B, Par: 1, L: 2, Count: 1})
@@ -107,7 +107,7 @@ func TestPotentialPrefersMinimumLevel(t *testing.T) {
 	if got := pr.Potential(cfg, 3); len(got) != 1 || got[0] != 1 {
 		t.Fatalf("Potential(3) = %v, want [1]", got)
 	}
-	next := pr.Apply(cfg, 3, core.ActionB).(core.State)
+	next := *pr.Apply(cfg, 3, core.ActionB).(*core.State)
 	if next.Par != 1 || next.L != 2 {
 		t.Fatalf("B-action adopted par=%d L=%d, want par=1 L=2", next.Par, next.L)
 	}
@@ -122,14 +122,14 @@ func TestSumSetEmptyWhenFokRaised(t *testing.T) {
 	}
 	pr := core.MustNew(g, 0)
 	cfg := sim.NewConfiguration(g, pr)
-	root := cfg.States[0].(core.State)
+	root := core.At(cfg, 0)
 	root.Pif = core.B
 	root.Fok = true
-	cfg.States[0] = root
+	core.Set(cfg, 0, root)
 	for _, leaf := range []int{1, 2, 3} {
-		s := cfg.States[leaf].(core.State)
+		s := core.At(cfg, leaf)
 		s.Pif, s.Par, s.L, s.Count = core.B, 0, 1, 1
-		cfg.States[leaf] = s
+		core.Set(cfg, leaf, s)
 	}
 	if got := pr.SumSet(cfg, 0); got != nil {
 		t.Fatalf("SumSet with Fok raised = %v, want empty", got)
@@ -138,7 +138,7 @@ func TestSumSetEmptyWhenFokRaised(t *testing.T) {
 		t.Fatalf("Sum with Fok raised = %d, want 1", got)
 	}
 	root.Fok = false
-	cfg.States[0] = root
+	core.Set(cfg, 0, root)
 	if got := pr.Sum(cfg, 0); got != 4 {
 		t.Fatalf("Sum = %d, want 4", got)
 	}
@@ -243,14 +243,14 @@ func (w *fokWatch) OnStep(step int, executed []sim.Choice, c *sim.Configuration)
 		case core.ActionFok:
 			w.sawFok = true
 			// The root must already have its full count.
-			if got := c.States[w.pr.Root].(core.State).Count; got != w.pr.N {
+			if got := core.At(c, w.pr.Root).Count; got != w.pr.N {
 				w.violation = "Fok propagated before Count_r = N"
 			}
 		case core.ActionF:
 			if !w.sawFok && ch.Proc != w.pr.Root && c.N() > 1 {
 				// Leaves feedback only once the Fok wave reached them; on
 				// a line the deep leaf needs the Fok relay first.
-				if c.States[ch.Proc].(core.State).L > 1 {
+				if core.At(c, ch.Proc).L > 1 {
 					w.violation = "feedback before any Fok relay"
 				}
 			}

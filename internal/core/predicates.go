@@ -10,11 +10,11 @@ import "snappif/internal/sim"
 
 // st extracts processor p's PIF state from the configuration.
 func st(c *sim.Configuration, p int) State {
-	s, ok := c.States[p].(State)
+	s, ok := c.States[p].(*State)
 	if !ok {
-		panic("core: configuration does not hold core.State")
+		panic("core: configuration does not hold *core.State")
 	}
-	return s
+	return *s
 }
 
 // SumSet returns the macro Sum_Set_p: the neighbors q of p with Pif_q = B,
@@ -36,11 +36,20 @@ func (pr *Protocol) SumSet(c *sim.Configuration, p int) []int {
 	return out
 }
 
-// Sum returns the macro Sum_p = 1 + Σ_{q ∈ Sum_Set_p} Count_q.
+// Sum returns the macro Sum_p = 1 + Σ_{q ∈ Sum_Set_p} Count_q. The set is
+// folded inline rather than via SumSet so guard evaluation (which calls Sum
+// through GoodCount and NewCount on every re-evaluation) never allocates.
 func (pr *Protocol) Sum(c *sim.Configuration, p int) int {
+	sp := st(c, p)
+	if sp.Fok {
+		return 1
+	}
 	total := 1
-	for _, q := range pr.SumSet(c, p) {
-		total += st(c, q).Count
+	for _, q := range c.G.Neighbors(p) {
+		sq := st(c, q)
+		if sq.Pif == B && sq.Par == p && sq.L == sp.L+1 {
+			total += sq.Count
+		}
 	}
 	return total
 }
@@ -81,6 +90,37 @@ func (pr *Protocol) Potential(c *sim.Configuration, p int) []int {
 		}
 	}
 	return out
+}
+
+// hasPotential reports Potential_p ≠ ∅ (equivalently Pre_Potential_p ≠ ∅)
+// without materializing either set; the Broadcast guard's hot path.
+func (pr *Protocol) hasPotential(c *sim.Configuration, p int) bool {
+	for _, q := range c.G.Neighbors(p) {
+		sq := st(c, q)
+		if sq.Pif == B && sq.Par != p && sq.L < pr.Lmax && !sq.Fok {
+			return true
+		}
+	}
+	return false
+}
+
+// bestPotential returns min_{≺p}(Potential_p) — the first neighbor in ≺p
+// order among the minimum-level candidates — without materializing the set.
+// Strict < comparison keeps the earliest neighbor on level ties, matching
+// Potential's ordering exactly.
+func (pr *Protocol) bestPotential(c *sim.Configuration, p int) int {
+	best, bestL := -1, 0
+	for _, q := range c.G.Neighbors(p) {
+		sq := st(c, q)
+		if sq.Pif == B && sq.Par != p && sq.L < pr.Lmax && !sq.Fok &&
+			(best < 0 || sq.L < bestL) {
+			best, bestL = q, sq.L
+		}
+	}
+	if best < 0 {
+		panic("core: B-action applied with empty Potential set")
+	}
+	return best
 }
 
 // GoodFok implements the predicate GoodFok(p).
@@ -214,7 +254,7 @@ func (pr *Protocol) Broadcast(c *sim.Configuration, p int) bool {
 		}
 		return true
 	}
-	return pr.Leaf(c, p) && len(pr.Potential(c, p)) > 0
+	return pr.Leaf(c, p) && pr.hasPotential(c, p)
 }
 
 // ChangeFok implements the guard ChangeFok(p) (non-root only): a normal

@@ -152,12 +152,25 @@ func (pr *Protocol) InitialState(p int) sim.State {
 		s.Par = pr.g.Neighbors(p)[0]
 		s.L = 1
 	}
-	return s
+	return &s
+}
+
+// enabledSingle[a] is the shared, read-only slice Enabled returns for action
+// a; sharing the boxes keeps guard evaluation allocation-free.
+var enabledSingle = [numActions][]int{
+	ActionB:           {ActionB},
+	ActionFok:         {ActionFok},
+	ActionF:           {ActionF},
+	ActionC:           {ActionC},
+	ActionCount:       {ActionCount},
+	ActionBCorrection: {ActionBCorrection},
+	ActionFCorrection: {ActionFCorrection},
 }
 
 // Enabled implements sim.Protocol. The guards of Algorithms 1 and 2 are
 // mutually exclusive, so at most one action is returned (verified by
-// property tests in enabled_test.go).
+// property tests in enabled_test.go). The returned slice is shared and must
+// not be mutated.
 func (pr *Protocol) Enabled(c *sim.Configuration, p int) []int {
 	if p == pr.Root {
 		return pr.enabledRoot(c, p)
@@ -169,15 +182,15 @@ func (pr *Protocol) Enabled(c *sim.Configuration, p int) []int {
 func (pr *Protocol) enabledRoot(c *sim.Configuration, p int) []int {
 	switch {
 	case pr.Broadcast(c, p):
-		return []int{ActionB}
+		return enabledSingle[ActionB]
 	case pr.Feedback(c, p):
-		return []int{ActionF}
+		return enabledSingle[ActionF]
 	case pr.Cleaning(c, p):
-		return []int{ActionC}
+		return enabledSingle[ActionC]
 	case pr.NewCount(c, p):
-		return []int{ActionCount}
+		return enabledSingle[ActionCount]
 	case !pr.Normal(c, p):
-		return []int{ActionBCorrection}
+		return enabledSingle[ActionBCorrection]
 	default:
 		return nil
 	}
@@ -187,19 +200,19 @@ func (pr *Protocol) enabledRoot(c *sim.Configuration, p int) []int {
 func (pr *Protocol) enabledOther(c *sim.Configuration, p int) []int {
 	switch {
 	case pr.Broadcast(c, p):
-		return []int{ActionB}
+		return enabledSingle[ActionB]
 	case pr.ChangeFok(c, p):
-		return []int{ActionFok}
+		return enabledSingle[ActionFok]
 	case pr.Feedback(c, p):
-		return []int{ActionF}
+		return enabledSingle[ActionF]
 	case pr.Cleaning(c, p):
-		return []int{ActionC}
+		return enabledSingle[ActionC]
 	case pr.NewCount(c, p):
-		return []int{ActionCount}
+		return enabledSingle[ActionCount]
 	case pr.AbnormalB(c, p):
-		return []int{ActionBCorrection}
+		return enabledSingle[ActionBCorrection]
 	case pr.AbnormalF(c, p):
-		return []int{ActionFCorrection}
+		return enabledSingle[ActionFCorrection]
 	default:
 		return nil
 	}
@@ -208,6 +221,18 @@ func (pr *Protocol) enabledOther(c *sim.Configuration, p int) []int {
 // Apply implements sim.Protocol. Statements read the pre-step configuration
 // c and return p's next state.
 func (pr *Protocol) Apply(c *sim.Configuration, p int, a int) sim.State {
+	s := pr.apply(c, p, a)
+	return &s
+}
+
+// ApplyInto implements sim.InPlaceProtocol: like Apply, but the next state
+// overwrites dst's box instead of allocating a fresh one.
+func (pr *Protocol) ApplyInto(c *sim.Configuration, p int, a int, dst sim.State) {
+	*dst.(*State) = pr.apply(c, p, a)
+}
+
+// apply computes p's next state by value.
+func (pr *Protocol) apply(c *sim.Configuration, p int, a int) State {
 	s := st(c, p)
 	if p == pr.Root {
 		return pr.applyRoot(c, p, a, s)
@@ -254,7 +279,7 @@ func (pr *Protocol) applyOther(c *sim.Configuration, p, a int, s State) State {
 		// Par := min_{≺p}(Potential_p); L := L_Par + 1; Count := 1;
 		// Fok := false; Pif := B. Receiving the broadcast also copies the
 		// parent's message payload.
-		par := pr.Potential(c, p)[0] // neighbor lists are in ≺p order
+		par := pr.bestPotential(c, p)
 		s.Par = par
 		s.L = st(c, par).L + 1
 		s.Count = 1

@@ -21,27 +21,41 @@ func CycleRounds(opt Options) (Outcome, error) {
 	tbl := trace.NewTable("E1 — PIF cycle cost from a clean start (Theorem 4: rounds ≤ 5h+5)",
 		"topology", "N", "diam", "h", "rounds(mean)", "rounds(max)", "bound 5h+5", "ok")
 	out := Outcome{Table: tbl}
-	for _, tp := range topologies(opt.Quick, opt.Seed) {
-		var rounds, heights trace.Sample
-		recs, err := runCycles(tp.g, sim.Synchronous{}, opt.Trials, opt.Seed)
-		if err != nil {
-			return out, fmt.Errorf("exp: E1 on %s: %w", tp.g, err)
-		}
-		exceeded := false
-		for _, rec := range recs {
-			rounds.Add(rec.Rounds())
-			heights.Add(rec.Height)
-			if rec.Rounds() > 5*rec.Height+5 {
-				exceeded = true
-				out.BoundExceeded++
+	type cell struct {
+		rounds, heights trace.Sample
+		exceeded, viols int
+	}
+	tops := topologies(opt.Quick, opt.Seed)
+	cells, err := runGrid(opt,
+		func(i int) string { return "E1/" + tops[i].g.Name() },
+		len(tops),
+		func(i int) (cell, error) {
+			var c cell
+			recs, err := runCycles(tops[i].g, sim.Synchronous{}, opt.Trials, opt.Seed)
+			if err != nil {
+				return c, fmt.Errorf("exp: E1 on %s: %w", tops[i].g, err)
 			}
-			if len(rec.Violations) > 0 {
-				out.SnapViolations++
+			for _, rec := range recs {
+				c.rounds.Add(rec.Rounds())
+				c.heights.Add(rec.Height)
+				if rec.Rounds() > 5*rec.Height+5 {
+					c.exceeded++
+				}
+				if len(rec.Violations) > 0 {
+					c.viols++
+				}
 			}
-		}
-		h := heights.Max()
-		tbl.AddRow(tp.g.Name(), tp.g.N(), tp.g.Diameter(), h,
-			rounds.Mean(), rounds.Max(), 5*h+5, verdict(!exceeded))
+			return c, nil
+		})
+	if err != nil {
+		return out, err
+	}
+	for i, c := range cells {
+		out.BoundExceeded += c.exceeded
+		out.SnapViolations += c.viols
+		h := c.heights.Max()
+		tbl.AddRow(tops[i].g.Name(), tops[i].g.N(), tops[i].g.Diameter(), h,
+			c.rounds.Mean(), c.rounds.Max(), 5*h+5, verdict(c.exceeded == 0))
 	}
 	return out, nil
 }
@@ -102,34 +116,59 @@ func Daemons(opt Options) (Outcome, error) {
 	tbl := trace.NewTable("E8 — daemon sensitivity (all daemons: delivery must be perfect)",
 		"topology", "daemon", "cycles", "rounds(mean)", "rounds(max)", "delivered", "ok")
 	out := Outcome{Table: tbl}
-	daemons := []sim.Daemon{
-		sim.Synchronous{},
-		sim.Central{Order: sim.CentralRandom},
-		sim.DistributedRandom{P: 0.5},
-		sim.LocallyCentral{},
-		&sim.Adversarial{PreferActions: []int{core.ActionB, core.ActionFok, core.ActionF}},
+	// Stateful daemons (adversarial, round-robin) are constructed fresh per
+	// cell so that no cell's schedule depends on another cell having run —
+	// the independence runGrid requires.
+	daemonSuite := func() []sim.Daemon {
+		return []sim.Daemon{
+			sim.Synchronous{},
+			sim.Central{Order: sim.CentralRandom},
+			sim.DistributedRandom{P: 0.5},
+			sim.LocallyCentral{},
+			&sim.Adversarial{PreferActions: []int{core.ActionB, core.ActionFok, core.ActionF}},
+		}
+	}
+	names := make([]string, len(daemonSuite()))
+	for i, d := range daemonSuite() {
+		names[i] = d.Name()
 	}
 	tops := topologies(opt.Quick, opt.Seed)
 	sel := []topology{tops[0], tops[4], tops[len(tops)-1]} // line, grid, random
-	for _, tp := range sel {
-		for _, d := range daemons {
+	type cell struct {
+		rounds    trace.Sample
+		cycles    int
+		delivered int
+		viols     int
+	}
+	nd := len(names)
+	cells, err := runGrid(opt,
+		func(i int) string { return "E8/" + sel[i/nd].g.Name() + "/" + names[i%nd] },
+		len(sel)*nd,
+		func(i int) (cell, error) {
+			tp, d := sel[i/nd], daemonSuite()[i%nd]
+			var c cell
 			recs, err := runCycles(tp.g, d, opt.Trials, opt.Seed)
 			if err != nil {
-				return out, fmt.Errorf("exp: E8 on %s under %s: %w", tp.g, d.Name(), err)
+				return c, fmt.Errorf("exp: E8 on %s under %s: %w", tp.g, d.Name(), err)
 			}
-			var rounds trace.Sample
-			delivered, ok := 0, true
+			c.cycles = len(recs)
 			for _, rec := range recs {
-				rounds.Add(rec.Rounds())
-				delivered += rec.Delivered
+				c.rounds.Add(rec.Rounds())
+				c.delivered += rec.Delivered
 				if !rec.OK() {
-					ok = false
-					out.SnapViolations++
+					c.viols++
 				}
 			}
-			tbl.AddRow(tp.g.Name(), d.Name(), len(recs), rounds.Mean(), rounds.Max(),
-				fmt.Sprintf("%d/%d", delivered, len(recs)*(tp.g.N()-1)), verdict(ok))
-		}
+			return c, nil
+		})
+	if err != nil {
+		return out, err
+	}
+	for i, c := range cells {
+		tp := sel[i/nd]
+		out.SnapViolations += c.viols
+		tbl.AddRow(tp.g.Name(), names[i%nd], c.cycles, c.rounds.Mean(), c.rounds.Max(),
+			fmt.Sprintf("%d/%d", c.delivered, c.cycles*(tp.g.N()-1)), verdict(c.viols == 0))
 	}
 	return out, nil
 }
@@ -145,51 +184,69 @@ func TreeBaseline(opt Options) (Outcome, error) {
 	tbl := trace.NewTable("E9 — pre-constructed-tree PIF [7,9] vs snap PIF (rounds, synchronous daemon)",
 		"topology", "N", "treeH", "tree rounds(B→F)", "snapH", "snap rounds(full cycle)", "tree delivered", "snap delivered")
 	out := Outcome{Table: tbl}
-	for _, tp := range topologies(opt.Quick, opt.Seed) {
-		tpr, err := treepif.NewBFS(tp.g, 0)
-		if err != nil {
-			return out, err
-		}
-		tcfg := sim.NewConfiguration(tp.g, tpr)
-		tobs := treepif.NewCycleObserver(tpr)
-		if _, err := sim.Run(tcfg, tpr, sim.Synchronous{}, sim.Options{
-			MaxSteps:  20_000_000,
-			Seed:      opt.Seed,
-			Observers: []sim.Observer{tobs},
-			StopWhen:  tobs.StopAfterCycles(opt.Trials),
-		}); err != nil {
-			return out, fmt.Errorf("exp: E9 tree on %s: %w", tp.g, err)
-		}
-		var treeRounds trace.Sample
-		treeDelivered, treeWant := 0, 0
-		for _, rec := range tobs.Cycles {
-			treeRounds.Add(rec.Rounds())
-			treeDelivered += rec.Delivered
-			treeWant += tp.g.N() - 1
-			if !rec.OK(tp.g.N()) {
-				out.BaselineViolations++
+	type cell struct {
+		treeRounds, snapRounds   trace.Sample
+		treeH, snapH             int
+		treeDelivered, treeWant  int
+		snapDelivered            int
+		baselineViols, snapViols int
+	}
+	tops := topologies(opt.Quick, opt.Seed)
+	cells, err := runGrid(opt,
+		func(i int) string { return "E9/" + tops[i].g.Name() },
+		len(tops),
+		func(i int) (cell, error) {
+			tp := tops[i]
+			var c cell
+			tpr, err := treepif.NewBFS(tp.g, 0)
+			if err != nil {
+				return c, err
 			}
-		}
-		recs, err := runCycles(tp.g, sim.Synchronous{}, opt.Trials, opt.Seed)
-		if err != nil {
-			return out, fmt.Errorf("exp: E9 snap on %s: %w", tp.g, err)
-		}
-		var snapRounds trace.Sample
-		snapDelivered, snapH := 0, 0
-		for _, rec := range recs {
-			snapRounds.Add(rec.Rounds())
-			snapDelivered += rec.Delivered
-			if rec.Height > snapH {
-				snapH = rec.Height
+			c.treeH = tpr.Height()
+			tcfg := sim.NewConfiguration(tp.g, tpr)
+			tobs := treepif.NewCycleObserver(tpr)
+			if _, err := sim.Run(tcfg, tpr, sim.Synchronous{}, sim.Options{
+				MaxSteps:  20_000_000,
+				Seed:      opt.Seed,
+				Observers: []sim.Observer{tobs},
+				StopWhen:  tobs.StopAfterCycles(opt.Trials),
+			}); err != nil {
+				return c, fmt.Errorf("exp: E9 tree on %s: %w", tp.g, err)
 			}
-			if !rec.OK() {
-				out.SnapViolations++
+			for _, rec := range tobs.Cycles {
+				c.treeRounds.Add(rec.Rounds())
+				c.treeDelivered += rec.Delivered
+				c.treeWant += tp.g.N() - 1
+				if !rec.OK(tp.g.N()) {
+					c.baselineViols++
+				}
 			}
-		}
-		tbl.AddRow(tp.g.Name(), tp.g.N(), tpr.Height(), treeRounds.Mean(),
-			snapH, snapRounds.Mean(),
-			fmt.Sprintf("%d/%d", treeDelivered, treeWant),
-			fmt.Sprintf("%d/%d", snapDelivered, treeWant))
+			recs, err := runCycles(tp.g, sim.Synchronous{}, opt.Trials, opt.Seed)
+			if err != nil {
+				return c, fmt.Errorf("exp: E9 snap on %s: %w", tp.g, err)
+			}
+			for _, rec := range recs {
+				c.snapRounds.Add(rec.Rounds())
+				c.snapDelivered += rec.Delivered
+				if rec.Height > c.snapH {
+					c.snapH = rec.Height
+				}
+				if !rec.OK() {
+					c.snapViols++
+				}
+			}
+			return c, nil
+		})
+	if err != nil {
+		return out, err
+	}
+	for i, c := range cells {
+		out.BaselineViolations += c.baselineViols
+		out.SnapViolations += c.snapViols
+		tbl.AddRow(tops[i].g.Name(), tops[i].g.N(), c.treeH, c.treeRounds.Mean(),
+			c.snapH, c.snapRounds.Mean(),
+			fmt.Sprintf("%d/%d", c.treeDelivered, c.treeWant),
+			fmt.Sprintf("%d/%d", c.snapDelivered, c.treeWant))
 	}
 	return out, nil
 }

@@ -29,6 +29,13 @@ type Options struct {
 	Trials int
 	// Seed seeds all randomness (default 1).
 	Seed int64
+	// Parallel fans independent table cells across GOMAXPROCS workers (see
+	// runGrid). Every cell seeds its own randomness from Seed plus fixed
+	// cell parameters, so the resulting tables are identical to a serial
+	// run.
+	Parallel bool
+	// Timings, if non-nil, collects per-cell wall-clock durations.
+	Timings *trace.Timings
 }
 
 func (o Options) withDefaults() Options {

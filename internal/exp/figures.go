@@ -44,15 +44,29 @@ func ScalingFigure(opt Options) (Outcome, error) {
 			return graph.RandomConnected(n, 0.3, rand.New(rand.NewSource(opt.Seed)))
 		}},
 	}
-	for _, fam := range families {
-		for _, n := range sizes {
+	type cell struct {
+		rounds          trace.Sample
+		n, h            int
+		movesPerCycle   int
+		exceeded, viols int
+	}
+	ns := len(sizes)
+	cells, err := runGrid(opt,
+		func(i int) string {
+			return fmt.Sprintf("F1/%s/N=%d", families[i/ns].name, sizes[i%ns])
+		},
+		len(families)*ns,
+		func(i int) (cell, error) {
+			fam, n := families[i/ns], sizes[i%ns]
+			var c cell
 			g, err := fam.build(n)
 			if err != nil {
-				return out, err
+				return c, err
 			}
+			c.n = g.N()
 			pr, err := core.New(g, 0)
 			if err != nil {
-				return out, err
+				return c, err
 			}
 			cfg := sim.NewConfiguration(g, pr)
 			obs := check.NewCycleObserver(pr)
@@ -63,26 +77,32 @@ func ScalingFigure(opt Options) (Outcome, error) {
 				StopWhen:  obs.StopAfterCycles(opt.Trials),
 			})
 			if err != nil {
-				return out, fmt.Errorf("exp: F1 %s N=%d: %w", fam.name, n, err)
+				return c, fmt.Errorf("exp: F1 %s N=%d: %w", fam.name, n, err)
 			}
-			var rounds trace.Sample
-			h := 0
 			for _, rec := range obs.Cycles {
-				rounds.Add(rec.Rounds())
-				if rec.Height > h {
-					h = rec.Height
+				c.rounds.Add(rec.Rounds())
+				if rec.Height > c.h {
+					c.h = rec.Height
 				}
 				if rec.Rounds() > 5*rec.Height+5 {
-					out.BoundExceeded++
+					c.exceeded++
 				}
 				if !rec.OK() {
-					out.SnapViolations++
+					c.viols++
 				}
 			}
-			ok := rounds.Max() <= 5*h+5
-			tbl.AddRow(fam.name, g.N(), h, rounds.Mean(), 5*h+5,
-				res.Moves/len(obs.Cycles), verdict(ok))
-		}
+			c.movesPerCycle = res.Moves / len(obs.Cycles)
+			return c, nil
+		})
+	if err != nil {
+		return out, err
+	}
+	for i, c := range cells {
+		out.BoundExceeded += c.exceeded
+		out.SnapViolations += c.viols
+		ok := c.rounds.Max() <= 5*c.h+5
+		tbl.AddRow(families[i/ns].name, c.n, c.h, c.rounds.Mean(), 5*c.h+5,
+			c.movesPerCycle, verdict(ok))
 	}
 	return out, nil
 }

@@ -127,11 +127,11 @@ func MessagePassing(opt Options) (Outcome, error) {
 func corruptStates(g *graph.Graph, states []core.State, pr *core.Protocol, seed int64) {
 	cfg := &sim.Configuration{G: g, States: make([]sim.State, len(states))}
 	for p := range states {
-		cfg.States[p] = states[p]
+		core.Set(cfg, p, states[p])
 	}
 	fault.UniformRandom().Apply(cfg, pr, rand.New(rand.NewSource(seed)))
 	for p := range states {
-		states[p] = cfg.States[p].(core.State)
+		states[p] = core.At(cfg, p)
 	}
 }
 

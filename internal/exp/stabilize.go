@@ -80,27 +80,38 @@ func ErrorCorrection(opt Options) (Outcome, error) {
 		"topology", "fault", "trials", "rounds→normal(mean)", "rounds→normal(max)", "bound 3·Lmax+3", "ok")
 	out := Outcome{Table: tbl}
 	tops := selectTopologies(opt)
-	for _, tp := range tops {
+	injs := injectors()
+	ni := len(injs)
+	cells, err := runGrid(opt,
+		func(i int) string { return "E2/" + tops[i/ni].g.Name() + "/" + injs[i%ni].Name },
+		len(tops)*ni,
+		func(i int) (trace.Sample, error) {
+			tp, inj := tops[i/ni], injs[i%ni]
+			var s trace.Sample
+			for trial := 0; trial < opt.Trials; trial++ {
+				normal, _, err := stabilizeOnce(tp, inj, sim.DistributedRandom{P: 0.5}, opt.Seed+int64(trial))
+				if err != nil {
+					return s, fmt.Errorf("exp: E2: %w", err)
+				}
+				s.Add(normal)
+			}
+			return s, nil
+		})
+	if err != nil {
+		return out, err
+	}
+	for i, s := range cells {
+		tp := tops[i/ni]
 		lmax := tp.g.N() - 1
 		if lmax < 1 {
 			lmax = 1
 		}
 		bound := 3*lmax + 3
-		for _, inj := range injectors() {
-			var s trace.Sample
-			for trial := 0; trial < opt.Trials; trial++ {
-				normal, _, err := stabilizeOnce(tp, inj, sim.DistributedRandom{P: 0.5}, opt.Seed+int64(trial))
-				if err != nil {
-					return out, fmt.Errorf("exp: E2: %w", err)
-				}
-				s.Add(normal)
-			}
-			ok := s.Max() <= bound
-			if !ok {
-				out.BoundExceeded++
-			}
-			tbl.AddRow(tp.g.Name(), inj.Name, s.N(), s.Mean(), s.Max(), bound, verdict(ok))
+		ok := s.Max() <= bound
+		if !ok {
+			out.BoundExceeded++
 		}
+		tbl.AddRow(tp.g.Name(), injs[i%ni].Name, s.N(), s.Mean(), s.Max(), bound, verdict(ok))
 	}
 	return out, nil
 }
@@ -117,28 +128,40 @@ func Stabilization(opt Options) (Outcome, error) {
 	tbl := trace.NewTable("E3 — stabilization to SBN (Theorems 2–3; derived bound 13·Lmax+12 rounds)",
 		"topology", "fault", "trials", "rounds→SBN(mean)", "rounds→SBN(max)", "ref 8·Lmax+7", "bound 13·Lmax+12", "ok")
 	out := Outcome{Table: tbl}
-	for _, tp := range selectTopologies(opt) {
+	tops := selectTopologies(opt)
+	injs := injectors()
+	ni := len(injs)
+	cells, err := runGrid(opt,
+		func(i int) string { return "E3/" + tops[i/ni].g.Name() + "/" + injs[i%ni].Name },
+		len(tops)*ni,
+		func(i int) (trace.Sample, error) {
+			tp, inj := tops[i/ni], injs[i%ni]
+			var s trace.Sample
+			for trial := 0; trial < opt.Trials; trial++ {
+				_, sbn, err := stabilizeOnce(tp, inj, sim.DistributedRandom{P: 0.5}, opt.Seed+int64(trial)*7)
+				if err != nil {
+					return s, fmt.Errorf("exp: E3: %w", err)
+				}
+				s.Add(sbn)
+			}
+			return s, nil
+		})
+	if err != nil {
+		return out, err
+	}
+	for i, s := range cells {
+		tp := tops[i/ni]
 		lmax := tp.g.N() - 1
 		if lmax < 1 {
 			lmax = 1
 		}
 		ref := 8*lmax + 7
 		bound := 13*lmax + 12
-		for _, inj := range injectors() {
-			var s trace.Sample
-			for trial := 0; trial < opt.Trials; trial++ {
-				_, sbn, err := stabilizeOnce(tp, inj, sim.DistributedRandom{P: 0.5}, opt.Seed+int64(trial)*7)
-				if err != nil {
-					return out, fmt.Errorf("exp: E3: %w", err)
-				}
-				s.Add(sbn)
-			}
-			ok := s.Max() <= bound
-			if !ok {
-				out.BoundExceeded++
-			}
-			tbl.AddRow(tp.g.Name(), inj.Name, s.N(), s.Mean(), s.Max(), ref, bound, verdict(ok))
+		ok := s.Max() <= bound
+		if !ok {
+			out.BoundExceeded++
 		}
+		tbl.AddRow(tp.g.Name(), injs[i%ni].Name, s.N(), s.Mean(), s.Max(), ref, bound, verdict(ok))
 	}
 	return out, nil
 }

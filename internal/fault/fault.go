@@ -41,11 +41,11 @@ func randomPhase(rng *rand.Rand) core.Phase {
 	return []core.Phase{core.B, core.F, core.C}[rng.Intn(3)]
 }
 
-// setState writes s into the configuration.
-func setState(c *sim.Configuration, p int, s core.State) { c.States[p] = s }
+// setState writes s into the configuration (in a fresh box, via core.Set).
+func setState(c *sim.Configuration, p int, s core.State) { core.Set(c, p, s) }
 
 // getState reads p's state.
-func getState(c *sim.Configuration, p int) core.State { return c.States[p].(core.State) }
+func getState(c *sim.Configuration, p int) core.State { return core.At(c, p) }
 
 // UniformRandom scrambles every variable of every processor uniformly over
 // its domain. This is the canonical "arbitrary configuration".

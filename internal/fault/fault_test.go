@@ -47,7 +47,7 @@ func TestInjectorsAreDeterministic(t *testing.T) {
 			inj.Apply(cfg1, pr, rand.New(rand.NewSource(7)))
 			inj.Apply(cfg2, pr, rand.New(rand.NewSource(7)))
 			for p := range cfg1.States {
-				if cfg1.States[p].(core.State) != cfg2.States[p].(core.State) {
+				if core.At(cfg1, p) != core.At(cfg2, p) {
 					t.Fatalf("processor %d differs across identical seeds", p)
 				}
 			}
@@ -59,12 +59,12 @@ func TestUniformRandomActuallyScrambles(t *testing.T) {
 	pr, cfg := build(t, 12, 3)
 	before := make([]core.State, len(cfg.States))
 	for p := range cfg.States {
-		before[p] = cfg.States[p].(core.State)
+		before[p] = core.At(cfg, p)
 	}
 	fault.UniformRandom().Apply(cfg, pr, rand.New(rand.NewSource(1)))
 	changed := 0
 	for p := range cfg.States {
-		if cfg.States[p].(core.State) != before[p] {
+		if core.At(cfg, p) != before[p] {
 			changed++
 		}
 	}
@@ -78,13 +78,13 @@ func TestUniformRandomPreservesApplicationValues(t *testing.T) {
 	// payload under protection and stay intact.
 	pr, cfg := build(t, 8, 3)
 	for p := range cfg.States {
-		s := cfg.States[p].(core.State)
+		s := core.At(cfg, p)
 		s.Val = int64(p * 11)
-		cfg.States[p] = s
+		core.Set(cfg, p, s)
 	}
 	fault.UniformRandom().Apply(cfg, pr, rand.New(rand.NewSource(5)))
 	for p := range cfg.States {
-		if got := cfg.States[p].(core.State).Val; got != int64(p*11) {
+		if got := core.At(cfg, p).Val; got != int64(p*11) {
 			t.Fatalf("Val[%d] = %d, want %d", p, got, p*11)
 		}
 	}
@@ -94,7 +94,7 @@ func TestGarbageMsgsAreMarked(t *testing.T) {
 	pr, cfg := build(t, 8, 3)
 	fault.UniformRandom().Apply(cfg, pr, rand.New(rand.NewSource(2)))
 	for p := range cfg.States {
-		if msg := cfg.States[p].(core.State).Msg; msg&fault.GarbageMsgBit == 0 {
+		if msg := core.At(cfg, p).Msg; msg&fault.GarbageMsgBit == 0 {
 			t.Fatalf("processor %d got unmarked garbage payload %d", p, msg)
 		}
 	}
@@ -103,13 +103,13 @@ func TestGarbageMsgsAreMarked(t *testing.T) {
 func TestPhantomTreeKeepsRootClean(t *testing.T) {
 	pr, cfg := build(t, 12, 3)
 	fault.PhantomTree().Apply(cfg, pr, rand.New(rand.NewSource(3)))
-	if got := cfg.States[pr.Root].(core.State).Pif; got != core.C {
+	if got := core.At(cfg, pr.Root).Pif; got != core.C {
 		t.Fatalf("root phase = %v, want C", got)
 	}
 	// Everyone else broadcasts in the phantom tree.
 	broadcasting := 0
 	for p := range cfg.States {
-		if p != pr.Root && cfg.States[p].(core.State).Pif == core.B {
+		if p != pr.Root && core.At(cfg, p).Pif == core.B {
 			broadcasting++
 		}
 	}
@@ -138,7 +138,7 @@ func TestStaleRegionShape(t *testing.T) {
 	// exactly one of them is abnormal.
 	region := 0
 	for p := range cfg.States {
-		s := cfg.States[p].(core.State)
+		s := core.At(cfg, p)
 		if s.Pif == core.B {
 			region++
 			if s.L < pr.Lmax-1 {

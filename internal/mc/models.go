@@ -63,7 +63,7 @@ func (m *SnapModel) Domain(p int) []sim.State {
 				for cnt := 1; cnt <= m.pr.NPrime; cnt++ {
 					for _, fok := range []bool{false, true} {
 						for _, msg := range []uint64{0, 1} {
-							out = append(out, core.State{
+							out = append(out, &core.State{
 								Pif: pif, Par: par, L: l,
 								Count: cnt, Fok: fok, Msg: msg,
 							})
@@ -89,28 +89,28 @@ func (m *SnapModel) Kind(_, a int) ActionKind {
 }
 
 // Msg implements Model.
-func (m *SnapModel) Msg(s sim.State) uint64 { return s.(core.State).Msg }
+func (m *SnapModel) Msg(s sim.State) uint64 { return s.(*core.State).Msg }
 
 // WithMsg implements Model.
 func (m *SnapModel) WithMsg(s sim.State, bit uint64) sim.State {
-	st := s.(core.State)
+	st := *s.(*core.State)
 	st.Msg = bit
-	return st
+	return &st
 }
 
 // Clean implements Model.
-func (m *SnapModel) Clean(s sim.State) bool { return s.(core.State).Pif == core.C }
+func (m *SnapModel) Clean(s sim.State) bool { return s.(*core.State).Pif == core.C }
 
 // Key implements Model.
 func (m *SnapModel) Key(b []byte, s sim.State) []byte {
-	st := s.(core.State)
+	st := s.(*core.State)
 	return append(b, byte(st.Pif), byte(st.Par+2), byte(st.L), byte(st.Count),
 		boolByte(st.Fok), byte(st.Msg))
 }
 
 // Render implements Model.
 func (m *SnapModel) Render(p int, s sim.State) string {
-	st := s.(core.State)
+	st := s.(*core.State)
 	return fmt.Sprintf("p%d{%v par=%d L=%d cnt=%d fok=%v m=%d}",
 		p, st.Pif, st.Par, st.L, st.Count, st.Fok, st.Msg)
 }

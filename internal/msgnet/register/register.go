@@ -126,16 +126,16 @@ func (nd *node) step(ctx *msgnet.Context) {
 	if len(nd.cache) < len(ctx.Neighbors()) {
 		return // not all registers populated yet
 	}
-	nd.cfg.States[nd.self] = nd.state
+	*nd.cfg.States[nd.self].(*core.State) = nd.state
 	for q, s := range nd.cache {
-		nd.cfg.States[q] = s
+		*nd.cfg.States[q].(*core.State) = s
 	}
 	enabled := nd.pr.Enabled(nd.cfg, nd.self)
 	if len(enabled) == 0 {
 		return
 	}
 	a := enabled[0]
-	nd.state = nd.pr.Apply(nd.cfg, nd.self, a).(core.State)
+	nd.state = *nd.pr.Apply(nd.cfg, nd.self, a).(*core.State)
 	nd.col.record(nd.self, a, nd.state, ctx)
 	ctx.Broadcast(stateMsg{state: nd.state})
 }
@@ -179,7 +179,7 @@ func Run(g *graph.Graph, root, cycles int, opts Options) (Result, error) {
 	}
 	states := make([]core.State, g.N())
 	for p := range states {
-		states[p] = pr.InitialState(p).(core.State)
+		states[p] = *pr.InitialState(p).(*core.State)
 	}
 	if opts.Corrupt != nil {
 		opts.Corrupt(states, pr)
@@ -189,7 +189,7 @@ func Run(g *graph.Graph, root, cycles int, opts Options) (Result, error) {
 	for p := range nodes {
 		scratch := &sim.Configuration{G: g, States: make([]sim.State, g.N())}
 		for q := range scratch.States {
-			scratch.States[q] = core.State{Pif: core.C, Count: 1, L: 1}
+			scratch.States[q] = &core.State{Pif: core.C, Count: 1, L: 1}
 		}
 		nodes[p] = &node{
 			pr:      pr,

@@ -54,11 +54,11 @@ func TestConvergesFromCorruption(t *testing.T) {
 		corrupt := func(states []core.State, pr *core.Protocol) {
 			cfg := &sim.Configuration{G: g, States: make([]sim.State, len(states))}
 			for p := range states {
-				cfg.States[p] = states[p]
+				core.Set(cfg, p, states[p])
 			}
 			fault.UniformRandom().Apply(cfg, pr, rand.New(rand.NewSource(seed)))
 			for p := range states {
-				states[p] = cfg.States[p].(core.State)
+				states[p] = core.At(cfg, p)
 			}
 		}
 		res, err := register.Run(g, 0, 5, register.Options{Seed: seed + 1, Corrupt: corrupt})

@@ -107,18 +107,20 @@ func (mp *Protocol) Decode(a int) (inst, coreAction int) {
 func (mp *Protocol) InitialState(p int) sim.State {
 	per := make([]core.State, len(mp.instances))
 	for i, inst := range mp.instances {
-		per[i] = inst.InitialState(p).(core.State)
+		per[i] = *inst.InitialState(p).(*core.State)
 	}
 	return State{Per: per}
 }
 
 // project fills instance i's scratch configuration with the closed
 // neighborhood of p (the only states the core guards and statements read).
+// The scratch holds *core.State boxes created once at New time; projection
+// overwrites their contents.
 func (mp *Protocol) project(c *sim.Configuration, i, p int) *sim.Configuration {
 	sc := mp.scratch[i]
-	sc.States[p] = c.States[p].(State).Per[i]
+	*sc.States[p].(*core.State) = c.States[p].(State).Per[i]
 	for _, q := range mp.g.Neighbors(p) {
-		sc.States[q] = c.States[q].(State).Per[i]
+		*sc.States[q].(*core.State) = c.States[q].(State).Per[i]
 	}
 	return sc
 }
@@ -139,7 +141,7 @@ func (mp *Protocol) Enabled(c *sim.Configuration, p int) []int {
 // Apply implements sim.Protocol.
 func (mp *Protocol) Apply(c *sim.Configuration, p int, a int) sim.State {
 	i, ca := mp.Decode(a)
-	next := mp.instances[i].Apply(mp.project(c, i, p), p, ca).(core.State)
+	next := *mp.instances[i].Apply(mp.project(c, i, p), p, ca).(*core.State)
 	composite := c.States[p].(State).Clone().(State)
 	composite.Per[i] = next
 	return composite
@@ -154,7 +156,8 @@ func (mp *Protocol) GuardsAreLocal() bool { return true }
 func Project(c *sim.Configuration, i int) *sim.Configuration {
 	out := &sim.Configuration{G: c.G, States: make([]sim.State, c.N())}
 	for p := range out.States {
-		out.States[p] = c.States[p].(State).Per[i]
+		s := c.States[p].(State).Per[i]
+		out.States[p] = &s
 	}
 	return out
 }
@@ -165,7 +168,7 @@ func Project(c *sim.Configuration, i int) *sim.Configuration {
 func Inject(c *sim.Configuration, i int, inst *sim.Configuration) {
 	for p := range c.States {
 		composite := c.States[p].(State).Clone().(State)
-		composite.Per[i] = inst.States[p].(core.State)
+		composite.Per[i] = *inst.States[p].(*core.State)
 		c.States[p] = composite
 	}
 }

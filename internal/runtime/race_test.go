@@ -1,0 +1,70 @@
+package runtime_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"snappif/internal/core"
+	"snappif/internal/fault"
+	"snappif/internal/graph"
+	rt "snappif/internal/runtime"
+	"snappif/internal/sim"
+)
+
+// TestConcurrentRuntimeHammer is the race-detector workload for the
+// goroutine-per-processor runtime: several independent runs execute
+// simultaneously, each with one goroutine per processor, mid-run
+// stop-the-world invariant checking at an aggressive period, and a
+// high-contention topology (complete graph: every pair of processors
+// shares locks). Run it under -race (scripts/ci.sh does) to surveil the
+// lock ordering and the monitor's synchronization.
+func TestConcurrentRuntimeHammer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrency hammer in -short mode")
+	}
+	builds := []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return graph.Complete(8) },
+		func() (*graph.Graph, error) { return graph.Star(10) },
+		func() (*graph.Graph, error) {
+			return graph.RandomConnected(12, 0.4, rand.New(rand.NewSource(3)))
+		},
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(builds))
+	stats := make([]rt.Result, len(builds))
+	for i, build := range builds {
+		g, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, g *graph.Graph) {
+			defer wg.Done()
+			corrupt := func(c *sim.Configuration, pr *core.Protocol) {
+				fault.UniformRandom().Apply(c, pr, rand.New(rand.NewSource(int64(i))))
+			}
+			stats[i], errs[i] = rt.Run(g, 0, 2, rt.Options{
+				Corrupt:         corrupt,
+				Timeout:         30 * time.Second,
+				CheckInvariants: true,
+				CheckEvery:      300 * time.Microsecond,
+			})
+		}(i, g)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("run %d: %v", i, err)
+			continue
+		}
+		if len(stats[i].InvariantViolations) > 0 {
+			t.Errorf("run %d: invariant violated under concurrency: %v",
+				i, stats[i].InvariantViolations[0])
+		}
+		if len(stats[i].Cycles) < 2 {
+			t.Errorf("run %d: completed %d cycles, want 2", i, len(stats[i].Cycles))
+		}
+	}
+}

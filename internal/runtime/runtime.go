@@ -226,8 +226,9 @@ func step(proto *core.Protocol, cfg *sim.Configuration, locks []sync.Mutex, hood
 		return false
 	}
 	a := enabled[0]
-	cfg.States[p] = proto.Apply(cfg, p, a)
-	mon.record(p, a, cfg.States[p].(core.State))
+	next := proto.Apply(cfg, p, a)
+	cfg.States[p] = next
+	mon.record(p, a, *next.(*core.State))
 	return true
 }
 

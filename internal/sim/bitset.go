@@ -1,0 +1,75 @@
+package sim
+
+import "math/bits"
+
+// bitset is a fixed-capacity set of processor IDs backed by []uint64 words.
+// All operations are allocation-free after construction; the runner uses
+// bitsets for its per-step enabled/pending/executed bookkeeping so a
+// committed step touches no heap.
+type bitset []uint64
+
+// newBitset returns an empty bitset able to hold IDs in [0, n).
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+// test reports whether i is in the set.
+func (b bitset) test(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// set adds i to the set.
+func (b bitset) set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// clear removes i from the set.
+func (b bitset) clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// reset empties the set.
+func (b bitset) reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// copyFrom overwrites the set with src (same capacity).
+func (b bitset) copyFrom(src bitset) { copy(b, src) }
+
+// empty reports whether no ID is set.
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// count returns the number of IDs in the set.
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// intersectAndNot computes b = b ∩ keep ∖ drop in place and reports whether
+// the result is empty. It is the runner's round-accounting update: a pending
+// processor leaves the round when it executes (drop) or becomes disabled
+// (leaves keep).
+func (b bitset) intersectAndNot(keep, drop bitset) bool {
+	empty := true
+	for i := range b {
+		b[i] &= keep[i] &^ drop[i]
+		if b[i] != 0 {
+			empty = false
+		}
+	}
+	return empty
+}
+
+// forEach calls fn for every ID in the set in ascending order.
+func (b bitset) forEach(fn func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			fn(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}

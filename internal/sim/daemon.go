@@ -17,7 +17,10 @@ type Daemon interface {
 
 	// Select returns the non-empty subset of enabled choices to execute in
 	// this step, at most one choice per processor. enabled is non-empty and
-	// sorted by processor ID. Implementations must not retain enabled.
+	// sorted by processor ID. It is caller-owned scratch: implementations
+	// may filter or reorder it in place and may return subslices of it, but
+	// must not retain it (or any subslice of it) past the call — the runner
+	// reuses the backing array every step.
 	Select(step int, c *Configuration, enabled []Choice, rng *rand.Rand) []Choice
 }
 
@@ -55,6 +58,7 @@ const (
 // aging).
 type RoundRobin struct {
 	cursor int
+	buf    [1]Choice
 }
 
 var _ Daemon = (*RoundRobin)(nil)
@@ -73,7 +77,8 @@ func (d *RoundRobin) Select(_ int, c *Configuration, enabled []Choice, rng *rand
 		}
 	}
 	d.cursor = (pick.Proc + 1) % c.N()
-	return []Choice{pick}
+	d.buf[0] = pick
+	return d.buf[:]
 }
 
 // Central executes exactly one enabled processor per step (the "central
@@ -105,7 +110,8 @@ func (d Central) Select(_ int, _ *Configuration, enabled []Choice, rng *rand.Ran
 	case CentralHighestID:
 		return enabled[len(enabled)-1:]
 	default:
-		return []Choice{enabled[rng.Intn(len(enabled))]}
+		i := rng.Intn(len(enabled))
+		return enabled[i : i+1]
 	}
 }
 
@@ -125,13 +131,16 @@ func (d DistributedRandom) Name() string { return fmt.Sprintf("dist-random-%.2f"
 // Select implements Daemon.
 func (d DistributedRandom) Select(_ int, _ *Configuration, enabled []Choice, rng *rand.Rand) []Choice {
 	enabled = onePerProc(enabled, rng)
-	out := make([]Choice, 0, len(enabled))
+	// In-place filter: the write index never passes the read index, and the
+	// range loop copies each element before the append can overwrite it.
+	out := enabled[:0]
 	for _, ch := range enabled {
 		if rng.Float64() < d.P {
 			out = append(out, ch)
 		}
 	}
 	if len(out) == 0 {
+		// Nothing written yet, so enabled is still intact.
 		out = append(out, enabled[rng.Intn(len(enabled))])
 	}
 	return out
@@ -238,9 +247,10 @@ func (d *Adversarial) prefRank(action int) int {
 
 // onePerProc reduces the choice list to at most one choice per processor,
 // picking uniformly among a processor's enabled actions. The input is sorted
-// by processor; the output preserves that order.
+// by processor; the output reuses its storage (one write per processor
+// group, always at or behind the read position) and preserves the order.
 func onePerProc(enabled []Choice, rng *rand.Rand) []Choice {
-	out := make([]Choice, 0, len(enabled))
+	out := enabled[:0]
 	for i := 0; i < len(enabled); {
 		j := i
 		for j < len(enabled) && enabled[j].Proc == enabled[i].Proc {

@@ -66,7 +66,7 @@ func TestIncrementalEquivalence(t *testing.T) {
 			return false
 		}
 		for p := range fastCfg.States {
-			if fastCfg.States[p].(core.State) != slowCfg.States[p].(core.State) {
+			if core.At(fastCfg, p) != core.At(slowCfg, p) {
 				t.Logf("state of p%d diverged", p)
 				return false
 			}

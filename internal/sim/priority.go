@@ -25,14 +25,14 @@ func (d ActionPriority) Name() string { return fmt.Sprintf("action-priority-%v",
 
 // Select implements Daemon.
 func (d ActionPriority) Select(_ int, _ *Configuration, enabled []Choice, _ *rand.Rand) []Choice {
-	best := enabled[0]
-	bestRank := d.rank(best.Action)
-	for _, ch := range enabled[1:] {
+	besti := 0
+	bestRank := d.rank(enabled[0].Action)
+	for i, ch := range enabled[1:] {
 		if r := d.rank(ch.Action); r < bestRank {
-			best, bestRank = ch, r
+			besti, bestRank = i+1, r
 		}
 	}
-	return []Choice{best}
+	return enabled[besti : besti+1]
 }
 
 func (d ActionPriority) rank(action int) int {

@@ -1,0 +1,385 @@
+package sim_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"snappif/internal/core"
+	"snappif/internal/fault"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+// referenceRun is the pre-optimization runner, kept verbatim as an
+// executable specification: map-based round accounting, a freshly allocated
+// enabled list per step, freshly allocated daemon copies and state slices.
+// The determinism regression below asserts that the bitset/pooled-scratch
+// Runner is bit-identical to it — same Result fields, same final states,
+// same RNG draw sequence — across protocols, daemons, and seeds.
+func referenceRun(c *sim.Configuration, p sim.Protocol, d sim.Daemon, opts sim.Options) (sim.Result, error) {
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 1_000_000
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.FairnessAge <= 0 {
+		opts.FairnessAge = 4 * c.N()
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	names := p.ActionNames()
+	res := sim.Result{MovesPerAction: make(map[string]int, len(names)), Final: c}
+	rs := &sim.RunState{Config: c}
+
+	if opts.StopWhen != nil && opts.StopWhen(rs) {
+		res.Stopped = true
+		return res, nil
+	}
+
+	age := make([]int, c.N())
+
+	incremental := false
+	if lp, ok := p.(sim.LocalProtocol); ok && lp.GuardsAreLocal() {
+		incremental = true
+		for _, o := range opts.Observers {
+			if mo, ok := o.(sim.MutatingObserver); ok && mo.MutatesConfiguration() {
+				incremental = false
+				break
+			}
+		}
+	}
+	cache := newRefCache(c, p, incremental)
+	enabled := cache.choices()
+	pending := refProcSet(enabled)
+
+	for len(enabled) > 0 {
+		if res.Steps >= opts.MaxSteps {
+			return res, fmt.Errorf("sim: %s under %s after %d steps (%d rounds): %w",
+				p.Name(), d.Name(), res.Steps, res.Rounds, sim.ErrStepLimit)
+		}
+
+		selected := d.Select(res.Steps, c, append([]sim.Choice(nil), enabled...), rng)
+		selected = refForceAged(selected, enabled, age, opts.FairnessAge, rng)
+		if len(selected) == 0 {
+			selected = []sim.Choice{enabled[rng.Intn(len(enabled))]}
+		}
+
+		newStates := make([]sim.State, len(selected))
+		for i, ch := range selected {
+			newStates[i] = p.Apply(c, ch.Proc, ch.Action)
+		}
+		executedSet := make(map[int]bool, len(selected))
+		for i, ch := range selected {
+			c.States[ch.Proc] = newStates[i]
+			executedSet[ch.Proc] = true
+			res.Moves++
+			res.MovesPerAction[names[ch.Action]]++
+		}
+		res.Steps++
+		rs.Steps, rs.Moves = res.Steps, res.Moves
+
+		for _, o := range opts.Observers {
+			o.OnStep(res.Steps, selected, c)
+		}
+
+		cache.refresh(selected)
+		enabled = cache.choices()
+		enabledSet := refProcSet(enabled)
+
+		for proc := range pending {
+			if executedSet[proc] || !enabledSet[proc] {
+				delete(pending, proc)
+			}
+		}
+		if len(pending) == 0 {
+			res.Rounds++
+			rs.Rounds = res.Rounds
+			for _, o := range opts.Observers {
+				if ro, ok := o.(sim.RoundObserver); ok {
+					ro.OnRound(res.Rounds, c)
+				}
+			}
+			pending = refProcSet(enabled)
+		}
+
+		for proc := 0; proc < c.N(); proc++ {
+			switch {
+			case !enabledSet[proc], executedSet[proc]:
+				age[proc] = 0
+			default:
+				age[proc]++
+			}
+		}
+
+		if opts.StopWhen != nil && opts.StopWhen(rs) {
+			res.Stopped = true
+			return res, nil
+		}
+	}
+	res.Terminal = true
+	return res, nil
+}
+
+func refForceAged(selected, enabled []sim.Choice, age []int, bound int, rng *rand.Rand) []sim.Choice {
+	have := make(map[int]bool, len(selected))
+	for _, ch := range selected {
+		have[ch.Proc] = true
+	}
+	forced := make([]sim.Choice, 0, 4)
+	for i := 0; i < len(enabled); {
+		j := i
+		for j < len(enabled) && enabled[j].Proc == enabled[i].Proc {
+			j++
+		}
+		proc := enabled[i].Proc
+		if age[proc] >= bound && !have[proc] {
+			forced = append(forced, enabled[i+rng.Intn(j-i)])
+			have[proc] = true
+		}
+		i = j
+	}
+	return append(selected, forced...)
+}
+
+func refProcSet(choices []sim.Choice) map[int]bool {
+	s := make(map[int]bool, len(choices))
+	for _, ch := range choices {
+		s[ch.Proc] = true
+	}
+	return s
+}
+
+type refCache struct {
+	c           *sim.Configuration
+	p           sim.Protocol
+	incremental bool
+	acts        [][]int
+}
+
+func newRefCache(c *sim.Configuration, p sim.Protocol, incremental bool) *refCache {
+	ec := &refCache{c: c, p: p, incremental: incremental, acts: make([][]int, c.N())}
+	for proc := 0; proc < c.N(); proc++ {
+		ec.acts[proc] = p.Enabled(c, proc)
+	}
+	return ec
+}
+
+func (ec *refCache) refresh(executed []sim.Choice) {
+	if !ec.incremental {
+		for proc := 0; proc < ec.c.N(); proc++ {
+			ec.acts[proc] = ec.p.Enabled(ec.c, proc)
+		}
+		return
+	}
+	seen := make(map[int]bool, 16)
+	for _, ch := range executed {
+		if !seen[ch.Proc] {
+			seen[ch.Proc] = true
+			ec.acts[ch.Proc] = ec.p.Enabled(ec.c, ch.Proc)
+		}
+		for _, q := range ec.c.G.Neighbors(ch.Proc) {
+			if !seen[q] {
+				seen[q] = true
+				ec.acts[q] = ec.p.Enabled(ec.c, q)
+			}
+		}
+	}
+}
+
+func (ec *refCache) choices() []sim.Choice {
+	var out []sim.Choice
+	for proc, acts := range ec.acts {
+		for _, a := range acts {
+			out = append(out, sim.Choice{Proc: proc, Action: a})
+		}
+	}
+	return out
+}
+
+// refTopologies are small enough for many (daemon × seed × fault) runs but
+// cover the qualitatively different shapes: path, cycle, mesh, hub, dense.
+func refTopologies(t *testing.T) []*graph.Graph {
+	t.Helper()
+	var gs []*graph.Graph
+	for _, mk := range []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return graph.Line(7) },
+		func() (*graph.Graph, error) { return graph.Ring(9) },
+		func() (*graph.Graph, error) { return graph.Grid(3, 4) },
+		func() (*graph.Graph, error) { return graph.Star(8) },
+		func() (*graph.Graph, error) {
+			return graph.RandomConnected(10, 0.35, rand.New(rand.NewSource(11)))
+		},
+	} {
+		g, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs = append(gs, g)
+	}
+	return gs
+}
+
+// refDaemons builds one fresh instance of every daemon per run; the
+// stateful ones (round-robin, adversarial) must not leak schedule state
+// between the reference and optimized runs.
+func refDaemons() map[string]func() sim.Daemon {
+	return map[string]func() sim.Daemon{
+		"synchronous": func() sim.Daemon { return sim.Synchronous{} },
+		"central":     func() sim.Daemon { return sim.Central{Order: sim.CentralRandom} },
+		"dist-random": func() sim.Daemon { return sim.DistributedRandom{P: 0.5} },
+		"loc-central": func() sim.Daemon { return sim.LocallyCentral{} },
+		"round-robin": func() sim.Daemon { return &sim.RoundRobin{} },
+		"adversarial": func() sim.Daemon {
+			return &sim.Adversarial{PreferActions: []int{core.ActionB, core.ActionFok, core.ActionF}}
+		},
+	}
+}
+
+// nonLocalRef hides the LocalProtocol marker so the run exercises the
+// full-re-evaluation path of both engines.
+type nonLocalRef struct{ p sim.Protocol }
+
+func (h nonLocalRef) Name() string                                   { return h.p.Name() }
+func (h nonLocalRef) ActionNames() []string                          { return h.p.ActionNames() }
+func (h nonLocalRef) InitialState(p int) sim.State                   { return h.p.InitialState(p) }
+func (h nonLocalRef) Enabled(c *sim.Configuration, p int) []int      { return h.p.Enabled(c, p) }
+func (h nonLocalRef) Apply(c *sim.Configuration, p, a int) sim.State { return h.p.Apply(c, p, a) }
+
+// newRefConfig builds a configuration for pr on g, optionally corrupted by
+// a deterministic uniform fault so correction actions run too.
+func newRefConfig(g *graph.Graph, pr *core.Protocol, corrupt bool, seed int64) *sim.Configuration {
+	cfg := sim.NewConfiguration(g, pr)
+	if corrupt {
+		fault.UniformRandom().Apply(cfg, pr, rand.New(rand.NewSource(seed)))
+	}
+	return cfg
+}
+
+// TestRunnerMatchesReference is the determinism regression for the
+// optimized engine: on every topology × daemon × seed × start (clean and
+// corrupted) × guard-evaluation mode (incremental and full), the optimized
+// Runner must agree with the reference implementation on every Result field
+// and on every processor's final state.
+func TestRunnerMatchesReference(t *testing.T) {
+	const steps = 1500
+	stop := func(rs *sim.RunState) bool { return rs.Steps >= steps }
+	for _, g := range refTopologies(t) {
+		for dname, mkDaemon := range refDaemons() {
+			for _, seed := range []int64{1, 7, 12345} {
+				for _, corrupt := range []bool{false, true} {
+					for _, local := range []bool{true, false} {
+						name := fmt.Sprintf("%s/%s/seed=%d/corrupt=%v/local=%v",
+							g.Name(), dname, seed, corrupt, local)
+						t.Run(name, func(t *testing.T) {
+							// Each engine gets its own Protocol: the payload
+							// counter (nextMsg) lives on it and advances as
+							// the root broadcasts.
+							newProto := func() (sim.Protocol, *core.Protocol) {
+								pr, err := core.New(g, 0)
+								if err != nil {
+									t.Fatal(err)
+								}
+								if !local {
+									return nonLocalRef{pr}, pr
+								}
+								return pr, pr
+							}
+							opts := sim.Options{Seed: seed, StopWhen: stop, MaxSteps: steps + 1}
+
+							p1, pr1 := newProto()
+							refCfg := newRefConfig(g, pr1, corrupt, seed)
+							wantRes, wantErr := referenceRun(refCfg, p1, mkDaemon(), opts)
+
+							p2, pr2 := newProto()
+							gotCfg := newRefConfig(g, pr2, corrupt, seed)
+							gotRes, gotErr := sim.Run(gotCfg, p2, mkDaemon(), opts)
+
+							if (wantErr == nil) != (gotErr == nil) {
+								t.Fatalf("error mismatch: reference %v, optimized %v", wantErr, gotErr)
+							}
+							if wantErr != nil && !errors.Is(gotErr, sim.ErrStepLimit) {
+								t.Fatalf("optimized error = %v, want ErrStepLimit", gotErr)
+							}
+							compareResults(t, wantRes, gotRes)
+							compareStates(t, refCfg, gotCfg)
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+func compareResults(t *testing.T, want, got sim.Result) {
+	t.Helper()
+	if want.Steps != got.Steps {
+		t.Errorf("Steps: reference %d, optimized %d", want.Steps, got.Steps)
+	}
+	if want.Moves != got.Moves {
+		t.Errorf("Moves: reference %d, optimized %d", want.Moves, got.Moves)
+	}
+	if want.Rounds != got.Rounds {
+		t.Errorf("Rounds: reference %d, optimized %d", want.Rounds, got.Rounds)
+	}
+	if want.Terminal != got.Terminal {
+		t.Errorf("Terminal: reference %v, optimized %v", want.Terminal, got.Terminal)
+	}
+	if want.Stopped != got.Stopped {
+		t.Errorf("Stopped: reference %v, optimized %v", want.Stopped, got.Stopped)
+	}
+	if !reflect.DeepEqual(want.MovesPerAction, got.MovesPerAction) {
+		t.Errorf("MovesPerAction: reference %v, optimized %v", want.MovesPerAction, got.MovesPerAction)
+	}
+}
+
+func compareStates(t *testing.T, want, got *sim.Configuration) {
+	t.Helper()
+	for p := 0; p < want.N(); p++ {
+		ws, gs := core.At(want, p), core.At(got, p)
+		if ws != gs {
+			t.Errorf("proc %d final state: reference %+v, optimized %+v", p, ws, gs)
+		}
+	}
+}
+
+// TestRunnerStepEquivalentToRun pins the stepping API to the batch API: a
+// manual NewRunner+Step loop is the same run as Run.
+func TestRunnerStepEquivalentToRun(t *testing.T) {
+	g, err := graph.Ring(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := sim.Options{Seed: 3, StopWhen: func(rs *sim.RunState) bool { return rs.Steps >= 500 }}
+
+	pr1, err := core.New(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := sim.NewConfiguration(g, pr1)
+	res1, err1 := sim.Run(c1, pr1, sim.DistributedRandom{P: 0.5}, opts)
+
+	pr2, err := core.New(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := sim.NewConfiguration(g, pr2)
+	r := sim.NewRunner(c2, pr2, sim.DistributedRandom{P: 0.5}, opts)
+	var res2 sim.Result
+	var err2 error
+	for {
+		done, err := r.Step()
+		if done {
+			res2, err2 = r.Result(), err
+			break
+		}
+	}
+
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("error mismatch: Run %v, Step loop %v", err1, err2)
+	}
+	compareResults(t, res1, res2)
+	compareStates(t, c1, c2)
+}

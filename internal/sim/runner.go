@@ -15,7 +15,9 @@ var ErrStepLimit = errors.New("sim: step limit exhausted")
 // boundaries.
 type Observer interface {
 	// OnStep is called after the step's writes commit. executed lists the
-	// choices that ran; c is the post-step configuration (read-only).
+	// choices that ran; c is the post-step configuration (read-only). The
+	// executed slice is scratch reused across steps: implementations must
+	// copy it to retain it past the call.
 	OnStep(step int, executed []Choice, c *Configuration)
 }
 
@@ -77,6 +79,63 @@ type Result struct {
 // It returns an error only when the step limit is hit, which in every
 // experiment in this repository indicates a bug, not a long run.
 func Run(c *Configuration, p Protocol, d Daemon, opts Options) (Result, error) {
+	r := NewRunner(c, p, d, opts)
+	for {
+		done, err := r.Step()
+		if done {
+			return r.Result(), err
+		}
+	}
+}
+
+// Runner is the stepping form of Run: it holds the run's scratch state
+// (bitsets, choice buffers, state boxes) so that a committed step performs
+// zero heap allocations once warm. NewRunner + a Step loop is exactly
+// equivalent to Run; the split exists for callers that need to observe or
+// meter individual steps (the allocation-budget tests, the benchmark
+// harness).
+type Runner struct {
+	c    *Configuration
+	p    Protocol
+	d    Daemon
+	opts Options
+	rng  *rand.Rand
+
+	names   []string
+	res     Result
+	rs      RunState
+	inplace InPlaceProtocol
+	cache   *enabledCache
+
+	// age[p] counts consecutive steps p has been enabled without executing.
+	age []int
+	// pending tracks the processors continuously enabled since the start of
+	// the current round that have executed neither a protocol action nor
+	// the disable action yet.
+	pending bitset
+	// executed marks the processors that moved in the current step.
+	executed bitset
+	// have is forceAged's per-step dedup scratch.
+	have bitset
+	// shadow holds the spare state boxes of the in-place commit path: step
+	// i writes into shadow boxes, then swaps them with the live boxes.
+	shadow []State
+	// stateBuf is the generic (allocating Apply) commit path's staging.
+	stateBuf []State
+	// daemonBuf is the daemon's private copy of the enabled choices; the
+	// daemon may mutate it in place.
+	daemonBuf []Choice
+	// selBuf accumulates the step's final selection (daemon choice plus
+	// fairness-forced processors).
+	selBuf []Choice
+
+	finished bool
+	err      error
+}
+
+// NewRunner prepares a run of protocol p on configuration c (mutated in
+// place) under daemon d. The first Step executes the first computation step.
+func NewRunner(c *Configuration, p Protocol, d Daemon, opts Options) *Runner {
 	if opts.MaxSteps <= 0 {
 		opts.MaxSteps = 1_000_000
 	}
@@ -86,17 +145,30 @@ func Run(c *Configuration, p Protocol, d Daemon, opts Options) (Result, error) {
 	if opts.FairnessAge <= 0 {
 		opts.FairnessAge = 4 * c.N()
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-	names := p.ActionNames()
-	res := Result{MovesPerAction: make(map[string]int, len(names)), Final: c}
-	rs := &RunState{Config: c}
+	n := c.N()
+	r := &Runner{
+		c:    c,
+		p:    p,
+		d:    d,
+		opts: opts,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
 
-	if opts.StopWhen != nil && opts.StopWhen(rs) {
-		res.Stopped = true
-		return res, nil
+		age:      make([]int, n),
+		pending:  newBitset(n),
+		executed: newBitset(n),
+		have:     newBitset(n),
+		stateBuf: make([]State, n),
 	}
+	names := p.ActionNames()
+	r.names = names
+	r.res = Result{MovesPerAction: make(map[string]int, len(names)), Final: c}
+	r.rs = RunState{Config: c}
 
-	age := make([]int, c.N()) // consecutive steps enabled without executing
+	if opts.StopWhen != nil && opts.StopWhen(&r.rs) {
+		r.res.Stopped = true
+		r.finished = true
+		return r
+	}
 
 	// cache holds per-processor enabled actions; for LocalProtocol
 	// implementations only the moved processors' neighborhoods are
@@ -112,117 +184,145 @@ func Run(c *Configuration, p Protocol, d Daemon, opts Options) (Result, error) {
 			}
 		}
 	}
-	cache := newEnabledCache(c, p, incremental)
-	enabled := cache.choices()
+	r.cache = newEnabledCache(c, p, incremental)
+	r.pending.copyFrom(r.cache.enabledBits)
 
-	// pending tracks the processors continuously enabled since the start of
-	// the current round that have executed neither a protocol action nor
-	// the disable action yet.
-	pending := procSet(enabled)
-
-	for len(enabled) > 0 {
-		if res.Steps >= opts.MaxSteps {
-			return res, fmt.Errorf("sim: %s under %s after %d steps (%d rounds): %w",
-				p.Name(), d.Name(), res.Steps, res.Rounds, ErrStepLimit)
-		}
-
-		selected := d.Select(res.Steps, c, append([]Choice(nil), enabled...), rng)
-		selected = forceAged(selected, enabled, age, opts.FairnessAge, rng)
-		if len(selected) == 0 {
-			// Defensive: a daemon must select at least one processor.
-			selected = []Choice{enabled[rng.Intn(len(enabled))]}
-		}
-
-		// Execute: all statements read the pre-step configuration, then all
-		// writes commit at once (composite atomicity, distributed daemon).
-		newStates := make([]State, len(selected))
-		for i, ch := range selected {
-			newStates[i] = p.Apply(c, ch.Proc, ch.Action)
-		}
-		executedSet := make(map[int]bool, len(selected))
-		for i, ch := range selected {
-			c.States[ch.Proc] = newStates[i]
-			executedSet[ch.Proc] = true
-			res.Moves++
-			res.MovesPerAction[names[ch.Action]]++
-		}
-		res.Steps++
-		rs.Steps, rs.Moves = res.Steps, res.Moves
-
-		for _, o := range opts.Observers {
-			o.OnStep(res.Steps, selected, c)
-		}
-
-		cache.refresh(selected)
-		enabled = cache.choices()
-		enabledSet := procSet(enabled)
-
-		// Round accounting: a pending processor leaves the round when it
-		// executes, or when it becomes disabled (the disable action).
-		for proc := range pending {
-			if executedSet[proc] || !enabledSet[proc] {
-				delete(pending, proc)
-			}
-		}
-		if len(pending) == 0 {
-			res.Rounds++
-			rs.Rounds = res.Rounds
-			for _, o := range opts.Observers {
-				if ro, ok := o.(RoundObserver); ok {
-					ro.OnRound(res.Rounds, c)
-				}
-			}
-			pending = procSet(enabled)
-		}
-
-		// Aging for weak fairness.
-		for proc := 0; proc < c.N(); proc++ {
-			switch {
-			case !enabledSet[proc], executedSet[proc]:
-				age[proc] = 0
-			default:
-				age[proc]++
-			}
-		}
-
-		if opts.StopWhen != nil && opts.StopWhen(rs) {
-			res.Stopped = true
-			return res, nil
+	// The in-place commit path: protocols that can overwrite state boxes
+	// get a shadow box per processor, created once here; each step writes
+	// into shadow boxes and swaps them with the live ones, so committing
+	// allocates nothing.
+	if ipp, ok := p.(InPlaceProtocol); ok {
+		r.inplace = ipp
+		r.shadow = make([]State, n)
+		for proc := 0; proc < n; proc++ {
+			r.shadow[proc] = c.States[proc].Clone()
 		}
 	}
-	res.Terminal = true
-	return res, nil
+	return r
 }
 
-// forceAged adds to selected every enabled processor whose age has reached
-// the fairness bound, keeping at most one choice per processor.
-func forceAged(selected, enabled []Choice, age []int, bound int, rng *rand.Rand) []Choice {
-	have := make(map[int]bool, len(selected))
-	for _, ch := range selected {
-		have[ch.Proc] = true
+// Result returns the run summary accumulated so far; after Step has
+// reported done it is the final result.
+func (r *Runner) Result() Result { return r.res }
+
+// Step executes one computation step. It reports done = true when the run
+// has ended — terminal configuration, stop predicate, or step limit (the
+// only case with a non-nil error) — after which further calls are no-ops.
+func (r *Runner) Step() (done bool, err error) {
+	if r.finished {
+		return true, r.err
 	}
-	forced := make([]Choice, 0, 4)
+	enabled := r.cache.choices()
+	if len(enabled) == 0 {
+		r.res.Terminal = true
+		r.finished = true
+		return true, nil
+	}
+	if r.res.Steps >= r.opts.MaxSteps {
+		r.err = fmt.Errorf("sim: %s under %s after %d steps (%d rounds): %w",
+			r.p.Name(), r.d.Name(), r.res.Steps, r.res.Rounds, ErrStepLimit)
+		r.finished = true
+		return true, r.err
+	}
+
+	// The daemon gets its own copy of the enabled list (it may filter it in
+	// place); the final selection accumulates in selBuf so fairness forcing
+	// never grows the daemon's slice.
+	r.daemonBuf = append(r.daemonBuf[:0], enabled...)
+	selected := r.d.Select(r.res.Steps, r.c, r.daemonBuf, r.rng)
+	r.selBuf = append(r.selBuf[:0], selected...)
+	r.selBuf = r.forceAged(r.selBuf, enabled)
+	if len(r.selBuf) == 0 {
+		// Defensive: a daemon must select at least one processor.
+		r.selBuf = append(r.selBuf, enabled[r.rng.Intn(len(enabled))])
+	}
+	selected = r.selBuf
+
+	// Execute: all statements read the pre-step configuration, then all
+	// writes commit at once (composite atomicity, distributed daemon).
+	r.executed.reset()
+	if r.inplace != nil {
+		for _, ch := range selected {
+			r.inplace.ApplyInto(r.c, ch.Proc, ch.Action, r.shadow[ch.Proc])
+		}
+		for _, ch := range selected {
+			r.c.States[ch.Proc], r.shadow[ch.Proc] = r.shadow[ch.Proc], r.c.States[ch.Proc]
+		}
+	} else {
+		for i, ch := range selected {
+			r.stateBuf[i] = r.p.Apply(r.c, ch.Proc, ch.Action)
+		}
+		for i, ch := range selected {
+			r.c.States[ch.Proc] = r.stateBuf[i]
+		}
+	}
+	for _, ch := range selected {
+		r.executed.set(ch.Proc)
+		r.res.Moves++
+		r.res.MovesPerAction[r.names[ch.Action]]++
+	}
+	r.res.Steps++
+	r.rs.Steps, r.rs.Moves = r.res.Steps, r.res.Moves
+
+	for _, o := range r.opts.Observers {
+		o.OnStep(r.res.Steps, selected, r.c)
+	}
+
+	r.cache.refresh(selected)
+
+	// Round accounting: a pending processor leaves the round when it
+	// executes, or when it becomes disabled (the disable action).
+	if r.pending.intersectAndNot(r.cache.enabledBits, r.executed) {
+		r.res.Rounds++
+		r.rs.Rounds = r.res.Rounds
+		for _, o := range r.opts.Observers {
+			if ro, ok := o.(RoundObserver); ok {
+				ro.OnRound(r.res.Rounds, r.c)
+			}
+		}
+		r.pending.copyFrom(r.cache.enabledBits)
+	}
+
+	// Aging for weak fairness.
+	for proc := 0; proc < r.c.N(); proc++ {
+		switch {
+		case !r.cache.enabledBits.test(proc), r.executed.test(proc):
+			r.age[proc] = 0
+		default:
+			r.age[proc]++
+		}
+	}
+
+	if r.opts.StopWhen != nil && r.opts.StopWhen(&r.rs) {
+		r.res.Stopped = true
+		r.finished = true
+		return true, nil
+	}
+	return false, nil
+}
+
+// forceAged appends to selected every enabled processor whose age has
+// reached the fairness bound, keeping at most one choice per processor.
+// enabled is the cache's choice buffer (sorted by processor).
+func (r *Runner) forceAged(selected, enabled []Choice) []Choice {
+	r.have.reset()
+	for _, ch := range selected {
+		r.have.set(ch.Proc)
+	}
+	bound := r.opts.FairnessAge
 	for i := 0; i < len(enabled); {
 		j := i
 		for j < len(enabled) && enabled[j].Proc == enabled[i].Proc {
 			j++
 		}
 		proc := enabled[i].Proc
-		if age[proc] >= bound && !have[proc] {
-			forced = append(forced, enabled[i+rng.Intn(j-i)])
-			have[proc] = true
+		if r.age[proc] >= bound && !r.have.test(proc) {
+			selected = append(selected, enabled[i+r.rng.Intn(j-i)])
+			r.have.set(proc)
 		}
 		i = j
 	}
-	return append(selected, forced...)
-}
-
-func procSet(choices []Choice) map[int]bool {
-	s := make(map[int]bool, len(choices))
-	for _, ch := range choices {
-		s[ch.Proc] = true
-	}
-	return s
+	return selected
 }
 
 // MutatingObserver marks observers that modify the configuration during
@@ -236,13 +336,19 @@ type MutatingObserver interface {
 	MutatesConfiguration() bool
 }
 
-// enabledCache tracks the per-processor enabled actions across steps.
+// enabledCache tracks the per-processor enabled actions across steps,
+// together with the enabled-processor bitset and a flat choice buffer in
+// ascending processor order, rebuilt only when a refresh changed some
+// processor's enabled set.
 type enabledCache struct {
 	c           *Configuration
 	p           Protocol
 	incremental bool
 	acts        [][]int
-	scratch     map[int]bool
+	enabledBits bitset
+	buf         []Choice
+	bufValid    bool
+	scratch     bitset // processors re-evaluated in the current refresh
 }
 
 func newEnabledCache(c *Configuration, p Protocol, incremental bool) *enabledCache {
@@ -251,12 +357,36 @@ func newEnabledCache(c *Configuration, p Protocol, incremental bool) *enabledCac
 		p:           p,
 		incremental: incremental,
 		acts:        make([][]int, c.N()),
-		scratch:     make(map[int]bool, 16),
+		enabledBits: newBitset(c.N()),
+		scratch:     newBitset(c.N()),
 	}
 	for proc := 0; proc < c.N(); proc++ {
-		ec.acts[proc] = p.Enabled(c, proc)
+		ec.update(proc)
 	}
 	return ec
+}
+
+// update re-evaluates proc's guards, maintaining the enabled bitset and
+// invalidating the choice buffer if anything changed.
+func (ec *enabledCache) update(proc int) {
+	old := ec.acts[proc]
+	acts := ec.p.Enabled(ec.c, proc)
+	ec.acts[proc] = acts
+	if len(acts) == 0 {
+		ec.enabledBits.clear(proc)
+	} else {
+		ec.enabledBits.set(proc)
+	}
+	if len(old) != len(acts) {
+		ec.bufValid = false
+		return
+	}
+	for i := range acts {
+		if old[i] != acts[i] {
+			ec.bufValid = false
+			return
+		}
+	}
 }
 
 // refresh re-evaluates guards after a committed step. With local guards
@@ -264,34 +394,38 @@ func newEnabledCache(c *Configuration, p Protocol, incremental bool) *enabledCac
 func (ec *enabledCache) refresh(executed []Choice) {
 	if !ec.incremental {
 		for proc := 0; proc < ec.c.N(); proc++ {
-			ec.acts[proc] = ec.p.Enabled(ec.c, proc)
+			ec.update(proc)
 		}
 		return
 	}
-	for k := range ec.scratch {
-		delete(ec.scratch, k)
-	}
+	ec.scratch.reset()
 	for _, ch := range executed {
-		if !ec.scratch[ch.Proc] {
-			ec.scratch[ch.Proc] = true
-			ec.acts[ch.Proc] = ec.p.Enabled(ec.c, ch.Proc)
+		if !ec.scratch.test(ch.Proc) {
+			ec.scratch.set(ch.Proc)
+			ec.update(ch.Proc)
 		}
 		for _, q := range ec.c.G.Neighbors(ch.Proc) {
-			if !ec.scratch[q] {
-				ec.scratch[q] = true
-				ec.acts[q] = ec.p.Enabled(ec.c, q)
+			if !ec.scratch.test(q) {
+				ec.scratch.set(q)
+				ec.update(q)
 			}
 		}
 	}
 }
 
-// choices materializes the enabled list in ascending processor order.
+// choices returns the enabled list in ascending processor order. The slice
+// is the cache's reusable buffer, valid until the next refresh; callers
+// must not mutate or retain it.
 func (ec *enabledCache) choices() []Choice {
-	var out []Choice
-	for proc, acts := range ec.acts {
-		for _, a := range acts {
-			out = append(out, Choice{Proc: proc, Action: a})
-		}
+	if ec.bufValid {
+		return ec.buf
 	}
-	return out
+	ec.buf = ec.buf[:0]
+	ec.enabledBits.forEach(func(proc int) {
+		for _, a := range ec.acts[proc] {
+			ec.buf = append(ec.buf, Choice{Proc: proc, Action: a})
+		}
+	})
+	ec.bufValid = true
+	return ec.buf
 }

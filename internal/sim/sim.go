@@ -53,6 +53,21 @@ type Protocol interface {
 	InitialState(p int) State
 }
 
+// InPlaceProtocol is the zero-allocation extension of Protocol: a protocol
+// whose states are stored as pointer boxes and that can compute a next state
+// directly into a caller-supplied box. The runner gives such protocols a
+// shadow box per processor and commits steps by swapping boxes, so a
+// committed step performs no heap allocation.
+type InPlaceProtocol interface {
+	Protocol
+
+	// ApplyInto executes action a at processor p like Apply, but overwrites
+	// dst (a box previously produced by InitialState or Clone) with p's next
+	// state instead of allocating. Like Apply it reads the pre-step
+	// configuration c and must not mutate it; dst is never aliased by c.
+	ApplyInto(c *Configuration, p int, a int, dst State)
+}
+
 // LocalProtocol marks protocols whose guards depend only on the closed
 // neighborhood: Enabled(c, p) reads only the states of p and p's neighbors.
 // Every protocol in the locally shared memory model has this property; the

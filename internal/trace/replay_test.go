@@ -53,7 +53,7 @@ func TestRecordReplayRoundTrip(t *testing.T) {
 		t.Fatalf("replay diverged: %+v vs %+v", orig, redo)
 	}
 	for p := range origCfg.States {
-		if origCfg.States[p].(core.State) != redoCfg.States[p].(core.State) {
+		if core.At(origCfg, p) != core.At(redoCfg, p) {
 			t.Fatalf("state of p%d diverged", p)
 		}
 	}

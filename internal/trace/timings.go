@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Timing is one labeled wall-clock measurement.
+type Timing struct {
+	// Label identifies the measured unit (e.g. "E1/ring-16").
+	Label string `json:"label"`
+	// Seconds is the measured wall-clock duration.
+	Seconds float64 `json:"seconds"`
+}
+
+// Timings collects labeled wall-clock durations from concurrent producers
+// (the experiment harness records one entry per table cell). The zero value
+// is ready to use; all methods are safe for concurrent use.
+type Timings struct {
+	mu      sync.Mutex
+	entries []Timing
+}
+
+// Add records one measurement.
+func (t *Timings) Add(label string, d time.Duration) {
+	t.mu.Lock()
+	t.entries = append(t.entries, Timing{Label: label, Seconds: d.Seconds()})
+	t.mu.Unlock()
+}
+
+// Entries returns a copy of all measurements sorted by label (insertion
+// order is nondeterministic under a parallel harness).
+func (t *Timings) Entries() []Timing {
+	t.mu.Lock()
+	out := append([]Timing(nil), t.entries...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// Total returns the summed duration of all measurements — under a parallel
+// harness this is CPU-ish time, larger than the wall clock.
+func (t *Timings) Total() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var s float64
+	for _, e := range t.entries {
+		s += e.Seconds
+	}
+	return time.Duration(s * float64(time.Second))
+}
+
+// Len returns the number of measurements.
+func (t *Timings) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}

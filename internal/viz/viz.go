@@ -20,7 +20,7 @@ import (
 func PhaseStrip(c *sim.Configuration, pr *core.Protocol) string {
 	var b strings.Builder
 	for p := 0; p < c.N(); p++ {
-		s := c.States[p].(core.State)
+		s := core.At(c, p)
 		ch := s.Pif.String()
 		if !pr.Normal(c, p) {
 			ch = strings.ToLower(ch)
@@ -35,7 +35,7 @@ func StateTable(w io.Writer, c *sim.Configuration, pr *core.Protocol) {
 	fmt.Fprintln(w, "proc  phase  par  L    count  fok    normal  in-tree")
 	fmt.Fprintln(w, "----  -----  ---  ---  -----  -----  ------  -------")
 	for p := 0; p < c.N(); p++ {
-		s := c.States[p].(core.State)
+		s := core.At(c, p)
 		fmt.Fprintf(w, "p%-4d %-6s %-4d %-4d %-6d %-6v %-7v %v\n",
 			p, s.Pif, s.Par, s.L, s.Count, s.Fok,
 			pr.Normal(c, p), check.InLegalTree(c, pr, p))
@@ -61,7 +61,7 @@ func Tree(w io.Writer, c *sim.Configuration, pr *core.Protocol) {
 		if p == pr.Root {
 			continue
 		}
-		par := c.States[p].(core.State).Par
+		par := core.At(c, p).Par
 		children[par] = append(children[par], p)
 	}
 	for _, kids := range children {
@@ -69,7 +69,7 @@ func Tree(w io.Writer, c *sim.Configuration, pr *core.Protocol) {
 	}
 	var draw func(p int, prefix string, last bool)
 	draw = func(p int, prefix string, last bool) {
-		s := c.States[p].(core.State)
+		s := core.At(c, p)
 		label := fmt.Sprintf("p%d (%s cnt=%d", p, s.Pif, s.Count)
 		if s.Fok {
 			label += " fok"
@@ -101,7 +101,7 @@ func Tree(w io.Writer, c *sim.Configuration, pr *core.Protocol) {
 	var outside []string
 	for p := 0; p < c.N(); p++ {
 		if !inTree[p] {
-			outside = append(outside, fmt.Sprintf("p%d(%s)", p, c.States[p].(core.State).Pif))
+			outside = append(outside, fmt.Sprintf("p%d(%s)", p, core.At(c, p).Pif))
 		}
 	}
 	if len(outside) > 0 {

@@ -27,10 +27,10 @@ func TestPhaseStripCleanAndCorrupt(t *testing.T) {
 		t.Fatalf("clean strip = %q, want CCCC", got)
 	}
 	// Plant an abnormal broadcaster: lowercase letter expected.
-	s := cfg.States[2].(core.State)
+	s := core.At(cfg, 2)
 	s.Pif = core.B
 	s.L = 1 // parent 1 is clean → GoodPif fails → abnormal
-	cfg.States[2] = s
+	core.Set(cfg, 2, s)
 	got := viz.PhaseStrip(cfg, pr)
 	if got != "CCbC" {
 		t.Fatalf("strip = %q, want CCbC", got)
@@ -41,13 +41,13 @@ func TestStateTableAndTree(t *testing.T) {
 	pr, cfg := setup(t)
 	// Build a small legal tree: 0 ← 1 ← 2.
 	for p := 0; p <= 2; p++ {
-		s := cfg.States[p].(core.State)
+		s := core.At(cfg, p)
 		s.Pif = core.B
 		s.L = p
 		if p > 0 {
 			s.Par = p - 1
 		}
-		cfg.States[p] = s
+		core.Set(cfg, p, s)
 	}
 	var table strings.Builder
 	viz.StateTable(&table, cfg, pr)
@@ -73,13 +73,13 @@ func TestTreeBranching(t *testing.T) {
 	}
 	pr := core.MustNew(g, 0)
 	cfg := sim.NewConfiguration(g, pr)
-	s := cfg.States[0].(core.State)
+	s := core.At(cfg, 0)
 	s.Pif = core.B
-	cfg.States[0] = s
+	core.Set(cfg, 0, s)
 	for _, leaf := range []int{1, 2, 3} {
-		ls := cfg.States[leaf].(core.State)
+		ls := core.At(cfg, leaf)
 		ls.Pif, ls.Par, ls.L = core.B, 0, 1
-		cfg.States[leaf] = ls
+		core.Set(cfg, leaf, ls)
 	}
 	var b strings.Builder
 	viz.Tree(&b, cfg, pr)
@@ -141,17 +141,17 @@ func TestForest(t *testing.T) {
 	cfg := sim.NewConfiguration(g, pr)
 	// Legal chain 0←1 and an abnormal broadcaster at 3.
 	for p := 0; p <= 1; p++ {
-		s := cfg.States[p].(core.State)
+		s := core.At(cfg, p)
 		s.Pif = core.B
 		s.L = p
 		if p > 0 {
 			s.Par = p - 1
 		}
-		cfg.States[p] = s
+		core.Set(cfg, p, s)
 	}
-	s3 := cfg.States[3].(core.State)
+	s3 := core.At(cfg, 3)
 	s3.Pif, s3.Par, s3.L = core.B, 2, 3
-	cfg.States[3] = s3
+	core.Set(cfg, 3, s3)
 
 	var b strings.Builder
 	viz.Forest(&b, cfg, pr)

@@ -44,7 +44,7 @@ func (rc *ResetCoordinator) Reset() (epoch uint64, err error) {
 
 // Epoch returns the epoch processor p currently belongs to.
 func (rc *ResetCoordinator) Epoch(p int) uint64 {
-	return rc.sys.Cfg.States[p].(core.State).Msg
+	return core.At(rc.sys.Cfg, p).Msg
 }
 
 // Uniform reports whether every processor belongs to the same epoch, and

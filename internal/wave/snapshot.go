@@ -46,7 +46,7 @@ var _ sim.Observer = (*snapObserver)(nil)
 func (so *snapObserver) OnStep(_ int, executed []sim.Choice, c *sim.Configuration) {
 	root := so.sys.Proto.Root
 	for _, ch := range executed {
-		s := c.States[ch.Proc].(core.State)
+		s := core.At(c, ch.Proc)
 		switch {
 		case ch.Proc == root && ch.Action == core.ActionB:
 			so.msg = s.Msg

@@ -98,7 +98,7 @@ var _ sim.Observer = (*treeObserver)(nil)
 func (to *treeObserver) OnStep(_ int, executed []sim.Choice, c *sim.Configuration) {
 	root := to.sys.Proto.Root
 	for _, ch := range executed {
-		s := c.States[ch.Proc].(core.State)
+		s := core.At(c, ch.Proc)
 		switch {
 		case ch.Proc == root && ch.Action == core.ActionB:
 			to.msg = s.Msg

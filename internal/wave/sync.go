@@ -52,7 +52,7 @@ func (po *pulseObserver) OnStep(_ int, executed []sim.Choice, c *sim.Configurati
 		if ch.Action != core.ActionB {
 			continue
 		}
-		s := c.States[ch.Proc].(core.State)
+		s := core.At(c, ch.Proc)
 		if ch.Proc == root {
 			po.msg = s.Msg
 			po.sy.pulses[root]++

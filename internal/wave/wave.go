@@ -75,17 +75,17 @@ func NewSystem(g *graph.Graph, root int, combine core.CombineFunc, opts ...Syste
 
 // SetValue sets processor p's application value.
 func (s *System) SetValue(p int, v int64) {
-	st := s.Cfg.States[p].(core.State)
+	st := core.At(s.Cfg, p)
 	st.Val = v
-	s.Cfg.States[p] = st
+	core.Set(s.Cfg, p, st)
 }
 
 // Value returns processor p's application value.
-func (s *System) Value(p int) int64 { return s.Cfg.States[p].(core.State).Val }
+func (s *System) Value(p int) int64 { return core.At(s.Cfg, p).Val }
 
 // RootAggregate returns the root's last feedback aggregate.
 func (s *System) RootAggregate() int64 {
-	return s.Cfg.States[s.Proto.Root].(core.State).Agg
+	return core.At(s.Cfg, s.Proto.Root).Agg
 }
 
 // RunWave executes one full PIF cycle with optional extra observers and

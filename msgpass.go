@@ -55,11 +55,11 @@ func RunMessagePassing(topo Topology, root, waves int, opts MessagePassingOption
 		corrupt = func(states []core.State, pr *core.Protocol) {
 			cfg := &sim.Configuration{G: topo.g, States: make([]sim.State, len(states))}
 			for p := range states {
-				cfg.States[p] = states[p]
+				core.Set(cfg, p, states[p])
 			}
 			inj.Apply(cfg, pr, rand.New(rand.NewSource(seed)))
 			for p := range states {
-				states[p] = cfg.States[p].(core.State)
+				states[p] = core.At(cfg, p)
 			}
 		}
 	}

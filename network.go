@@ -191,9 +191,9 @@ func (n *Network) SetValue(p int, v int64) error {
 	if p < 0 || p >= n.topo.N() {
 		return fmt.Errorf("snappif: processor %d out of range [0,%d)", p, n.topo.N())
 	}
-	s := n.cfg.States[p].(core.State)
+	s := core.At(n.cfg, p)
 	s.Val = v
-	n.cfg.States[p] = s
+	core.Set(n.cfg, p, s)
 	return nil
 }
 
@@ -298,7 +298,7 @@ func (n *Network) RunWaves(k int) ([]WaveResult, error) {
 			Steps:        rec.CleanStep - rec.StartStep + 1,
 			Moves:        res.Moves,
 			Height:       rec.Height,
-			Aggregate:    n.cfg.States[n.proto.Root].(core.State).Agg,
+			Aggregate:    core.At(n.cfg, n.proto.Root).Agg,
 			Violations:   rec.Violations,
 		})
 	}
@@ -405,7 +405,7 @@ func (n *Network) WriteTree(w io.Writer) {
 func (n *Network) States() []ProcessorState {
 	out := make([]ProcessorState, n.topo.N())
 	for p := 0; p < n.topo.N(); p++ {
-		s := n.cfg.States[p].(core.State)
+		s := core.At(n.cfg, p)
 		out[p] = ProcessorState{
 			ID:        p,
 			Phase:     s.Pif.String(),

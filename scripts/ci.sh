@@ -1,0 +1,43 @@
+#!/bin/sh
+# ci.sh — the full local verification pipeline. Stdlib toolchain only.
+#
+#   sh scripts/ci.sh            # format check, vet, build, tests, race, allocs
+#   CI_FUZZ=1 sh scripts/ci.sh  # additionally smoke-fuzz the engine oracles
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== race: simulation engine, experiment executor, concurrent runtime =="
+go test -race ./internal/sim/ ./internal/exp/ ./internal/runtime/ ./cmd/pifexp/
+
+echo "== allocation budget (zero allocs/step after warm-up) =="
+go test ./internal/sim/ -run 'TestZeroAllocs|TestCycleByteBudget|TestChoicesBufferReuse' -count=1 -v
+
+echo "== determinism (serial vs parallel, optimized vs reference) =="
+go test ./internal/sim/ -run TestRunnerMatchesReference -count=1
+go test ./internal/exp/ -run TestSerialParallelIdentical -count=1
+go test ./cmd/pifexp/ -run TestParallelStdoutByteIdentical -count=1
+
+if [ "${CI_FUZZ:-0}" = "1" ]; then
+    echo "== fuzz smoke (engine oracles) =="
+    go test ./internal/sim/ -run xxx -fuzz FuzzForceAged -fuzztime 10s
+    go test ./internal/sim/ -run xxx -fuzz FuzzBitsetRoundAccounting -fuzztime 10s
+fi
+
+echo "CI OK"
