@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"snappif/internal/core"
@@ -31,8 +32,35 @@ type benchCell struct {
 type benchReport struct {
 	GoVersion  string         `json:"go_version"`
 	GOMAXPROCS int            `json:"gomaxprocs"`
+	Commit     string         `json:"commit"`
 	Cells      []benchCell    `json:"cells"`
 	CellTimes  []trace.Timing `json:"experiment_cell_seconds,omitempty"`
+}
+
+// vcsCommit returns the VCS revision baked into the binary by the Go
+// toolchain ("unknown" for go-run builds or builds outside a repository),
+// with a "+dirty" suffix when the working tree was modified.
+func vcsCommit() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
 }
 
 // measureSim steps a warm runner for a fixed number of committed steps and
@@ -98,6 +126,7 @@ func writeBench(path string, timings *trace.Timings) error {
 	rep := benchReport{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Commit:     vcsCommit(),
 	}
 	for _, c := range grid {
 		cell, err := measureSim(c.g, c.d, 50_000)

@@ -7,27 +7,38 @@
 // Usage:
 //
 //	pifexp [-quick] [-trials N] [-seed S] [-only E4[,E7]] [-md] [-parallel] [-bench FILE]
+//	       [-http ADDR] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -parallel fans both the experiments and their table cells across
 // GOMAXPROCS workers; every cell derives its randomness from its own seed,
 // so stdout is byte-identical to a serial run (timing goes to stderr).
 // -bench additionally measures the simulation hot path and writes a JSON
 // report (steps/sec, allocs/step) to the given file.
+//
+// -http serves live observability while the experiments run: the harness
+// metrics at /debug/vars (expvar; see the "snappif" variable) and the
+// standard pprof profiles at /debug/pprof/. -cpuprofile and -memprofile
+// write one-shot pprof profiles covering the whole run.
 package main
 
 import (
 	"bytes"
+	_ "expvar" // registers /debug/vars on the default mux
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
 
 	"snappif/internal/exp"
+	"snappif/internal/obs"
 	"snappif/internal/trace"
 )
 
@@ -49,9 +60,50 @@ func run(args []string, out io.Writer) error {
 		csvDir   = fs.String("csv", "", "also write each table as <dir>/<id>.csv")
 		parallel = fs.Bool("parallel", false, "fan experiments and table cells across GOMAXPROCS workers (stdout identical to serial)")
 		bench    = fs.String("bench", "", "measure the simulation hot path and write a JSON report to this file")
+		httpAddr = fs.String("http", "", "serve /debug/vars and /debug/pprof on this address while running (e.g. localhost:6060)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pifexp: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pifexp: memprofile:", err)
+			}
+		}()
+	}
+	metrics := obs.NewRegistry()
+	metrics.Publish("snappif")
+	if *httpAddr != "" {
+		// expvar and net/http/pprof register themselves on the default mux;
+		// the server outlives run() only until main exits.
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pifexp: http:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pifexp: serving /debug/vars and /debug/pprof on %s\n", *httpAddr)
 	}
 
 	want := make(map[string]bool)
@@ -68,6 +120,7 @@ func run(args []string, out io.Writer) error {
 		Seed:     *seed,
 		Parallel: *parallel,
 		Timings:  timings,
+		Metrics:  metrics,
 	}
 
 	var selected []exp.Experiment

@@ -38,6 +38,7 @@ func run(args []string, out io.Writer) error {
 		watch    = fs.Bool("watch", false, "print a phase strip at every round")
 		every    = fs.Int("every", 1, "with -watch, print every k-th round")
 		jsonOut  = fs.String("json", "", "write the full action trace as JSON to this file")
+		events   = fs.String("events", "", "write the structured JSONL event trace to this file (analyze it with piftrace)")
 		forest   = fs.Bool("forest", false, "draw the final tree forest")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -63,10 +64,20 @@ func run(args []string, out io.Writer) error {
 	if *jsonOut != "" {
 		netOpts = append(netOpts, snappif.WithEventRecording(0))
 	}
+	var eventsF *os.File
+	if *events != "" {
+		eventsF, err = os.Create(*events)
+		if err != nil {
+			return err
+		}
+		defer eventsF.Close()
+		netOpts = append(netOpts, snappif.WithEventTrace(eventsF))
+	}
 	net, err := snappif.NewNetwork(topo, *root, netOpts...)
 	if err != nil {
 		return err
 	}
+	defer net.Close()
 	fmt.Fprintf(out, "network %s, root %d, daemon %s\n", topo, *root, daemon.Name())
 
 	if *corrupt != "" {
@@ -115,6 +126,12 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "action trace written to %s\n", *jsonOut)
+	}
+	if *events != "" {
+		if err := net.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "event trace written to %s\n", *events)
 	}
 	return nil
 }

@@ -71,8 +71,11 @@ func TestRunJSONTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(data), `"movesPerAction"`) || !strings.Contains(string(data), "B-action") {
+	if !strings.Contains(string(data), `"moves_per_action"`) || !strings.Contains(string(data), "B-action") {
 		t.Fatalf("unexpected trace: %s", data[:min(len(data), 200)])
+	}
+	if !strings.HasPrefix(string(data), `{"t":"meta"`) || !strings.Contains(string(data), `{"t":"step"`) {
+		t.Fatalf("trace is not JSONL in the obs schema: %s", data[:min(len(data), 200)])
 	}
 }
 

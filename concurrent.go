@@ -2,11 +2,13 @@ package snappif
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"time"
 
 	"snappif/internal/core"
 	"snappif/internal/fault"
+	"snappif/internal/obs"
 	rt "snappif/internal/runtime"
 	"snappif/internal/sim"
 )
@@ -17,6 +19,9 @@ type ConcurrentResult struct {
 	Waves []ConcurrentWave
 	// Moves counts all action executions across the run.
 	Moves int64
+	// MovesPerProc counts action executions per processor — the Go
+	// scheduler's fairness profile.
+	MovesPerProc []int64
 	// Elapsed is the wall-clock duration.
 	Elapsed time.Duration
 }
@@ -39,6 +44,13 @@ type ConcurrentOptions struct {
 	Seed int64
 	// Timeout bounds the wall-clock duration (default 30s).
 	Timeout time.Duration
+	// EventTrace, if non-nil, receives the structured JSONL event trace of
+	// the run: the header, the causally ordered per-action events (kind
+	// "action", globally sequenced under the actors' neighborhood locks),
+	// and the totals summary. Unlike simulator traces, action order here is
+	// scheduler-dependent — piftrace diff ignores action events for that
+	// reason.
+	EventTrace io.Writer
 }
 
 // RunConcurrent executes the protocol with real concurrency — one
@@ -58,11 +70,25 @@ func RunConcurrent(topo Topology, root, waves int, opts ConcurrentOptions) (Conc
 		rng := rand.New(rand.NewSource(opts.Seed))
 		corrupt = func(c *sim.Configuration, pr *core.Protocol) { inj.Apply(c, pr, rng) }
 	}
-	res, err := rt.Run(topo.g, root, waves, rt.Options{Corrupt: corrupt, Timeout: opts.Timeout})
+	rtOpts := rt.Options{Corrupt: corrupt, Timeout: opts.Timeout}
+	tracer := obs.Disabled()
+	if opts.EventTrace != nil {
+		proto, err := core.New(topo.g, root)
+		if err != nil {
+			return ConcurrentResult{}, err
+		}
+		tracer = obs.New(opts.EventTrace, obs.WithProtocol(proto))
+		tracer.BeginRun(topo.g, "go-scheduler", opts.Seed, nil)
+		rtOpts.OnAction = tracer.Action
+	}
+	res, err := rt.Run(topo.g, root, waves, rtOpts)
+	if cerr := tracer.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return ConcurrentResult{}, err
 	}
-	out := ConcurrentResult{Moves: res.Moves, Elapsed: res.Elapsed}
+	out := ConcurrentResult{Moves: res.Moves, MovesPerProc: res.MovesPerProc, Elapsed: res.Elapsed}
 	for _, cs := range res.Cycles {
 		out.Waves = append(out.Waves, ConcurrentWave{
 			Message:      cs.Msg,

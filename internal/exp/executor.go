@@ -24,8 +24,16 @@ func runGrid[T any](opt Options, label func(i int) string, n int, fn func(i int)
 	cell := func(i int) {
 		start := time.Now()
 		out[i], errs[i] = fn(i)
+		elapsed := time.Since(start)
 		if opt.Timings != nil {
-			opt.Timings.Add(label(i), time.Since(start))
+			opt.Timings.Add(label(i), elapsed)
+		}
+		if m := opt.Metrics; m != nil {
+			m.Counter("exp.cells").Add(1)
+			if errs[i] != nil {
+				m.Counter("exp.cell_errors").Add(1)
+			}
+			m.Histogram("exp.cell_seconds", 1, 10, 60).Observe(int64(elapsed.Seconds()))
 		}
 	}
 	if !opt.Parallel || n <= 1 {

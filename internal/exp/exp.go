@@ -16,6 +16,7 @@ import (
 	"snappif/internal/core"
 	"snappif/internal/fault"
 	"snappif/internal/graph"
+	"snappif/internal/obs"
 	"snappif/internal/sim"
 	"snappif/internal/trace"
 )
@@ -36,6 +37,10 @@ type Options struct {
 	Parallel bool
 	// Timings, if non-nil, collects per-cell wall-clock durations.
 	Timings *trace.Timings
+	// Metrics, if non-nil, receives executor counters: exp.cells (completed
+	// table cells), exp.cell_errors, and the exp.cell_seconds histogram —
+	// the live progress feed behind pifexp's -http endpoint.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,124 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"snappif/internal/core"
+	"snappif/internal/graph"
+	"snappif/internal/obs"
+	"snappif/internal/sim"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("a.count")
+	c.Add(3)
+	c.Add(4)
+	if c.Value() != 7 {
+		t.Fatalf("counter = %d, want 7", c.Value())
+	}
+	if again := reg.Counter("a.count"); again != c {
+		t.Fatal("counter not shared by name")
+	}
+	g := reg.Gauge("a.gauge")
+	g.Set(-2)
+	if g.Value() != -2 {
+		t.Fatalf("gauge = %d, want -2", g.Value())
+	}
+	h := reg.Histogram("a.hist", 1, 10)
+	for _, v := range []int64{0, 1, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Max() != 50 || h.Mean() != 14 {
+		t.Fatalf("histogram count=%d max=%d mean=%v", h.Count(), h.Max(), h.Mean())
+	}
+
+	var b strings.Builder
+	if err := reg.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("registry JSON invalid: %v\n%s", err, b.String())
+	}
+	if len(decoded) != 3 {
+		t.Fatalf("registry exports %d vars, want 3", len(decoded))
+	}
+	var hist struct {
+		Count   int64            `json:"count"`
+		Buckets map[string]int64 `json:"buckets"`
+	}
+	if err := json.Unmarshal(decoded["a.hist"], &hist); err != nil {
+		t.Fatal(err)
+	}
+	if hist.Count != 4 || hist.Buckets["le_1"] != 2 || hist.Buckets["le_10"] != 1 || hist.Buckets["inf"] != 1 {
+		t.Fatalf("histogram export wrong: %+v", hist)
+	}
+}
+
+// TestRegistryPublishRepoints asserts that publishing a second registry
+// under the same expvar name re-points the export instead of panicking
+// (expvar forbids duplicate Publish calls).
+func TestRegistryPublishRepoints(t *testing.T) {
+	r1 := obs.NewRegistry()
+	r1.Counter("x").Add(1)
+	r1.Publish("test.obs.repoint")
+	r2 := obs.NewRegistry()
+	r2.Counter("x").Add(42)
+	r2.Publish("test.obs.repoint") // must not panic
+}
+
+func TestTypeCollisionPanics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("dual")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on metric type collision")
+		}
+	}()
+	reg.Gauge("dual")
+}
+
+// TestSimMetricsMatchesRun feeds a run through SimMetrics and cross-checks
+// the registry against the run result.
+func TestSimMetricsMatchesRun(t *testing.T) {
+	g, err := graph.Ring(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	cfg := sim.NewConfiguration(g, pr)
+	reg := obs.NewRegistry()
+	m := obs.NewSimMetrics(reg, pr)
+	res, err := sim.Run(cfg, pr, sim.Synchronous{}, sim.Options{
+		Seed:      1,
+		Observers: []sim.Observer{m},
+		StopWhen:  func(rs *sim.RunState) bool { return rs.Rounds >= 60 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("sim.steps").Value(); got != int64(res.Steps) {
+		t.Fatalf("sim.steps = %d, run steps %d", got, res.Steps)
+	}
+	if got := reg.Counter("sim.moves").Value(); got != int64(res.Moves) {
+		t.Fatalf("sim.moves = %d, run moves %d", got, res.Moves)
+	}
+	if got := reg.Counter("sim.rounds").Value(); got != int64(res.Rounds) {
+		t.Fatalf("sim.rounds = %d, run rounds %d", got, res.Rounds)
+	}
+	for name, n := range res.MovesPerAction {
+		if got := reg.Counter("sim.moves." + name).Value(); got != int64(n) {
+			t.Fatalf("sim.moves.%s = %d, run %d", name, got, n)
+		}
+	}
+	if got := reg.Histogram("sim.step_enabled").Count(); got != int64(res.Steps) {
+		t.Fatalf("sim.step_enabled has %d observations, want one per step (%d)", got, res.Steps)
+	}
+	// 60 rounds of a synchronous ring-12 span multiple full cycles.
+	if got := reg.Histogram("sim.rounds_per_cycle").Count(); got < 2 {
+		t.Fatalf("sim.rounds_per_cycle has %d observations, want ≥ 2", got)
+	}
+}

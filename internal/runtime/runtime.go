@@ -25,6 +25,7 @@ import (
 	"snappif/internal/check"
 	"snappif/internal/core"
 	"snappif/internal/graph"
+	"snappif/internal/obs"
 	"snappif/internal/sim"
 )
 
@@ -60,6 +61,11 @@ type Result struct {
 	InvariantViolations []string
 	// Snapshots counts the stop-the-world invariant evaluations performed.
 	Snapshots int
+	// MovesPerProc counts action executions per processor — the scheduler-
+	// fairness profile of the run.
+	MovesPerProc []int64
+	// IdleSpins counts guard evaluations that found no enabled action.
+	IdleSpins int64
 }
 
 // Options configures Run.
@@ -79,6 +85,17 @@ type Options struct {
 	CheckInvariants bool
 	// CheckEvery is the stop-the-world period (default 2ms).
 	CheckEvery time.Duration
+	// OnAction, if non-nil, observes every action execution (processor,
+	// action index). It is called while the actor's neighborhood locks are
+	// held, so the call order respects causality — an obs.Tracer's Action
+	// method is the intended consumer. Keep it fast: it serializes
+	// neighborhoods.
+	OnAction func(p, a int)
+	// Metrics, if non-nil, receives runtime counters: runtime.moves,
+	// runtime.idle_spins, runtime.check_snapshots, and the
+	// runtime.moves_per_proc histogram (one observation per processor at the
+	// end of the run).
+	Metrics *obs.Registry
 }
 
 // Run executes the protocol on g rooted at root with one goroutine per
@@ -102,10 +119,12 @@ func Run(g *graph.Graph, root, cycles int, opts Options) (Result, error) {
 	mon := &monitor{n: g.N(), root: root, want: cycles}
 	locks := make([]sync.Mutex, g.N())
 	var (
-		stop  atomic.Bool
-		moves atomic.Int64
-		wg    sync.WaitGroup
+		stop      atomic.Bool
+		moves     atomic.Int64
+		idleSpins atomic.Int64
+		wg        sync.WaitGroup
 	)
+	movesPerProc := make([]atomic.Int64, g.N())
 
 	// lockOrder[p] is p's closed neighborhood in ascending ID order.
 	lockOrder := make([][]int, g.N())
@@ -126,14 +145,16 @@ func Run(g *graph.Graph, root, cycles int, opts Options) (Result, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(p) + 1))
 			for !stop.Load() {
-				executed := step(proto, cfg, locks, lockOrder[p], p, mon)
+				executed := step(proto, cfg, locks, lockOrder[p], p, mon, opts.OnAction)
 				if executed {
 					moves.Add(1)
+					movesPerProc[p].Add(1)
 					if mon.done() {
 						stop.Store(true)
 					}
 					continue
 				}
+				idleSpins.Add(1)
 				// Idle: back off briefly with jitter so neighbors make
 				// progress without a thundering herd.
 				time.Sleep(opts.IdleSleep + time.Duration(rng.Intn(1000))*time.Nanosecond)
@@ -201,6 +222,20 @@ func Run(g *graph.Graph, root, cycles int, opts Options) (Result, error) {
 		Elapsed:             time.Since(start),
 		InvariantViolations: violations,
 		Snapshots:           snapshots,
+		IdleSpins:           idleSpins.Load(),
+		MovesPerProc:        make([]int64, g.N()),
+	}
+	for p := range movesPerProc {
+		res.MovesPerProc[p] = movesPerProc[p].Load()
+	}
+	if m := opts.Metrics; m != nil {
+		m.Counter("runtime.moves").Add(res.Moves)
+		m.Counter("runtime.idle_spins").Add(res.IdleSpins)
+		m.Counter("runtime.check_snapshots").Add(int64(snapshots))
+		h := m.Histogram("runtime.moves_per_proc", 10, 100, 1000, 10000)
+		for _, n := range res.MovesPerProc {
+			h.Observe(n)
+		}
 	}
 	if timedOut && len(res.Cycles) < cycles {
 		return res, fmt.Errorf("%w after %v with %d/%d cycles",
@@ -210,9 +245,10 @@ func Run(g *graph.Graph, root, cycles int, opts Options) (Result, error) {
 }
 
 // step attempts one guarded action at p under its neighborhood locks and
-// reports whether an action executed. The monitor is updated while the
-// locks are still held, so monitor event order respects causality.
-func step(proto *core.Protocol, cfg *sim.Configuration, locks []sync.Mutex, hood []int, p int, mon *monitor) bool {
+// reports whether an action executed. The monitor and the OnAction hook are
+// invoked while the locks are still held, so their event order respects
+// causality.
+func step(proto *core.Protocol, cfg *sim.Configuration, locks []sync.Mutex, hood []int, p int, mon *monitor, onAction func(p, a int)) bool {
 	for _, q := range hood {
 		locks[q].Lock()
 	}
@@ -229,6 +265,9 @@ func step(proto *core.Protocol, cfg *sim.Configuration, locks []sync.Mutex, hood
 	next := proto.Apply(cfg, p, a)
 	cfg.States[p] = next
 	mon.record(p, a, *next.(*core.State))
+	if onAction != nil {
+		onAction(p, a)
+	}
 	return true
 }
 

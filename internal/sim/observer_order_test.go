@@ -1,0 +1,98 @@
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"snappif/internal/core"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+// orderProbe logs every callback it receives, tagged with its own id, into
+// a shared journal.
+type orderProbe struct {
+	id      string
+	journal *[]string
+}
+
+func (o *orderProbe) OnStep(step int, _ []sim.Choice, _ *sim.Configuration) {
+	*o.journal = append(*o.journal, fmt.Sprintf("%s.step/%d", o.id, step))
+}
+
+func (o *orderProbe) OnEnabled(step, _ int) {
+	*o.journal = append(*o.journal, fmt.Sprintf("%s.enabled/%d", o.id, step))
+}
+
+func (o *orderProbe) OnRound(round int, _ *sim.Configuration) {
+	*o.journal = append(*o.journal, fmt.Sprintf("%s.round/%d", o.id, round))
+}
+
+var (
+	_ sim.Observer        = (*orderProbe)(nil)
+	_ sim.EnabledObserver = (*orderProbe)(nil)
+	_ sim.RoundObserver   = (*orderProbe)(nil)
+)
+
+// TestObserverInvocationOrder pins the engine's observer contract: within
+// every step, observers fire in registration order, and the callback phases
+// are ordered OnStep (pre-refresh) → OnEnabled (post-refresh) → OnRound (on
+// round boundaries only). Tooling relies on this — a tracer registered
+// after a cycle observer sees the cycle observer's state updated first.
+func TestObserverInvocationOrder(t *testing.T) {
+	g, err := graph.Ring(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	cfg := sim.NewConfiguration(g, pr)
+	var journal []string
+	a := &orderProbe{id: "a", journal: &journal}
+	b := &orderProbe{id: "b", journal: &journal}
+	res, err := sim.Run(cfg, pr, sim.Synchronous{}, sim.Options{
+		Seed:      1,
+		Observers: []sim.Observer{a, b},
+		StopWhen:  func(rs *sim.RunState) bool { return rs.Steps >= 20 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reconstruct the expected journal: per step, a.step b.step a.enabled
+	// b.enabled, plus a.round b.round after steps that closed a round.
+	roundEnds := make(map[int]int) // step -> round that ended there
+	step := 0
+	for _, entry := range journal {
+		var id string
+		var n int
+		if _, err := fmt.Sscanf(entry, "a.round/%d", &n); err == nil {
+			roundEnds[step] = n
+			continue
+		}
+		if _, err := fmt.Sscanf(entry, "%1s.step/%d", &id, &n); err == nil && id == "a" {
+			step = n
+		}
+	}
+	if len(roundEnds) != res.Rounds {
+		t.Fatalf("observed %d round callbacks, run had %d rounds", len(roundEnds), res.Rounds)
+	}
+	var want []string
+	step = 0
+	for s := 1; s <= res.Steps; s++ {
+		want = append(want,
+			fmt.Sprintf("a.step/%d", s), fmt.Sprintf("b.step/%d", s),
+			fmt.Sprintf("a.enabled/%d", s), fmt.Sprintf("b.enabled/%d", s))
+		if r, ok := roundEnds[s]; ok {
+			want = append(want, fmt.Sprintf("a.round/%d", r), fmt.Sprintf("b.round/%d", r))
+		}
+	}
+	if len(journal) != len(want) {
+		t.Fatalf("journal has %d entries, want %d", len(journal), len(want))
+	}
+	for i := range want {
+		if journal[i] != want[i] {
+			t.Fatalf("entry %d is %q, want %q (registration order violated)\nfull: %v",
+				i, journal[i], want[i], journal[:i+1])
+		}
+	}
+}

@@ -29,6 +29,19 @@ type RoundObserver interface {
 	OnRound(round int, c *Configuration)
 }
 
+// EnabledObserver is an optional extension of Observer receiving the size
+// of the enabled set after each step's guard re-evaluation. The runner
+// maintains the enabled bitset anyway, so the callback costs one popcount —
+// observers get the number without re-evaluating any guard. OnEnabled fires
+// after OnStep (and after the incremental cache refresh), before round
+// accounting.
+type EnabledObserver interface {
+	Observer
+
+	// OnEnabled reports the number of enabled processors after step.
+	OnEnabled(step, enabled int)
+}
+
 // RunState is the evolving state of a run, visible to stop predicates.
 type RunState struct {
 	Config *Configuration
@@ -269,6 +282,12 @@ func (r *Runner) Step() (done bool, err error) {
 	}
 
 	r.cache.refresh(selected)
+
+	for _, o := range r.opts.Observers {
+		if eo, ok := o.(EnabledObserver); ok {
+			eo.OnEnabled(r.res.Steps, r.cache.enabledBits.count())
+		}
+	}
 
 	// Round accounting: a pending processor leaves the round when it
 	// executes, or when it becomes disabled (the disable action).

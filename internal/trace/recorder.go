@@ -1,11 +1,11 @@
 package trace
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
 
+	"snappif/internal/obs"
 	"snappif/internal/sim"
 )
 
@@ -23,7 +23,13 @@ type Recorder struct {
 	// ActionNames translates action IDs to labels (from
 	// Protocol.ActionNames).
 	ActionNames []string
-	// Limit bounds the number of retained events (0 = unlimited).
+	// Limit bounds the number of retained events (0 = unlimited). The drop
+	// policy is keep-head: the first Limit steps are retained verbatim and
+	// every later step is discarded, counted in Dropped. The head is the
+	// interesting part of a PIF run — it holds the error-correction steps
+	// after a corruption — and keeping a contiguous prefix means the
+	// retained events still replay through sim.Replay. Running totals
+	// (Moves) keep accumulating across dropped steps.
 	Limit int
 
 	// Events holds the retained step events.
@@ -98,37 +104,28 @@ func (r *Recorder) Choices() [][]sim.Choice {
 	return out
 }
 
-// jsonEvent is the JSON wire format of one step.
-type jsonEvent struct {
-	Step     int          `json:"step"`
-	Executed []jsonChoice `json:"executed"`
-}
-
-type jsonChoice struct {
-	Proc   int    `json:"proc"`
-	Action string `json:"action"`
-}
-
-type jsonTrace struct {
-	Events  []jsonEvent    `json:"events"`
-	Dropped int            `json:"droppedSteps,omitempty"`
-	Moves   map[string]int `json:"movesPerAction"`
-}
-
-// JSON writes the recorded trace as JSON, for external analysis tooling.
+// JSON writes the recorded trace as JSONL in the internal/obs event schema
+// — a header carrying the action names, one step event per retained step,
+// and a summary with the running totals (Dropped included) — so recorder
+// exports read back through obs.ReadTrace and the piftrace CLI like any
+// other trace.
 func (r *Recorder) JSON(w io.Writer) error {
-	out := jsonTrace{Dropped: r.Dropped, Moves: r.Moves}
+	enc := obs.NewEncoder(w)
+	enc.Meta(obs.Meta{Actions: r.ActionNames})
+	lastStep := 0
 	for _, ev := range r.Events {
-		je := jsonEvent{Step: ev.Step}
-		for _, ch := range ev.Executed {
-			je.Executed = append(je.Executed, jsonChoice{
-				Proc:   ch.Proc,
-				Action: r.ActionNames[ch.Action],
-			})
-		}
-		out.Events = append(out.Events, je)
+		enc.Step(ev.Step, ev.Executed)
+		lastStep = ev.Step
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	moves := 0
+	for _, n := range r.Moves {
+		moves += n
+	}
+	enc.Summary(obs.Summary{
+		Steps:          lastStep + r.Dropped,
+		Moves:          moves,
+		Dropped:        r.Dropped,
+		MovesPerAction: r.Moves,
+	})
+	return enc.Err()
 }

@@ -1,7 +1,6 @@
 package trace_test
 
 import (
-	"encoding/json"
 	"math/rand"
 	"strings"
 	"testing"
@@ -10,6 +9,7 @@ import (
 	"snappif/internal/core"
 	"snappif/internal/fault"
 	"snappif/internal/graph"
+	"snappif/internal/obs"
 	"snappif/internal/sim"
 	"snappif/internal/trace"
 )
@@ -62,6 +62,9 @@ func TestRecordReplayRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRecorderJSON checks that the recorder's export is a JSONL event trace
+// in the obs schema: header with action names, one step event per retained
+// step, and a summary with per-action totals.
 func TestRecorderJSON(t *testing.T) {
 	g, err := graph.Line(4)
 	if err != nil {
@@ -70,34 +73,116 @@ func TestRecorderJSON(t *testing.T) {
 	pr := core.MustNew(g, 0)
 	cfg := sim.NewConfiguration(g, pr)
 	rec := trace.NewRecorder(pr, 0)
-	obs := check.NewCycleObserver(pr)
-	if _, err := sim.Run(cfg, pr, sim.Synchronous{}, sim.Options{
-		Observers: []sim.Observer{rec, obs},
-		StopWhen:  obs.StopAfterCycles(1),
-	}); err != nil {
+	cyc := check.NewCycleObserver(pr)
+	res, err := sim.Run(cfg, pr, sim.Synchronous{}, sim.Options{
+		Observers: []sim.Observer{rec, cyc},
+		StopWhen:  cyc.StopAfterCycles(1),
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
 	var b strings.Builder
 	if err := rec.JSON(&b); err != nil {
 		t.Fatal(err)
 	}
-	var decoded struct {
-		Events []struct {
-			Step     int `json:"step"`
-			Executed []struct {
-				Proc   int    `json:"proc"`
-				Action string `json:"action"`
-			} `json:"executed"`
-		} `json:"events"`
-		Moves map[string]int `json:"movesPerAction"`
+	tr, err := obs.ReadTrace(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("recorder export is not a readable trace: %v", err)
 	}
-	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
-		t.Fatalf("invalid JSON: %v", err)
+	if tr.Meta == nil || len(tr.Meta.Actions) != len(pr.ActionNames()) {
+		t.Fatalf("header lacks action names: %+v", tr.Meta)
 	}
-	if len(decoded.Events) == 0 || decoded.Moves["B-action"] != 4 {
-		t.Fatalf("unexpected trace: %d events, moves %v", len(decoded.Events), decoded.Moves)
+	steps := 0
+	for _, ev := range tr.Events {
+		if ev.T == "step" {
+			steps++
+			if ev.I != steps {
+				t.Fatalf("step events out of order: %d-th has i=%d", steps, ev.I)
+			}
+		}
 	}
-	if decoded.Events[0].Executed[0].Action != "B-action" {
-		t.Fatalf("first action = %q", decoded.Events[0].Executed[0].Action)
+	if steps != res.Steps {
+		t.Fatalf("export has %d step events, run had %d steps", steps, res.Steps)
+	}
+	if tr.Summary == nil || tr.Summary.MovesPerAction["B-action"] != 4 {
+		t.Fatalf("summary wrong: %+v", tr.Summary)
+	}
+	if tr.Summary.Steps != res.Steps || tr.Summary.Moves != res.Moves {
+		t.Fatalf("summary totals %d/%d, run %d/%d",
+			tr.Summary.Steps, tr.Summary.Moves, res.Steps, res.Moves)
+	}
+}
+
+// TestRecorderLimitDropsTail pins the drop policy: with Limit k, the first
+// k steps are kept verbatim (a replayable prefix), later steps are only
+// counted, and running totals keep accumulating.
+func TestRecorderLimitDropsTail(t *testing.T) {
+	g, err := graph.Ring(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	cfg := sim.NewConfiguration(g, pr)
+	const limit = 10
+	rec := trace.NewRecorder(pr, limit)
+	res, err := sim.Run(cfg, pr, sim.Synchronous{}, sim.Options{
+		Observers: []sim.Observer{rec},
+		StopWhen:  func(rs *sim.RunState) bool { return rs.Steps >= 40 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events) != limit {
+		t.Fatalf("retained %d events, want %d", len(rec.Events), limit)
+	}
+	for i, ev := range rec.Events {
+		if ev.Step != i+1 {
+			t.Fatalf("event %d is step %d; the head must be contiguous", i, ev.Step)
+		}
+	}
+	if rec.Dropped != res.Steps-limit {
+		t.Fatalf("dropped %d, want %d", rec.Dropped, res.Steps-limit)
+	}
+	total := 0
+	for _, n := range rec.Moves {
+		total += n
+	}
+	if total != res.Moves {
+		t.Fatalf("move totals stopped at the limit: %d, want %d", total, res.Moves)
+	}
+
+	// The export records the full-run totals next to the truncated events.
+	var b strings.Builder
+	if err := rec.JSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := obs.ReadTrace(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Summary == nil || tr.Summary.Dropped != rec.Dropped || tr.Summary.Steps != res.Steps {
+		t.Fatalf("summary does not record the drop: %+v", tr.Summary)
+	}
+
+	// The retained prefix must replay: the first `limit` steps of a fresh
+	// run under sim.Replay reproduce the recorded choices.
+	cfg2 := sim.NewConfiguration(g, pr)
+	rec2 := trace.NewRecorder(pr, 0)
+	if _, err := sim.Run(cfg2, pr, &sim.Replay{Script: rec.Choices()}, sim.Options{
+		Observers: []sim.Observer{rec2},
+		StopWhen:  func(rs *sim.RunState) bool { return rs.Steps >= limit },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range rec.Events {
+		a, b := rec.Events[i], rec2.Events[i]
+		if a.Step != b.Step || len(a.Executed) != len(b.Executed) {
+			t.Fatalf("replayed prefix diverges at step %d", a.Step)
+		}
+		for j := range a.Executed {
+			if a.Executed[j] != b.Executed[j] {
+				t.Fatalf("replayed prefix diverges at step %d choice %d", a.Step, j)
+			}
+		}
 	}
 }

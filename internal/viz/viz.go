@@ -128,6 +128,48 @@ func Forest(w io.Writer, c *sim.Configuration, pr *core.Protocol) {
 	}
 }
 
+// PhaseTimeline renders a per-processor phase Gantt chart: one row per
+// processor, one column per sampled configuration (typically one sample per
+// round boundary), with a ruler of sample indices on top:
+//
+//	      1        10        20
+//	p0    BBBBBFFFCCBBB
+//	p1    CBBBBFFFCCCBB
+//
+// strips is the sequence of phase strips (as produced by PhaseStrip, one
+// character per processor); every strip must have the same length. The
+// chart is the transpose of the strip sequence: time runs left to right.
+func PhaseTimeline(w io.Writer, strips []string) {
+	if len(strips) == 0 {
+		return
+	}
+	n := len(strips[0])
+	label := func(p int) string { return fmt.Sprintf("p%d", p) }
+	width := len(label(n - 1))
+	// Ruler: mark sample 1 and every multiple of 10.
+	ruler := make([]byte, len(strips))
+	for i := range ruler {
+		ruler[i] = ' '
+	}
+	place := func(col int, s string) {
+		for i := 0; i < len(s) && col+i < len(ruler); i++ {
+			ruler[col+i] = s[i]
+		}
+	}
+	place(0, "1")
+	for c := 10; c <= len(strips); c += 10 {
+		place(c-1, fmt.Sprint(c))
+	}
+	fmt.Fprintf(w, "%*s  %s\n", -width, "", ruler)
+	row := make([]byte, len(strips))
+	for p := 0; p < n; p++ {
+		for k, strip := range strips {
+			row[k] = strip[p]
+		}
+		fmt.Fprintf(w, "%*s  %s\n", -width, label(p), row)
+	}
+}
+
 // Watcher is a sim.Observer printing a phase strip at every round boundary,
 // for pifsim's -watch flag.
 type Watcher struct {

@@ -1,6 +1,9 @@
 package viz_test
 
 import (
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -163,3 +166,70 @@ func TestForest(t *testing.T) {
 		t.Fatalf("abnormal tree missing:\n%s", out)
 	}
 }
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestPhaseTimelineGolden renders the per-processor phase Gantt chart of a
+// deterministic synchronous run and compares it against the golden file
+// (refresh with go test ./internal/viz -run PhaseTimeline -update).
+func TestPhaseTimelineGolden(t *testing.T) {
+	g, err := graph.Line(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	cfg := sim.NewConfiguration(g, pr)
+	var strips []string
+	sampler := &roundSampler{fn: func(c *sim.Configuration) {
+		strips = append(strips, viz.PhaseStrip(c, pr))
+	}}
+	obs := check.NewCycleObserver(pr)
+	if _, err := sim.Run(cfg, pr, sim.Synchronous{}, sim.Options{
+		Observers: []sim.Observer{obs, sampler},
+		StopWhen:  obs.StopAfterCycles(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(strips) <= 10 {
+		t.Fatalf("only %d round samples; the golden must exercise the 10-mark ruler", len(strips))
+	}
+	var b strings.Builder
+	viz.PhaseTimeline(&b, strips)
+	got := b.String()
+
+	golden := filepath.Join("testdata", "phase_timeline.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("timeline drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPhaseTimelineEdgeCases covers the empty input and single-sample
+// renderings.
+func TestPhaseTimelineEdgeCases(t *testing.T) {
+	var b strings.Builder
+	viz.PhaseTimeline(&b, nil)
+	if b.String() != "" {
+		t.Fatalf("empty input rendered %q", b.String())
+	}
+	b.Reset()
+	viz.PhaseTimeline(&b, []string{"BC"})
+	out := b.String()
+	if !strings.Contains(out, "p0  B") || !strings.Contains(out, "p1  C") {
+		t.Fatalf("single-sample rendering wrong:\n%s", out)
+	}
+}
+
+// roundSampler invokes fn at every round boundary.
+type roundSampler struct{ fn func(*sim.Configuration) }
+
+func (s *roundSampler) OnStep(int, []sim.Choice, *sim.Configuration) {}
+func (s *roundSampler) OnRound(_ int, c *sim.Configuration)          { s.fn(c) }

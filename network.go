@@ -8,6 +8,7 @@ import (
 
 	"snappif/internal/check"
 	"snappif/internal/core"
+	"snappif/internal/obs"
 	"snappif/internal/sim"
 	"snappif/internal/trace"
 	"snappif/internal/viz"
@@ -65,6 +66,7 @@ type Network struct {
 	traceW     io.Writer
 	traceEvery int
 	recorder   *trace.Recorder
+	tracer     *obs.Tracer
 }
 
 // NetworkOption customizes NewNetwork.
@@ -81,6 +83,7 @@ type networkOptions struct {
 	traceEvery  int
 	record      bool
 	recordLimit int
+	eventW      io.Writer
 }
 
 // WithDaemon selects the scheduling daemon (default: DistributedDaemon(0.5)).
@@ -117,14 +120,25 @@ func WithInvariantChecking() NetworkOption {
 }
 
 // WithEventRecording keeps a log of every executed action across the
-// network's runs (up to limit steps; 0 = unlimited), retrievable as JSON
-// via Network.TraceJSON — the machine-readable counterpart of
-// WithRoundTrace.
+// network's runs (up to limit steps; 0 = unlimited, keep-head drop policy
+// beyond it), retrievable as JSONL via Network.TraceJSON — the
+// machine-readable counterpart of WithRoundTrace.
 func WithEventRecording(limit int) NetworkOption {
 	return func(o *networkOptions) {
 		o.record = true
 		o.recordLimit = limit
 	}
+}
+
+// WithEventTrace streams the structured JSONL event trace of every run to w:
+// the topology header, per-run state snapshots, step commits, phase
+// transitions, wave boundaries, round boundaries, abnormal-processor counts,
+// fault injections, and the totals summary (see internal/obs for the
+// schema). The trace is the input to the piftrace analysis CLI. Call
+// Network.Close when done — it writes the final snapshot and summary and
+// flushes the background writer.
+func WithEventTrace(w io.Writer) NetworkOption {
+	return func(o *networkOptions) { o.eventW = w }
 }
 
 // WithRoundTrace prints a one-line phase strip (one character per
@@ -176,8 +190,16 @@ func NewNetwork(topo Topology, root int, opts ...NetworkOption) (*Network, error
 	if o.record {
 		net.recorder = trace.NewRecorder(proto, o.recordLimit)
 	}
+	if o.eventW != nil {
+		net.tracer = obs.New(o.eventW, obs.WithProtocol(proto))
+	}
 	return net, nil
 }
+
+// Close flushes and closes the event tracer (see WithEventTrace), writing
+// the final state snapshot and the totals summary. It is a no-op on a
+// network without an event trace, and safe to call more than once.
+func (n *Network) Close() error { return n.tracer.Close() }
 
 // Topology returns the network's topology.
 func (n *Network) Topology() Topology { return n.topo }
@@ -270,9 +292,14 @@ func (n *Network) RunWaves(k int) ([]WaveResult, error) {
 	if n.recorder != nil {
 		observers = append(observers, n.recorder)
 	}
+	seed := n.rng.Int63()
+	if n.tracer.Enabled() {
+		n.tracer.BeginRun(n.topo.g, n.daemon.Name(), seed, n.cfg)
+		observers = append(observers, n.tracer)
+	}
 	res, err := sim.Run(n.cfg, n.proto, n.daemon, sim.Options{
 		MaxSteps:  n.maxSteps,
-		Seed:      n.rng.Int63(),
+		Seed:      seed,
 		Observers: observers,
 		StopWhen:  obs.StopAfterCycles(k),
 	})
@@ -312,10 +339,17 @@ func (n *Network) RunWaves(k int) ([]WaveResult, error) {
 // system it returns 0.
 func (n *Network) Stabilize() (rounds int, err error) {
 	stop := func(rs *sim.RunState) bool { return check.IsSBN(rs.Config, n.proto) }
+	seed := n.rng.Int63()
+	var observers []sim.Observer
+	if n.tracer.Enabled() {
+		n.tracer.BeginRun(n.topo.g, n.daemon.Name(), seed, n.cfg)
+		observers = append(observers, n.tracer)
+	}
 	res, err := sim.Run(n.cfg, n.proto, n.daemon, sim.Options{
-		MaxSteps: n.maxSteps,
-		Seed:     n.rng.Int63(),
-		StopWhen: stop,
+		MaxSteps:  n.maxSteps,
+		Seed:      seed,
+		Observers: observers,
+		StopWhen:  stop,
 	})
 	if err != nil {
 		return 0, err
@@ -359,6 +393,7 @@ func (n *Network) Corrupt(kind Corruption) error {
 		return err
 	}
 	inj.Apply(n.cfg, n.proto, n.rng)
+	n.tracer.Fault(inj.Name, n.cfg)
 	return nil
 }
 
@@ -385,8 +420,9 @@ type ProcessorState struct {
 	Aggregate int64
 }
 
-// TraceJSON writes the accumulated action trace as JSON. The network must
-// have been built WithEventRecording.
+// TraceJSON writes the accumulated action trace as JSONL in the structured
+// event schema (readable by the piftrace CLI). The network must have been
+// built WithEventRecording.
 func (n *Network) TraceJSON(w io.Writer) error {
 	if n.recorder == nil {
 		return errors.New("snappif: event recording not enabled; build the network WithEventRecording")

@@ -1,10 +1,12 @@
 package snappif_test
 
 import (
+	"bytes"
 	"testing"
 	"time"
 
 	"snappif"
+	"snappif/internal/obs"
 )
 
 func TestRunConcurrentFacade(t *testing.T) {
@@ -144,5 +146,57 @@ func TestCombineHelpers(t *testing.T) {
 	}
 	if snappif.MinCombine(-2, 5) != -2 {
 		t.Fatal("MinCombine broken")
+	}
+}
+
+// TestRunConcurrentEventTrace records a concurrent run's action stream and
+// checks the trace structure and the per-processor fairness accounting.
+func TestRunConcurrentEventTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("goroutine runtime in -short mode")
+	}
+	topo, err := snappif.Ring(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res, err := snappif.RunConcurrent(topo, 0, 2, snappif.ConcurrentOptions{
+		Timeout:    30 * time.Second,
+		EventTrace: &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MovesPerProc) != topo.N() {
+		t.Fatalf("MovesPerProc has %d entries, want %d", len(res.MovesPerProc), topo.N())
+	}
+	var sum int64
+	for _, n := range res.MovesPerProc {
+		sum += n
+	}
+	if sum != res.Moves {
+		t.Fatalf("per-proc moves sum to %d, total is %d", sum, res.Moves)
+	}
+	tr, err := obs.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta == nil || tr.Meta.Daemon != "go-scheduler" {
+		t.Fatalf("bad meta: %+v", tr.Meta)
+	}
+	actions := int64(0)
+	for _, ev := range tr.Events {
+		if ev.T == "action" {
+			actions++
+			if ev.Seq != actions {
+				t.Fatalf("action events out of sequence: %d-th has seq %d", actions, ev.Seq)
+			}
+		}
+	}
+	if actions != res.Moves {
+		t.Fatalf("trace has %d action events, run made %d moves", actions, res.Moves)
+	}
+	if tr.Summary == nil || tr.Summary.ActionEvents != actions {
+		t.Fatalf("summary action count mismatch: %+v", tr.Summary)
 	}
 }

@@ -23,11 +23,15 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== race: simulation engine, experiment executor, concurrent runtime =="
-go test -race ./internal/sim/ ./internal/exp/ ./internal/runtime/ ./cmd/pifexp/
+echo "== race: simulation engine, experiment executor, concurrent runtime, tracer =="
+go test -race ./internal/sim/ ./internal/exp/ ./internal/runtime/ ./cmd/pifexp/ ./internal/obs/
 
-echo "== allocation budget (zero allocs/step after warm-up) =="
+echo "== race: soak (reduced horizon) =="
+go test -race -short -run TestSoakManyWaves -count=1 .
+
+echo "== allocation budget (zero allocs/step after warm-up, disabled tracer included) =="
 go test ./internal/sim/ -run 'TestZeroAllocs|TestCycleByteBudget|TestChoicesBufferReuse' -count=1 -v
+go test ./internal/obs/ -run TestDisabledTracerZeroAllocs -count=1 -v
 
 echo "== determinism (serial vs parallel, optimized vs reference) =="
 go test ./internal/sim/ -run TestRunnerMatchesReference -count=1

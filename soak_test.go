@@ -1,30 +1,69 @@
 package snappif_test
 
 import (
+	"os"
+	"runtime/pprof"
 	"testing"
 
 	"snappif"
+	"snappif/internal/obs"
 )
 
-// TestSoakManyWaves runs 200 consecutive waves with full invariant
-// monitoring, interleaving corruption every 25 waves — a long-horizon
-// stability check of Specification 1 ("the PIF scheme is an infinite
-// sequence of PIF cycles").
+// TestSoakManyWaves runs many consecutive waves with full invariant
+// monitoring and event tracing, interleaving corruption every 25 waves — a
+// long-horizon stability check of Specification 1 ("the PIF scheme is an
+// infinite sequence of PIF cycles"). -short runs a reduced horizon (40
+// waves) so the race-enabled CI lap still exercises the corruption
+// schedule.
+//
+// Profiling hooks (for chasing soak slowdowns):
+//
+//	SOAK_CPUPROFILE=f.pprof  write a CPU profile of the soak to f.pprof
+//	SOAK_TRACE=f.jsonl       write the JSONL event trace (piftrace input)
 func TestSoakManyWaves(t *testing.T) {
+	waves := 200
 	if testing.Short() {
-		t.Skip("soak in -short mode")
+		waves = 40
+	}
+	if path := os.Getenv("SOAK_CPUPROFILE"); path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			t.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	topo, err := snappif.Random(20, 0.15, 21)
 	if err != nil {
 		t.Fatal(err)
 	}
-	net, err := snappif.NewNetwork(topo, 0,
+	netOpts := []snappif.NetworkOption{
 		snappif.WithSeed(13),
 		snappif.WithInvariantChecking(),
-	)
+	}
+	if path := os.Getenv("SOAK_TRACE"); path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		netOpts = append(netOpts, snappif.WithEventTrace(f))
+	}
+	net, err := snappif.NewNetwork(topo, 0, netOpts...)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer func() {
+		if err := net.Close(); err != nil {
+			t.Errorf("closing the event trace: %v", err)
+		}
+	}()
+	reg := obs.NewRegistry()
+	wavesDone := reg.Counter("soak.waves")
+	roundsHist := reg.Histogram("soak.rounds_per_wave", 10, 20, 40, 80)
 	corruptions := []snappif.Corruption{
 		snappif.CorruptUniform, snappif.CorruptPhantomTree,
 		snappif.CorruptInflatedCounts, snappif.CorruptStaleRegion,
@@ -32,7 +71,7 @@ func TestSoakManyWaves(t *testing.T) {
 		snappif.CorruptPrematureFok, snappif.CorruptStaleFeedback,
 	}
 	var lastMsg uint64
-	for wave := 0; wave < 200; wave++ {
+	for wave := 0; wave < waves; wave++ {
 		if wave%25 == 24 {
 			if err := net.Corrupt(corruptions[(wave/25)%len(corruptions)]); err != nil {
 				t.Fatal(err)
@@ -50,5 +89,14 @@ func TestSoakManyWaves(t *testing.T) {
 			t.Fatalf("wave %d: message id regressed (%d after %d)", wave, res.Message, lastMsg)
 		}
 		lastMsg = res.Message
+		wavesDone.Add(1)
+		roundsHist.Observe(int64(res.Rounds))
 	}
+	if wavesDone.Value() != int64(waves) {
+		t.Fatalf("metrics drift: soak.waves = %d, want %d", wavesDone.Value(), waves)
+	}
+	if roundsHist.Count() != int64(waves) || roundsHist.Max() <= 0 {
+		t.Fatalf("metrics drift: rounds histogram count=%d max=%d", roundsHist.Count(), roundsHist.Max())
+	}
+	t.Logf("soak: %d waves, mean %.1f rounds/wave, max %d", waves, roundsHist.Mean(), roundsHist.Max())
 }
