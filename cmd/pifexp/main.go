@@ -49,7 +49,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("pifexp", flag.ContinueOnError)
 	var (
 		quick    = fs.Bool("quick", false, "small topologies and few trials")
@@ -69,11 +69,18 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
-		if err != nil {
-			return err
+		f, cerr := os.Create(*cpuProf)
+		if cerr != nil {
+			return cerr
 		}
-		defer f.Close()
+		// A profile written to a full disk is silently truncated unless the
+		// close error reaches the exit code; the deferred close runs after
+		// StopCPUProfile has flushed.
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("cpuprofile: %w", cerr)
+			}
+		}()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			return err
 		}
@@ -81,15 +88,21 @@ func run(args []string, out io.Writer) error {
 	}
 	if *memProf != "" {
 		defer func() {
-			f, err := os.Create(*memProf)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "pifexp: memprofile:", err)
+			f, ferr := os.Create(*memProf)
+			if ferr != nil {
+				if err == nil {
+					err = fmt.Errorf("memprofile: %w", ferr)
+				}
 				return
 			}
-			defer f.Close()
 			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "pifexp: memprofile:", err)
+			werr := pprof.WriteHeapProfile(f)
+			cerr := f.Close()
+			if err == nil && werr != nil {
+				err = fmt.Errorf("memprofile: %w", werr)
+			}
+			if err == nil && cerr != nil {
+				err = fmt.Errorf("memprofile: %w", cerr)
 			}
 		}()
 	}
@@ -232,6 +245,11 @@ func writeCSV(dir, id string, tbl *trace.Table) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return tbl.CSV(f)
+	if err := tbl.CSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	// The close error is the write error on many filesystems; losing it
+	// would report a truncated CSV as success.
+	return f.Close()
 }

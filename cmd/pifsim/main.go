@@ -24,7 +24,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("pifsim", flag.ContinueOnError)
 	var (
 		topoName = fs.String("topo", "ring", "topology: line|ring|star|complete|grid|torus|hypercube|bintree|caterpillar|lollipop|random")
@@ -70,7 +70,13 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		defer eventsF.Close()
+		// net.Close flushes the trace; the file close error still carries
+		// late write failures (full disk) and must reach the exit code.
+		defer func() {
+			if cerr := eventsF.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("events: %w", cerr)
+			}
+		}()
 		netOpts = append(netOpts, snappif.WithEventTrace(eventsF))
 	}
 	net, err := snappif.NewNetwork(topo, *root, netOpts...)
@@ -121,9 +127,12 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		if err := net.TraceJSON(f); err != nil {
+			f.Close()
 			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("json: %w", err)
 		}
 		fmt.Fprintf(out, "action trace written to %s\n", *jsonOut)
 	}

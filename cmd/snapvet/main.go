@@ -1,0 +1,112 @@
+// Command snapvet is the project-specific static analyzer: it type-checks
+// every package in the module and enforces the paper's locally shared
+// memory model plus the engine's determinism and zero-allocation
+// invariants, with four analyzers:
+//
+//	guardpure   functions reachable from protocol guards (Enabled) are
+//	            pure: no shared-state writes, map/channel mutation, or I/O
+//	writelocal  action bodies (Apply/ApplyInto) write only the acting
+//	            processor's state, per the model's write rule
+//	detrange    no map iteration, wall-clock reads, or global math/rand in
+//	            the deterministic engine packages
+//	hotalloc    no per-step allocation constructs in //snapvet:hotpath
+//	            functions (static complement of the CI alloc gates)
+//
+// Usage:
+//
+//	snapvet [-json] [-baseline FILE] [-write-baseline] [-list] [packages]
+//
+// Findings print as "file:line:col: [analyzer] message"; the exit status
+// is non-zero when any finding is not covered by the baseline file.
+// Intentional exceptions are annotated in source: `//snapvet:ok <reason>`
+// on (or directly above) the flagged line, and `//snapvet:hotpath` in a
+// function's doc comment opts it into hotalloc. A `//snapvet:ok` without
+// a reason is itself an error — the tree carries no unexplained
+// suppressions.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"snappif/internal/analysis"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snapvet:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("snapvet", flag.ContinueOnError)
+	var (
+		jsonOut   = fs.Bool("json", false, "emit findings as a JSON array")
+		baseline  = fs.String("baseline", "", "baseline file of grandfathered findings (default <module>/.snapvet.baseline)")
+		writeBase = fs.Bool("write-baseline", false, "write the current findings to the baseline file and exit 0")
+		list      = fs.Bool("list", false, "list the analyzers and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(out, "%-11s %s\n", a.Name, a.Doc)
+		}
+		return 0, nil
+	}
+
+	prog, err := analysis.Load(".", fs.Args()...)
+	if err != nil {
+		return 2, err
+	}
+	basePath := *baseline
+	if basePath == "" {
+		basePath = filepath.Join(prog.ModuleDir, ".snapvet.baseline")
+	}
+
+	findings := analysis.Run(prog, nil)
+	if *writeBase {
+		if err := analysis.WriteBaseline(basePath, findings); err != nil {
+			return 2, err
+		}
+		fmt.Fprintf(out, "snapvet: wrote %d finding(s) to %s\n", len(findings), basePath)
+		return 0, nil
+	}
+
+	base, err := analysis.ReadBaseline(basePath)
+	if err != nil {
+		return 2, err
+	}
+	fresh, old := analysis.Filter(findings, base)
+
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if fresh == nil {
+			fresh = []analysis.Finding{}
+		}
+		if err := enc.Encode(fresh); err != nil {
+			return 2, err
+		}
+	} else {
+		for _, f := range fresh {
+			fmt.Fprintln(out, f.String())
+		}
+	}
+	if len(old) > 0 {
+		fmt.Fprintf(os.Stderr, "snapvet: %d baselined finding(s) suppressed\n", len(old))
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(os.Stderr, "snapvet: %d new finding(s)\n", len(fresh))
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcNode is one module function in the static call graph.
+type funcNode struct {
+	fn      *types.Func
+	decl    *ast.FuncDecl
+	pkg     *Package
+	callees []*types.Func
+}
+
+// callGraph is the static, intra-module call graph: edges follow direct
+// function and method calls whose callee the type checker resolves to a
+// concrete *types.Func. Calls through interface values or function-typed
+// variables have no static callee and carry no edge — a deliberate
+// approximation (the protocol guards and actions in this repository call
+// concrete methods only; DESIGN.md §7 records the limitation).
+type callGraph struct {
+	nodes map[*types.Func]*funcNode
+}
+
+// buildCallGraph indexes every declared function body in the program.
+func buildCallGraph(prog *Program) *callGraph {
+	cg := &callGraph{nodes: make(map[*types.Func]*funcNode)}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &funcNode{fn: fn, decl: fd, pkg: pkg}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := calleeOf(pkg.Info, call); callee != nil {
+						node.callees = append(node.callees, callee)
+					}
+					return true
+				})
+				cg.nodes[fn] = node
+			}
+		}
+	}
+	return cg
+}
+
+// calleeOf resolves a call expression's static callee, or nil for
+// builtins, conversions, and dynamic calls.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Qualified call: pkg.Func.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// reachable returns every module function reachable from roots along
+// static call edges, roots included (only roots with bodies appear).
+func (cg *callGraph) reachable(roots []*types.Func) []*funcNode {
+	seen := make(map[*types.Func]bool)
+	var out []*funcNode
+	var stack []*types.Func
+	stack = append(stack, roots...)
+	for len(stack) > 0 {
+		fn := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[fn] {
+			continue
+		}
+		seen[fn] = true
+		node := cg.nodes[fn]
+		if node == nil {
+			continue // no body in the module (stdlib, interface method)
+		}
+		out = append(out, node)
+		stack = append(stack, node.callees...)
+	}
+	return out
+}

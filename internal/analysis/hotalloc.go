@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// hotalloc is the static complement of the CI AllocsPerRun gates: inside
+// functions annotated `//snapvet:hotpath` (the InPlaceProtocol step path)
+// it flags every construct that can heap-allocate per step — make/new,
+// escaping composite literals, appends that may grow, closures, interface
+// boxing, and allocating conversions. The runtime gates prove the budget
+// holds today; this analyzer points at the exact expression when a future
+// edit would break it.
+var hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no per-step heap allocation constructs in //snapvet:hotpath functions",
+	Run:  runHotalloc,
+}
+
+func runHotalloc(pass *Pass) {
+	for fd, ok := range pass.ann.hotpath {
+		if !ok || fd.Body == nil {
+			continue
+		}
+		pkg := pass.ownerPackage(fd)
+		if pkg == nil {
+			continue
+		}
+		checkHotBody(pass, pkg, fd)
+	}
+}
+
+// ownerPackage finds the package containing a declaration.
+func (p *Pass) ownerPackage(fd *ast.FuncDecl) *Package {
+	for _, pkg := range p.Prog.Packages {
+		for _, file := range pkg.Files {
+			if file.Pos() <= fd.Pos() && fd.Pos() <= file.End() {
+				return pkg
+			}
+		}
+	}
+	return nil
+}
+
+func checkHotBody(pass *Pass, pkg *Package, fd *ast.FuncDecl) {
+	info := pkg.Info
+	fname := fd.Name.Name
+
+	// safeAppends are `x = append(x, ...)` / `x = append(x[:k], ...)`
+	// self-appends: amortized growth into a buffer that is reused across
+	// steps, the engine's sanctioned pattern.
+	safeAppends := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || builtinName(info, call) != "append" || len(call.Args) == 0 {
+				continue
+			}
+			base := ast.Unparen(call.Args[0])
+			if sl, ok := base.(*ast.SliceExpr); ok {
+				base = sl.X
+			}
+			if exprString(as.Lhs[i]) == exprString(base) {
+				safeAppends[call] = true
+			}
+		}
+		return true
+	})
+
+	// addrTaken marks composite literals under a & operator (reported at
+	// the & so struct literals by value stay silent).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					pass.Report(x.Pos(), "hotpath %s takes the address of a composite literal (escapes to the heap)", fname)
+				}
+			}
+		case *ast.CompositeLit:
+			t := info.TypeOf(x)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Report(x.Pos(), "hotpath %s builds a %s literal (allocates); preallocate in the constructor", fname, typeKind(t))
+			}
+		case *ast.FuncLit:
+			pass.Report(x.Pos(), "hotpath %s creates a closure (captured variables may escape); hoist it or annotate //snapvet:ok <reason>", fname)
+		case *ast.CallExpr:
+			checkHotCall(pass, info, fname, x, safeAppends)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, info *types.Info, fname string, call *ast.CallExpr, safeAppends map[*ast.CallExpr]bool) {
+	switch builtinName(info, call) {
+	case "make":
+		pass.Report(call.Pos(), "hotpath %s calls make (allocates per step); move the allocation to setup", fname)
+		return
+	case "new":
+		pass.Report(call.Pos(), "hotpath %s calls new (allocates per step); move the allocation to setup", fname)
+		return
+	case "append":
+		if !safeAppends[call] {
+			pass.Report(call.Pos(), "hotpath %s append result does not feed back into its buffer; growth allocates — use x = append(x[:0], ...) into a reused buffer", fname)
+		}
+		return
+	case "panic":
+		for _, arg := range call.Args {
+			reportBoxed(pass, info, fname, arg, "panic")
+		}
+		return
+	case "":
+		// Not a builtin: conversion or ordinary call, handled below.
+	default:
+		return
+	}
+
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: string <-> []byte/[]rune copies into fresh memory.
+		if len(call.Args) == 1 {
+			from, to := info.TypeOf(call.Args[0]), tv.Type
+			if from != nil && allocatingConversion(from, to) {
+				pass.Report(call.Pos(), "hotpath %s conversion %s -> %s copies (allocates)", fname, from, to)
+			}
+		}
+		return
+	}
+
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no per-element boxing
+			}
+			param = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := param.Underlying().(*types.Interface); isIface {
+			reportBoxed(pass, info, fname, arg, "interface argument")
+		}
+	}
+}
+
+// reportBoxed flags a non-constant, non-pointer-shaped value converted to
+// an interface: the conversion heap-allocates the boxed copy.
+func reportBoxed(pass *Pass, info *types.Info, fname string, arg ast.Expr, what string) {
+	tv, ok := info.Types[arg]
+	if !ok || tv.Value != nil { // constants box to static data
+		return
+	}
+	t := tv.Type
+	if t == nil || t == types.Typ[types.UntypedNil] {
+		return
+	}
+	if _, isIface := t.Underlying().(*types.Interface); isIface {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: fits the interface word, no allocation
+	}
+	pass.Report(arg.Pos(), "hotpath %s boxes %s into an %s (allocates); keep hot-path calls monomorphic", fname, t, what)
+}
+
+// allocatingConversion reports the conversions that copy into fresh heap
+// memory.
+func allocatingConversion(from, to types.Type) bool {
+	isString := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteish := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isString(from) && isByteish(to)) || (isByteish(from) && isString(to))
+}
+
+// typeKind names a composite literal's shape for messages.
+func typeKind(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	default:
+		return "composite"
+	}
+}
+
+// exprString renders an expression for textual buffer-identity checks.
+func exprString(e ast.Expr) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, token.NewFileSet(), e)
+	return buf.String()
+}

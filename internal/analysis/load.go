@@ -1,0 +1,223 @@
+// Package analysis implements snapvet, the project-specific static
+// analyzer: a vet-style driver plus four analyzers that enforce, at
+// compile time, the paper's locally shared memory model (Section 2) and
+// the simulation engine's determinism and zero-allocation invariants.
+//
+// The loader shells out to `go list -export -deps -json` for package
+// discovery, parses every module package from source, and type-checks it
+// with go/types; imports outside the module (the standard library)
+// resolve through the toolchain's export data, so the whole pipeline is
+// stdlib-only — no golang.org/x/tools dependency.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked module package.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// Files are the parsed non-test Go files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info carries the type-checker's expression/object tables.
+	Info *types.Info
+}
+
+// Program is a loaded module: every module package, type-checked from
+// source against a single file set, in dependency order.
+type Program struct {
+	// Fset positions every parsed file.
+	Fset *token.FileSet
+	// ModulePath is the module's declared path (e.g. "snappif").
+	ModulePath string
+	// ModuleDir is the module root directory.
+	ModuleDir string
+	// Packages lists the module packages in dependency order
+	// (dependencies before dependents).
+	Packages []*Package
+
+	byPath map[string]*Package
+	export map[string]string // non-module import path -> export data file
+	imp    types.Importer
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path, Dir string }
+	Error      *struct{ Err string }
+}
+
+// Load discovers the packages matching patterns (default "./...") with the
+// go tool, resolved from dir (any directory inside the module), and
+// type-checks every module package from source.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,GoFiles,Export,Standard,Module,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+
+	prog := &Program{
+		Fset:   token.NewFileSet(),
+		byPath: make(map[string]*Package),
+		export: make(map[string]string),
+	}
+	prog.imp = newProgramImporter(prog)
+
+	var modPkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Standard || lp.Module == nil {
+			prog.export[lp.ImportPath] = lp.Export
+			continue
+		}
+		if prog.ModulePath == "" {
+			prog.ModulePath = lp.Module.Path
+			prog.ModuleDir = lp.Module.Dir
+		}
+		modPkgs = append(modPkgs, lp)
+	}
+
+	// go list -deps emits dependencies before dependents, so checking in
+	// output order guarantees module imports resolve to already-checked
+	// packages (one *types.Package identity per path).
+	for _, lp := range modPkgs {
+		pkg, err := prog.check(lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+		prog.byPath[lp.ImportPath] = pkg
+	}
+	return prog, nil
+}
+
+// Lookup returns the loaded module package with the given import path, or
+// nil.
+func (prog *Program) Lookup(path string) *Package { return prog.byPath[path] }
+
+// RelPath returns path relative to the module root ("internal/sim" for
+// "snappif/internal/sim", "" for the root package).
+func (prog *Program) RelPath(path string) string {
+	if path == prog.ModulePath {
+		return ""
+	}
+	return strings.TrimPrefix(path, prog.ModulePath+"/")
+}
+
+// LoadDir parses and type-checks one extra directory of Go files (a
+// testdata package) against the already-loaded program: imports of module
+// packages resolve to the loaded ones, everything else through export
+// data. The package is not added to prog.Packages.
+func (prog *Program) LoadDir(dir, importPath string) (*Package, error) {
+	if abs, err := filepath.Abs(dir); err == nil {
+		dir = abs // positions and Package.Dir must agree with ModuleDir
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	return prog.check(importPath, dir, files)
+}
+
+// check parses and type-checks one package.
+func (prog *Program) check(path, dir string, fileNames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(prog.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: prog.imp}
+	pkg, err := conf.Check(path, prog.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// programImporter resolves module imports to the program's source-checked
+// packages and everything else through the gc export data the go tool
+// produced for -export.
+type programImporter struct {
+	prog *Program
+	gc   types.Importer
+}
+
+func newProgramImporter(prog *Program) *programImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := prog.export[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &programImporter{prog: prog, gc: importer.ForCompiler(prog.Fset, "gc", lookup)}
+}
+
+// Import implements types.Importer.
+func (pi *programImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p := pi.prog.byPath[path]; p != nil {
+		return p.Pkg, nil
+	}
+	return pi.gc.Import(path)
+}

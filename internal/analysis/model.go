@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// simTypes locates the types of the paper's computational model in the
+// loaded program: the sim.Protocol and sim.State interfaces and the
+// sim.Configuration struct. All four analyzers key off them.
+type simTypes struct {
+	protocol *types.Interface
+	state    *types.Interface
+	config   *types.Named
+}
+
+// lookupSimTypes returns nil when the module has no internal/sim package
+// (then the model-aware analyzers have nothing to check).
+func lookupSimTypes(prog *Program) *simTypes {
+	pkg := prog.Lookup(prog.ModulePath + "/internal/sim")
+	if pkg == nil {
+		return nil
+	}
+	st := &simTypes{}
+	if o := pkg.Pkg.Scope().Lookup("Protocol"); o != nil {
+		if iface, ok := o.Type().Underlying().(*types.Interface); ok {
+			st.protocol = iface
+		}
+	}
+	if o := pkg.Pkg.Scope().Lookup("State"); o != nil {
+		if iface, ok := o.Type().Underlying().(*types.Interface); ok {
+			st.state = iface
+		}
+	}
+	if o := pkg.Pkg.Scope().Lookup("Configuration"); o != nil {
+		if named, ok := o.Type().(*types.Named); ok {
+			st.config = named
+		}
+	}
+	if st.protocol == nil || st.state == nil || st.config == nil {
+		return nil
+	}
+	return st
+}
+
+// implementsProtocol reports whether T (or *T) satisfies sim.Protocol.
+func (st *simTypes) implementsProtocol(t types.Type) bool {
+	return types.Implements(t, st.protocol) || types.Implements(types.NewPointer(t), st.protocol)
+}
+
+// isConfiguration reports whether t is sim.Configuration or a pointer to
+// it.
+func (st *simTypes) isConfiguration(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Origin() == st.config.Origin()
+}
+
+// isStateBox reports whether t is a shared processor-state box: a pointer
+// whose type implements sim.State, or the sim.State interface itself.
+func (st *simTypes) isStateBox(t types.Type) bool {
+	if _, ok := t.Underlying().(*types.Pointer); ok {
+		return types.Implements(t, st.state)
+	}
+	if iface, ok := t.Underlying().(*types.Interface); ok {
+		return types.Implements(iface, st.state) || types.Identical(iface, st.state)
+	}
+	return false
+}
+
+// protocolImplementers yields every named type in the module that
+// satisfies sim.Protocol, with its defining package.
+func protocolImplementers(prog *Program, st *simTypes) []*types.Named {
+	var out []*types.Named
+	for _, pkg := range prog.Packages {
+		scope := pkg.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			if st.implementsProtocol(named) {
+				out = append(out, named)
+			}
+		}
+	}
+	return out
+}
+
+// methodOf resolves the named method on T or *T.
+func methodOf(t *types.Named, name string) *types.Func {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), false, t.Obj().Pkg(), name)
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// writeKind classifies one assignment target.
+type writeKind int
+
+const (
+	writeOther    writeKind = iota // plain local write, not model-relevant
+	writeConfig                    // mutates a sim.Configuration
+	writeStateBox                  // mutates a shared processor-state box
+	writeMap                       // stores into a map
+)
+
+// classifyWrite walks the assignment target's access path outward-in and
+// reports the most model-relevant memory it writes through, together with
+// the path's root identifier (nil when the root is not a plain
+// identifier). Rebinding a pointer variable (`p = q`) is not a write
+// through it: only Selector/Index/Star steps dereference.
+func classifyWrite(info *types.Info, st *simTypes, lhs ast.Expr) (writeKind, *ast.Ident) {
+	kind := writeOther
+	note := func(k writeKind) {
+		// Config and state-box writes outrank map writes: the closer to
+		// the shared-memory model, the more specific the message.
+		if k == writeConfig || (k == writeStateBox && kind != writeConfig) || kind == writeOther {
+			kind = k
+		}
+	}
+	classifyBase := func(base ast.Expr, isIndex bool) {
+		t := info.TypeOf(base)
+		if t == nil {
+			return
+		}
+		switch {
+		case st != nil && st.isConfiguration(t):
+			note(writeConfig)
+		case st != nil && st.isStateBox(t):
+			note(writeStateBox)
+		case isIndex:
+			if _, ok := t.Underlying().(*types.Map); ok {
+				note(writeMap)
+			}
+		}
+	}
+	e := lhs
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			classifyBase(x.X, false)
+			e = x.X
+		case *ast.IndexExpr:
+			classifyBase(x.X, true)
+			e = x.X
+		case *ast.StarExpr:
+			classifyBase(x.X, false)
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			root, _ := e.(*ast.Ident)
+			return kind, root
+		}
+	}
+}
+
+// writes yields every (target, pos) a statement mutates: assignment
+// left-hand sides (definitions excluded — they bind fresh variables) and
+// increment/decrement targets.
+func writes(n ast.Node, fn func(lhs ast.Expr, pos token.Pos)) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		if s.Tok == token.DEFINE {
+			return
+		}
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			fn(lhs, lhs.Pos())
+		}
+	case *ast.IncDecStmt:
+		fn(s.X, s.X.Pos())
+	}
+}
+
+// builtinName returns the name of the builtin a call invokes, or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// calleePackagePath returns the import path of the called function's
+// package ("" for builtins, locals without packages, and dynamic calls).
+func calleePackagePath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}

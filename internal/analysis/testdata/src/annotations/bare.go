@@ -1,0 +1,7 @@
+// Package annotationstest carries a reasonless suppression; the driver
+// reports it as an annotation-hygiene finding (suppressions must explain
+// themselves).
+package annotationstest
+
+// Value exists to host the bare directive below.
+var Value = 1 //snapvet:ok

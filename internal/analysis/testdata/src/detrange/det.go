@@ -1,0 +1,64 @@
+// Package detrangetest exercises the detrange analyzer. It is not one of
+// the engine packages, so the directive below opts it in — the same switch
+// any future deterministic package flips.
+//
+//snapvet:deterministic
+package detrangetest
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Sum folds a map by ranging it — the classic determinism leak.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over a map`
+		total += v
+	}
+	return total
+}
+
+// SortedSum is the sanctioned shape: a reasoned suppression on the key
+// sweep (the sort restores a canonical order), then iteration over the
+// sorted slice, which is silent.
+func SortedSum(m map[string]int) int {
+	keys := make([]string, 0, len(m))
+	for k := range m { //snapvet:ok key collection only; the sort below restores a canonical order
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0
+	for _, k := range keys { // near-miss: slice iteration is ordered
+		total += m[k]
+	}
+	return total
+}
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	t := time.Now() // want `reads the wall clock`
+	return t.Unix()
+}
+
+// Elapsed reads the wall clock twice over.
+func Elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want `reads the wall clock`
+}
+
+// Roll draws from the process-global source.
+func Roll() int {
+	return rand.Intn(6) // want `process-global source`
+}
+
+// SeededRoll threads a seeded *rand.Rand — the engine's pattern, silent.
+func SeededRoll(r *rand.Rand) int {
+	return r.Intn(6)
+}
+
+// NewRNG builds a seeded generator; the constructors are deterministic and
+// silent too.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,92 @@
+// Package guardtest exercises the guardpure analyzer: the Enabled method
+// of a sim.Protocol implementer, and every function it statically reaches,
+// must be a pure predicate over registers. Each `// want` comment is a
+// regexp the analyzer test matches against the finding reported on that
+// line; lines without one must stay silent (the near-misses).
+package guardtest
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"snappif/internal/sim"
+)
+
+// State is a one-register processor state with an auxiliary map.
+type State struct {
+	X     int
+	Marks map[int]bool
+}
+
+// Clone implements sim.State.
+func (s *State) Clone() sim.State { c := *s; return &c }
+
+// seen is package state a guard must not mutate.
+var seen = map[int]bool{}
+
+// wake is a channel a guard must not send on.
+var wake = make(chan int, 1)
+
+// P implements sim.Protocol with a guard committing every sin guardpure
+// knows about.
+type P struct{}
+
+var _ sim.Protocol = P{}
+
+// Name implements sim.Protocol.
+func (P) Name() string { return "guardtest" }
+
+// ActionNames implements sim.Protocol.
+func (P) ActionNames() []string { return []string{"A"} }
+
+// InitialState implements sim.Protocol.
+func (P) InitialState(int) sim.State { return &State{Marks: map[int]bool{}} }
+
+// Enabled implements sim.Protocol — impurely.
+func (P) Enabled(c *sim.Configuration, p int) []int {
+	st := c.States[p].(*State) // near-miss: reading a box is what guards do
+	st.X = 1                   // want `writes a processor-state box`
+	c.States[p] = st           // want `writes the configuration`
+	seen[p] = true             // want `stores into a map`
+	wake <- p                  // want `sends on a channel`
+	fmt.Println("guard ran")   // want `I/O from a guard`
+	_ = time.Now()             // want `clock access from a guard`
+	_ = rand.Intn(2)           // want `global randomness from a guard`
+	helper(c, p)
+	waived(c, p)
+	if pure(c, p) {
+		return []int{0}
+	}
+	return nil
+}
+
+// helper is reachable from the guard, so its impurity is flagged too.
+func helper(c *sim.Configuration, p int) {
+	_ = os.Getpid()                       // want `I/O from a guard`
+	delete(c.States[p].(*State).Marks, p) // want `deletes from a map`
+}
+
+// pure is guardpure's near-miss: reads, local copies, and local mutation
+// never fire — the rule is about shared registers, not local variables.
+func pure(c *sim.Configuration, p int) bool {
+	st := c.States[p].(*State)
+	x := st.X // a := definition, not a write through the box
+	x++       // mutating the local copy is fine
+	r := rand.New(rand.NewSource(int64(p)))
+	return x > 0 && r.Intn(2) == 0 // seeded *rand.Rand methods are deterministic
+}
+
+// waived shows an annotated exception: the suppression needs a reason and
+// then the finding on that line is dropped.
+func waived(c *sim.Configuration, p int) {
+	seen[p] = false //snapvet:ok testdata: demonstrates a reasoned suppression
+}
+
+// Apply implements sim.Protocol (only Enabled matters to guardpure).
+func (P) Apply(c *sim.Configuration, p int, a int) sim.State {
+	next := *c.States[p].(*State)
+	next.X++
+	return &next
+}

@@ -1,0 +1,49 @@
+// Package hotalloctest exercises the hotalloc analyzer: functions
+// annotated //snapvet:hotpath must not contain per-step allocation
+// constructs; everything else may allocate freely.
+package hotalloctest
+
+// T carries the buffers a hot path reuses across steps.
+type T struct {
+	buf  []int
+	name string
+}
+
+// sink's interface parameter forces boxing at call sites.
+func sink(v any) { _ = v }
+
+// step is the hot path: every construct below that can heap-allocate per
+// call is flagged; the sanctioned reuse patterns stay silent.
+//
+//snapvet:hotpath
+func (t *T) step(xs []int, label string) {
+	t.buf = append(t.buf[:0], xs...) // near-miss: self-append into a reused buffer
+	t.buf = append(t.buf, 1)         // near-miss: amortized growth of the same buffer
+	grown := append(t.buf, 2)        // want `does not feed back into its buffer`
+	_ = grown
+	m := make([]int, 4) // want `calls make`
+	_ = m
+	q := new(T) // want `calls new`
+	_ = q
+	s := []int{1, 2, 3} // want `builds a slice literal`
+	_ = s
+	mm := map[int]int{} // want `builds a map literal`
+	_ = mm
+	pt := &T{} // want `takes the address of a composite literal`
+	_ = pt
+	f := func() {} // want `creates a closure`
+	f()
+	sink(xs[0])        // want `boxes int`
+	sink(42)           // near-miss: constants box to static data
+	sink(t)            // near-miss: pointers fit the interface word
+	b := []byte(label) // want `copies`
+	_ = b
+	v := T{name: label} // near-miss: struct literal by value stays on the stack
+	_ = v
+}
+
+// cold is not annotated: allocation is fine off the hot path.
+func (t *T) cold(n int) {
+	t.buf = make([]int, n)
+	t.name = string(make([]byte, n))
+}

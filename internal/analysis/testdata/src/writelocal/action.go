@@ -1,0 +1,70 @@
+// Package writelocaltest exercises the writelocal analyzer: an action body
+// (Apply/ApplyInto of a sim.Protocol implementer, plus everything it
+// reaches) reads the pre-step configuration and writes only the acting
+// processor's state — via the return value or ApplyInto's dst box.
+package writelocaltest
+
+import "snappif/internal/sim"
+
+// State is a one-register processor state.
+type State struct{ X int }
+
+// Clone implements sim.State.
+func (s *State) Clone() sim.State { c := *s; return &c }
+
+// P implements sim.InPlaceProtocol with actions that break the write rule.
+type P struct{}
+
+var _ sim.InPlaceProtocol = P{}
+
+// Name implements sim.Protocol.
+func (P) Name() string { return "writelocaltest" }
+
+// ActionNames implements sim.Protocol.
+func (P) ActionNames() []string { return []string{"A"} }
+
+// InitialState implements sim.Protocol.
+func (P) InitialState(int) sim.State { return &State{} }
+
+// Enabled implements sim.Protocol (clean; writelocal only roots at
+// Apply/ApplyInto).
+func (P) Enabled(c *sim.Configuration, p int) []int {
+	if c.States[p].(*State).X == 0 {
+		return []int{0}
+	}
+	return nil
+}
+
+// Apply implements sim.Protocol — and writes everything it must not. A
+// write whose access path passes through the configuration reports as a
+// configuration write; one through a local box alias reports as a
+// state-box write.
+func (P) Apply(c *sim.Configuration, p int, a int) sim.State {
+	for _, q := range c.G.Neighbors(p) {
+		c.States[q].(*State).X = 0 // want `writes the configuration`
+	}
+	c.States[p] = &State{X: 1} // want `writes the configuration`
+	own := c.States[p].(*State)
+	own.X = 2 // want `writes a state box that is not the acting processor's ApplyInto dst`
+	scribble(c, p)
+	next := *c.States[p].(*State) // near-miss: value copy of the own state
+	next.X++                      // near-miss: mutating the local copy
+	return &next
+}
+
+// scribble is reachable from Apply; the write rule follows the call graph.
+func scribble(c *sim.Configuration, p int) {
+	box := c.States[p].(*State)
+	box.X = 7 // want `writes a state box`
+}
+
+// ApplyInto implements sim.InPlaceProtocol. Writing through dst — the
+// acting processor's shadow box handed in by the runner — is the sanctioned
+// near-miss; any other box is still flagged.
+func (P) ApplyInto(c *sim.Configuration, p int, a int, dst sim.State) {
+	*dst.(*State) = State{X: 1} // near-miss: the one allowed write target
+	if len(c.G.Neighbors(p)) > 0 {
+		q := c.G.Neighbors(p)[0]
+		c.States[q].(*State).X = 3 // want `writes the configuration`
+	}
+}

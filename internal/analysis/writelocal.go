@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// writelocal enforces the locally shared memory model's write rule
+// (Section 2): in one atomic step a processor may write only its own
+// variables. In engine terms, an action body — Apply or ApplyInto of a
+// sim.Protocol implementer, plus everything they reach — must not mutate
+// the pre-step configuration at all (the runner alone commits writes),
+// and may write through exactly one shared state box: ApplyInto's
+// caller-supplied dst, the acting processor's shadow box.
+var writelocal = &Analyzer{
+	Name: "writelocal",
+	Doc:  "action bodies may write only the acting processor's state (via return value or ApplyInto dst)",
+	Run:  runWritelocal,
+}
+
+func runWritelocal(pass *Pass) {
+	st := lookupSimTypes(pass.Prog)
+	if st == nil {
+		return
+	}
+	cg := pass.callGraph()
+
+	// allowedDst collects the *types.Var of every ApplyInto dst parameter:
+	// the one shared box an action may overwrite.
+	allowedDst := make(map[types.Object]bool)
+	var roots []*types.Func
+	for _, named := range protocolImplementers(pass.Prog, st) {
+		for _, name := range []string{"Apply", "ApplyInto"} {
+			fn := methodOf(named, name)
+			if fn == nil {
+				continue
+			}
+			roots = append(roots, fn)
+			if name != "ApplyInto" {
+				continue
+			}
+			if node := cg.nodes[fn]; node != nil {
+				if obj := lastParamObj(node); obj != nil {
+					allowedDst[obj] = true
+				}
+			}
+		}
+	}
+
+	for _, node := range cg.reachable(roots) {
+		info := node.pkg.Info
+		fname := node.fn.Name()
+		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+			writes(n, func(lhs ast.Expr, pos token.Pos) {
+				kind, root := classifyWrite(info, st, lhs)
+				switch kind {
+				case writeConfig:
+					pass.Report(pos, "action-reachable %s writes the configuration; actions read the pre-step configuration and only the runner commits", fname)
+				case writeStateBox:
+					if root != nil && allowedDst[info.Uses[root]] {
+						return // the acting processor's own dst box
+					}
+					pass.Report(pos, "action-reachable %s writes a state box that is not the acting processor's ApplyInto dst; the model forbids writing other processors' variables", fname)
+				}
+			})
+			return true
+		})
+	}
+}
+
+// lastParamObj returns the object of the function's final declared
+// parameter (ApplyInto's dst), or nil.
+func lastParamObj(node *funcNode) types.Object {
+	params := node.decl.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return nil
+	}
+	last := params.List[len(params.List)-1]
+	if len(last.Names) == 0 {
+		return nil
+	}
+	name := last.Names[len(last.Names)-1]
+	return node.pkg.Info.Defs[name]
+}

@@ -9,6 +9,8 @@ import "snappif/internal/sim"
 // configurations with the same code the protocol runs.
 
 // st extracts processor p's PIF state from the configuration.
+//
+//snapvet:hotpath
 func st(c *sim.Configuration, p int) State {
 	s, ok := c.States[p].(*State)
 	if !ok {
@@ -39,6 +41,8 @@ func (pr *Protocol) SumSet(c *sim.Configuration, p int) []int {
 // Sum returns the macro Sum_p = 1 + Σ_{q ∈ Sum_Set_p} Count_q. The set is
 // folded inline rather than via SumSet so guard evaluation (which calls Sum
 // through GoodCount and NewCount on every re-evaluation) never allocates.
+//
+//snapvet:hotpath
 func (pr *Protocol) Sum(c *sim.Configuration, p int) int {
 	sp := st(c, p)
 	if sp.Fok {
@@ -94,6 +98,8 @@ func (pr *Protocol) Potential(c *sim.Configuration, p int) []int {
 
 // hasPotential reports Potential_p ≠ ∅ (equivalently Pre_Potential_p ≠ ∅)
 // without materializing either set; the Broadcast guard's hot path.
+//
+//snapvet:hotpath
 func (pr *Protocol) hasPotential(c *sim.Configuration, p int) bool {
 	for _, q := range c.G.Neighbors(p) {
 		sq := st(c, q)
@@ -108,6 +114,8 @@ func (pr *Protocol) hasPotential(c *sim.Configuration, p int) bool {
 // order among the minimum-level candidates — without materializing the set.
 // Strict < comparison keeps the earliest neighbor on level ties, matching
 // Potential's ordering exactly.
+//
+//snapvet:hotpath
 func (pr *Protocol) bestPotential(c *sim.Configuration, p int) int {
 	best, bestL := -1, 0
 	for _, q := range c.G.Neighbors(p) {
@@ -131,6 +139,8 @@ func (pr *Protocol) bestPotential(c *sim.Configuration, p int) int {
 // Non-root, as printed: a broadcasting processor whose flag differs from its
 // parent's must still be lowered, and a feedback processor whose parent is
 // still broadcasting requires the parent's flag raised.
+//
+//snapvet:hotpath
 func (pr *Protocol) GoodFok(c *sim.Configuration, p int) bool {
 	sp := st(c, p)
 	if p == pr.Root {
@@ -148,6 +158,8 @@ func (pr *Protocol) GoodFok(c *sim.Configuration, p int) bool {
 
 // GoodPif implements GoodPif(p) (non-root): if p participates in a cycle,
 // its parent's phase is either equal to p's or B.
+//
+//snapvet:hotpath
 func (pr *Protocol) GoodPif(c *sim.Configuration, p int) bool {
 	sp := st(c, p)
 	if p == pr.Root || sp.Pif == C {
@@ -159,6 +171,8 @@ func (pr *Protocol) GoodPif(c *sim.Configuration, p int) bool {
 
 // GoodLevel implements GoodLevel(p) (non-root): a participating processor's
 // level is one more than its parent's.
+//
+//snapvet:hotpath
 func (pr *Protocol) GoodLevel(c *sim.Configuration, p int) bool {
 	sp := st(c, p)
 	if p == pr.Root || sp.Pif == C {
@@ -169,6 +183,8 @@ func (pr *Protocol) GoodLevel(c *sim.Configuration, p int) bool {
 
 // GoodCount implements GoodCount(p): while broadcasting and not yet in the
 // Fok wave, Count_p never exceeds Sum_p.
+//
+//snapvet:hotpath
 func (pr *Protocol) GoodCount(c *sim.Configuration, p int) bool {
 	sp := st(c, p)
 	if sp.Pif != B || sp.Fok {
@@ -179,12 +195,16 @@ func (pr *Protocol) GoodCount(c *sim.Configuration, p int) bool {
 
 // Normal implements Normal(p): the conjunction of the Good* predicates (for
 // the root, GoodFok ∧ GoodCount; the other two are root-trivial).
+//
+//snapvet:hotpath
 func (pr *Protocol) Normal(c *sim.Configuration, p int) bool {
 	return pr.GoodPif(c, p) && pr.GoodLevel(c, p) &&
 		pr.GoodFok(c, p) && pr.GoodCount(c, p)
 }
 
 // Leaf implements Leaf(p): no participating neighbor points to p.
+//
+//snapvet:hotpath
 func (pr *Protocol) Leaf(c *sim.Configuration, p int) bool {
 	for _, q := range c.G.Neighbors(p) {
 		sq := st(c, q)
@@ -207,6 +227,8 @@ func (pr *Protocol) Leaf(c *sim.Configuration, p int) bool {
 // executions from the normal starting configuration the two readings
 // coincide: Feedback requires Fok, Fok requires Count_r = N, and with all N
 // processors in the tree no clean stale pointer exists.
+//
+//snapvet:hotpath
 func (pr *Protocol) BLeaf(c *sim.Configuration, p int) bool {
 	if st(c, p).Pif != B {
 		return true
@@ -228,6 +250,8 @@ func (pr *Protocol) BLeaf(c *sim.Configuration, p int) bool {
 }
 
 // BFree implements BFree(p): no neighbor is broadcasting.
+//
+//snapvet:hotpath
 func (pr *Protocol) BFree(c *sim.Configuration, p int) bool {
 	for _, q := range c.G.Neighbors(p) {
 		if st(c, q).Pif == B {
@@ -241,6 +265,8 @@ func (pr *Protocol) BFree(c *sim.Configuration, p int) bool {
 //
 // Root: Pif_r = C and every neighbor is clean.
 // Non-root: p is clean, Leaf(p), and has at least one potential parent.
+//
+//snapvet:hotpath
 func (pr *Protocol) Broadcast(c *sim.Configuration, p int) bool {
 	sp := st(c, p)
 	if sp.Pif != C {
@@ -260,6 +286,8 @@ func (pr *Protocol) Broadcast(c *sim.Configuration, p int) bool {
 // ChangeFok implements the guard ChangeFok(p) (non-root only): a normal
 // broadcasting processor whose flag differs from its parent's joins the Fok
 // wave.
+//
+//snapvet:hotpath
 func (pr *Protocol) ChangeFok(c *sim.Configuration, p int) bool {
 	if p == pr.Root {
 		return false
@@ -272,6 +300,8 @@ func (pr *Protocol) ChangeFok(c *sim.Configuration, p int) bool {
 //
 // Root: broadcasting, normal, no broadcasting neighbor, and Fok raised.
 // Non-root: broadcasting, normal, BLeaf, and Fok raised.
+//
+//snapvet:hotpath
 func (pr *Protocol) Feedback(c *sim.Configuration, p int) bool {
 	sp := st(c, p)
 	if sp.Pif != B || !sp.Fok || !pr.Normal(c, p) {
@@ -287,6 +317,8 @@ func (pr *Protocol) Feedback(c *sim.Configuration, p int) bool {
 //
 // Root: in feedback and every neighbor is clean.
 // Non-root: in feedback, normal, Leaf, and no broadcasting neighbor.
+//
+//snapvet:hotpath
 func (pr *Protocol) Cleaning(c *sim.Configuration, p int) bool {
 	sp := st(c, p)
 	if sp.Pif != F {
@@ -315,6 +347,8 @@ func (pr *Protocol) Cleaning(c *sim.Configuration, p int) bool {
 // (Count < Sum) is false. In executions from the normal starting
 // configuration the extra disjunct never fires first (Count_r lags Sum_r
 // whenever Sum_r grows), so normal behavior is exactly the paper's.
+//
+//snapvet:hotpath
 func (pr *Protocol) NewCount(c *sim.Configuration, p int) bool {
 	sp := st(c, p)
 	if sp.Pif != B || sp.Fok || !pr.Normal(c, p) {
@@ -328,12 +362,16 @@ func (pr *Protocol) NewCount(c *sim.Configuration, p int) bool {
 }
 
 // AbnormalB implements the guard AbnormalB(p): broadcasting but not normal.
+//
+//snapvet:hotpath
 func (pr *Protocol) AbnormalB(c *sim.Configuration, p int) bool {
 	return st(c, p).Pif == B && !pr.Normal(c, p)
 }
 
 // AbnormalF implements the guard AbnormalF(p) (non-root only): in feedback
 // but not normal.
+//
+//snapvet:hotpath
 func (pr *Protocol) AbnormalF(c *sim.Configuration, p int) bool {
 	return st(c, p).Pif == F && !pr.Normal(c, p)
 }

@@ -171,6 +171,8 @@ var enabledSingle = [numActions][]int{
 // mutually exclusive, so at most one action is returned (verified by
 // property tests in enabled_test.go). The returned slice is shared and must
 // not be mutated.
+//
+//snapvet:hotpath
 func (pr *Protocol) Enabled(c *sim.Configuration, p int) []int {
 	if p == pr.Root {
 		return pr.enabledRoot(c, p)
@@ -179,6 +181,8 @@ func (pr *Protocol) Enabled(c *sim.Configuration, p int) []int {
 }
 
 // enabledRoot evaluates Algorithm 1's guards.
+//
+//snapvet:hotpath
 func (pr *Protocol) enabledRoot(c *sim.Configuration, p int) []int {
 	switch {
 	case pr.Broadcast(c, p):
@@ -197,6 +201,8 @@ func (pr *Protocol) enabledRoot(c *sim.Configuration, p int) []int {
 }
 
 // enabledOther evaluates Algorithm 2's guards.
+//
+//snapvet:hotpath
 func (pr *Protocol) enabledOther(c *sim.Configuration, p int) []int {
 	switch {
 	case pr.Broadcast(c, p):
@@ -227,11 +233,15 @@ func (pr *Protocol) Apply(c *sim.Configuration, p int, a int) sim.State {
 
 // ApplyInto implements sim.InPlaceProtocol: like Apply, but the next state
 // overwrites dst's box instead of allocating a fresh one.
+//
+//snapvet:hotpath
 func (pr *Protocol) ApplyInto(c *sim.Configuration, p int, a int, dst sim.State) {
 	*dst.(*State) = pr.apply(c, p, a)
 }
 
 // apply computes p's next state by value.
+//
+//snapvet:hotpath
 func (pr *Protocol) apply(c *sim.Configuration, p int, a int) State {
 	s := st(c, p)
 	if p == pr.Root {
@@ -241,6 +251,8 @@ func (pr *Protocol) apply(c *sim.Configuration, p int, a int) State {
 }
 
 // applyRoot executes Algorithm 1's statements.
+//
+//snapvet:hotpath
 func (pr *Protocol) applyRoot(c *sim.Configuration, p, a int, s State) State {
 	switch a {
 	case ActionB:
@@ -267,12 +279,14 @@ func (pr *Protocol) applyRoot(c *sim.Configuration, p, a int, s State) State {
 	case ActionBCorrection:
 		s.Pif = C
 	default:
-		panic(fmt.Sprintf("core: root action %d out of range", a))
+		panic(fmt.Sprintf("core: root action %d out of range", a)) //snapvet:ok cold invariant-violation path, never taken in a legal run
 	}
 	return s
 }
 
 // applyOther executes Algorithm 2's statements.
+//
+//snapvet:hotpath
 func (pr *Protocol) applyOther(c *sim.Configuration, p, a int, s State) State {
 	switch a {
 	case ActionB:
@@ -300,7 +314,7 @@ func (pr *Protocol) applyOther(c *sim.Configuration, p, a int, s State) State {
 	case ActionFCorrection:
 		s.Pif = C
 	default:
-		panic(fmt.Sprintf("core: action %d out of range", a))
+		panic(fmt.Sprintf("core: action %d out of range", a)) //snapvet:ok cold invariant-violation path, never taken in a legal run
 	}
 	return s
 }
@@ -310,6 +324,8 @@ func (pr *Protocol) applyOther(c *sim.Configuration, p, a int, s State) State {
 // that point to p at the next level and have reached the feedback phase —
 // at F-action time BLeaf(p) guarantees that set is exactly p's children in
 // the constructed tree.
+//
+//snapvet:hotpath
 func (pr *Protocol) aggregate(c *sim.Configuration, p int, s State) int64 {
 	acc := s.Val
 	if pr.Combine == nil {

@@ -118,9 +118,9 @@ func (mp *Protocol) InitialState(p int) sim.State {
 // overwrites their contents.
 func (mp *Protocol) project(c *sim.Configuration, i, p int) *sim.Configuration {
 	sc := mp.scratch[i]
-	*sc.States[p].(*core.State) = c.States[p].(State).Per[i]
+	*sc.States[p].(*core.State) = c.States[p].(State).Per[i] //snapvet:ok projection into this instance's private scratch boxes, not the shared configuration
 	for _, q := range mp.g.Neighbors(p) {
-		*sc.States[q].(*core.State) = c.States[q].(State).Per[i]
+		*sc.States[q].(*core.State) = c.States[q].(State).Per[i] //snapvet:ok projection into this instance's private scratch boxes, not the shared configuration
 	}
 	return sc
 }

@@ -122,3 +122,29 @@ func TestSimMetricsMatchesRun(t *testing.T) {
 		t.Fatalf("sim.rounds_per_cycle has %d observations, want ≥ 2", got)
 	}
 }
+
+// TestRegistryWriteJSONByteStable pins the export's byte-level
+// determinism: WriteJSON output depends only on the metrics' names and
+// values, never on registration order.
+func TestRegistryWriteJSONByteStable(t *testing.T) {
+	render := func(order []string) string {
+		reg := obs.NewRegistry()
+		for _, name := range order {
+			reg.Counter(name).Add(int64(len(name)))
+		}
+		reg.Histogram("h", 1, 10).Observe(5)
+		var b strings.Builder
+		if err := reg.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a := render([]string{"sim.steps", "exp.cells", "sim.moves.B-action"})
+	b := render([]string{"sim.moves.B-action", "sim.steps", "exp.cells"})
+	if a != b {
+		t.Fatalf("registration order leaked into the export:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, `"exp.cells":9`) {
+		t.Fatalf("unexpected export: %s", a)
+	}
+}

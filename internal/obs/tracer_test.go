@@ -260,3 +260,16 @@ func TestTracerMaskFiltersKinds(t *testing.T) {
 		t.Fatal("summary missing or without round totals")
 	}
 }
+
+// TestTracerByteIdentical tightens the determinism oracle from equivalent
+// to byte-identical: two runs with the same seed must serialize to the
+// same JSONL bytes — any map-ordered iteration sneaking into the export
+// path shows up here as a flaky diff.
+func TestTracerByteIdentical(t *testing.T) {
+	var a, b bytes.Buffer
+	tracedRun(t, &a, 11)
+	tracedRun(t, &b, 11)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("identical runs serialized differently:\n--- a ---\n%s\n--- b ---\n%s", a.String(), b.String())
+	}
+}

@@ -12,15 +12,23 @@ type bitset []uint64
 func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
 
 // test reports whether i is in the set.
+//
+//snapvet:hotpath
 func (b bitset) test(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
 
 // set adds i to the set.
+//
+//snapvet:hotpath
 func (b bitset) set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
 
 // clear removes i from the set.
+//
+//snapvet:hotpath
 func (b bitset) clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
 
 // reset empties the set.
+//
+//snapvet:hotpath
 func (b bitset) reset() {
 	for i := range b {
 		b[i] = 0
@@ -28,9 +36,13 @@ func (b bitset) reset() {
 }
 
 // copyFrom overwrites the set with src (same capacity).
+//
+//snapvet:hotpath
 func (b bitset) copyFrom(src bitset) { copy(b, src) }
 
 // empty reports whether no ID is set.
+//
+//snapvet:hotpath
 func (b bitset) empty() bool {
 	for _, w := range b {
 		if w != 0 {
@@ -41,6 +53,8 @@ func (b bitset) empty() bool {
 }
 
 // count returns the number of IDs in the set.
+//
+//snapvet:hotpath
 func (b bitset) count() int {
 	n := 0
 	for _, w := range b {
@@ -53,6 +67,8 @@ func (b bitset) count() int {
 // the result is empty. It is the runner's round-accounting update: a pending
 // processor leaves the round when it executes (drop) or becomes disabled
 // (leaves keep).
+//
+//snapvet:hotpath
 func (b bitset) intersectAndNot(keep, drop bitset) bool {
 	empty := true
 	for i := range b {
@@ -65,6 +81,8 @@ func (b bitset) intersectAndNot(keep, drop bitset) bool {
 }
 
 // forEach calls fn for every ID in the set in ascending order.
+//
+//snapvet:hotpath
 func (b bitset) forEach(fn func(i int)) {
 	for wi, w := range b {
 		for w != 0 {

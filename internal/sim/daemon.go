@@ -187,7 +187,11 @@ type Adversarial struct {
 	// actions delays error correction as long as legally possible.
 	PreferActions []int
 
-	lastEnabled map[int]int // proc -> first step of current enabled stretch
+	// lastEnabled[p] is the first step of p's current enabled stretch, or
+	// -1 while p is disabled; nowEnabled is per-step scratch. Slices, not
+	// maps: the sweep below stays deterministic and allocation-free.
+	lastEnabled []int
+	nowEnabled  []bool
 }
 
 var _ Daemon = (*Adversarial)(nil)
@@ -196,21 +200,27 @@ var _ Daemon = (*Adversarial)(nil)
 func (*Adversarial) Name() string { return "adversarial-lifo" }
 
 // Select implements Daemon.
-func (d *Adversarial) Select(step int, _ *Configuration, enabled []Choice, rng *rand.Rand) []Choice {
-	if d.lastEnabled == nil {
-		d.lastEnabled = make(map[int]int)
+func (d *Adversarial) Select(step int, c *Configuration, enabled []Choice, rng *rand.Rand) []Choice {
+	if len(d.lastEnabled) < c.N() {
+		d.lastEnabled = make([]int, c.N())
+		for p := range d.lastEnabled {
+			d.lastEnabled[p] = -1
+		}
+		d.nowEnabled = make([]bool, c.N())
 	}
 	enabled = onePerProc(enabled, rng)
-	nowEnabled := make(map[int]bool, len(enabled))
+	for p := range d.nowEnabled {
+		d.nowEnabled[p] = false
+	}
 	for _, ch := range enabled {
-		nowEnabled[ch.Proc] = true
-		if _, ok := d.lastEnabled[ch.Proc]; !ok {
+		d.nowEnabled[ch.Proc] = true
+		if d.lastEnabled[ch.Proc] < 0 {
 			d.lastEnabled[ch.Proc] = step
 		}
 	}
-	for p := range d.lastEnabled {
-		if !nowEnabled[p] {
-			delete(d.lastEnabled, p)
+	for p, now := range d.nowEnabled {
+		if !now {
+			d.lastEnabled[p] = -1
 		}
 	}
 	best := enabled[0]

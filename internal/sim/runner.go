@@ -221,6 +221,8 @@ func (r *Runner) Result() Result { return r.res }
 // Step executes one computation step. It reports done = true when the run
 // has ended — terminal configuration, stop predicate, or step limit (the
 // only case with a non-nil error) — after which further calls are no-ops.
+//
+//snapvet:hotpath
 func (r *Runner) Step() (done bool, err error) {
 	if r.finished {
 		return true, r.err
@@ -232,8 +234,9 @@ func (r *Runner) Step() (done bool, err error) {
 		return true, nil
 	}
 	if r.res.Steps >= r.opts.MaxSteps {
+		//snapvet:ok cold step-limit failure path, allocation acceptable
 		r.err = fmt.Errorf("sim: %s under %s after %d steps (%d rounds): %w",
-			r.p.Name(), r.d.Name(), r.res.Steps, r.res.Rounds, ErrStepLimit)
+			r.p.Name(), r.d.Name(), r.res.Steps, r.res.Rounds, ErrStepLimit) //snapvet:ok cold step-limit failure path, allocation acceptable
 		r.finished = true
 		return true, r.err
 	}
@@ -323,6 +326,8 @@ func (r *Runner) Step() (done bool, err error) {
 // forceAged appends to selected every enabled processor whose age has
 // reached the fairness bound, keeping at most one choice per processor.
 // enabled is the cache's choice buffer (sorted by processor).
+//
+//snapvet:hotpath
 func (r *Runner) forceAged(selected, enabled []Choice) []Choice {
 	r.have.reset()
 	for _, ch := range selected {
@@ -387,6 +392,8 @@ func newEnabledCache(c *Configuration, p Protocol, incremental bool) *enabledCac
 
 // update re-evaluates proc's guards, maintaining the enabled bitset and
 // invalidating the choice buffer if anything changed.
+//
+//snapvet:hotpath
 func (ec *enabledCache) update(proc int) {
 	old := ec.acts[proc]
 	acts := ec.p.Enabled(ec.c, proc)
@@ -410,6 +417,8 @@ func (ec *enabledCache) update(proc int) {
 
 // refresh re-evaluates guards after a committed step. With local guards
 // only the executed processors' closed neighborhoods can have changed.
+//
+//snapvet:hotpath
 func (ec *enabledCache) refresh(executed []Choice) {
 	if !ec.incremental {
 		for proc := 0; proc < ec.c.N(); proc++ {
@@ -435,12 +444,14 @@ func (ec *enabledCache) refresh(executed []Choice) {
 // choices returns the enabled list in ascending processor order. The slice
 // is the cache's reusable buffer, valid until the next refresh; callers
 // must not mutate or retain it.
+//
+//snapvet:hotpath
 func (ec *enabledCache) choices() []Choice {
 	if ec.bufValid {
 		return ec.buf
 	}
 	ec.buf = ec.buf[:0]
-	ec.enabledBits.forEach(func(proc int) {
+	ec.enabledBits.forEach(func(proc int) { //snapvet:ok non-escaping closure over ec, stack-allocated (proved by the CI alloc gates)
 		for _, a := range ec.acts[proc] {
 			ec.buf = append(ec.buf, Choice{Proc: proc, Action: a})
 		}

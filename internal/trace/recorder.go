@@ -118,8 +118,8 @@ func (r *Recorder) JSON(w io.Writer) error {
 		lastStep = ev.Step
 	}
 	moves := 0
-	for _, n := range r.Moves {
-		moves += n
+	for _, name := range r.ActionNames {
+		moves += r.Moves[name]
 	}
 	enc.Summary(obs.Summary{
 		Steps:          lastStep + r.Dropped,

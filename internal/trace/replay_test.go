@@ -186,3 +186,36 @@ func TestRecorderLimitDropsTail(t *testing.T) {
 		}
 	}
 }
+
+// TestRecorderJSONByteIdentical is the byte-level determinism regression
+// for the recorder's export path: two identical runs (same topology,
+// protocol, daemon, seed) must serialize to exactly the same JSONL bytes.
+func TestRecorderJSONByteIdentical(t *testing.T) {
+	render := func() string {
+		g, err := graph.RandomConnected(9, 0.35, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := core.MustNew(g, 0)
+		cfg := sim.NewConfiguration(g, pr)
+		fault.UniformRandom().Apply(cfg, pr, rand.New(rand.NewSource(2)))
+		rec := trace.NewRecorder(pr, 0)
+		cyc := check.NewCycleObserver(pr)
+		if _, err := sim.Run(cfg, pr, sim.DistributedRandom{P: 0.5}, sim.Options{
+			Seed:      13,
+			Observers: []sim.Observer{rec, cyc},
+			StopWhen:  cyc.StopAfterCycles(1),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := rec.JSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("identical runs exported differently:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}

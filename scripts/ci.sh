@@ -7,15 +7,18 @@ set -eu
 cd "$(dirname "$0")/.."
 
 echo "== gofmt =="
-fmt=$(gofmt -l .)
+fmt=$(gofmt -s -l .)
 if [ -n "$fmt" ]; then
-    echo "gofmt needed on:" >&2
+    echo "gofmt -s needed on:" >&2
     echo "$fmt" >&2
     exit 1
 fi
 
 echo "== go vet =="
 go vet ./...
+
+echo "== snapvet (model conformance, determinism, hot-path allocation) =="
+go run ./cmd/snapvet ./...
 
 echo "== go build =="
 go build ./...
