@@ -44,8 +44,8 @@ func TestRunAllQuick(t *testing.T) {
 	if err := run([]string{"-quick", "-trials", "1"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	if got := strings.Count(out.String(), "REPRODUCED"); got != 17 {
-		t.Fatalf("%d/17 experiments reproduced:\n%s", got, out.String())
+	if got := strings.Count(out.String(), "REPRODUCED"); got != 18 {
+		t.Fatalf("%d/18 experiments reproduced:\n%s", got, out.String())
 	}
 }
 

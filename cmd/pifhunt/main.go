@@ -1,0 +1,327 @@
+// Command pifhunt hunts for counterexamples: it drives the simulation
+// engine with random and guided-search adversaries against the invariants
+// of the snap-stabilizing PIF protocol, and when it finds a violation it
+// minimizes the failing execution into a small, exactly replayable
+// scenario artifact. See DESIGN.md §8.
+//
+// Usage:
+//
+//	pifhunt hunt   -topo grid:2x4 [-root R] [-fault NAME] [-plant NAME]
+//	               [-trials N] [-seed S] [-steps N] [-shrink] [-o DIR]
+//	pifhunt replay -in scenario.json [-trace FILE]
+//	pifhunt shrink -in scenario.json [-runs N] [-o DIR]
+//
+// `hunt` exits 1 when it finds any violation (so CI can assert the clean
+// protocol hunts clean), printing the worst round consumption it observed.
+// `replay` re-executes a scenario artifact deterministically and reports
+// its outcome. `shrink` minimizes a failing scenario file. -o writes
+// scenario.json / shrunk.json / trace.jsonl artifacts into the directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"snappif/internal/fault"
+	"snappif/internal/graph"
+	"snappif/internal/hunt"
+)
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	switch {
+	case err == errFound:
+		os.Exit(1)
+	case err != nil:
+		fmt.Fprintln(os.Stderr, "pifhunt:", err)
+		os.Exit(2)
+	}
+}
+
+// errFound distinguishes "the hunt worked and found violations" (exit 1)
+// from operational errors (exit 2).
+var errFound = fmt.Errorf("violations found")
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: pifhunt <hunt|replay|shrink> [flags]")
+	}
+	switch args[0] {
+	case "hunt":
+		return runHunt(args[1:], out)
+	case "replay":
+		return runReplay(args[1:], out)
+	case "shrink":
+		return runShrink(args[1:], out)
+	}
+	return fmt.Errorf("unknown subcommand %q (want hunt, replay, or shrink)", args[0])
+}
+
+func runHunt(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pifhunt hunt", flag.ContinueOnError)
+	var (
+		topo   = fs.String("topo", "grid:2x4", "topology (line:N, ring:N, star:N, complete:N, grid:RxC, hypercube:D, btree:N)")
+		root   = fs.Int("root", 0, "PIF initiator")
+		fname  = fs.String("fault", "uniform-random", "fault injector corrupting the initial configuration (or 'clean')")
+		plant  = fs.String("plant", "", "test-only planted protocol bug (see DESIGN.md §8)")
+		trials = fs.Int("trials", 16, "random-daemon probes before the guided search")
+		seed   = fs.Int64("seed", 1, "base seed")
+		steps  = fs.Int("steps", 0, "step budget per probe (0 = 200·N)")
+		shrink = fs.Bool("shrink", false, "minimize every finding")
+		outDir = fs.String("o", "", "write scenario.json/shrunk.json/trace.jsonl artifacts to this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := parseTopo(*topo)
+	if err != nil {
+		return err
+	}
+	if *fname != "" && *fname != "clean" {
+		if _, ok := fault.ByName(*fname); !ok {
+			return fmt.Errorf("unknown fault injector %q", *fname)
+		}
+	}
+	if *plant != "" {
+		if _, ok := hunt.PlantByName(*plant); !ok {
+			return fmt.Errorf("unknown plant %q", *plant)
+		}
+	}
+	base := &hunt.Scenario{
+		Name:     "hunt-" + g.Name(),
+		Topology: hunt.TopologyOf(g),
+		Root:     *root,
+		Fault:    *fname,
+		Seed:     *seed,
+		Plant:    *plant,
+	}
+	sum, err := hunt.Hunt(base, hunt.Options{
+		Trials:   *trials,
+		Seed:     *seed,
+		MaxSteps: *steps,
+		Shrink:   *shrink,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "pifhunt: %d probes on %s (fault=%s plant=%s)\n", sum.Runs, g.Name(), orClean(*fname), orNone(*plant))
+	fmt.Fprintf(out, "pifhunt: worst rounds %d (daemon %s)\n", sum.WorstRounds, sum.WorstDaemon)
+	if len(sum.Findings) == 0 {
+		fmt.Fprintln(out, "pifhunt: no invariant violations")
+		return nil
+	}
+	for i, f := range sum.Findings {
+		fmt.Fprintf(out, "pifhunt: FINDING %d: daemon=%s seed=%d %s\n", i, f.Daemon, f.Seed, f.Violation.String())
+		if f.Stats != nil {
+			fmt.Fprintf(out, "pifhunt:   shrunk %d→%d steps, %d→%d processors in %d runs\n",
+				f.Stats.FromSteps, f.Stats.ToSteps, f.Stats.FromN, f.Stats.ToN, f.Stats.Runs)
+		}
+	}
+	if *outDir != "" {
+		if err := writeFinding(*outDir, sum.Findings[0]); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "pifhunt: artifacts written to %s\n", *outDir)
+	}
+	return errFound
+}
+
+func runReplay(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pifhunt replay", flag.ContinueOnError)
+	var (
+		in      = fs.String("in", "", "scenario JSON file (required)")
+		trFile  = fs.String("trace", "", "also write the full obs trace to this file")
+		verbose = fs.Bool("v", false, "print the executed schedule")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc, err := loadScenario(*in)
+	if err != nil {
+		return err
+	}
+	var rep *hunt.Report
+	if *trFile != "" {
+		f, err := os.Create(*trFile)
+		if err != nil {
+			return err
+		}
+		rep, err = sc.Trace(f, nil)
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	} else {
+		rep, err = sc.Run(nil, nil)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "pifhunt: replayed %d steps, %d moves, %d rounds on %s\n",
+		rep.Result.Steps, rep.Result.Moves, rep.Result.Rounds, sc.Topology.Name)
+	if *verbose {
+		for i, step := range rep.Executed {
+			fmt.Fprintf(out, "pifhunt:   step %d: %v\n", i+1, step)
+		}
+	}
+	if len(rep.Violations) == 0 {
+		fmt.Fprintln(out, "pifhunt: no invariant violations")
+		return nil
+	}
+	for _, v := range rep.Violations {
+		fmt.Fprintf(out, "pifhunt: VIOLATION %s\n", v.String())
+	}
+	return errFound
+}
+
+func runShrink(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pifhunt shrink", flag.ContinueOnError)
+	var (
+		in     = fs.String("in", "", "failing scenario JSON file (required)")
+		runs   = fs.Int("runs", 0, "candidate-execution budget (0 = 4000)")
+		outDir = fs.String("o", "", "write shrunk.json and trace.jsonl to this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc, err := loadScenario(*in)
+	if err != nil {
+		return err
+	}
+	shrunk, stats, err := hunt.Shrink(sc, hunt.ShrinkOptions{MaxRuns: *runs})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "pifhunt: shrunk %d→%d steps, %d→%d processors in %d runs (check %s)\n",
+		stats.FromSteps, stats.ToSteps, stats.FromN, stats.ToN, stats.Runs, stats.Check)
+	if *outDir != "" {
+		if err := writeScenario(filepath.Join(*outDir, "shrunk.json"), shrunk); err != nil {
+			return err
+		}
+		if err := writeTrace(filepath.Join(*outDir, "trace.jsonl"), shrunk); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "pifhunt: artifacts written to %s\n", *outDir)
+	}
+	return nil
+}
+
+func loadScenario(path string) (*hunt.Scenario, error) {
+	if path == "" {
+		return nil, fmt.Errorf("-in is required")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return hunt.Unmarshal(data)
+}
+
+// writeFinding writes the normalized scenario, the minimized scenario (when
+// shrinking ran), and the obs trace of the smallest artifact available.
+func writeFinding(dir string, f hunt.Finding) error {
+	if err := writeScenario(filepath.Join(dir, "scenario.json"), f.Scenario); err != nil {
+		return err
+	}
+	traced := f.Scenario
+	if f.Shrunk != nil {
+		if err := writeScenario(filepath.Join(dir, "shrunk.json"), f.Shrunk); err != nil {
+			return err
+		}
+		traced = f.Shrunk
+	}
+	return writeTrace(filepath.Join(dir, "trace.jsonl"), traced)
+}
+
+func writeScenario(path string, sc *hunt.Scenario) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := sc.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeTrace replays sc with full tracing into path. The close error is the
+// write error on many filesystems; losing it would report a truncated trace
+// as success.
+func writeTrace(path string, sc *hunt.Scenario) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, terr := sc.Trace(f, nil)
+	cerr := f.Close()
+	if terr != nil {
+		return terr
+	}
+	return cerr
+}
+
+// parseTopo builds a graph from a "family:params" spec.
+func parseTopo(spec string) (*graph.Graph, error) {
+	fam, params, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("topology %q: want family:params (e.g. grid:2x4)", spec)
+	}
+	if fam == "grid" {
+		r, c, ok := strings.Cut(params, "x")
+		if !ok {
+			return nil, fmt.Errorf("topology %q: want grid:RxC", spec)
+		}
+		rows, err := strconv.Atoi(r)
+		if err != nil {
+			return nil, fmt.Errorf("topology %q: %w", spec, err)
+		}
+		cols, err := strconv.Atoi(c)
+		if err != nil {
+			return nil, fmt.Errorf("topology %q: %w", spec, err)
+		}
+		return graph.Grid(rows, cols)
+	}
+	n, err := strconv.Atoi(params)
+	if err != nil {
+		return nil, fmt.Errorf("topology %q: %w", spec, err)
+	}
+	switch fam {
+	case "line":
+		return graph.Line(n)
+	case "ring":
+		return graph.Ring(n)
+	case "star":
+		return graph.Star(n)
+	case "complete":
+		return graph.Complete(n)
+	case "hypercube":
+		return graph.Hypercube(n)
+	case "btree":
+		return graph.BinaryTree(n)
+	}
+	return nil, fmt.Errorf("unknown topology family %q", fam)
+}
+
+func orClean(s string) string {
+	if s == "" {
+		return "clean"
+	}
+	return s
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestHuntCleanProtocolExitsZero(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"hunt", "-topo", "grid:2x4", "-trials", "2", "-steps", "2000"}, &out)
+	if err != nil {
+		t.Fatalf("clean hunt failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "no invariant violations") {
+		t.Fatalf("missing clean verdict:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "worst rounds") {
+		t.Fatalf("missing worst-rounds report:\n%s", out.String())
+	}
+}
+
+func TestHuntPlantedBugFindsShrinksAndReplays(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"hunt", "-topo", "grid:2x4", "-plant", "level-overflow",
+		"-trials", "2", "-shrink", "-o", dir}, &out)
+	if !errors.Is(err, errFound) {
+		t.Fatalf("want errFound, got %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "FINDING 0") {
+		t.Fatalf("no finding reported:\n%s", out.String())
+	}
+	for _, f := range []string{"scenario.json", "shrunk.json", "trace.jsonl"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("artifact %s missing: %v", f, err)
+		}
+	}
+
+	// The written shrunk scenario replays to the same violation.
+	var rep bytes.Buffer
+	err = run([]string{"replay", "-in", filepath.Join(dir, "shrunk.json")}, &rep)
+	if !errors.Is(err, errFound) {
+		t.Fatalf("replay of shrunk.json: want errFound, got %v\n%s", err, rep.String())
+	}
+	if !strings.Contains(rep.String(), "domains") {
+		t.Fatalf("replay did not reproduce the domains violation:\n%s", rep.String())
+	}
+
+	// Determinism: a second identical hunt produces byte-identical artifacts.
+	dir2 := t.TempDir()
+	var out2 bytes.Buffer
+	err = run([]string{"hunt", "-topo", "grid:2x4", "-plant", "level-overflow",
+		"-trials", "2", "-shrink", "-o", dir2}, &out2)
+	if !errors.Is(err, errFound) {
+		t.Fatalf("second hunt: %v", err)
+	}
+	for _, f := range []string{"scenario.json", "shrunk.json", "trace.jsonl"} {
+		a, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir2, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("artifact %s differs across identical hunts", f)
+		}
+	}
+}
+
+func TestShrinkSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"hunt", "-topo", "line:4", "-plant", "level-overflow",
+		"-fault", "clean", "-trials", "1", "-o", dir}, &out)
+	if !errors.Is(err, errFound) {
+		t.Fatalf("hunt: %v\n%s", err, out.String())
+	}
+	var sh bytes.Buffer
+	if err := run([]string{"shrink", "-in", filepath.Join(dir, "scenario.json"), "-o", dir}, &sh); err != nil {
+		t.Fatalf("shrink: %v\n%s", err, sh.String())
+	}
+	if !strings.Contains(sh.String(), "shrunk") {
+		t.Fatalf("no shrink report:\n%s", sh.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "shrunk.json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayWithTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"hunt", "-topo", "line:4", "-plant", "level-overflow",
+		"-fault", "clean", "-trials", "1", "-shrink", "-o", dir}, &out)
+	if !errors.Is(err, errFound) {
+		t.Fatalf("hunt: %v", err)
+	}
+	trPath := filepath.Join(dir, "replayed.jsonl")
+	var rep bytes.Buffer
+	err = run([]string{"replay", "-in", filepath.Join(dir, "shrunk.json"), "-trace", trPath}, &rep)
+	if !errors.Is(err, errFound) {
+		t.Fatalf("replay: %v", err)
+	}
+	got, err := os.ReadFile(trPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join(dir, "trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("replay trace differs from the hunt's trace artifact")
+	}
+}
+
+func TestParseTopo(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		n    int
+	}{
+		{"line:5", 5}, {"ring:6", 6}, {"star:7", 7}, {"complete:4", 4},
+		{"grid:2x4", 8}, {"hypercube:3", 8}, {"btree:7", 7},
+	} {
+		g, err := parseTopo(tc.spec)
+		if err != nil {
+			t.Fatalf("parseTopo(%q): %v", tc.spec, err)
+		}
+		if g.N() != tc.n {
+			t.Fatalf("parseTopo(%q).N() = %d, want %d", tc.spec, g.N(), tc.n)
+		}
+	}
+	for _, bad := range []string{"", "grid", "grid:2", "blob:4", "line:x"} {
+		if _, err := parseTopo(bad); err == nil {
+			t.Fatalf("parseTopo(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no args accepted")
+	}
+	if err := run([]string{"nope"}, &out); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"replay"}, &out); err == nil {
+		t.Fatal("replay without -in accepted")
+	}
+	if err := run([]string{"hunt", "-topo", "bogus"}, &out); err == nil {
+		t.Fatal("bogus topology accepted")
+	}
+	if err := run([]string{"hunt", "-fault", "bogus"}, &out); err == nil {
+		t.Fatal("bogus fault accepted")
+	}
+	if err := run([]string{"hunt", "-plant", "bogus"}, &out); err == nil {
+		t.Fatal("bogus plant accepted")
+	}
+}

@@ -18,6 +18,7 @@ var detrangePackages = map[string]bool{
 	"internal/graph": true,
 	"internal/trace": true,
 	"internal/obs":   true,
+	"internal/hunt":  true,
 }
 
 // detrange enforces the engine's determinism invariant at its three

@@ -158,6 +158,24 @@ func CleanStartChecks() []Check {
 		Check{Name: "chordless-parentpaths", Fn: ChordlessParentPaths})
 }
 
+// Violation is one structured invariant failure: which check failed, at
+// which step, with the underlying message. The hunt shrinker keys on Check
+// to make sure a minimized scenario still fails for the *same* reason as the
+// original counterexample.
+type Violation struct {
+	// Step is the 1-based computation step after which the check failed.
+	Step int `json:"step"`
+	// Check is the failing check's name (e.g. "domains").
+	Check string `json:"check"`
+	// Msg is the underlying error text.
+	Msg string `json:"msg"`
+}
+
+// String renders the violation in the historical Monitor format.
+func (v Violation) String() string {
+	return fmt.Sprintf("step %d: %s: %s", v.Step, v.Check, v.Msg)
+}
+
 // Monitor is a sim.Observer that evaluates a set of invariant checks after
 // every computation step and records violations.
 type Monitor struct {
@@ -166,6 +184,8 @@ type Monitor struct {
 
 	// Violations collects one message per violated (step, check).
 	Violations []string
+	// Records collects the same violations in structured form.
+	Records []Violation
 	// StepsChecked counts how many steps were examined.
 	StepsChecked int
 }
@@ -182,10 +202,18 @@ func (m *Monitor) OnStep(step int, _ []sim.Choice, c *sim.Configuration) {
 	m.StepsChecked++
 	for _, chk := range m.Checks {
 		if err := chk.Fn(c, m.Proto); err != nil {
-			m.Violations = append(m.Violations,
-				fmt.Sprintf("step %d: %s: %v", step, chk.Name, err))
+			rec := Violation{Step: step, Check: chk.Name, Msg: err.Error()}
+			m.Records = append(m.Records, rec)
+			m.Violations = append(m.Violations, rec.String())
 		}
 	}
+}
+
+// Stop returns a sim.Options.StopWhen predicate that halts the run as soon
+// as the monitor has recorded a violation. Hunters use it so a failing run
+// ends at the first bad step instead of burning the rest of its budget.
+func (m *Monitor) Stop() func(*sim.RunState) bool {
+	return func(*sim.RunState) bool { return len(m.Records) > 0 }
 }
 
 // Err returns an error summarizing the recorded violations, or nil.

@@ -87,6 +87,14 @@ var _ sim.State = (*State)(nil)
 // place, see sim.InPlaceProtocol); Clone returns a fresh box holding a copy.
 func (s *State) Clone() sim.State { c := *s; return &c }
 
+// CopyFrom implements sim.InPlaceState: it overwrites the receiver box with
+// a copy of src without allocating. The search adversary's restore path
+// (sim.Configuration.CopyFrom) depends on it to reset a scratch
+// configuration between rollouts at zero cost.
+//
+//snapvet:hotpath
+func (s *State) CopyFrom(src sim.State) { *s = *src.(*State) }
+
 // At returns processor p's state by value. It is the exported counterpart of
 // the package-internal accessor the guards use; checkers, fault injectors,
 // and tools read configurations through it.

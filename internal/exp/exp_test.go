@@ -133,12 +133,12 @@ func TestRegistryRunsEverything(t *testing.T) {
 			t.Fatalf("duplicate experiment ID %s", e.ID)
 		}
 		ids[e.ID] = true
-		if !strings.HasPrefix(e.ID, "E") && !strings.HasPrefix(e.ID, "F") && e.ID != "MC" {
+		if !strings.HasPrefix(e.ID, "E") && !strings.HasPrefix(e.ID, "F") && e.ID != "MC" && e.ID != "H1" {
 			t.Fatalf("unexpected ID %q", e.ID)
 		}
 	}
-	if len(ids) != 17 {
-		t.Fatalf("registry has %d experiments, want 17", len(ids))
+	if len(ids) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(ids))
 	}
 }
 
@@ -216,5 +216,24 @@ func TestMCExperiment(t *testing.T) {
 	}
 	if out.BaselineViolations == 0 {
 		t.Fatalf("baseline counterexample not synthesized:\n%s", out.Table)
+	}
+}
+
+func TestH1BoundTightness(t *testing.T) {
+	out, err := exp.BoundTightness(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ok per row requires searched ≥ random AND worst ≤ bound; any failure
+	// increments BoundExceeded.
+	if out.BoundExceeded != 0 {
+		t.Fatalf("tightness table has failing rows:\n%s", out.Table)
+	}
+	if out.Table.Len() == 0 {
+		t.Fatal("empty table")
+	}
+	// Three metric rows per topology.
+	if out.Table.Len()%3 != 0 {
+		t.Fatalf("table has %d rows, want a multiple of 3", out.Table.Len())
 	}
 }

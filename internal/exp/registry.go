@@ -30,5 +30,6 @@ func All() []Experiment {
 		{ID: "F3", Paper: "Move complexity per wave and per recovery (beyond the paper)", Run: MoveComplexity},
 		{ID: "F4", Paper: "Definition 1 boundary (faults striking mid-wave; post-fault waves must be perfect)", Run: MidWaveFaults},
 		{ID: "MC", Paper: "Definition 1 exhaustively (model checking; baseline counterexample synthesized)", Run: ModelChecking},
+		{ID: "H1", Paper: "Bound tightness under an adversarial search daemon (Theorems 1–4)", Run: BoundTightness},
 	}
 }

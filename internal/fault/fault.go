@@ -287,6 +287,21 @@ func All() []Injector {
 	}
 }
 
+// ByName returns the injector with the given Name — Clean or any member of
+// All(). Serialized hunt scenarios reference injectors by name; the boolean
+// reports whether the name is known.
+func ByName(name string) (Injector, bool) {
+	if name == "" || name == "clean" {
+		return Clean(), true
+	}
+	for _, inj := range All() {
+		if inj.Name == name {
+			return inj, true
+		}
+	}
+	return Injector{}, false
+}
+
 // plantTree writes a structurally consistent broadcast tree rooted at the
 // real root (BFS tree, correct levels, Pif = B, stale payload), then lets
 // mutate corrupt each state.

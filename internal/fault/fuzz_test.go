@@ -1,0 +1,92 @@
+package fault_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"snappif/internal/check"
+	"snappif/internal/core"
+	"snappif/internal/fault"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+// fuzzTopologies are the small networks the injector fuzzers explore:
+// small enough that a run to stabilization is cheap, diverse enough to
+// cover a tree, a cycle, a hub, a dense graph, and a grid.
+func fuzzTopologies(tb testing.TB) []*graph.Graph {
+	tb.Helper()
+	var out []*graph.Graph
+	for _, mk := range []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return graph.Line(4) },
+		func() (*graph.Graph, error) { return graph.Ring(5) },
+		func() (*graph.Graph, error) { return graph.Star(5) },
+		func() (*graph.Graph, error) { return graph.Complete(4) },
+		func() (*graph.Graph, error) { return graph.Grid(2, 3) },
+	} {
+		g, err := mk()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// FuzzInjectorRecovery is the injector contract fuzzer. For every injector
+// and any seed it checks that:
+//
+//  1. the injected configuration stays within the variable domains
+//     (injectors corrupt values, never invent out-of-domain ones);
+//  2. the protocol recovers: a run from the injected configuration reaches
+//     an SBN configuration within a generous step bound — snap-stabilization
+//     means no injector can produce a configuration the algorithm cannot
+//     leave;
+//  3. the standard invariants never fire along the recovery.
+func FuzzInjectorRecovery(f *testing.F) {
+	injectors := fault.All()
+	for i := range injectors {
+		f.Add(uint8(i%5), uint8(i), int64(i+1))
+	}
+	topos := fuzzTopologies(f)
+	f.Fuzz(func(t *testing.T, topoIdx, injIdx uint8, seed int64) {
+		g := topos[int(topoIdx)%len(topos)]
+		inj := injectors[int(injIdx)%len(injectors)]
+		pr, err := core.New(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sim.NewConfiguration(g, pr)
+		inj.Apply(cfg, pr, rand.New(rand.NewSource(seed)))
+
+		if err := check.Domains(cfg, pr); err != nil {
+			t.Fatalf("injector %s left the domains: %v", inj.Name, err)
+		}
+
+		mon := check.NewMonitor(pr, check.StandardChecks())
+		sawSBN := false
+		res, err := sim.Run(cfg, pr, sim.DistributedRandom{P: 0.5}, sim.Options{
+			Seed:      seed + 1,
+			MaxSteps:  2000 * g.N(),
+			Observers: []sim.Observer{mon},
+			StopWhen: func(rs *sim.RunState) bool {
+				if check.IsSBN(rs.Config, pr) {
+					sawSBN = true
+				}
+				return sawSBN
+			},
+		})
+		if err != nil && !errors.Is(err, sim.ErrStepLimit) {
+			t.Fatal(err)
+		}
+		if len(mon.Records) != 0 {
+			t.Fatalf("injector %s: invariant violated during recovery: %s",
+				inj.Name, mon.Records[0].String())
+		}
+		if !sawSBN {
+			t.Fatalf("injector %s: no SBN configuration within %d steps (steps=%d rounds=%d)",
+				inj.Name, 2000*g.N(), res.Steps, res.Rounds)
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package hunt
+
+import (
+	"fmt"
+
+	"snappif/internal/check"
+)
+
+// Options configures a Hunt.
+type Options struct {
+	// Trials is the number of random-daemon probes (0 = 16).
+	Trials int
+	// Objectives are the guided-search objectives to run, one greedy daemon
+	// each (nil = Objectives()).
+	Objectives []Objective
+	// Seed is the base seed; random trial t runs at Seed+t, guided runs at
+	// Seed (0 = 1).
+	Seed int64
+	// MaxSteps bounds each run (0 = the scenario default, 200·N).
+	MaxSteps int
+	// Checks are the hunted invariants (nil = check.StandardChecks).
+	Checks []check.Check
+	// Shrink minimizes every finding before reporting it.
+	Shrink bool
+	// ShrinkRuns bounds each shrink's candidate executions (0 = 4000).
+	ShrinkRuns int
+}
+
+// Finding is one discovered invariant violation, packaged for replay: the
+// normalized scenario reproduces it bit-for-bit with no daemon and no
+// injector, just an explicit snapshot and schedule.
+type Finding struct {
+	// Daemon and Seed identify the run that found the violation.
+	Daemon string
+	Seed   int64
+	// Violation is the first violation of that run.
+	Violation check.Violation
+	// Scenario is the normalized failing scenario.
+	Scenario *Scenario
+	// Shrunk is the minimized scenario (nil unless Options.Shrink).
+	Shrunk *Scenario
+	// Stats describes the shrink (nil unless Options.Shrink).
+	Stats *ShrinkStats
+}
+
+// Summary is the outcome of a Hunt.
+type Summary struct {
+	// Runs counts top-level probe runs (not shrink candidates).
+	Runs int
+	// WorstRounds is the highest round count any probe consumed, and
+	// WorstDaemon the daemon that produced it.
+	WorstRounds int
+	WorstDaemon string
+	// Findings lists every distinct probe that violated an invariant.
+	Findings []Finding
+}
+
+// Hunt probes the scenario for invariant violations and worst-case round
+// consumption: Trials runs under the distributed random daemon at
+// incrementing seeds, then one greedy-search run per objective. Every
+// violating probe becomes a normalized (and optionally shrunk) Finding.
+// The whole hunt is deterministic in (base, opt).
+func Hunt(base *Scenario, opt Options) (*Summary, error) {
+	trials := opt.Trials
+	if trials <= 0 {
+		trials = 16
+	}
+	objectives := opt.Objectives
+	if objectives == nil {
+		objectives = Objectives()
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	checks := opt.Checks
+	if checks == nil {
+		checks = check.StandardChecks()
+	}
+
+	sum := &Summary{}
+	probe := func(daemon string, probeSeed int64) error {
+		sc := base.Clone()
+		sc.Daemon = daemon
+		sc.Seed = probeSeed
+		if opt.MaxSteps > 0 {
+			sc.MaxSteps = opt.MaxSteps
+		}
+		sum.Runs++
+		rep, err := sc.Run(checks, nil)
+		if err != nil {
+			return fmt.Errorf("hunt: probe %s/seed=%d: %w", daemon, probeSeed, err)
+		}
+		if rep.Result.Rounds > sum.WorstRounds || sum.WorstDaemon == "" {
+			sum.WorstRounds = rep.Result.Rounds
+			sum.WorstDaemon = daemon
+		}
+		if len(rep.Violations) == 0 {
+			return nil
+		}
+		f := Finding{Daemon: daemon, Seed: probeSeed, Violation: rep.Violations[0]}
+		norm, _, err := Normalize(sc, checks)
+		if err != nil {
+			return fmt.Errorf("hunt: normalize %s/seed=%d: %w", daemon, probeSeed, err)
+		}
+		f.Scenario = norm
+		if opt.Shrink {
+			shrunk, stats, err := Shrink(norm, ShrinkOptions{MaxRuns: opt.ShrinkRuns, Checks: checks})
+			if err != nil {
+				return fmt.Errorf("hunt: shrink %s/seed=%d: %w", daemon, probeSeed, err)
+			}
+			f.Shrunk, f.Stats = shrunk, stats
+		}
+		sum.Findings = append(sum.Findings, f)
+		return nil
+	}
+
+	for t := 0; t < trials; t++ {
+		if err := probe("dist-random", seed+int64(t)); err != nil {
+			return nil, err
+		}
+	}
+	for _, obj := range objectives {
+		if err := probe("greedy-"+obj.Name, seed); err != nil {
+			return nil, err
+		}
+	}
+	return sum, nil
+}

@@ -1,0 +1,328 @@
+package hunt_test
+
+import (
+	"bytes"
+	"testing"
+
+	"snappif/internal/check"
+	"snappif/internal/graph"
+	"snappif/internal/hunt"
+)
+
+func grid2x4(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := graph.Grid(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func baseScenario(t testing.TB) *hunt.Scenario {
+	return &hunt.Scenario{
+		Topology: hunt.TopologyOf(grid2x4(t)),
+		Root:     0,
+		Seed:     1,
+	}
+}
+
+// TestScenarioRoundTrip checks the JSON codec is lossless: marshal →
+// unmarshal → marshal reproduces the same bytes, and the decoded scenario
+// produces a byte-identical obs trace.
+func TestScenarioRoundTrip(t *testing.T) {
+	sc := baseScenario(t)
+	sc.Name = "round-trip"
+	sc.Fault = "uniform-random"
+	sc.Daemon = "adversarial-lifo"
+	sc.MaxSteps = 400
+
+	data, err := sc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := hunt.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := dec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("marshal not stable across a decode round trip:\n%s\nvs\n%s", data, data2)
+	}
+
+	var tr1, tr2 bytes.Buffer
+	if _, err := sc.Trace(&tr1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Trace(&tr2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr1.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	if !bytes.Equal(tr1.Bytes(), tr2.Bytes()) {
+		t.Fatal("decoded scenario produced a different trace than the original")
+	}
+}
+
+// TestNormalizedReplayBitIdentical checks the core replay contract: a
+// normalized scenario (explicit snapshot + executed schedule) traces to the
+// same bytes on every run, and its run reproduces the original violation.
+func TestNormalizedReplayBitIdentical(t *testing.T) {
+	sc := baseScenario(t)
+	sc.Fault = "uniform-random"
+	sc.Daemon = "dist-random"
+
+	norm, rep, err := hunt.Normalize(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Init == nil || len(norm.Schedule) == 0 {
+		t.Fatalf("normalize produced no snapshot/schedule: init=%v steps=%d", norm.Init, len(norm.Schedule))
+	}
+	rep2, err := norm.Run(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Executed) != len(norm.Schedule) {
+		t.Fatalf("replay executed %d steps, schedule has %d", len(rep2.Executed), len(norm.Schedule))
+	}
+	if got, want := hunt.ToSchedule(rep2.Executed), norm.Schedule; !schedulesEqual(got, want) {
+		t.Fatal("replay diverged from the normalized schedule")
+	}
+	if len(rep.Violations) != len(rep2.Violations) {
+		t.Fatalf("violations changed across normalization: %d vs %d", len(rep.Violations), len(rep2.Violations))
+	}
+
+	var b1, b2 bytes.Buffer
+	if _, err := norm.Trace(&b1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := norm.Trace(&b2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("normalized replay is not bit-identical across runs")
+	}
+}
+
+func schedulesEqual(a, b [][][2]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestGreedyDaemonDeterministic checks the guided-search daemon is a pure
+// function of the scenario: two runs execute the same schedule.
+func TestGreedyDaemonDeterministic(t *testing.T) {
+	for _, obj := range hunt.Objectives() {
+		obj := obj
+		t.Run(obj.Name, func(t *testing.T) {
+			sc := baseScenario(t)
+			sc.Fault = "phantom-tree"
+			sc.Daemon = "greedy-" + obj.Name
+			sc.MaxSteps = 120
+
+			r1, err := sc.Run(nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := sc.Run(nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !schedulesEqual(hunt.ToSchedule(r1.Executed), hunt.ToSchedule(r2.Executed)) {
+				t.Fatal("greedy daemon executed different schedules across identical runs")
+			}
+			if r1.Result.Steps == 0 {
+				t.Fatal("greedy run made no steps")
+			}
+		})
+	}
+}
+
+// TestBeamDeterministic checks beam search returns the same schedule and
+// score on repeated invocations.
+func TestBeamDeterministic(t *testing.T) {
+	sc := baseScenario(t)
+	sc.Fault = "max-levels"
+	opt := hunt.BeamOptions{Width: 3, Depth: 10, Branch: 3}
+	s1, sc1, err := hunt.Beam(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, sc2, err := hunt.Beam(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc1 != sc2 {
+		t.Fatalf("beam scores differ: %v vs %v", sc1, sc2)
+	}
+	if !schedulesEqual(hunt.ToSchedule(s1), hunt.ToSchedule(s2)) {
+		t.Fatal("beam schedules differ across identical searches")
+	}
+	if len(s1) == 0 {
+		t.Fatal("beam found no schedule")
+	}
+}
+
+// TestHuntCleanProtocol checks the hunter reports zero violations on the
+// unmodified protocol, across clean and corrupted starts — the CI smoke
+// contract.
+func TestHuntCleanProtocol(t *testing.T) {
+	for _, fault := range []string{"", "uniform-random", "phantom-tree"} {
+		name := fault
+		if name == "" {
+			name = "clean"
+		}
+		t.Run(name, func(t *testing.T) {
+			sc := baseScenario(t)
+			sc.Fault = fault
+			sum, err := hunt.Hunt(sc, hunt.Options{Trials: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sum.Findings) != 0 {
+				t.Fatalf("hunt reported %d findings on the unmodified protocol; first: %+v",
+					len(sum.Findings), sum.Findings[0].Violation)
+			}
+			if sum.Runs != 4+len(hunt.Objectives()) {
+				t.Fatalf("hunt ran %d probes, want %d", sum.Runs, 4+len(hunt.Objectives()))
+			}
+		})
+	}
+}
+
+// TestHuntFindsAndShrinksPlantedBug is the end-to-end pipeline test: the
+// hunter must find the planted level-overflow bug, shrink the
+// counterexample to at most 5 schedule steps, and produce bit-identical
+// deterministic replay artifacts across independent hunts.
+func TestHuntFindsAndShrinksPlantedBug(t *testing.T) {
+	runHunt := func() *hunt.Summary {
+		sc := baseScenario(t)
+		sc.Plant = "level-overflow"
+		sum, err := hunt.Hunt(sc, hunt.Options{Trials: 4, Shrink: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	sum := runHunt()
+	if len(sum.Findings) == 0 {
+		t.Fatal("hunt failed to find the planted level-overflow bug")
+	}
+	f := sum.Findings[0]
+	if f.Violation.Check != "domains" {
+		t.Fatalf("planted bug tripped check %q, want domains", f.Violation.Check)
+	}
+	if f.Shrunk == nil || f.Stats == nil {
+		t.Fatal("finding was not shrunk")
+	}
+	if got := len(f.Shrunk.Schedule); got > 5 {
+		t.Fatalf("shrunk schedule has %d steps, want ≤ 5", got)
+	}
+	if f.Shrunk.Topology.N >= f.Scenario.Topology.N {
+		t.Fatalf("topology did not shrink: %d -> %d processors",
+			f.Scenario.Topology.N, f.Shrunk.Topology.N)
+	}
+
+	// The shrunk artifact still fails with the same check, deterministically.
+	rep, err := f.Shrunk.Run(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 || rep.Violations[0].Check != "domains" {
+		t.Fatalf("shrunk scenario does not reproduce the domains violation: %+v", rep.Violations)
+	}
+
+	// Determinism across independent hunts: same shrunk artifact bytes.
+	sum2 := runHunt()
+	if len(sum2.Findings) == 0 {
+		t.Fatal("second hunt found nothing")
+	}
+	b1, err := f.Shrunk.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := sum2.Findings[0].Shrunk.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("shrunk artifacts differ across hunts:\n%s\nvs\n%s", b1, b2)
+	}
+
+	// And the shrunk trace is bit-identical across replays.
+	var tr1, tr2 bytes.Buffer
+	if _, err := f.Shrunk.Trace(&tr1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Shrunk.Trace(&tr2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tr1.Bytes(), tr2.Bytes()) {
+		t.Fatal("shrunk scenario trace is not bit-identical across replays")
+	}
+}
+
+// TestShrinkPreservesCheck checks the shrinker rejects non-failing inputs
+// and records sensible stats on failing ones.
+func TestShrinkPreservesCheck(t *testing.T) {
+	sc := baseScenario(t)
+	if _, _, err := hunt.Shrink(sc, hunt.ShrinkOptions{}); err == nil {
+		t.Fatal("shrinking a passing scenario should error")
+	}
+
+	sc.Plant = "level-overflow"
+	sc.Daemon = "greedy-violations"
+	shrunk, stats, err := hunt.Shrink(sc, hunt.ShrinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Check != "domains" {
+		t.Fatalf("stats.Check = %q, want domains", stats.Check)
+	}
+	if stats.ToSteps > stats.FromSteps || stats.ToN > stats.FromN {
+		t.Fatalf("shrink grew the scenario: %+v", stats)
+	}
+	if shrunk.Fault != "" || shrunk.Daemon != "" || shrunk.Init == nil {
+		t.Fatalf("shrunk scenario is not normalized: fault=%q daemon=%q init=%v",
+			shrunk.Fault, shrunk.Daemon, shrunk.Init != nil)
+	}
+}
+
+// TestObjectivesResolve checks the registry lookups.
+func TestObjectivesResolve(t *testing.T) {
+	for _, o := range hunt.Objectives() {
+		got, ok := hunt.ObjectiveByName(o.Name)
+		if !ok || got.Name != o.Name {
+			t.Fatalf("ObjectiveByName(%q) failed", o.Name)
+		}
+	}
+	if _, ok := hunt.ObjectiveByName("nope"); ok {
+		t.Fatal("ObjectiveByName accepted an unknown name")
+	}
+	for _, p := range hunt.Plants() {
+		got, ok := hunt.PlantByName(p.Name)
+		if !ok || got.Name != p.Name {
+			t.Fatalf("PlantByName(%q) failed", p.Name)
+		}
+	}
+	checks := check.StandardChecks()
+	if len(checks) == 0 {
+		t.Fatal("no standard checks")
+	}
+}

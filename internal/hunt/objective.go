@@ -1,0 +1,95 @@
+package hunt
+
+import (
+	"snappif/internal/check"
+	"snappif/internal/core"
+	"snappif/internal/sim"
+)
+
+// Eval is what an Objective scores: the configuration a rollout reached,
+// the protocol it ran under, and the rollout's cost counters.
+type Eval struct {
+	// Config is the configuration at the evaluation point.
+	Config *sim.Configuration
+	// Proto is the core protocol (checks and structure predicates evaluate
+	// against it, planted or not).
+	Proto *core.Protocol
+	// Steps, Moves, Rounds are the rollout's counters.
+	Steps, Moves, Rounds int
+	// Terminal reports whether the rollout reached a terminal
+	// configuration before its horizon.
+	Terminal bool
+	// Violations counts invariant violations the rollout monitor recorded
+	// (0 when the evaluator attached no checks).
+	Violations int
+}
+
+// Objective scores configurations for the search adversary: higher is
+// "worse" (more adversarial). Scores must be a pure function of the Eval —
+// the search layers rely on it for determinism.
+type Objective struct {
+	// Name identifies the objective ("rounds", "abnormal", ...).
+	Name string
+	// Score computes the badness of an evaluation point.
+	Score func(ev Eval) float64
+}
+
+// Rounds rewards executions that consume rounds: the direct adversary for
+// the round bounds of Theorems 1–4. A rollout still running at its horizon
+// outranks one that terminated at the same count.
+func Rounds() Objective {
+	return Objective{Name: "rounds", Score: func(ev Eval) float64 {
+		s := float64(ev.Rounds)
+		if !ev.Terminal {
+			s += 0.5
+		}
+		return s
+	}}
+}
+
+// Abnormal rewards configurations with many abnormal processors — the
+// error-correction workload of Section 4.3; more abnormal trees means more
+// correction waves before the next guaranteed-correct cycle.
+func Abnormal() Objective {
+	return Objective{Name: "abnormal", Score: func(ev Eval) float64 {
+		return float64(len(check.Abnormal(ev.Config, ev.Proto)))
+	}}
+}
+
+// MaxLevel rewards deep levels: pushing some L toward Lmax stresses the
+// level-based correction machinery (Pre_Potential requires L < Lmax).
+func MaxLevel() Objective {
+	return Objective{Name: "maxlevel", Score: func(ev Eval) float64 {
+		m := 0
+		for p := 0; p < ev.Config.N(); p++ {
+			if l := core.At(ev.Config, p).L; l > m {
+				m = l
+			}
+		}
+		return float64(m)
+	}}
+}
+
+// Violations rewards rollouts that break an invariant outright, with
+// rounds as a tie-break; the guided way to hunt for violations (the
+// evaluator must attach checks for the count to be non-zero).
+func Violations() Objective {
+	return Objective{Name: "violations", Score: func(ev Eval) float64 {
+		return 1000*float64(ev.Violations) + float64(ev.Rounds)
+	}}
+}
+
+// Objectives returns every built-in objective in presentation order.
+func Objectives() []Objective {
+	return []Objective{Rounds(), Abnormal(), MaxLevel(), Violations()}
+}
+
+// ObjectiveByName resolves a built-in objective.
+func ObjectiveByName(name string) (Objective, bool) {
+	for _, o := range Objectives() {
+		if o.Name == name {
+			return o, true
+		}
+	}
+	return Objective{}, false
+}

@@ -1,0 +1,89 @@
+package hunt
+
+import (
+	"snappif/internal/core"
+	"snappif/internal/sim"
+)
+
+// Plant is a deliberate, test-only protocol mutation: a named wrapper that
+// injects a specific invariant bug into the PIF protocol. Plants exist so
+// the hunter's whole pipeline — find, normalize, shrink, replay — can be
+// exercised end to end against a protocol that is actually broken; they
+// are never active unless a scenario names one explicitly.
+type Plant struct {
+	// Name identifies the plant in scenarios ("level-overflow").
+	Name string
+	// Doc describes the injected bug.
+	Doc string
+	// Wrap returns the mutated protocol over pr.
+	Wrap func(pr *core.Protocol) sim.Protocol
+}
+
+// Plants returns every registered plant.
+func Plants() []Plant {
+	return []Plant{LevelOverflow()}
+}
+
+// PlantByName resolves a registered plant.
+func PlantByName(name string) (Plant, bool) {
+	for _, pl := range Plants() {
+		if pl.Name == name {
+			return pl, true
+		}
+	}
+	return Plant{}, false
+}
+
+// LevelOverflow is the canonical planted bug: a non-root B-action that
+// computes a level of 2 or more writes L = Lmax+1 instead — one field, one
+// action, immediately violating the domains invariant (L ∈ [1,Lmax]). From
+// a clean start it triggers on the third step of any topology of depth ≥ 2
+// (root B, child B at L=1, grandchild B at L=2), so a shrunk
+// counterexample is tiny and structurally obvious.
+func LevelOverflow() Plant {
+	return Plant{
+		Name: "level-overflow",
+		Doc:  "non-root B-action at level ≥ 2 writes L = Lmax+1, violating the domains invariant",
+		Wrap: func(pr *core.Protocol) sim.Protocol { return &levelOverflow{Protocol: pr} },
+	}
+}
+
+// levelOverflow wraps the PIF protocol, corrupting the level written by
+// deep B-actions. Guards are inherited untouched (so the model-conformance
+// analyzers' purity and locality facts still hold); only the committed
+// state of the acting processor is altered, through the same return-value
+// or ApplyInto-dst paths the model allows.
+type levelOverflow struct {
+	*core.Protocol
+}
+
+var (
+	_ sim.Protocol        = (*levelOverflow)(nil)
+	_ sim.InPlaceProtocol = (*levelOverflow)(nil)
+)
+
+// Name implements sim.Protocol.
+func (pl *levelOverflow) Name() string { return pl.Protocol.Name() + "+level-overflow" }
+
+// Apply implements sim.Protocol.
+func (pl *levelOverflow) Apply(c *sim.Configuration, p, a int) sim.State {
+	s := *pl.Protocol.Apply(c, p, a).(*core.State)
+	if pl.triggers(p, a, s.L) {
+		s.L = pl.Lmax + 1
+	}
+	return &s
+}
+
+// ApplyInto implements sim.InPlaceProtocol.
+func (pl *levelOverflow) ApplyInto(c *sim.Configuration, p, a int, dst sim.State) {
+	pl.Protocol.ApplyInto(c, p, a, dst)
+	if pl.triggers(p, a, dst.(*core.State).L) {
+		dst.(*core.State).L = pl.Lmax + 1
+	}
+}
+
+// triggers reports whether the bug fires: a non-root B-action whose
+// computed level is at least 2.
+func (pl *levelOverflow) triggers(p, a, l int) bool {
+	return a == core.ActionB && p != pl.Root && l >= 2
+}

@@ -1,0 +1,268 @@
+package hunt
+
+import (
+	"math/rand"
+	"sort"
+
+	"snappif/internal/check"
+	"snappif/internal/core"
+	"snappif/internal/sim"
+)
+
+// GreedyDaemon is the guided-search adversary: a sim.Daemon that, at every
+// step, evaluates a handful of candidate choices by rolling each one out
+// for Depth steps on a scratch configuration and executes the candidate
+// whose rollout scores worst (highest) under Objective. It plugs into
+// sim.Runner beside the heuristic Adversarial daemon; the Runner's aging
+// keeps it weakly fair like any other daemon.
+//
+// The inner loop restores the scratch configuration with
+// Configuration.CopyFrom, so a rollout's per-step cost stays on the
+// engine's zero-allocation path. GreedyDaemon is deterministic: it never
+// reads the runner's RNG, candidate order is a fixed spread over the
+// enabled list, and ties break toward the higher processor ID (matching
+// the Adversarial daemon's convention).
+type GreedyDaemon struct {
+	// Objective scores rollouts.
+	Objective Objective
+	// Depth is the rollout horizon in steps (0 = 2·N).
+	Depth int
+	// MaxCandidates caps the rollouts per step (0 = 8).
+	MaxCandidates int
+	// Checks, when non-nil, are evaluated after every rollout step and
+	// feed Eval.Violations (needed by the Violations objective).
+	Checks []check.Check
+
+	proto   sim.Protocol
+	core    *core.Protocol
+	scratch *sim.Configuration
+	seq     seqDaemon
+	buf     [1]sim.Choice
+}
+
+var _ sim.Daemon = (*GreedyDaemon)(nil)
+
+// NewGreedy builds a greedy search daemon. rollout is the protocol
+// instance the rollouts execute — it must be a SEPARATE instance from the
+// one driving the real run (built on the same graph with the same
+// parameters), because rollouts advance protocol-internal state (the
+// payload counter) that must not leak into the real execution; pr is
+// rollout's underlying core protocol, which objectives evaluate against.
+func NewGreedy(rollout sim.Protocol, pr *core.Protocol, obj Objective) *GreedyDaemon {
+	return &GreedyDaemon{Objective: obj, proto: rollout, core: pr}
+}
+
+// Name implements sim.Daemon.
+func (d *GreedyDaemon) Name() string { return "greedy-" + d.Objective.Name }
+
+// Select implements sim.Daemon. It executes exactly one choice per step.
+func (d *GreedyDaemon) Select(_ int, c *sim.Configuration, enabled []sim.Choice, _ *rand.Rand) []sim.Choice {
+	if len(enabled) == 1 {
+		d.buf[0] = enabled[0]
+		return d.buf[:1]
+	}
+	depth := d.Depth
+	if depth <= 0 {
+		depth = 2 * c.N()
+	}
+	cand := d.MaxCandidates
+	if cand <= 0 {
+		cand = 8
+	}
+	if cand > len(enabled) {
+		cand = len(enabled)
+	}
+	besti := -1
+	var best float64
+	for k := 0; k < cand; k++ {
+		i := k * len(enabled) / cand
+		score := d.rollout(c, enabled[i], depth)
+		if besti < 0 || score > best ||
+			(score == best && enabled[i].Proc > enabled[besti].Proc) {
+			besti, best = i, score
+		}
+	}
+	d.buf[0] = enabled[besti]
+	return d.buf[:1]
+}
+
+// rollout plays first and then Depth-1 further steps of a fixed nasty
+// policy on the scratch configuration, returning the objective's score.
+func (d *GreedyDaemon) rollout(c *sim.Configuration, first sim.Choice, depth int) float64 {
+	if d.scratch == nil || d.scratch.N() != c.N() {
+		d.scratch = c.Clone()
+	} else {
+		d.scratch.CopyFrom(c)
+	}
+	d.seq = seqDaemon{first: first}
+	var mon *check.Monitor
+	var observers []sim.Observer
+	if d.Checks != nil {
+		mon = check.NewMonitor(d.core, d.Checks)
+		observers = []sim.Observer{mon}
+	}
+	r := sim.NewRunner(d.scratch, d.proto, &d.seq, sim.Options{
+		MaxSteps:  depth + 1,
+		Seed:      1,
+		Observers: observers,
+		StopWhen:  func(rs *sim.RunState) bool { return rs.Steps >= depth },
+	})
+	for {
+		if done, _ := r.Step(); done {
+			break
+		}
+	}
+	res := r.Result()
+	ev := Eval{
+		Config:   d.scratch,
+		Proto:    d.core,
+		Steps:    res.Steps,
+		Moves:    res.Moves,
+		Rounds:   res.Rounds,
+		Terminal: res.Terminal,
+	}
+	if mon != nil {
+		ev.Violations = len(mon.Records)
+	}
+	return d.Objective.Score(ev)
+}
+
+// seqDaemon drives a rollout: the fixed first choice, then always the
+// highest-ID enabled processor (a deterministic nasty continuation).
+type seqDaemon struct {
+	first sim.Choice
+	used  bool
+	buf   [1]sim.Choice
+}
+
+var _ sim.Daemon = (*seqDaemon)(nil)
+
+// Name implements sim.Daemon.
+func (d *seqDaemon) Name() string { return "hunt-rollout" }
+
+// Select implements sim.Daemon.
+func (d *seqDaemon) Select(_ int, _ *sim.Configuration, enabled []sim.Choice, _ *rand.Rand) []sim.Choice {
+	if !d.used {
+		d.used = true
+		for _, ch := range enabled {
+			if ch == d.first {
+				d.buf[0] = ch
+				return d.buf[:1]
+			}
+		}
+	}
+	d.buf[0] = enabled[len(enabled)-1]
+	return d.buf[:1]
+}
+
+// BeamOptions configures a beam search.
+type BeamOptions struct {
+	// Width is the beam width (0 = 4).
+	Width int
+	// Depth is the schedule length to search (0 = 3·N).
+	Depth int
+	// Branch caps the expansions per beam node (0 = 4).
+	Branch int
+	// RolloutDepth is the scoring rollout horizon (0 = 2·N).
+	RolloutDepth int
+	// Objective scores nodes (zero value = Rounds()).
+	Objective Objective
+	// Checks feed Eval.Violations during scoring rollouts.
+	Checks []check.Check
+}
+
+// Beam searches for a schedule prefix of at most opt.Depth steps that
+// maximizes the objective, starting from the scenario's initial
+// configuration. Each candidate extension is scored by a bounded rollout
+// (exactly like GreedyDaemon's, sharing its CopyFrom scratch path); the
+// best opt.Width prefixes survive each level. The returned schedule is
+// replayable by embedding it in the scenario (Scenario.Schedule =
+// ToSchedule(schedule)); the search itself is deterministic.
+func Beam(sc *Scenario, opt BeamOptions) (schedule [][]sim.Choice, score float64, err error) {
+	cfg, proto, _, err := sc.build()
+	if err != nil {
+		return nil, 0, err
+	}
+	_, rollProto, rollCore, err := sc.build()
+	if err != nil {
+		return nil, 0, err
+	}
+	if opt.Objective.Score == nil {
+		opt.Objective = Rounds()
+	}
+	width, depth, branch := opt.Width, opt.Depth, opt.Branch
+	if width <= 0 {
+		width = 4
+	}
+	if depth <= 0 {
+		depth = 3 * cfg.N()
+	}
+	if branch <= 0 {
+		branch = 4
+	}
+	scorer := &GreedyDaemon{
+		Objective: opt.Objective,
+		Depth:     opt.RolloutDepth,
+		Checks:    opt.Checks,
+		proto:     rollProto,
+		core:      rollCore,
+	}
+	rdepth := opt.RolloutDepth
+	if rdepth <= 0 {
+		rdepth = 2 * cfg.N()
+	}
+	scoreOf := func(c *sim.Configuration) float64 {
+		en := sim.EnabledChoices(c, proto)
+		if len(en) == 0 {
+			// Terminal: score the configuration as a zero-step rollout.
+			return opt.Objective.Score(Eval{Config: c, Proto: rollCore, Terminal: true})
+		}
+		// Score via a rollout whose first move is the evaluation point's
+		// best-known continuation — using the scorer's machinery keeps the
+		// two search layers consistent.
+		return scorer.rollout(c, en[len(en)-1], rdepth)
+	}
+
+	type node struct {
+		cfg      *sim.Configuration
+		schedule [][]sim.Choice
+		score    float64
+	}
+	// The search keeps the Width best prefixes per level and returns the
+	// best prefix of the deepest level reached: scores are evaluated at the
+	// horizon (rollout from the prefix's end state), so they compare
+	// meaningfully only within a level, not across levels.
+	beam := []node{{cfg: cfg, score: scoreOf(cfg)}}
+	for level := 0; level < depth; level++ {
+		var next []node
+		for _, nd := range beam {
+			en := sim.EnabledChoices(nd.cfg, proto)
+			if len(en) == 0 {
+				continue
+			}
+			b := branch
+			if b > len(en) {
+				b = len(en)
+			}
+			for k := 0; k < b; k++ {
+				i := k * len(en) / b
+				child := node{cfg: nd.cfg.Clone()}
+				child.cfg.States[en[i].Proc] = proto.Apply(child.cfg, en[i].Proc, en[i].Action)
+				child.schedule = make([][]sim.Choice, len(nd.schedule)+1)
+				copy(child.schedule, nd.schedule)
+				child.schedule[len(nd.schedule)] = []sim.Choice{en[i]}
+				child.score = scoreOf(child.cfg)
+				next = append(next, child)
+			}
+		}
+		if len(next) == 0 {
+			break // every beam node is terminal
+		}
+		sort.SliceStable(next, func(i, j int) bool { return next[i].score > next[j].score })
+		if len(next) > width {
+			next = next[:width]
+		}
+		beam = next
+	}
+	return beam[0].schedule, beam[0].score, nil
+}

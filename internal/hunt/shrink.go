@@ -1,0 +1,380 @@
+package hunt
+
+import (
+	"fmt"
+
+	"snappif/internal/check"
+	"snappif/internal/core"
+	"snappif/internal/graph"
+	"snappif/internal/obs"
+	"snappif/internal/sim"
+)
+
+// ShrinkOptions configures Shrink.
+type ShrinkOptions struct {
+	// MaxRuns bounds the total candidate executions (0 = 4000).
+	MaxRuns int
+	// Checks are the invariants the failure predicate evaluates (nil =
+	// check.StandardChecks).
+	Checks []check.Check
+}
+
+// ShrinkStats summarizes a shrink.
+type ShrinkStats struct {
+	// Runs counts candidate executions, including normalization runs.
+	Runs int
+	// Check is the failing check the shrink preserved.
+	Check string
+	// FromSteps/ToSteps are the schedule lengths before and after.
+	FromSteps, ToSteps int
+	// FromN/ToN are the network sizes before and after.
+	FromN, ToN int
+}
+
+// Shrink minimizes a failing scenario while preserving its failure: the
+// result still violates the *same* named check as the input (matching only
+// "some violation" would let the minimizer wander to an unrelated bug).
+// Three reduction passes run to fixpoint under the run budget:
+//
+//  1. ddmin over the schedule — drop contiguous step segments;
+//  2. de-corruption — reset one processor's initial state at a time to the
+//     protocol's clean state;
+//  3. topology shrinking — remove one non-root processor at a time,
+//     keeping the subgraph connected and remapping IDs, parents, and the
+//     schedule.
+//
+// The result is normalized: its Init is an explicit snapshot and its
+// Schedule is the verbatim executed log of its own failing run, so
+// replaying it is bit-identical and deterministic.
+func Shrink(sc *Scenario, opt ShrinkOptions) (*Scenario, *ShrinkStats, error) {
+	checks := opt.Checks
+	if checks == nil {
+		checks = check.StandardChecks()
+	}
+	maxRuns := opt.MaxRuns
+	if maxRuns <= 0 {
+		maxRuns = 4000
+	}
+	stats := &ShrinkStats{}
+
+	cur, rep, err := Normalize(sc, checks)
+	stats.Runs++
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(rep.Violations) == 0 {
+		return nil, nil, fmt.Errorf("hunt: scenario does not fail; nothing to shrink")
+	}
+	target := rep.Violations[0].Check
+	stats.Check = target
+	stats.FromSteps = len(cur.Schedule)
+	stats.FromN = cur.Topology.N
+
+	fails := func(cand *Scenario) bool {
+		if stats.Runs >= maxRuns {
+			return false
+		}
+		stats.Runs++
+		rep, err := cand.Run(checks, nil)
+		if err != nil {
+			return false
+		}
+		for _, v := range rep.Violations {
+			if v.Check == target {
+				return true
+			}
+		}
+		return false
+	}
+
+	for changed := true; changed && stats.Runs < maxRuns; {
+		changed = false
+		if next, ok := ddminSchedule(cur, fails); ok {
+			cur, changed = next, true
+		}
+		if next, ok := decorrupt(cur, fails); ok {
+			cur, changed = next, true
+		}
+		if next, ok := shrinkTopology(cur, fails); ok {
+			cur, changed = next, true
+		}
+	}
+
+	// Ground the result: replace the (possibly tolerantly matched)
+	// schedule with the exact executed log of the shrunk scenario's own
+	// run, so the artifact replays strictly and bit-identically.
+	out, rep, err := Normalize(cur, checks)
+	stats.Runs++
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(rep.Violations) == 0 {
+		// Cannot happen: cur failed under the same checks. Guard anyway.
+		return nil, nil, fmt.Errorf("hunt: shrunk scenario stopped failing during normalization")
+	}
+	stats.ToSteps = len(out.Schedule)
+	stats.ToN = out.Topology.N
+	return out, stats, nil
+}
+
+// Normalize runs the scenario and rewrites it into its explicit, exactly
+// replayable form: Init becomes a concrete snapshot of the post-injection
+// initial configuration, and Schedule becomes the executed step log
+// truncated at the first violation (or the full log when the run is
+// clean). The returned report is the run that produced the schedule.
+func Normalize(sc *Scenario, checks []check.Check) (*Scenario, *Report, error) {
+	cfg0, _, _, err := sc.build()
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := sc.Run(checks, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := sc.Clone()
+	snap := obs.CaptureSnapshot(cfg0)
+	out.Init = &snap
+	out.Fault = ""
+	sched := rep.Executed
+	if len(rep.Violations) > 0 {
+		if v := rep.Violations[0].Step; v <= len(sched) {
+			sched = sched[:v]
+		}
+	}
+	out.Schedule = ToSchedule(sched)
+	out.Daemon = ""
+	out.MaxSteps = 0
+	return out, rep, nil
+}
+
+// ddminSchedule minimizes the schedule by removing contiguous segments
+// (the classic ddmin loop over step indices).
+func ddminSchedule(sc *Scenario, fails func(*Scenario) bool) (*Scenario, bool) {
+	cur := sc
+	improved := false
+	n := 2
+	for len(cur.Schedule) >= 2 {
+		chunk := (len(cur.Schedule) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(cur.Schedule); start += chunk {
+			end := start + chunk
+			if end > len(cur.Schedule) {
+				end = len(cur.Schedule)
+			}
+			cand := cur.Clone()
+			cand.Schedule = append(cand.Schedule[:start:start], cur.Schedule[end:]...)
+			if fails(cand) {
+				cur, improved, reduced = cand, true, true
+				if n > 2 {
+					n--
+				}
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur.Schedule) {
+				break
+			}
+			n *= 2
+			if n > len(cur.Schedule) {
+				n = len(cur.Schedule)
+			}
+		}
+	}
+	if !improved {
+		return nil, false
+	}
+	return cur, true
+}
+
+// decorrupt resets one processor's initial state at a time to the
+// protocol's clean starting state, keeping resets that preserve the
+// failure.
+func (sc *Scenario) cleanSnapshot() (*obs.Snapshot, error) {
+	g, err := sc.Graph()
+	if err != nil {
+		return nil, err
+	}
+	var opts []core.Option
+	if sc.Lmax > 0 {
+		opts = append(opts, core.WithLmax(sc.Lmax))
+	}
+	if sc.NPrime > 0 {
+		opts = append(opts, core.WithNPrime(sc.NPrime))
+	}
+	pr, err := core.New(g, sc.Root, opts...)
+	if err != nil {
+		return nil, err
+	}
+	snap := obs.CaptureSnapshot(sim.NewConfiguration(g, pr))
+	return &snap, nil
+}
+
+func decorrupt(sc *Scenario, fails func(*Scenario) bool) (*Scenario, bool) {
+	if sc.Init == nil {
+		return nil, false
+	}
+	clean, err := sc.cleanSnapshot()
+	if err != nil {
+		return nil, false
+	}
+	cur := sc
+	improved := false
+	for p := 0; p < cur.Topology.N; p++ {
+		if snapProcEqual(cur.Init, clean, p) {
+			continue
+		}
+		cand := cur.Clone()
+		copySnapProc(cand.Init, clean, p)
+		if fails(cand) {
+			cur, improved = cand, true
+		}
+	}
+	if !improved {
+		return nil, false
+	}
+	return cur, true
+}
+
+// snapProcEqual reports whether processor p's state is identical in both
+// snapshots.
+func snapProcEqual(a, b *obs.Snapshot, p int) bool {
+	return a.Pif[p] == b.Pif[p] && a.Par[p] == b.Par[p] && a.L[p] == b.L[p] &&
+		a.Count[p] == b.Count[p] && a.Fok[p] == b.Fok[p] && a.Msg[p] == b.Msg[p] &&
+		a.Val[p] == b.Val[p] && a.Agg[p] == b.Agg[p]
+}
+
+// copySnapProc overwrites processor p's state in dst with src's.
+func copySnapProc(dst, src *obs.Snapshot, p int) {
+	pif := []byte(dst.Pif)
+	pif[p] = src.Pif[p]
+	dst.Pif = string(pif)
+	dst.Par[p] = src.Par[p]
+	dst.L[p] = src.L[p]
+	dst.Count[p] = src.Count[p]
+	dst.Fok[p] = src.Fok[p]
+	dst.Msg[p] = src.Msg[p]
+	dst.Val[p] = src.Val[p]
+	dst.Agg[p] = src.Agg[p]
+}
+
+// shrinkTopology removes one non-root processor at a time (highest ID
+// first), keeping removals that leave the network connected and the
+// failure intact.
+func shrinkTopology(sc *Scenario, fails func(*Scenario) bool) (*Scenario, bool) {
+	cur := sc
+	improved := false
+	for v := cur.Topology.N - 1; v >= 0; v-- {
+		if cur.Topology.N <= 2 || v >= cur.Topology.N || v == cur.Root {
+			continue
+		}
+		cand, ok := removeProc(cur, v)
+		if !ok {
+			continue
+		}
+		if fails(cand) {
+			cur, improved = cand, true
+		}
+	}
+	if !improved {
+		return nil, false
+	}
+	return cur, true
+}
+
+// removeProc builds the scenario with processor v deleted: IDs above v
+// shift down by one; edges at v disappear (the candidate is rejected if
+// that disconnects the network); initial parents pointing at v are redirected
+// to the lowest-ID remaining neighbor; schedule entries at v are dropped
+// (steps left empty disappear).
+func removeProc(sc *Scenario, v int) (*Scenario, bool) {
+	ren := func(p int) int {
+		if p > v {
+			return p - 1
+		}
+		return p
+	}
+	var edges [][2]int
+	for _, e := range sc.Topology.Edges {
+		if e[0] == v || e[1] == v {
+			continue
+		}
+		edges = append(edges, [2]int{ren(e[0]), ren(e[1])})
+	}
+	g, err := graph.New(sc.Topology.Name, sc.Topology.N-1, edges)
+	if err != nil {
+		return nil, false // disconnected or degenerate
+	}
+	out := sc.Clone()
+	out.Topology = TopologyOf(g)
+	out.Root = ren(sc.Root)
+	if sc.Lmax > 0 && sc.Lmax < g.N()-1 {
+		return nil, false // cannot happen (shrinking lowers N), but guard
+	}
+	if out.Init != nil {
+		snap, ok := removeSnapProc(out.Init, v, g, out.Root)
+		if !ok {
+			return nil, false
+		}
+		out.Init = snap
+	}
+	var sched [][][2]int
+	for _, step := range out.Schedule {
+		var ns [][2]int
+		for _, pa := range step {
+			if pa[0] == v {
+				continue
+			}
+			ns = append(ns, [2]int{ren(pa[0]), pa[1]})
+		}
+		if len(ns) > 0 {
+			sched = append(sched, ns)
+		}
+	}
+	out.Schedule = sched
+	return out, true
+}
+
+// removeSnapProc deletes processor v from the snapshot, remapping parent
+// pointers; a remaining processor whose parent was v is re-pointed at its
+// lowest-ID neighbor in the shrunk graph g (IDs in g are post-removal).
+func removeSnapProc(snap *obs.Snapshot, v int, g *graph.Graph, root int) (*obs.Snapshot, bool) {
+	n := len(snap.Par)
+	out := obs.Snapshot{T: snap.T, Run: snap.Run, Name: snap.Name}
+	pif := make([]byte, 0, n-1)
+	for p := 0; p < n; p++ {
+		if p == v {
+			continue
+		}
+		np := p
+		if p > v {
+			np = p - 1
+		}
+		par := snap.Par[p]
+		switch {
+		case par == core.ParNone:
+			// The root keeps ⊥.
+		case par == v:
+			nb := g.Neighbors(np)
+			if len(nb) == 0 {
+				return nil, false
+			}
+			par = nb[0]
+		case par > v:
+			par = par - 1
+		}
+		if np == root {
+			par = core.ParNone
+		}
+		pif = append(pif, snap.Pif[p])
+		out.Par = append(out.Par, par)
+		out.L = append(out.L, snap.L[p])
+		out.Count = append(out.Count, snap.Count[p])
+		out.Fok = append(out.Fok, snap.Fok[p])
+		out.Msg = append(out.Msg, snap.Msg[p])
+		out.Val = append(out.Val, snap.Val[p])
+		out.Agg = append(out.Agg, snap.Agg[p])
+	}
+	out.Pif = string(pif)
+	return &out, true
+}

@@ -1,0 +1,86 @@
+package register_test
+
+import (
+	"testing"
+
+	"snappif/internal/check"
+	"snappif/internal/core"
+	"snappif/internal/graph"
+	"snappif/internal/msgnet/register"
+	"snappif/internal/sim"
+)
+
+// TestDifferentialSharedMemoryVsRegister is the cross-engine differential
+// test: from a clean start, over a grid of topologies and seeds, the
+// composite-atomicity shared-memory engine and the link-register
+// message-passing engine must agree on the observable wave outcome — every
+// wave delivers to and hears back from all n-1 non-root processors, and
+// both engines broadcast the same payload sequence in the same order.
+func TestDifferentialSharedMemoryVsRegister(t *testing.T) {
+	const waves = 3
+	topos := []struct {
+		name string
+		mk   func() (*graph.Graph, error)
+	}{
+		{"line-4", func() (*graph.Graph, error) { return graph.Line(4) }},
+		{"ring-6", func() (*graph.Graph, error) { return graph.Ring(6) }},
+		{"star-6", func() (*graph.Graph, error) { return graph.Star(6) }},
+		{"grid-2x3", func() (*graph.Graph, error) { return graph.Grid(2, 3) }},
+	}
+	for _, tp := range topos {
+		tp := tp
+		t.Run(tp.name, func(t *testing.T) {
+			g, err := tp.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := int64(1); seed <= 3; seed++ {
+				// Shared-memory engine: k clean-start cycles.
+				pr, err := core.New(g, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := sim.NewConfiguration(g, pr)
+				cyc := check.NewCycleObserver(pr)
+				if _, err := sim.Run(cfg, pr, sim.DistributedRandom{P: 0.5}, sim.Options{
+					MaxSteps:  1_000_000,
+					Seed:      seed,
+					Observers: []sim.Observer{cyc},
+					StopWhen:  cyc.StopAfterCycles(waves),
+				}); err != nil {
+					t.Fatalf("seed %d: shared-memory run: %v", seed, err)
+				}
+				if len(cyc.Cycles) < waves {
+					t.Fatalf("seed %d: shared-memory engine completed %d/%d waves", seed, len(cyc.Cycles), waves)
+				}
+
+				// Message-passing engine: same topology, same seed, same
+				// number of waves over link registers.
+				res, err := register.Run(g, 0, waves, register.Options{Seed: seed})
+				if err != nil {
+					t.Fatalf("seed %d: register run: %v", seed, err)
+				}
+
+				for i := 0; i < waves; i++ {
+					sm := cyc.Cycles[i]
+					mp := res.Cycles[i]
+					if !sm.Complete || sm.Delivered != g.N()-1 || sm.FedBack != g.N()-1 {
+						t.Fatalf("seed %d wave %d: shared-memory outcome %d/%d delivered/fedback, want %d/%d",
+							seed, i, sm.Delivered, sm.FedBack, g.N()-1, g.N()-1)
+					}
+					if !mp.OK(g.N()) {
+						t.Fatalf("seed %d wave %d: register outcome %d/%d delivered/acked, want %d/%d",
+							seed, i, mp.Delivered, mp.Acked, g.N()-1, g.N()-1)
+					}
+					if sm.Msg != mp.Msg {
+						t.Fatalf("seed %d wave %d: engines disagree on payload: shared-memory %d, register %d",
+							seed, i, sm.Msg, mp.Msg)
+					}
+					if len(sm.Violations) != 0 {
+						t.Fatalf("seed %d wave %d: shared-memory violations: %v", seed, i, sm.Violations)
+					}
+				}
+			}
+		})
+	}
+}

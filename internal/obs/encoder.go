@@ -112,6 +112,20 @@ func newSnapshot(kind string, run int, name string, c *sim.Configuration) Snapsh
 	return snap
 }
 
+// CaptureSnapshot captures every processor's state as an "init"-kind
+// snapshot — the exported entry point for tools that persist configurations
+// outside a trace (hunt scenarios). The configuration must hold *core.State
+// boxes.
+func CaptureSnapshot(c *sim.Configuration) Snapshot {
+	return newSnapshot("init", 0, "", c)
+}
+
+// RestoreSnapshot writes a snapshot back into a configuration; the exported
+// inverse of CaptureSnapshot.
+func RestoreSnapshot(snap Snapshot, c *sim.Configuration) error {
+	return restoreSnapshot(snap, c)
+}
+
 // restoreSnapshot writes a snapshot back into a configuration; the inverse
 // of newSnapshot, used by offline replay.
 func restoreSnapshot(snap Snapshot, c *sim.Configuration) error {

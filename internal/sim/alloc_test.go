@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"errors"
 	"runtime"
 	"testing"
 
@@ -152,6 +153,77 @@ func BenchmarkRunnerCycle(b *testing.B) {
 			StopWhen: func(rs *sim.RunState) bool { return rs.Steps >= 1000 },
 		}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestCopyFromZeroAllocs gates the hunter's rollout restore path: once both
+// configurations exist, Configuration.CopyFrom performs zero heap
+// allocations — every state box is reused in place via InPlaceState.
+func TestCopyFromZeroAllocs(t *testing.T) {
+	g, err := graph.Ring(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := core.New(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sim.NewConfiguration(g, pr)
+	dst := src.Clone()
+	allocs := testing.AllocsPerRun(200, func() {
+		dst.CopyFrom(src)
+	})
+	if allocs != 0 {
+		t.Errorf("CopyFrom allocates %.2f objects/call, want 0", allocs)
+	}
+}
+
+// TestCopyFromRestores checks CopyFrom is a faithful deep restore: the
+// destination matches the source afterwards, and further mutation of the
+// destination never leaks back into the source (no aliased boxes).
+func TestCopyFromRestores(t *testing.T) {
+	g, err := graph.Ring(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := core.New(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sim.NewConfiguration(g, pr)
+	// March the source a few steps so it is not the all-clean configuration.
+	if _, err := sim.Run(src, pr, sim.Synchronous{}, sim.Options{Seed: 1, MaxSteps: 5}); err != nil && !errors.Is(err, sim.ErrStepLimit) {
+		t.Fatal(err)
+	}
+
+	dst := sim.NewConfiguration(g, pr)
+	dst.CopyFrom(src)
+	for p := 0; p < g.N(); p++ {
+		if dst.States[p] == src.States[p] {
+			t.Fatalf("CopyFrom aliased the state box of processor %d", p)
+		}
+		if core.At(dst, p) != core.At(src, p) {
+			t.Fatalf("processor %d differs after CopyFrom: %+v vs %+v",
+				p, core.At(dst, p), core.At(src, p))
+		}
+	}
+
+	// Mutating the copy must not disturb the source.
+	before := core.At(src, 1)
+	s := core.At(dst, 1)
+	s.L = 7
+	core.Set(dst, 1, s)
+	if got := core.At(src, 1); got != before {
+		t.Fatalf("mutating the copy changed the source: %+v -> %+v", before, got)
+	}
+
+	// The slow path: copying into an empty configuration still works.
+	empty := &sim.Configuration{G: g}
+	empty.CopyFrom(src)
+	for p := 0; p < g.N(); p++ {
+		if core.At(empty, p) != core.At(src, p) {
+			t.Fatalf("slow-path CopyFrom differs at processor %d", p)
 		}
 	}
 }

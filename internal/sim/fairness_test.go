@@ -1,0 +1,93 @@
+package sim_test
+
+import (
+	"testing"
+
+	"snappif/internal/hunt"
+	"snappif/internal/sim"
+)
+
+// starveWatch tracks, per processor, the longest run of consecutive steps
+// in which the processor was enabled but not executed. Under foreverProto
+// every processor is enabled at every step, so the streak is simply the
+// gap between executions.
+type starveWatch struct {
+	streak []int
+	worst  int
+}
+
+func (w *starveWatch) OnStep(_ int, executed []sim.Choice, c *sim.Configuration) {
+	if w.streak == nil {
+		w.streak = make([]int, c.N())
+	}
+	ran := make(map[int]bool, len(executed))
+	for _, ch := range executed {
+		ran[ch.Proc] = true
+	}
+	for p := range w.streak {
+		if ran[p] {
+			w.streak[p] = 0
+			continue
+		}
+		w.streak[p]++
+		if w.streak[p] > w.worst {
+			w.worst = w.streak[p]
+		}
+	}
+}
+
+// TestEveryDaemonIsWeaklyFair is the weak-fairness property test, table
+// driven over every daemon the engine ships — including the hunt package's
+// guided-search adversary. Under a protocol that keeps all processors
+// enabled forever, the runner's aging must bound how long any daemon can
+// starve a processor: no gap between two executions of the same processor
+// may exceed the fairness age (+1 for the forcing step itself).
+func TestEveryDaemonIsWeaklyFair(t *testing.T) {
+	const fairAge = 12
+	const steps = 500
+	g := line(t, 8)
+	proto := foreverProto{actions: 1}
+
+	daemons := []func() sim.Daemon{
+		func() sim.Daemon { return sim.Synchronous{} },
+		func() sim.Daemon { return sim.Central{Order: sim.CentralRandom} },
+		func() sim.Daemon { return sim.Central{Order: sim.CentralLowestID} },
+		func() sim.Daemon { return sim.Central{Order: sim.CentralHighestID} },
+		func() sim.Daemon { return &sim.RoundRobin{} },
+		func() sim.Daemon { return sim.DistributedRandom{P: 0.3} },
+		func() sim.Daemon { return sim.LocallyCentral{} },
+		func() sim.Daemon { return &sim.Adversarial{} },
+		func() sim.Daemon { return sim.ActionPriority{Order: []int{0}} },
+		func() sim.Daemon { return hunt.NewGreedy(proto, nil, hunt.Rounds()) },
+	}
+	for _, mk := range daemons {
+		d := mk()
+		t.Run(d.Name(), func(t *testing.T) {
+			d := mk()
+			cfg := sim.NewConfiguration(g, proto)
+			w := &starveWatch{}
+			res, err := sim.Run(cfg, proto, d, sim.Options{
+				Seed:        3,
+				FairnessAge: fairAge,
+				Observers:   []sim.Observer{w},
+				StopWhen:    func(rs *sim.RunState) bool { return rs.Steps >= steps },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Stopped {
+				t.Fatalf("run ended early: %+v", res)
+			}
+			if w.worst > fairAge+1 {
+				t.Fatalf("daemon %s starved a processor for %d steps (fairness age %d)",
+					d.Name(), w.worst, fairAge)
+			}
+			// Every processor actually moved.
+			for p := 0; p < g.N(); p++ {
+				if cfg.States[p].(intState) == 0 {
+					t.Fatalf("processor %d never executed in %d steps", p, steps)
+				}
+			}
+		})
+	}
+}

@@ -28,6 +28,18 @@ type State interface {
 	Clone() State
 }
 
+// InPlaceState is the zero-allocation extension of State: a state box that
+// can be overwritten with the contents of another box of the same concrete
+// type. Configuration.CopyFrom uses it to restore a scratch configuration
+// without allocating, which keeps search-adversary rollouts off the heap.
+type InPlaceState interface {
+	State
+
+	// CopyFrom overwrites the receiver with a copy of src. src has the
+	// receiver's concrete type (boxes never mix types inside one run).
+	CopyFrom(src State)
+}
+
 // Protocol is a distributed algorithm expressed as guarded actions, e.g. the
 // snap-stabilizing PIF of the paper (internal/core) or the baselines.
 type Protocol interface {
@@ -104,6 +116,48 @@ func (c *Configuration) Clone() *Configuration {
 		states[i] = s.Clone()
 	}
 	return &Configuration{G: c.G, States: states}
+}
+
+// CopyFrom overwrites c's states with deep copies of src's. When both
+// configurations hold InPlaceState boxes of equal length the copy happens in
+// place — no allocation — which is what the search adversary's inner loop
+// needs to restore its scratch configuration between rollouts; otherwise it
+// falls back to cloning fresh boxes. The graph pointer is shared (graphs are
+// immutable). c and src must not share state boxes.
+//
+//snapvet:hotpath
+func (c *Configuration) CopyFrom(src *Configuration) {
+	c.G = src.G
+	if len(c.States) == len(src.States) {
+		in := true
+		for i, s := range c.States {
+			box, ok := s.(InPlaceState)
+			if !ok {
+				in = false
+				break
+			}
+			box.CopyFrom(src.States[i])
+		}
+		if in {
+			return
+		}
+	}
+	c.copyFromSlow(src)
+}
+
+// copyFromSlow is CopyFrom's allocating fallback for configurations whose
+// boxes do not implement InPlaceState (or whose lengths differ). Kept out of
+// the hot-path annotation: protocols on the zero-allocation path never reach
+// it.
+func (c *Configuration) copyFromSlow(src *Configuration) {
+	if cap(c.States) >= len(src.States) {
+		c.States = c.States[:len(src.States)]
+	} else {
+		c.States = make([]State, len(src.States))
+	}
+	for i, s := range src.States {
+		c.States[i] = s.Clone()
+	}
 }
 
 // N returns the number of processors.

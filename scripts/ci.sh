@@ -29,11 +29,14 @@ go test ./...
 echo "== race: simulation engine, experiment executor, concurrent runtime, tracer =="
 go test -race ./internal/sim/ ./internal/exp/ ./internal/runtime/ ./cmd/pifexp/ ./internal/obs/
 
+echo "== race: counterexample hunter =="
+go test -race ./internal/hunt/
+
 echo "== race: soak (reduced horizon) =="
 go test -race -short -run TestSoakManyWaves -count=1 .
 
 echo "== allocation budget (zero allocs/step after warm-up, disabled tracer included) =="
-go test ./internal/sim/ -run 'TestZeroAllocs|TestCycleByteBudget|TestChoicesBufferReuse' -count=1 -v
+go test ./internal/sim/ -run 'TestZeroAllocs|TestCycleByteBudget|TestChoicesBufferReuse|TestCopyFromZeroAllocs' -count=1 -v
 go test ./internal/obs/ -run TestDisabledTracerZeroAllocs -count=1 -v
 
 echo "== determinism (serial vs parallel, optimized vs reference) =="
@@ -41,10 +44,14 @@ go test ./internal/sim/ -run TestRunnerMatchesReference -count=1
 go test ./internal/exp/ -run TestSerialParallelIdentical -count=1
 go test ./cmd/pifexp/ -run TestParallelStdoutByteIdentical -count=1
 
+echo "== hunt smoke (clean protocol must hunt clean on a 2x4 grid) =="
+go run ./cmd/pifhunt hunt -topo grid:2x4 -trials 4 -steps 4000
+
 if [ "${CI_FUZZ:-0}" = "1" ]; then
-    echo "== fuzz smoke (engine oracles) =="
+    echo "== fuzz smoke (engine oracles, injector recovery) =="
     go test ./internal/sim/ -run xxx -fuzz FuzzForceAged -fuzztime 10s
     go test ./internal/sim/ -run xxx -fuzz FuzzBitsetRoundAccounting -fuzztime 10s
+    go test ./internal/fault/ -run xxx -fuzz FuzzInjectorRecovery -fuzztime 10s
 fi
 
 echo "CI OK"
