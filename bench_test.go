@@ -11,6 +11,7 @@ package snappif_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"snappif/internal/core"
 	"snappif/internal/exp"
 	"snappif/internal/fault"
+	"snappif/internal/flat"
 	"snappif/internal/graph"
 	"snappif/internal/mc"
 	"snappif/internal/msgnet"
@@ -599,5 +601,125 @@ func BenchmarkE12MultiInitiator(b *testing.B) {
 		if !w.OK(topo.N()) {
 			b.Fatal("concurrent wave violated")
 		}
+	}
+}
+
+// benchStepper abstracts the two engines for the step benchmarks.
+type benchStepper interface {
+	Step() (bool, error)
+}
+
+// benchSteps drives a warm stepper for b.N committed steps. The snap-PIF
+// protocol cycles forever from the clean start, so the loop never hits a
+// terminal configuration.
+func benchSteps(b *testing.B, s benchStepper, warmup int) {
+	b.Helper()
+	for i := 0; i < warmup; i++ {
+		if done, err := s.Step(); done {
+			b.Fatalf("run ended during warm-up: %v", err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if done, err := s.Step(); done {
+			b.Fatalf("run ended during measurement: %v", err)
+		}
+	}
+}
+
+// benchStepSizes are the network sizes of the engine step benchmarks:
+// large enough that the SoA layout matters, small enough for benchstat
+// iteration counts.
+var benchStepSizes = []int{1_000, 10_000}
+
+// BenchmarkStepGeneric measures one committed step of the interface-based
+// engine (sim.Runner) on the snap-PIF protocol under the synchronous
+// daemon — the baseline the flat engine is compared against (ISSUE 5
+// acceptance: flat ≥ 3x steps/sec at N=10k).
+func BenchmarkStepGeneric(b *testing.B) {
+	for _, n := range benchStepSizes {
+		b.Run(fmt.Sprintf("ring-%d", n), func(b *testing.B) {
+			g, err := graph.Ring(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pr := core.MustNew(g, 0)
+			cfg := sim.NewConfiguration(g, pr)
+			r := sim.NewRunner(cfg, pr, sim.Synchronous{}, sim.Options{Seed: 1, MaxSteps: 1 << 40})
+			benchSteps(b, r, 200)
+		})
+	}
+}
+
+// BenchmarkStepFlat measures the same step on the flat SoA kernel
+// (internal/flat), serial sweep. Identical schedule to BenchmarkStepGeneric
+// — the engines are bit-identical — so ns/op is directly comparable.
+func BenchmarkStepFlat(b *testing.B) {
+	for _, n := range benchStepSizes {
+		b.Run(fmt.Sprintf("ring-%d", n), func(b *testing.B) {
+			g, err := graph.Ring(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			k, err := flat.FromCore(core.MustNew(g, 0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			fc, err := flat.NewConfig(k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := flat.NewRunner(fc, k, sim.Synchronous{}, flat.Options{
+				Options: sim.Options{Seed: 1, MaxSteps: 1 << 40},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			benchSteps(b, r, 200)
+		})
+	}
+}
+
+// BenchmarkSweepParallel measures the flat engine's sharded guard sweep
+// against its serial mode on a wide grid (broad synchronous frontiers, so
+// sweeps are large). On a single-core box (GOMAXPROCS=1) the sharded
+// numbers measure pool overhead, not speedup — compare with the gomaxprocs
+// stamp in the benchstat environment.
+func BenchmarkSweepParallel(b *testing.B) {
+	g, err := graph.Grid(100, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 0},
+		{"sharded-2", 2},
+		{"sharded-gomaxprocs", runtime.GOMAXPROCS(0)},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			k, err := flat.FromCore(core.MustNew(g, 0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			fc, err := flat.NewConfig(k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := flat.NewRunner(fc, k, sim.Synchronous{}, flat.Options{
+				Options:      sim.Options{Seed: 1, MaxSteps: 1 << 40},
+				SweepWorkers: m.workers,
+				MinSweep:     1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			benchSteps(b, r, 200)
+		})
 	}
 }

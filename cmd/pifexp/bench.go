@@ -19,6 +19,7 @@ import (
 type benchCell struct {
 	Topology      string  `json:"topology"`
 	N             int     `json:"n"`
+	Engine        string  `json:"engine"`
 	Daemon        string  `json:"daemon"`
 	Steps         int     `json:"steps"`
 	NsPerStep     float64 `json:"ns_per_step"`
@@ -96,6 +97,7 @@ func measureSim(g *graph.Graph, d sim.Daemon, steps int) (benchCell, error) {
 	return benchCell{
 		Topology:      g.Name(),
 		N:             g.N(),
+		Engine:        "generic",
 		Daemon:        d.Name(),
 		Steps:         steps,
 		NsPerStep:     float64(elapsed.Nanoseconds()) / fs,

@@ -6,14 +6,22 @@
 //
 // Usage:
 //
-//	pifexp [-quick] [-trials N] [-seed S] [-only E4[,E7]] [-md] [-parallel] [-bench FILE]
+//	pifexp [-quick] [-trials N] [-seed S] [-only E4[,E7]] [-md] [-parallel]
+//	       [-engine generic|flat] [-parallel-sweep W] [-bench FILE] [-scale FILE]
 //	       [-http ADDR] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -parallel fans both the experiments and their table cells across
 // GOMAXPROCS workers; every cell derives its randomness from its own seed,
 // so stdout is byte-identical to a serial run (timing goes to stderr).
+// -engine=flat runs the cycle-based experiments on the struct-of-arrays
+// kernel (internal/flat); the engines are bit-identical, so the tables do
+// not change — only the wall clock does. -parallel-sweep W additionally
+// shards the flat engine's guard sweep over W workers (still
+// bit-identical; see DESIGN.md §9).
 // -bench additionally measures the simulation hot path and writes a JSON
-// report (steps/sec, allocs/step) to the given file.
+// report (steps/sec, allocs/step) to the given file. -scale measures the
+// large-N grid — N up to 10^6 on line/ring/grid/random topologies, generic
+// vs flat vs sharded — and writes the BENCH_scale JSON report.
 //
 // -http serves live observability while the experiments run: the harness
 // metrics at /debug/vars (expvar; see the "snappif" variable) and the
@@ -59,7 +67,10 @@ func run(args []string, out io.Writer) (err error) {
 		markdown = fs.Bool("md", false, "emit tables as markdown")
 		csvDir   = fs.String("csv", "", "also write each table as <dir>/<id>.csv")
 		parallel = fs.Bool("parallel", false, "fan experiments and table cells across GOMAXPROCS workers (stdout identical to serial)")
+		engine   = fs.String("engine", "generic", "simulation engine for the cycle-based experiments: generic or flat (tables are byte-identical; flat is the large-N SoA kernel)")
+		sweepW   = fs.Int("parallel-sweep", 0, "flat engine only: worker count for the parallel sharded guard sweep (0 or 1 = serial; bit-identical either way)")
 		bench    = fs.String("bench", "", "measure the simulation hot path and write a JSON report to this file")
+		scale    = fs.String("scale", "", "measure the large-N scaling grid (generic vs flat vs sharded) and write a BENCH_scale JSON report to this file")
 		httpAddr = fs.String("http", "", "serve /debug/vars and /debug/pprof on this address while running (e.g. localhost:6060)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
@@ -128,12 +139,14 @@ func run(args []string, out io.Writer) (err error) {
 
 	timings := &trace.Timings{}
 	opt := exp.Options{
-		Quick:    *quick,
-		Trials:   *trials,
-		Seed:     *seed,
-		Parallel: *parallel,
-		Timings:  timings,
-		Metrics:  metrics,
+		Quick:        *quick,
+		Trials:       *trials,
+		Seed:         *seed,
+		Parallel:     *parallel,
+		Timings:      timings,
+		Metrics:      metrics,
+		Engine:       *engine,
+		SweepWorkers: *sweepW,
 	}
 
 	var selected []exp.Experiment
@@ -227,6 +240,11 @@ func run(args []string, out io.Writer) (err error) {
 	}
 	if *bench != "" {
 		if err := writeBench(*bench, timings); err != nil {
+			return err
+		}
+	}
+	if *scale != "" {
+		if err := writeScale(*scale, *seed); err != nil {
 			return err
 		}
 	}

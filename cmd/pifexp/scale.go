@@ -1,0 +1,243 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"snappif/internal/core"
+	"snappif/internal/flat"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+// scaleCell is one measured (topology, N, engine) point of the scaling
+// grid. SweepWorkers is 0 for the generic engine and the flat serial mode;
+// the sharded mode records its worker count, so a reader can tell which
+// numbers were taken on a single-core box (compare against gomaxprocs in
+// the report header — with GOMAXPROCS=1 the sharded cells measure pool
+// overhead, not speedup).
+type scaleCell struct {
+	Topology      string  `json:"topology"`
+	N             int     `json:"n"`
+	Engine        string  `json:"engine"`
+	SweepWorkers  int     `json:"sweep_workers,omitempty"`
+	Daemon        string  `json:"daemon"`
+	Steps         int     `json:"steps"`
+	NsPerStep     float64 `json:"ns_per_step"`
+	StepsPerSec   float64 `json:"steps_per_sec"`
+	MovesPerStep  float64 `json:"moves_per_step"`
+	AllocsPerStep float64 `json:"allocs_per_step"`
+}
+
+// scaleReport is the BENCH_scale.json schema: the large-N companion to
+// BENCH_sim.json. Every cell runs the snap-PIF protocol from the clean
+// start under the synchronous daemon with a fixed seed, so the schedule —
+// and therefore moves/step — is identical for every engine at a given
+// (topology, N); only the time columns may differ.
+type scaleReport struct {
+	GoVersion  string      `json:"go_version"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	NumCPU     int         `json:"num_cpu"`
+	Commit     string      `json:"commit"`
+	Seed       int64       `json:"seed"`
+	Cells      []scaleCell `json:"cells"`
+}
+
+// scalePoint is one N of the grid: the measured step count shrinks as N
+// grows so the whole grid stays minutes, not hours; genericOK gates the
+// interface-based engine out of the sizes where a single cell would take
+// longer than the rest of the grid combined.
+type scalePoint struct {
+	n         int
+	warmup    int
+	steps     int
+	genericOK bool
+}
+
+var scalePoints = []scalePoint{
+	{n: 64, warmup: 2000, steps: 50_000, genericOK: true},
+	{n: 1_000, warmup: 2000, steps: 20_000, genericOK: true},
+	{n: 10_000, warmup: 1000, steps: 5_000, genericOK: true},
+	{n: 100_000, warmup: 300, steps: 1_000, genericOK: false},
+	{n: 1_000_000, warmup: 100, steps: 300, genericOK: false},
+}
+
+// scaleTopologies builds the four topology families at size n. The random
+// family is the degree-bounded sparse graph (a 1M-node Erdős–Rényi graph
+// would need ~10^11 edge draws); its seed derives from n so every run of
+// the emitter measures the same graphs.
+func scaleTopologies(n int, seed int64) ([]*graph.Graph, error) {
+	side := int(math.Round(math.Sqrt(float64(n))))
+	rng := rand.New(rand.NewSource(seed + int64(n)))
+	var out []*graph.Graph
+	for _, b := range []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return graph.Line(n) },
+		func() (*graph.Graph, error) { return graph.Ring(n) },
+		func() (*graph.Graph, error) { return graph.Grid(side, (n+side-1)/side) },
+		func() (*graph.Graph, error) { return graph.RandomSparse(n, n/4, rng) },
+	} {
+		g, err := b()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// stepper abstracts the two engines' stepping loops for measurement.
+type stepper interface {
+	Step() (bool, error)
+	Moves() int
+}
+
+type genericStepper struct{ r *sim.Runner }
+
+func (s genericStepper) Step() (bool, error) { return s.r.Step() }
+func (s genericStepper) Moves() int          { return s.r.Result().Moves }
+
+type flatStepper struct{ r *flat.Runner }
+
+func (s flatStepper) Step() (bool, error) { return s.r.Step() }
+func (s flatStepper) Moves() int          { return s.r.Result().Moves }
+
+// measureStepper warms a stepper and measures ns/step, steps/sec,
+// moves/step, and allocs/step over the given number of committed steps.
+func measureStepper(s stepper, warmup, steps int) (ns, sps, mps, aps float64, err error) {
+	for i := 0; i < warmup; i++ {
+		if done, err := s.Step(); done {
+			return 0, 0, 0, 0, fmt.Errorf("scale: run ended during warm-up: %v", err)
+		}
+	}
+	movesBefore := s.Moves()
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < steps; i++ {
+		if done, err := s.Step(); done {
+			return 0, 0, 0, 0, fmt.Errorf("scale: run ended during measurement: %v", err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	fs := float64(steps)
+	return float64(elapsed.Nanoseconds()) / fs,
+		fs / elapsed.Seconds(),
+		float64(s.Moves()-movesBefore) / fs,
+		float64(m1.Mallocs-m0.Mallocs) / fs,
+		nil
+}
+
+// measureScaleCell measures one engine on one graph. engine is "generic",
+// "flat", or "flat-sharded"; workers only applies to the sharded mode.
+func measureScaleCell(g *graph.Graph, engine string, workers int, pt scalePoint, seed int64) (scaleCell, error) {
+	pr, err := core.New(g, 0)
+	if err != nil {
+		return scaleCell{}, err
+	}
+	d := sim.Synchronous{}
+	simOpts := sim.Options{Seed: seed, MaxSteps: pt.warmup + pt.steps + 1}
+	var s stepper
+	var closer interface{ Close() }
+	switch engine {
+	case "generic":
+		cfg := sim.NewConfiguration(g, pr)
+		s = genericStepper{r: sim.NewRunner(cfg, pr, d, simOpts)}
+	case "flat", "flat-sharded":
+		kern, err := flat.FromCore(pr)
+		if err != nil {
+			return scaleCell{}, err
+		}
+		fc, err := flat.NewConfig(kern)
+		if err != nil {
+			return scaleCell{}, err
+		}
+		fopts := flat.Options{Options: simOpts}
+		if engine == "flat-sharded" {
+			fopts.SweepWorkers = workers
+			fopts.MinSweep = 1
+		}
+		fr, err := flat.NewRunner(fc, kern, d, fopts)
+		if err != nil {
+			return scaleCell{}, err
+		}
+		s, closer = flatStepper{r: fr}, fr
+	default:
+		return scaleCell{}, fmt.Errorf("scale: unknown engine %q", engine)
+	}
+	ns, sps, mps, aps, err := measureStepper(s, pt.warmup, pt.steps)
+	if closer != nil {
+		closer.Close()
+	}
+	if err != nil {
+		return scaleCell{}, fmt.Errorf("%s/%s/N=%d: %w", engine, g.Name(), g.N(), err)
+	}
+	cell := scaleCell{
+		Topology:      g.Name(),
+		N:             g.N(),
+		Engine:        engine,
+		Daemon:        d.Name(),
+		Steps:         pt.steps,
+		NsPerStep:     ns,
+		StepsPerSec:   sps,
+		MovesPerStep:  mps,
+		AllocsPerStep: aps,
+	}
+	if engine == "flat-sharded" {
+		cell.SweepWorkers = workers
+	}
+	return cell, nil
+}
+
+// writeScale measures the full scaling grid and writes BENCH_scale.json.
+// The sharded sweep runs with GOMAXPROCS workers (minimum 2, so the pool
+// machinery is exercised even on a single-core box) at N ≥ 10k, where a
+// sweep is large enough to amortize the handoff.
+func writeScale(path string, seed int64) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	rep := scaleReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Commit:     vcsCommit(),
+		Seed:       seed,
+	}
+	for _, pt := range scalePoints {
+		tops, err := scaleTopologies(pt.n, seed)
+		if err != nil {
+			return err
+		}
+		for _, g := range tops {
+			engines := []string{"flat"}
+			if pt.genericOK {
+				engines = append([]string{"generic"}, engines...)
+			}
+			if pt.n >= 10_000 {
+				engines = append(engines, "flat-sharded")
+			}
+			for _, eng := range engines {
+				cell, err := measureScaleCell(g, eng, workers, pt, seed)
+				if err != nil {
+					return err
+				}
+				rep.Cells = append(rep.Cells, cell)
+				fmt.Fprintf(os.Stderr, "pifexp: scale %s N=%d %s: %.0f ns/step (%.0f steps/sec)\n",
+					cell.Topology, cell.N, cell.Engine, cell.NsPerStep, cell.StepsPerSec)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -15,6 +15,7 @@ var detrangePackages = map[string]bool{
 	"internal/sim":   true,
 	"internal/core":  true,
 	"internal/exp":   true,
+	"internal/flat":  true,
 	"internal/graph": true,
 	"internal/trace": true,
 	"internal/obs":   true,

@@ -132,6 +132,11 @@ func MustNew(g *graph.Graph, root int, opts ...Option) *Protocol {
 // Graph returns the network the protocol runs on.
 func (pr *Protocol) Graph() *graph.Graph { return pr.g }
 
+// UsesPrintedGuards reports whether WithPrintedGuards reverted the
+// transcription repairs. The flat engine (internal/flat) mirrors the guard
+// kernels field by field and needs to know which reading to replicate.
+func (pr *Protocol) UsesPrintedGuards() bool { return pr.printedGuards }
+
 // Name implements sim.Protocol.
 func (pr *Protocol) Name() string { return "snap-pif" }
 

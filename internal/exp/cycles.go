@@ -31,7 +31,7 @@ func CycleRounds(opt Options) (Outcome, error) {
 		len(tops),
 		func(i int) (cell, error) {
 			var c cell
-			recs, err := runCycles(tops[i].g, sim.Synchronous{}, opt.Trials, opt.Seed)
+			recs, err := runCycles(opt, tops[i].g, sim.Synchronous{}, opt.Trials, opt.Seed)
 			if err != nil {
 				return c, fmt.Errorf("exp: E1 on %s: %w", tops[i].g, err)
 			}
@@ -147,7 +147,7 @@ func Daemons(opt Options) (Outcome, error) {
 		func(i int) (cell, error) {
 			tp, d := sel[i/nd], daemonSuite()[i%nd]
 			var c cell
-			recs, err := runCycles(tp.g, d, opt.Trials, opt.Seed)
+			recs, err := runCycles(opt, tp.g, d, opt.Trials, opt.Seed)
 			if err != nil {
 				return c, fmt.Errorf("exp: E8 on %s under %s: %w", tp.g, d.Name(), err)
 			}
@@ -221,7 +221,7 @@ func TreeBaseline(opt Options) (Outcome, error) {
 					c.baselineViols++
 				}
 			}
-			recs, err := runCycles(tp.g, sim.Synchronous{}, opt.Trials, opt.Seed)
+			recs, err := runCycles(opt, tp.g, sim.Synchronous{}, opt.Trials, opt.Seed)
 			if err != nil {
 				return c, fmt.Errorf("exp: E9 snap on %s: %w", tp.g, err)
 			}

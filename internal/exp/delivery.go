@@ -159,7 +159,7 @@ func AblationFokGate(opt Options) (Outcome, error) {
 	}}
 	for _, tp := range selectTopologies(opt) {
 		// Cost: clean-start cycle rounds.
-		recs, err := runCycles(tp.g, sim.Synchronous{}, opt.Trials, opt.Seed)
+		recs, err := runCycles(opt, tp.g, sim.Synchronous{}, opt.Trials, opt.Seed)
 		if err != nil {
 			return out, err
 		}

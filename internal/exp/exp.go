@@ -15,6 +15,7 @@ import (
 	"snappif/internal/check"
 	"snappif/internal/core"
 	"snappif/internal/fault"
+	"snappif/internal/flat"
 	"snappif/internal/graph"
 	"snappif/internal/obs"
 	"snappif/internal/sim"
@@ -41,6 +42,17 @@ type Options struct {
 	// table cells), exp.cell_errors, and the exp.cell_seconds histogram —
 	// the live progress feed behind pifexp's -http endpoint.
 	Metrics *obs.Registry
+	// Engine selects the simulation engine for the snap-PIF runs that
+	// support both: "generic" (the interface-based sim.Runner, the default)
+	// or "flat" (the struct-of-arrays kernel in internal/flat). The engines
+	// are bit-identical — same moves, rounds, daemon choices, and traces —
+	// so every table is byte-identical across engines; "flat" only changes
+	// how fast the cells run (see DESIGN.md §9).
+	Engine string
+	// SweepWorkers enables the flat engine's parallel sharded guard sweep
+	// with this many workers (≤ 1 keeps sweeps on the calling goroutine).
+	// Ignored by the generic engine.
+	SweepWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -53,6 +65,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Engine == "" {
+		o.Engine = "generic"
 	}
 	return o
 }
@@ -128,22 +143,44 @@ func topologies(quick bool, seed int64) []topology {
 	}
 }
 
-// runCycles runs k clean-start PIF cycles of the snap protocol and returns
-// the cycle records.
-func runCycles(g *graph.Graph, d sim.Daemon, k int, seed int64) ([]check.CycleRecord, error) {
+// runCycles runs k clean-start PIF cycles of the snap protocol on the
+// engine opt selects and returns the cycle records. The engines are
+// bit-identical, so the records do not depend on the choice.
+func runCycles(opt Options, g *graph.Graph, d sim.Daemon, k int, seed int64) ([]check.CycleRecord, error) {
 	pr, err := core.New(g, 0)
 	if err != nil {
 		return nil, err
 	}
-	cfg := sim.NewConfiguration(g, pr)
 	obs := check.NewCycleObserver(pr)
-	if _, err := sim.Run(cfg, pr, d, sim.Options{
+	simOpts := sim.Options{
 		MaxSteps:  20_000_000,
 		Seed:      seed,
 		Observers: []sim.Observer{obs},
 		StopWhen:  obs.StopAfterCycles(k),
-	}); err != nil {
-		return nil, err
+	}
+	switch opt.Engine {
+	case "", "generic":
+		cfg := sim.NewConfiguration(g, pr)
+		if _, err := sim.Run(cfg, pr, d, simOpts); err != nil {
+			return nil, err
+		}
+	case "flat":
+		kern, err := flat.FromCore(pr)
+		if err != nil {
+			return nil, err
+		}
+		fc, err := flat.NewConfig(kern)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := flat.Run(fc, kern, d, flat.Options{
+			Options:      simOpts,
+			SweepWorkers: opt.SweepWorkers,
+		}); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("exp: unknown engine %q (want generic or flat)", opt.Engine)
 	}
 	return obs.Cycles, nil
 }

@@ -69,7 +69,7 @@ func BoundTightness(opt Options) (Outcome, error) {
 			// Metric 1: clean-start cycle rounds vs Theorem 4's 5h+5.
 			maxH := 0
 			cycleWorst := func(d sim.Daemon, seed int64) (int, error) {
-				recs, err := runCycles(tp.g, d, 3, seed)
+				recs, err := runCycles(opt, tp.g, d, 3, seed)
 				if err != nil {
 					return 0, err
 				}

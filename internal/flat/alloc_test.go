@@ -1,0 +1,139 @@
+package flat_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"snappif/internal/core"
+	"snappif/internal/fault"
+	"snappif/internal/flat"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+// warmFlatRunner builds a flat runner on g under d and steps it past the
+// warm-up horizon: enough for the choice/dirty buffers to hit their
+// high-water marks and the MovesPerAction map to hold every label.
+func warmFlatRunner(tb testing.TB, g *graph.Graph, d sim.Daemon, opts flat.Options, warmup int) *flat.Runner {
+	tb.Helper()
+	pr, err := core.New(g, 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	k, err := flat.FromCore(pr)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := sim.NewConfiguration(g, pr)
+	fault.UniformRandom().Apply(cfg, pr, rand.New(rand.NewSource(3)))
+	fc, err := flat.FromSim(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 1 << 30
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	r, err := flat.NewRunner(fc, k, d, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < warmup; i++ {
+		if done, err := r.Step(); done {
+			tb.Fatalf("run ended during warm-up: %v", err)
+		}
+	}
+	return r
+}
+
+// TestFlatZeroAllocsPerStep is the flat kernel's allocation contract: once
+// warm, a committed step of the SoA engine performs zero heap allocations —
+// the guard sweep, the staging commit, the hierarchical enabled set, and
+// the incremental round/fairness accounting leave nothing for the
+// allocator. scripts/ci.sh gates on this test.
+func TestFlatZeroAllocsPerStep(t *testing.T) {
+	g, err := graph.Ring(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := warmFlatRunner(t, g, sim.Synchronous{}, flat.Options{}, 2000)
+	defer r.Close()
+	allocs := testing.AllocsPerRun(200, func() {
+		if done, err := r.Step(); done {
+			t.Fatalf("run ended mid-measurement: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("flat Step allocates %.2f objects/step after warm-up, want 0", allocs)
+	}
+}
+
+// TestFlatZeroAllocsPerStepDistributed repeats the contract under the
+// randomized distributed daemon (the other commonly hit selection path).
+func TestFlatZeroAllocsPerStepDistributed(t *testing.T) {
+	g, err := graph.Ring(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := warmFlatRunner(t, g, sim.DistributedRandom{P: 0.5}, flat.Options{}, 2000)
+	defer r.Close()
+	allocs := testing.AllocsPerRun(200, func() {
+		if done, err := r.Step(); done {
+			t.Fatalf("run ended mid-measurement: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("flat Step allocates %.2f objects/step after warm-up, want 0", allocs)
+	}
+}
+
+// TestFlatShardedZeroAllocsPerStep extends the contract to the sharded
+// sweep: fan-out reuses a fixed worker pool and a buffered job channel, so
+// a parallel step allocates nothing either.
+func TestFlatShardedZeroAllocsPerStep(t *testing.T) {
+	g, err := graph.Grid(32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := warmFlatRunner(t, g, sim.Synchronous{},
+		flat.Options{SweepWorkers: 4, MinSweep: 1}, 300)
+	defer r.Close()
+	allocs := testing.AllocsPerRun(100, func() {
+		if done, err := r.Step(); done {
+			t.Fatalf("run ended mid-measurement: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("sharded flat Step allocates %.2f objects/step after warm-up, want 0", allocs)
+	}
+}
+
+// TestFlatCopyFromZeroAllocs gates the restore path used by search rollouts
+// and the scale benchmarks: Config.CopyFrom copies slices in place.
+func TestFlatCopyFromZeroAllocs(t *testing.T) {
+	g, err := graph.Ring(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := core.New(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := flat.FromCore(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := flat.NewConfig(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := src.Clone()
+	allocs := testing.AllocsPerRun(200, func() {
+		dst.CopyFrom(src)
+	})
+	if allocs != 0 {
+		t.Errorf("flat CopyFrom allocates %.2f objects/call, want 0", allocs)
+	}
+}

@@ -1,0 +1,107 @@
+package flat
+
+import "math/bits"
+
+// hbits is a two-level hierarchical bitset over processor IDs with a
+// maintained population count. Level 0 is one bit per ID; the summary level
+// is one bit per level-0 word. It tracks the enabled set: at large N the
+// runner must enumerate the enabled processors in ascending order every time
+// the choice buffer is rebuilt, and a flat bitset scan is Θ(N/64) even when
+// only a handful of processors are enabled. The summary skips empty level-0
+// regions, making enumeration O(summary words + |enabled|) — at N = 10⁶
+// with a near-terminal configuration that is ~250 word reads instead of
+// ~16k.
+//
+// All operations are allocation-free after construction.
+type hbits struct {
+	l0  []uint64 // one bit per ID
+	sum []uint64 // one bit per l0 word
+	n   int      // population count
+}
+
+func newHbits(n int) *hbits {
+	words := (n + 63) / 64
+	return &hbits{
+		l0:  make([]uint64, words),
+		sum: make([]uint64, (words+63)/64),
+	}
+}
+
+// test reports whether i is in the set.
+//
+//snapvet:hotpath
+func (h *hbits) test(i int) bool { return h.l0[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// set adds i to the set.
+//
+//snapvet:hotpath
+func (h *hbits) set(i int) {
+	w := i >> 6
+	mask := uint64(1) << (uint(i) & 63)
+	if h.l0[w]&mask != 0 {
+		return
+	}
+	h.l0[w] |= mask
+	h.sum[w>>6] |= 1 << (uint(w) & 63)
+	h.n++
+}
+
+// clear removes i from the set.
+//
+//snapvet:hotpath
+func (h *hbits) clear(i int) {
+	w := i >> 6
+	mask := uint64(1) << (uint(i) & 63)
+	if h.l0[w]&mask == 0 {
+		return
+	}
+	h.l0[w] &^= mask
+	if h.l0[w] == 0 {
+		h.sum[w>>6] &^= 1 << (uint(w) & 63)
+	}
+	h.n--
+}
+
+// count returns the number of IDs in the set.
+//
+//snapvet:hotpath
+func (h *hbits) count() int { return h.n }
+
+// forEach calls fn for every ID in the set in ascending order, skipping
+// empty level-0 words via the summary.
+//
+//snapvet:hotpath
+func (h *hbits) forEach(fn func(i int)) {
+	for si, sw := range h.sum {
+		for sw != 0 {
+			wi := si<<6 + bits.TrailingZeros64(sw)
+			sw &= sw - 1
+			w := h.l0[wi]
+			for w != 0 {
+				fn(wi<<6 + bits.TrailingZeros64(w))
+				w &= w - 1
+			}
+		}
+	}
+}
+
+// bitmark is a plain one-level bitset used for the runner's per-step dedup
+// scratch (fairness forcing, dirty-set dedup) and the round-pending set.
+// Unlike sim's bitset it is never reset wholesale: the runner clears exactly
+// the bits it set by replaying the same ID list, keeping per-step cost
+// proportional to the step's work instead of Θ(N/64).
+type bitmark []uint64
+
+func newBitmark(n int) bitmark { return make(bitmark, (n+63)/64) }
+
+//snapvet:hotpath
+func (b bitmark) test(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+//snapvet:hotpath
+func (b bitmark) set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+//snapvet:hotpath
+func (b bitmark) clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// copyFrom overwrites b with the level-0 words of src (same capacity).
+func (b bitmark) copyFrom(src *hbits) { copy(b, src.l0) }

@@ -1,0 +1,463 @@
+package flat
+
+import (
+	"fmt"
+	"math/rand"
+
+	"snappif/internal/core"
+	"snappif/internal/sim"
+)
+
+// Options configures a flat-engine run. The embedded sim.Options keep their
+// meaning and defaults — a flat run with zero-value extras is parameterized
+// exactly like the generic run it mirrors.
+type Options struct {
+	sim.Options
+
+	// SweepWorkers enables the sharded sweep: guard re-evaluation and action
+	// staging fan out over this many goroutines when a sweep has at least
+	// MinSweep items. Values ≤ 1 keep every sweep on the calling goroutine.
+	// The sharded and serial modes commit through the same serial loop and
+	// produce bit-identical runs (see the package doc's determinism
+	// argument).
+	SweepWorkers int
+
+	// MinSweep is the minimum number of sweep items before fanning out
+	// (default 2048): below it the goroutine handoff costs more than the
+	// sweep.
+	MinSweep int
+}
+
+// Run executes the kernel on configuration c (mutated in place) under daemon
+// d until a terminal configuration, the stop predicate, or the step limit —
+// the flat counterpart of sim.Run, with the same error contract.
+func Run(c *Config, k *Protocol, d sim.Daemon, opts Options) (sim.Result, error) {
+	r, err := NewRunner(c, k, d, opts)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	defer r.Close()
+	for {
+		done, err := r.Step()
+		if done {
+			return r.Result(), err
+		}
+	}
+}
+
+// Runner is the flat engine's stepping loop. It reproduces sim.Runner's
+// observable behavior bit for bit — same daemon inputs and RNG draw
+// sequence, same moves/rounds/fairness forcing, same observer callback order
+// — while keeping per-step work proportional to the step's activity:
+//
+//   - The enabled set lives in a hierarchical bitset plus a per-processor
+//     action slot; only the executed processors' closed neighborhoods are
+//     re-evaluated (guards are local), and the choice buffer rebuild skips
+//     empty bitset regions.
+//   - Fairness ages are virtual: lastReset[p] records the step at which p's
+//     age was last zeroed, so aging costs nothing per step instead of the
+//     generic runner's Θ(N) sweep (the generic and virtual ages agree at
+//     every step the age is consulted; the differential grid exercises the
+//     forced path).
+//   - Round accounting is incremental: a pending counter is decremented as
+//     executed or newly disabled processors leave the round, replacing the
+//     generic runner's per-step Θ(N/64) bitset intersection.
+//   - Per-step scratch bitsets are cleared by replaying the ID lists that
+//     set them, never by wholesale resets.
+type Runner struct {
+	c    *Config
+	k    *Protocol
+	d    sim.Daemon
+	opts Options
+	rng  *rand.Rand
+
+	names []string
+	res   sim.Result
+	rs    sim.RunState
+
+	// Guard cache: acts[p] is p's enabled action or noAction; enabled is the
+	// corresponding processor set; buf is the flat choice list in ascending
+	// processor order, rebuilt only after a change.
+	acts     []int32
+	newActs  []int32 // sweep staging: workers write disjoint slots
+	enabled  *hbits
+	buf      []sim.Choice
+	bufValid bool
+
+	// Selection scratch, mirroring sim.Runner's buffers.
+	daemonBuf []sim.Choice
+	selBuf    []sim.Choice
+	have      bitmark
+
+	// lastReset[p] is the completed-step count at which p's fairness age was
+	// last reset; p's age after step S is S - lastReset[p].
+	lastReset []int
+
+	// Round accounting: pending holds the processors still owing the current
+	// round an action, pendingCount its cardinality.
+	pending      bitmark
+	pendingCount int
+
+	// Refresh scratch: dirtyBuf lists the step's re-evaluated processors,
+	// scratch dedups it.
+	scratch  bitmark
+	dirtyBuf []int32
+
+	// stage[i] is selection entry i's next state, computed from the pre-step
+	// slices and scatter-committed after the whole selection is staged.
+	stage []core.State
+
+	// actionMoves counts executions per action ID; Result materializes the
+	// MovesPerAction map from it lazily, keeping the per-move hot path free
+	// of map assignments (a measurable cost at large N).
+	actionMoves []int
+
+	// mirror, when non-nil, is a boxed sim.Configuration kept equal to c
+	// after every step (only executed processors change, so updating their
+	// boxes suffices). It is what observers, stop predicates, and
+	// state-reading daemons see. facade is the configuration handed to the
+	// daemon: the mirror when one is maintained, otherwise a states-less
+	// shell (every stock daemon reads only topology).
+	mirror *sim.Configuration
+	facade *sim.Configuration
+
+	pool *pool
+
+	finished bool
+	err      error
+}
+
+// NewRunner prepares a flat run of kernel k on configuration c (mutated in
+// place) under daemon d. A mirror boxed configuration is maintained exactly
+// when observers or a stop predicate need one; mutating observers are
+// rejected — they would desync the mirror from the flat state (use the
+// generic engine for mid-run fault injection).
+//
+// Callers owning a Runner with SweepWorkers > 1 must Close it to release the
+// worker goroutines.
+func NewRunner(c *Config, k *Protocol, d sim.Daemon, opts Options) (*Runner, error) {
+	if c.N() != k.g.N() {
+		return nil, fmt.Errorf("flat: configuration has %d processors, kernel network %d", c.N(), k.g.N())
+	}
+	for _, o := range opts.Observers {
+		if mo, ok := o.(sim.MutatingObserver); ok && mo.MutatesConfiguration() {
+			return nil, fmt.Errorf("flat: mutating observers are not supported (observer %T)", o)
+		}
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 1_000_000
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.FairnessAge <= 0 {
+		opts.FairnessAge = 4 * c.N()
+	}
+	if opts.MinSweep <= 0 {
+		opts.MinSweep = 2048
+	}
+	n := c.N()
+	r := &Runner{
+		c:    c,
+		k:    k,
+		d:    d,
+		opts: opts,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+
+		names:     k.names,
+		acts:      make([]int32, n),
+		newActs:   make([]int32, n),
+		enabled:   newHbits(n),
+		have:      newBitmark(n),
+		lastReset: make([]int, n),
+		pending:   newBitmark(n),
+		scratch:   newBitmark(n),
+		stage:     make([]core.State, n),
+
+		actionMoves: make([]int, len(k.names)),
+	}
+	r.res = sim.Result{MovesPerAction: make(map[string]int, len(r.names))}
+
+	if len(opts.Observers) > 0 || opts.StopWhen != nil {
+		r.mirror = c.ToSim()
+		r.facade = r.mirror
+	} else {
+		r.facade = &sim.Configuration{G: c.G}
+	}
+	r.rs = sim.RunState{Config: r.mirror}
+
+	if opts.StopWhen != nil && opts.StopWhen(&r.rs) {
+		r.res.Stopped = true
+		r.finish()
+		return r, nil
+	}
+
+	for p := 0; p < n; p++ {
+		a := k.enabledAction(c, p)
+		r.acts[p] = a
+		if a != noAction {
+			r.enabled.set(p)
+		}
+	}
+	r.pending.copyFrom(r.enabled)
+	r.pendingCount = r.enabled.count()
+
+	if opts.SweepWorkers > 1 {
+		r.pool = newPool(r, opts.SweepWorkers)
+	}
+	return r, nil
+}
+
+// Result returns the run summary accumulated so far. Final is materialized
+// when the run ends; before that it is nil (the live state is the flat
+// configuration). MovesPerAction is materialized from the per-action
+// counters on each call — like the generic engine's map, it has a key for
+// exactly the actions that executed at least once.
+func (r *Runner) Result() sim.Result {
+	for a, n := range r.actionMoves {
+		if n != 0 {
+			r.res.MovesPerAction[r.names[a]] = n
+		}
+	}
+	return r.res
+}
+
+// Mirror returns the boxed configuration kept in sync with the flat state,
+// or nil when no observers or stop predicate requested one. Callers wiring
+// a tracer (obs.Tracer.BeginRun wants the live configuration it will
+// snapshot at Close) hand it the mirror, exactly as they hand the generic
+// engine its configuration.
+func (r *Runner) Mirror() *sim.Configuration { return r.mirror }
+
+// Close releases the sweep worker goroutines (no-op for serial runners).
+// The Runner must not be stepped after Close.
+func (r *Runner) Close() {
+	if r.pool != nil {
+		r.pool.close()
+		r.pool = nil
+	}
+}
+
+// finish seals the run and materializes Result.Final.
+func (r *Runner) finish() {
+	r.finished = true
+	if r.mirror != nil {
+		r.res.Final = r.mirror
+	} else {
+		r.res.Final = r.c.ToSim()
+	}
+}
+
+// Step executes one computation step, with sim.Runner.Step's exact contract
+// and observable behavior.
+//
+//snapvet:hotpath
+func (r *Runner) Step() (done bool, err error) {
+	if r.finished {
+		return true, r.err
+	}
+	enabled := r.choices()
+	if len(enabled) == 0 {
+		r.res.Terminal = true
+		r.finish()
+		return true, nil
+	}
+	if r.res.Steps >= r.opts.MaxSteps {
+		//snapvet:ok cold step-limit failure path, allocation acceptable
+		r.err = fmt.Errorf("sim: %s under %s after %d steps (%d rounds): %w",
+			r.k.Name(), r.d.Name(), r.res.Steps, r.res.Rounds, sim.ErrStepLimit) //snapvet:ok cold step-limit failure path, allocation acceptable
+		r.finish()
+		return true, r.err
+	}
+
+	// Selection: the daemon gets its own copy (it may filter in place), the
+	// final set accumulates in selBuf — same buffers, same RNG draw sequence
+	// as the generic runner.
+	r.daemonBuf = append(r.daemonBuf[:0], enabled...)
+	selected := r.d.Select(r.res.Steps, r.facade, r.daemonBuf, r.rng)
+	r.selBuf = append(r.selBuf[:0], selected...)
+	r.selBuf = r.forceAged(r.selBuf, enabled)
+	if len(r.selBuf) == 0 {
+		// Defensive: a daemon must select at least one processor.
+		r.selBuf = append(r.selBuf, enabled[r.rng.Intn(len(enabled))])
+	}
+	selected = r.selBuf
+
+	// Execute: stage every next state from the pre-step slices (sharded when
+	// the selection is large — stage slots are disjoint), then scatter-commit
+	// serially. Composite atomicity, distributed daemon.
+	if r.pool != nil && len(selected) >= r.opts.MinSweep {
+		r.pool.run(jobApply, len(selected))
+	} else {
+		for i, ch := range selected {
+			r.k.apply(r.c, ch.Proc, int32(ch.Action), &r.stage[i])
+		}
+	}
+	for i, ch := range selected {
+		r.c.setStateHot(int32(ch.Proc), &r.stage[i])
+	}
+	for _, ch := range selected {
+		r.res.Moves++
+		r.actionMoves[ch.Action]++
+	}
+	r.res.Steps++
+	r.rs.Steps, r.rs.Moves = r.res.Steps, r.res.Moves
+	steps := r.res.Steps
+
+	// Executed processors leave the round and restart their fairness age
+	// (the generic runner does both at the end of the step; nothing below
+	// consults them in between).
+	for _, ch := range selected {
+		r.lastReset[ch.Proc] = steps
+		if r.pending.test(ch.Proc) {
+			r.pending.clear(ch.Proc)
+			r.pendingCount--
+		}
+	}
+
+	if r.mirror != nil {
+		for i, ch := range selected {
+			*(r.mirror.States[ch.Proc].(*core.State)) = r.stage[i]
+		}
+	}
+	for _, o := range r.opts.Observers {
+		o.OnStep(steps, selected, r.mirror)
+	}
+
+	r.refresh(selected)
+
+	for _, o := range r.opts.Observers {
+		if eo, ok := o.(sim.EnabledObserver); ok {
+			eo.OnEnabled(steps, r.enabled.count())
+		}
+	}
+
+	// Round boundary: every processor pending since the round started has
+	// now executed or been disabled.
+	if r.pendingCount == 0 {
+		r.res.Rounds++
+		r.rs.Rounds = r.res.Rounds
+		for _, o := range r.opts.Observers {
+			if ro, ok := o.(sim.RoundObserver); ok {
+				ro.OnRound(r.res.Rounds, r.mirror)
+			}
+		}
+		r.pending.copyFrom(r.enabled)
+		r.pendingCount = r.enabled.count()
+	}
+
+	// Clear the fairness dedup marks set this step (selBuf covers them).
+	for _, ch := range selected {
+		r.have.clear(ch.Proc)
+	}
+
+	if r.opts.StopWhen != nil && r.opts.StopWhen(&r.rs) {
+		r.res.Stopped = true
+		r.finish()
+		return true, nil
+	}
+	return false, nil
+}
+
+// choices returns the enabled list in ascending processor order, rebuilding
+// the reusable buffer only after a refresh changed some processor's action.
+//
+//snapvet:hotpath
+func (r *Runner) choices() []sim.Choice {
+	if r.bufValid {
+		return r.buf
+	}
+	r.buf = r.buf[:0]
+	r.enabled.forEach(func(p int) { //snapvet:ok non-escaping closure over r, stack-allocated (proved by the CI alloc gates)
+		r.buf = append(r.buf, sim.Choice{Proc: p, Action: int(r.acts[p])})
+	})
+	r.bufValid = true
+	return r.buf
+}
+
+// forceAged is sim.Runner.forceAged over virtual ages: it appends every
+// enabled processor whose age reached the fairness bound, at most once per
+// processor. The enabled list has exactly one choice per processor (the PIF
+// guards are mutually exclusive), so each forced processor consumes one RNG
+// draw — exactly the generic runner's per-group Intn(1) — keeping the
+// engines' draw sequences aligned.
+//
+//snapvet:hotpath
+func (r *Runner) forceAged(selected, enabled []sim.Choice) []sim.Choice {
+	for _, ch := range selected {
+		r.have.set(ch.Proc)
+	}
+	bound := r.opts.FairnessAge
+	steps := r.res.Steps
+	for i := range enabled {
+		proc := enabled[i].Proc
+		if steps-r.lastReset[proc] >= bound && !r.have.test(proc) {
+			selected = append(selected, enabled[i+r.rng.Intn(1)])
+			r.have.set(proc)
+		}
+	}
+	return selected
+}
+
+// refresh re-evaluates the guards of the executed processors' closed
+// neighborhoods (guards are local) and commits the changes: enabled bitset
+// and action slots, choice-buffer invalidation, round departures of newly
+// disabled processors, and age restarts of newly enabled ones. The guard
+// sweep itself is sharded when the dirty set is large — workers read the
+// post-commit state slices and write disjoint newActs slots — while this
+// commit loop stays serial, so sharding cannot reorder any observable
+// effect.
+//
+//snapvet:hotpath
+func (r *Runner) refresh(selected []sim.Choice) {
+	r.dirtyBuf = r.dirtyBuf[:0]
+	for _, ch := range selected {
+		if !r.scratch.test(ch.Proc) {
+			r.scratch.set(ch.Proc)
+			r.dirtyBuf = append(r.dirtyBuf, int32(ch.Proc))
+		}
+		for _, q := range r.c.neighbors(ch.Proc) {
+			if !r.scratch.test(int(q)) {
+				r.scratch.set(int(q))
+				r.dirtyBuf = append(r.dirtyBuf, q)
+			}
+		}
+	}
+
+	if r.pool != nil && len(r.dirtyBuf) >= r.opts.MinSweep {
+		r.pool.run(jobEval, len(r.dirtyBuf))
+	} else {
+		for _, p := range r.dirtyBuf {
+			r.newActs[p] = r.k.enabledAction(r.c, int(p))
+		}
+	}
+
+	steps := r.res.Steps
+	for _, p32 := range r.dirtyBuf {
+		p := int(p32)
+		r.scratch.clear(p)
+		a := r.newActs[p]
+		old := r.acts[p]
+		if a == old {
+			continue
+		}
+		r.acts[p] = a
+		r.bufValid = false
+		switch {
+		case a == noAction:
+			// Enabled → disabled: the disable action; p leaves the round.
+			r.enabled.clear(p)
+			if r.pending.test(p) {
+				r.pending.clear(p)
+				r.pendingCount--
+			}
+		case old == noAction:
+			// Disabled → enabled: the generic runner's aging loop gives p
+			// age 1 at the end of this step (enabled, not executed — an
+			// executed processor is enabled before the step, so never takes
+			// this transition).
+			r.enabled.set(p)
+			r.lastReset[p] = steps - 1
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package flat
+
+import "sync"
+
+// This file implements the sharded sweep: a fixed pool of worker goroutines
+// that fan the two data-parallel phases of a step — guard re-evaluation over
+// the dirty set and action staging over the selection — across contiguous
+// index shards.
+//
+// Determinism and race-freedom are structural, not scheduled:
+//
+//   - Workers only read state that is frozen for the duration of the sweep
+//     (the Config slices, the kernel parameters, the dirtyBuf/selBuf item
+//     lists) and only write slots owned by their items (newActs[p] for the
+//     eval sweep, stage[i] for the apply sweep). Item lists hold at most one
+//     entry per processor, so no two workers ever write the same slot.
+//   - The results are committed by the caller's serial loop after run()
+//     returns, in item order — the same loop the serial mode uses — so shard
+//     scheduling cannot reorder any observable effect.
+//   - run() publishes the item lists to workers via the jobs channel send
+//     and collects their writes via WaitGroup.Wait; the root's broadcast
+//     counter (the one piece of kernel state an apply can mutate, touched by
+//     at most one item per step) is ordered across steps by the same
+//     barriers.
+//
+// The grid of differential tests runs sharded configurations under -race,
+// and TestShardedSweepMatchesSerial pins the bit-identity claim.
+
+type jobKind uint8
+
+const (
+	// jobEval re-evaluates guards: newActs[p] for p in dirtyBuf[lo:hi].
+	jobEval jobKind = iota
+	// jobApply stages next states: stage[i] for selBuf entries in [lo, hi).
+	jobApply
+)
+
+type job struct {
+	kind   jobKind
+	lo, hi int32
+}
+
+// pool is a lazily shut down worker set attached to one Runner. All fields
+// are fixed after construction; per-sweep state flows through the Runner's
+// buffers.
+type pool struct {
+	r       *Runner
+	jobs    chan job
+	wg      sync.WaitGroup
+	workers int
+}
+
+func newPool(r *Runner, workers int) *pool {
+	p := &pool{
+		r: r,
+		// Buffer enough for a full fan-out so run never blocks on its own
+		// sends before workers drain.
+		jobs:    make(chan job, workers*shardsPerWorker),
+		workers: workers,
+	}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// shardsPerWorker oversubscribes shards to workers so an unlucky shard with
+// heavier neighborhoods cannot serialize the sweep.
+const shardsPerWorker = 4
+
+func (p *pool) worker() {
+	for j := range p.jobs {
+		switch j.kind {
+		case jobEval:
+			p.r.evalRange(int(j.lo), int(j.hi))
+		case jobApply:
+			p.r.applyRange(int(j.lo), int(j.hi))
+		}
+		p.wg.Done()
+	}
+}
+
+// run shards items [0, n) over the workers and blocks until every shard
+// completed. It allocates nothing: jobs are values on a buffered channel.
+//
+//snapvet:hotpath
+func (p *pool) run(kind jobKind, n int) {
+	shard := (n + p.workers*shardsPerWorker - 1) / (p.workers * shardsPerWorker)
+	if shard < 1 {
+		shard = 1
+	}
+	for lo := 0; lo < n; lo += shard {
+		hi := lo + shard
+		if hi > n {
+			hi = n
+		}
+		p.wg.Add(1)
+		p.jobs <- job{kind: kind, lo: int32(lo), hi: int32(hi)}
+	}
+	p.wg.Wait()
+}
+
+func (p *pool) close() { close(p.jobs) }
+
+// evalRange is the eval sweep's shard body: disjoint newActs writes.
+//
+//snapvet:hotpath
+func (r *Runner) evalRange(lo, hi int) {
+	for _, p := range r.dirtyBuf[lo:hi] {
+		r.newActs[p] = r.k.enabledAction(r.c, int(p))
+	}
+}
+
+// applyRange is the apply sweep's shard body: disjoint stage writes.
+//
+//snapvet:hotpath
+func (r *Runner) applyRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ch := r.selBuf[i]
+		r.k.apply(r.c, ch.Proc, int32(ch.Action), &r.stage[i])
+	}
+}

@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // This file provides the topology families used throughout the experiment
@@ -299,6 +300,56 @@ func RandomConnected(n int, p float64, rng *rand.Rand) (*Graph, error) {
 		}
 	}
 	return New(fmt.Sprintf("random-%d-p%02.0f", n, p*100), n, edges)
+}
+
+// RandomSparse returns a connected random graph with a fixed edge budget: a
+// uniformly random spanning tree plus up to extra additional uniformly
+// random edges (duplicates and self-loops are discarded, so the realized
+// extra-edge count can fall slightly short). Unlike RandomConnected, whose
+// Erdős–Rényi pair loop is Θ(n²), construction is O((n+extra)·log) — the
+// builder the scaling benchmarks use for 10⁵–10⁶-processor networks.
+// Deterministic for a given rng stream.
+func RandomSparse(n, extra int, rng *rand.Rand) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph: random sparse graph needs n ≥ 1, got %d", n)
+	}
+	if extra < 0 {
+		return nil, fmt.Errorf("graph: random sparse graph needs extra ≥ 0, got %d", extra)
+	}
+	edges := make([][2]int, 0, n-1+extra)
+	add := func(u, v int) {
+		if u > v {
+			u, v = v, u
+		}
+		edges = append(edges, [2]int{u, v})
+	}
+	// Random spanning tree: attach each node to a uniformly random earlier
+	// node of a random permutation (same construction as RandomConnected).
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		add(perm[i], perm[rng.Intn(i)])
+	}
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			add(u, v)
+		}
+	}
+	// Sort-and-unique instead of a hash set: at n = 10⁶ the per-edge map
+	// insert would dominate construction.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	uniq := edges[:0]
+	for i, e := range edges {
+		if i == 0 || e != edges[i-1] {
+			uniq = append(uniq, e)
+		}
+	}
+	return New(fmt.Sprintf("sparse-%d+%d", n, extra), n, uniq)
 }
 
 // RandomTree returns a uniformly-attached random tree on n nodes.

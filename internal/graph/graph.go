@@ -36,12 +36,18 @@ type Graph struct {
 // and duplicate edges are rejected. The neighbor order of every node is
 // ascending node ID (one concrete instance of the paper's arbitrary local
 // order ≺_p).
+//
+// Duplicate detection works by sorting each adjacency list and scanning for
+// equal neighbors rather than through a hash set of edges: the large-N
+// engine builds million-node topologies, where a per-edge map insert
+// dominated construction time and memory.
 func New(name string, n int, edges [][2]int) (*Graph, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("graph %q: need at least one node, got %d", name, n)
 	}
-	adj := make([][]int, n)
-	seen := make(map[[2]int]bool, len(edges))
+	// First pass: validate endpoints and count degrees so every adjacency
+	// list is allocated exactly once at its final length.
+	deg := make([]int, n)
 	for _, e := range edges {
 		u, v := e[0], e[1]
 		if u < 0 || u >= n || v < 0 || v >= n {
@@ -50,20 +56,29 @@ func New(name string, n int, edges [][2]int) (*Graph, error) {
 		if u == v {
 			return nil, fmt.Errorf("graph %q: self-loop at node %d", name, u)
 		}
-		if u > v {
-			u, v = v, u
-		}
-		if seen[[2]int{u, v}] {
-			return nil, fmt.Errorf("graph %q: duplicate edge (%d,%d)", name, u, v)
-		}
-		seen[[2]int{u, v}] = true
-		adj[u] = append(adj[u], v)
-		adj[v] = append(adj[v], u)
+		deg[u]++
+		deg[v]++
 	}
-	for _, nb := range adj {
+	adj := make([][]int, n)
+	flat := make([]int, 2*len(edges))
+	off := 0
+	for p, d := range deg {
+		adj[p] = flat[off : off : off+d]
+		off += d
+	}
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	for u, nb := range adj {
 		sort.Ints(nb)
+		for i := 1; i < len(nb); i++ {
+			if nb[i] == nb[i-1] {
+				return nil, fmt.Errorf("graph %q: duplicate edge (%d,%d)", name, min(u, nb[i]), max(u, nb[i]))
+			}
+		}
 	}
-	g := &Graph{name: name, adj: adj, m: len(seen)}
+	g := &Graph{name: name, adj: adj, m: len(edges)}
 	if !g.connected() {
 		return nil, fmt.Errorf("graph %q: %w", name, ErrDisconnected)
 	}

@@ -2,6 +2,7 @@ package graph_test
 
 import (
 	"math/rand"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -351,4 +352,36 @@ func TestMustNewPanics(t *testing.T) {
 		}
 	}()
 	graph.MustNew("bad", 2, nil) // disconnected
+}
+
+func TestRandomSparse(t *testing.T) {
+	for _, tc := range []struct{ n, extra int }{
+		{1, 0}, {2, 0}, {10, 0}, {10, 15}, {500, 1000},
+	} {
+		rng := rand.New(rand.NewSource(7))
+		g, err := graph.RandomSparse(tc.n, tc.extra, rng)
+		if err != nil {
+			t.Fatalf("RandomSparse(%d,%d): %v", tc.n, tc.extra, err)
+		}
+		if g.N() != tc.n {
+			t.Fatalf("RandomSparse(%d,%d): N=%d", tc.n, tc.extra, g.N())
+		}
+		if g.M() < tc.n-1 || g.M() > tc.n-1+tc.extra {
+			t.Fatalf("RandomSparse(%d,%d): M=%d outside [n-1, n-1+extra]", tc.n, tc.extra, g.M())
+		}
+		// Determinism: the same stream rebuilds the same graph.
+		g2, err := graph.RandomSparse(tc.n, tc.extra, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(g.Edges(), g2.Edges()) {
+			t.Fatalf("RandomSparse(%d,%d) not deterministic", tc.n, tc.extra)
+		}
+	}
+	if _, err := graph.RandomSparse(0, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("RandomSparse accepted n=0")
+	}
+	if _, err := graph.RandomSparse(3, -1, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("RandomSparse accepted extra=-1")
+	}
 }

@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"snappif/internal/graph"
+)
+
+// This file pins the buffer-ownership contract between Runner.Step and
+// Daemon.Select (daemon.go): the enabled slice handed to Select is
+// caller-owned scratch (Runner.daemonBuf) that the daemon may filter,
+// reorder, or overwrite in place and may return resliced; the runner copies
+// the returned slice into its own selBuf *before* fairness forcing appends
+// to it, and never reads daemonBuf again after Select returns. Breaking any
+// of these properties silently corrupts selections for daemons like Central
+// and DistributedRandom that return subslices of their input, so the tests
+// below attack the contract from both sides: maximally aliasing daemons
+// must run bit-identically to a copying reference, and the buffer backing
+// arrays must stay pairwise disjoint.
+//
+// Known sharp edge, pinned here as documentation: a daemon that violates
+// the "at most one choice per processor" clause is NOT defended against.
+// On the generic Apply path a duplicate is last-write-wins; on the
+// ApplyInto path the shadow-box swap runs twice and restores the OLD state.
+// Both engines count the extra move. That asymmetry is why the contract is
+// a hard requirement, not a hint.
+
+// spreadState is an integer state for the max-propagation toy protocol.
+type spreadState int
+
+func (s spreadState) Clone() State { return s }
+
+// spreadProto propagates the maximum value over the closed 1-hop
+// neighborhood: p is enabled while some neighbor holds a larger value, and
+// its single action adopts that maximum. Initial values vary by processor
+// so partial selections leave real work for many steps.
+type spreadProto struct{ g *graph.Graph }
+
+func (sp *spreadProto) Name() string             { return "spread-max" }
+func (sp *spreadProto) ActionNames() []string    { return []string{"adopt"} }
+func (sp *spreadProto) InitialState(p int) State { return spreadState(p % 7) }
+func (sp *spreadProto) GuardsAreLocal() bool     { return true }
+
+func (sp *spreadProto) max1(c *Configuration, p int) spreadState {
+	best := c.States[p].(spreadState)
+	for _, q := range sp.g.Neighbors(p) {
+		if v := c.States[q].(spreadState); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func (sp *spreadProto) Enabled(c *Configuration, p int) []int {
+	if c.States[p].(spreadState) < sp.max1(c, p) {
+		return []int{0}
+	}
+	return nil
+}
+
+func (sp *spreadProto) Apply(c *Configuration, p, a int) State {
+	return sp.max1(c, p)
+}
+
+// selectReversedEvens is the canonical selection all three test daemons
+// compute: walk the enabled list backwards taking every second choice
+// (indices len-1, len-3, …), which is non-empty whenever enabled is. The
+// protocol has one action per processor, so any subset honors the
+// one-choice-per-processor clause. No RNG is consumed, keeping the
+// runner-side draw sequence (fairness forcing) aligned across daemons.
+func selectReversedEvens(dst, enabled []Choice) []Choice {
+	for i := len(enabled) - 1; i >= 0; i -= 2 {
+		dst = append(dst, enabled[i])
+	}
+	return dst
+}
+
+// copyingDaemon is the well-behaved reference: it computes the selection
+// from the input without ever writing to it and returns fresh storage.
+type copyingDaemon struct{}
+
+func (copyingDaemon) Name() string { return "aliasing-copying" }
+func (copyingDaemon) Select(step int, c *Configuration, enabled []Choice, rng *rand.Rand) []Choice {
+	return selectReversedEvens(nil, enabled)
+}
+
+// reslicingDaemon is maximally aliased but legal: it reverses the input in
+// place, compacts every second choice into enabled[:0], and returns that
+// reslice of the caller's scratch — the same shape as DistributedRandom's
+// in-place filter combined with Central's subslice return.
+type reslicingDaemon struct{}
+
+func (reslicingDaemon) Name() string { return "aliasing-reslicing" }
+func (reslicingDaemon) Select(step int, c *Configuration, enabled []Choice, rng *rand.Rand) []Choice {
+	for i, j := 0, len(enabled)-1; i < j; i, j = i+1, j-1 {
+		enabled[i], enabled[j] = enabled[j], enabled[i]
+	}
+	// After the reversal, the even indices are the original indices
+	// len-1, len-3, … — the canonical selection. The compacting write
+	// index never passes the read index (one write per two reads).
+	out := enabled[:0]
+	for i := 0; i < len(enabled); i += 2 {
+		out = append(out, enabled[i])
+	}
+	return out
+}
+
+// trashingDaemon computes the selection into its own buffer and then
+// poisons the entire input slice before returning. Legal under the
+// caller-owned-scratch clause: if the runner read daemonBuf after Select
+// returned, the poison (processor -1) would derail the run immediately.
+type trashingDaemon struct{ buf []Choice }
+
+func (*trashingDaemon) Name() string { return "aliasing-trashing" }
+func (d *trashingDaemon) Select(step int, c *Configuration, enabled []Choice, rng *rand.Rand) []Choice {
+	d.buf = selectReversedEvens(d.buf[:0], enabled)
+	for i := range enabled {
+		enabled[i] = Choice{Proc: -1, Action: -1}
+	}
+	return d.buf
+}
+
+// runSpread executes the max-propagation fixture to termination under d
+// with a tight fairness bound (so forceAged regularly appends to selBuf
+// while the daemon's returned slice is live) and returns the result plus
+// final values.
+func runSpread(t *testing.T, d Daemon) (Result, []int) {
+	t.Helper()
+	g, err := graph.Ring(33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := &spreadProto{g: g}
+	cfg := NewConfiguration(g, sp)
+	res, err := Run(cfg, sp, d, Options{Seed: 9, MaxSteps: 10_000, FairnessAge: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int, g.N())
+	for p := range vals {
+		vals[p] = int(cfg.States[p].(spreadState))
+	}
+	return res, vals
+}
+
+// TestDaemonAliasingEquivalence: the reslicing and trashing daemons — both
+// legal but maximally hostile to buffer sharing — must produce runs
+// bit-identical to the copying reference: same steps, moves, rounds, and
+// final states. A regression that lets forceAged's appends grow the
+// daemon's slice, or that reads daemonBuf after Select, diverges here.
+func TestDaemonAliasingEquivalence(t *testing.T) {
+	refRes, refVals := runSpread(t, copyingDaemon{})
+	if !refRes.Terminal {
+		t.Fatalf("fixture sanity: reference run did not terminate: %+v", refRes)
+	}
+	if refRes.Steps < 10 {
+		t.Fatalf("fixture sanity: reference run too short (%d steps) to exercise aliasing", refRes.Steps)
+	}
+
+	for _, tc := range []struct {
+		name string
+		d    Daemon
+	}{
+		{"reslicing", reslicingDaemon{}},
+		{"trashing", &trashingDaemon{}},
+	} {
+		res, vals := runSpread(t, tc.d)
+		if res.Steps != refRes.Steps || res.Moves != refRes.Moves || res.Rounds != refRes.Rounds {
+			t.Errorf("%s daemon diverged from copying reference: %d/%d/%d steps/moves/rounds, want %d/%d/%d",
+				tc.name, res.Steps, res.Moves, res.Rounds, refRes.Steps, refRes.Moves, refRes.Rounds)
+		}
+		for p := range vals {
+			if vals[p] != refVals[p] {
+				t.Errorf("%s daemon: proc %d final value %d, want %d", tc.name, p, vals[p], refVals[p])
+			}
+		}
+	}
+}
+
+// recordingDaemon wraps an inner daemon and captures the base pointer of
+// the slice each Select call receives, for the whitebox identity checks.
+type recordingDaemon struct {
+	inner Daemon
+	last  *Choice
+}
+
+func (d *recordingDaemon) Name() string { return d.inner.Name() }
+func (d *recordingDaemon) Select(step int, c *Configuration, enabled []Choice, rng *rand.Rand) []Choice {
+	if len(enabled) > 0 {
+		d.last = &enabled[0]
+	}
+	return d.inner.Select(step, c, enabled, rng)
+}
+
+// TestRunnerBufferBackingDisjoint steps a Runner under the reslicing
+// daemon and asserts the whitebox invariants the equivalence test relies
+// on: Select receives exactly daemonBuf, and the backing arrays of
+// cache.buf, daemonBuf, and selBuf stay pairwise distinct. All three are
+// only ever resliced from offset 0 of their own backing, so comparing base
+// pointers is a complete aliasing check, not a heuristic.
+func TestRunnerBufferBackingDisjoint(t *testing.T) {
+	g, err := graph.Ring(33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := &spreadProto{g: g}
+	cfg := NewConfiguration(g, sp)
+	rec := &recordingDaemon{inner: reslicingDaemon{}}
+	r := NewRunner(cfg, sp, rec, Options{Seed: 9, MaxSteps: 10_000, FairnessAge: 3})
+
+	steps := 0
+	for {
+		done, err := r.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		steps++
+		if len(r.daemonBuf) > 0 && rec.last != &r.daemonBuf[0] {
+			t.Fatalf("step %d: daemon received a slice other than daemonBuf", steps)
+		}
+		if len(r.selBuf) > 0 && len(r.daemonBuf) > 0 && &r.selBuf[0] == &r.daemonBuf[0] {
+			t.Fatalf("step %d: selBuf shares backing with daemonBuf", steps)
+		}
+		if len(r.selBuf) > 0 && len(r.cache.buf) > 0 && &r.selBuf[0] == &r.cache.buf[0] {
+			t.Fatalf("step %d: selBuf shares backing with the enabled cache buffer", steps)
+		}
+		if len(r.daemonBuf) > 0 && len(r.cache.buf) > 0 && &r.daemonBuf[0] == &r.cache.buf[0] {
+			t.Fatalf("step %d: daemonBuf shares backing with the enabled cache buffer", steps)
+		}
+	}
+	if steps < 10 {
+		t.Fatalf("fixture sanity: only %d steps, too short to exercise the buffers", steps)
+	}
+}
+
+// TestTrashedScratchDoesNotReachCache: the trashing daemon overwrites its
+// entire scratch slice with poison; the enabled cache's choice buffer —
+// which the daemon must never see — has to stay clean after every step. A
+// regression that hands cache.buf to Select directly (skipping the
+// daemonBuf copy) fails here on the first step.
+func TestTrashedScratchDoesNotReachCache(t *testing.T) {
+	g, err := graph.Ring(33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := &spreadProto{g: g}
+	cfg := NewConfiguration(g, sp)
+	r := NewRunner(cfg, sp, &trashingDaemon{}, Options{Seed: 9, MaxSteps: 10_000, FairnessAge: 3})
+
+	for {
+		done, err := r.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ch := range r.cache.buf {
+			if ch.Proc < 0 || ch.Action < 0 {
+				t.Fatalf("daemon poison leaked into the enabled cache buffer: %v", ch)
+			}
+		}
+		for _, ch := range r.selBuf {
+			if ch.Proc < 0 || ch.Action < 0 {
+				t.Fatalf("daemon poison leaked into the committed selection: %v", ch)
+			}
+		}
+		if done {
+			break
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package sim_test
+
+import (
+	"testing"
+
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+// twoHopState is the toy 2-hop protocol's processor state: one integer.
+type twoHopState struct{ v int }
+
+func (s *twoHopState) Clone() sim.State { return &twoHopState{s.v} }
+
+// twoHopMax is a deliberately non-1-local toy protocol: processor p is
+// enabled iff some processor within TWO hops holds a larger value, and its
+// action adopts that maximum. It is "local" in the bounded sense (guards
+// read a fixed-radius neighborhood) but violates the 1-hop assumption the
+// incremental enabled cache used to hard-code: a mover can flip the guard
+// of a processor two hops away, which a 1-hop refresh never re-evaluates.
+type twoHopMax struct {
+	g *graph.Graph
+	// hideRadius simulates the pre-fix world: the protocol claims
+	// GuardsAreLocal but exposes no DirtyRadius, so the cache dilates only
+	// one hop and goes silently stale.
+	hideRadius bool
+}
+
+func (tp *twoHopMax) Name() string          { return "two-hop-max" }
+func (tp *twoHopMax) ActionNames() []string { return []string{"raise"} }
+
+func (tp *twoHopMax) InitialState(p int) sim.State { return &twoHopState{} }
+
+func (tp *twoHopMax) val(c *sim.Configuration, p int) int { return c.States[p].(*twoHopState).v }
+
+// max2 returns the maximum value over p's closed 2-hop neighborhood.
+func (tp *twoHopMax) max2(c *sim.Configuration, p int) int {
+	best := tp.val(c, p)
+	for _, q := range tp.g.Neighbors(p) {
+		if v := tp.val(c, q); v > best {
+			best = v
+		}
+		for _, r := range tp.g.Neighbors(q) {
+			if v := tp.val(c, r); v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+func (tp *twoHopMax) Enabled(c *sim.Configuration, p int) []int {
+	if tp.val(c, p) < tp.max2(c, p) {
+		return []int{0}
+	}
+	return nil
+}
+
+func (tp *twoHopMax) Apply(c *sim.Configuration, p, a int) sim.State {
+	return &twoHopState{v: tp.max2(c, p)}
+}
+
+func (tp *twoHopMax) GuardsAreLocal() bool { return true }
+
+// DirtyRadius implements sim.RadiusProtocol unless the test is simulating
+// the pre-fix behavior. (Returning 1 from here is exactly equivalent to not
+// implementing the interface; the wrapper below hides it entirely to also
+// cover the interface-assertion path.)
+func (tp *twoHopMax) DirtyRadius() int { return 2 }
+
+// hideRadiusWrap forwards LocalProtocol but not RadiusProtocol.
+type hideRadiusWrap struct{ p *twoHopMax }
+
+func (h hideRadiusWrap) Name() string                              { return h.p.Name() }
+func (h hideRadiusWrap) ActionNames() []string                     { return h.p.ActionNames() }
+func (h hideRadiusWrap) InitialState(p int) sim.State              { return h.p.InitialState(p) }
+func (h hideRadiusWrap) Enabled(c *sim.Configuration, p int) []int { return h.p.Enabled(c, p) }
+func (h hideRadiusWrap) Apply(c *sim.Configuration, p, a int) sim.State {
+	return h.p.Apply(c, p, a)
+}
+func (h hideRadiusWrap) GuardsAreLocal() bool { return true }
+
+// runTwoHop runs the max-propagation fixture — a line of five processors
+// with a single seed value at processor 0 — to termination under the
+// synchronous daemon and returns the result plus the final values.
+func runTwoHop(t *testing.T, proto sim.Protocol, g *graph.Graph) (sim.Result, []int) {
+	t.Helper()
+	states := make([]sim.State, g.N())
+	for p := range states {
+		states[p] = &twoHopState{}
+	}
+	states[0] = &twoHopState{v: 1}
+	cfg := &sim.Configuration{G: g, States: states}
+	res, err := sim.Run(cfg, proto, sim.Synchronous{}, sim.Options{Seed: 1, MaxSteps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int, g.N())
+	for p := range vals {
+		vals[p] = cfg.States[p].(*twoHopState).v
+	}
+	return res, vals
+}
+
+// TestDirtyRadiusHonored is the regression test for the enabled cache's
+// former 1-hop assumption: a protocol whose guards read two hops, declared
+// via sim.RadiusProtocol, must run bit-identically on the incremental path
+// and the full-recomputation path. Before DirtyRadius existed this protocol
+// class had no correct incremental mode at all — the cache silently went
+// stale (see TestDirtyRadiusStaleWithoutHint for the observable damage).
+func TestDirtyRadiusHonored(t *testing.T) {
+	g, err := graph.Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incRes, incVals := runTwoHop(t, &twoHopMax{g: g}, g)
+	fullRes, fullVals := runTwoHop(t, hideLocal{p: &twoHopMax{g: g}}, g)
+
+	if incRes.Steps != fullRes.Steps || incRes.Moves != fullRes.Moves || incRes.Rounds != fullRes.Rounds {
+		t.Errorf("incremental(radius=2) diverged from full recomputation: %+v vs %+v", incRes, fullRes)
+	}
+	for p := range incVals {
+		if incVals[p] != fullVals[p] {
+			t.Errorf("proc %d final value: incremental %d, full %d", p, incVals[p], fullVals[p])
+		}
+	}
+	// On line-5 with the seed at one end, the synchronous daemon finishes in
+	// two steps: {1,2} adopt the max, then {3,4}.
+	if fullRes.Steps != 2 {
+		t.Errorf("fixture sanity: full recomputation took %d steps, want 2", fullRes.Steps)
+	}
+}
+
+// TestDirtyRadiusStaleWithoutHint documents the bug the hint fixes: the
+// same 2-hop protocol claiming plain 1-hop locality runs *differently* —
+// the cache misses the guard flip of a processor two hops from a mover, the
+// synchronous daemon selects a smaller set, and the run takes extra steps.
+// If this test ever fails because stale == correct, the staleness fixture
+// has stopped being a fixture; tighten it rather than delete it.
+func TestDirtyRadiusStaleWithoutHint(t *testing.T) {
+	g, err := graph.Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleRes, _ := runTwoHop(t, hideRadiusWrap{p: &twoHopMax{g: g}}, g)
+	fullRes, _ := runTwoHop(t, hideLocal{p: &twoHopMax{g: g}}, g)
+
+	if staleRes.Steps == fullRes.Steps {
+		t.Fatalf("expected the 1-hop refresh to go stale on the 2-hop protocol; both runs took %d steps",
+			staleRes.Steps)
+	}
+	if fullRes.Steps != 2 || staleRes.Steps != 3 {
+		t.Errorf("fixture drifted: full %d steps (want 2), stale %d steps (want 3)",
+			fullRes.Steps, staleRes.Steps)
+	}
+}

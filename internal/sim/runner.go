@@ -368,11 +368,14 @@ type enabledCache struct {
 	c           *Configuration
 	p           Protocol
 	incremental bool
+	radius      int // hop distance refresh dilates around movers (≥ 1)
 	acts        [][]int
 	enabledBits bitset
 	buf         []Choice
 	bufValid    bool
 	scratch     bitset // processors re-evaluated in the current refresh
+	frontier    []int  // BFS frontier scratch for radius > 1
+	next        []int
 }
 
 func newEnabledCache(c *Configuration, p Protocol, incremental bool) *enabledCache {
@@ -380,9 +383,13 @@ func newEnabledCache(c *Configuration, p Protocol, incremental bool) *enabledCac
 		c:           c,
 		p:           p,
 		incremental: incremental,
+		radius:      1,
 		acts:        make([][]int, c.N()),
 		enabledBits: newBitset(c.N()),
 		scratch:     newBitset(c.N()),
+	}
+	if rp, ok := p.(RadiusProtocol); ok && rp.DirtyRadius() > 1 {
+		ec.radius = rp.DirtyRadius()
 	}
 	for proc := 0; proc < c.N(); proc++ {
 		ec.update(proc)
@@ -416,7 +423,9 @@ func (ec *enabledCache) update(proc int) {
 }
 
 // refresh re-evaluates guards after a committed step. With local guards
-// only the executed processors' closed neighborhoods can have changed.
+// only the processors within the protocol's dirty radius of a mover can
+// have changed (radius 1 — the executed processors' closed neighborhoods —
+// unless the protocol widens it via RadiusProtocol).
 //
 //snapvet:hotpath
 func (ec *enabledCache) refresh(executed []Choice) {
@@ -427,17 +436,45 @@ func (ec *enabledCache) refresh(executed []Choice) {
 		return
 	}
 	ec.scratch.reset()
+	if ec.radius == 1 {
+		for _, ch := range executed {
+			if !ec.scratch.test(ch.Proc) {
+				ec.scratch.set(ch.Proc)
+				ec.update(ch.Proc)
+			}
+			for _, q := range ec.c.G.Neighbors(ch.Proc) {
+				if !ec.scratch.test(q) {
+					ec.scratch.set(q)
+					ec.update(q)
+				}
+			}
+		}
+		return
+	}
+	// radius > 1: breadth-first dilation around the movers, reusing the
+	// frontier buffers so the hot path stays allocation-free once warm.
+	ec.frontier = ec.frontier[:0]
 	for _, ch := range executed {
 		if !ec.scratch.test(ch.Proc) {
 			ec.scratch.set(ch.Proc)
 			ec.update(ch.Proc)
+			ec.frontier = append(ec.frontier, ch.Proc)
 		}
-		for _, q := range ec.c.G.Neighbors(ch.Proc) {
-			if !ec.scratch.test(q) {
-				ec.scratch.set(q)
-				ec.update(q)
+	}
+	cur := ec.frontier
+	for hop := 0; hop < ec.radius && len(cur) > 0; hop++ {
+		ec.next = ec.next[:0]
+		for _, p := range cur {
+			for _, q := range ec.c.G.Neighbors(p) {
+				if !ec.scratch.test(q) {
+					ec.scratch.set(q)
+					ec.update(q)
+					ec.next = append(ec.next, q)
+				}
 			}
 		}
+		ec.frontier, ec.next = ec.next, ec.frontier
+		cur = ec.frontier
 	}
 }
 

@@ -92,6 +92,23 @@ type LocalProtocol interface {
 	GuardsAreLocal() bool
 }
 
+// RadiusProtocol optionally refines LocalProtocol for protocols whose
+// guards read a bounded neighborhood wider than one hop: Enabled(c, p) may
+// read the states of every processor within DirtyRadius hops of p. A
+// LocalProtocol without this extension is assumed to have radius 1 (the
+// locally shared memory model's register visibility). The runner dilates
+// the incremental guard re-evaluation accordingly: after a step it
+// re-evaluates every processor within DirtyRadius hops of a mover —
+// claiming a radius smaller than the guards actually read makes the
+// enabled cache silently stale, exactly like claiming GuardsAreLocal for a
+// non-local protocol.
+type RadiusProtocol interface {
+	LocalProtocol
+
+	// DirtyRadius returns the maximum hop distance Enabled reads, ≥ 1.
+	DirtyRadius() int
+}
+
 // Configuration is a global system configuration: the topology plus the
 // vector of all processor states.
 type Configuration struct {

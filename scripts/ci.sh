@@ -29,6 +29,9 @@ go test ./...
 echo "== race: simulation engine, experiment executor, concurrent runtime, tracer =="
 go test -race ./internal/sim/ ./internal/exp/ ./internal/runtime/ ./cmd/pifexp/ ./internal/obs/
 
+echo "== race: flat engine (differential grid + sharded sweep) =="
+go test -race ./internal/flat/
+
 echo "== race: counterexample hunter =="
 go test -race ./internal/hunt/
 
@@ -38,11 +41,17 @@ go test -race -short -run TestSoakManyWaves -count=1 .
 echo "== allocation budget (zero allocs/step after warm-up, disabled tracer included) =="
 go test ./internal/sim/ -run 'TestZeroAllocs|TestCycleByteBudget|TestChoicesBufferReuse|TestCopyFromZeroAllocs' -count=1 -v
 go test ./internal/obs/ -run TestDisabledTracerZeroAllocs -count=1 -v
+go test ./internal/flat/ -run 'TestFlatZeroAllocsPerStep|TestFlatShardedZeroAllocsPerStep|TestFlatCopyFromZeroAllocs' -count=1 -v
 
 echo "== determinism (serial vs parallel, optimized vs reference) =="
 go test ./internal/sim/ -run TestRunnerMatchesReference -count=1
 go test ./internal/exp/ -run TestSerialParallelIdentical -count=1
 go test ./cmd/pifexp/ -run TestParallelStdoutByteIdentical -count=1
+
+echo "== determinism (flat engine bit-identical to generic) =="
+go test ./internal/flat/ -run TestFlatMatchesGeneric -count=1
+go test ./internal/exp/ -run TestFlatEngineTablesByteIdentical -count=1
+go test ./cmd/pifexp/ -run TestRunFlatEngineIdenticalStdout -count=1
 
 echo "== hunt smoke (clean protocol must hunt clean on a 2x4 grid) =="
 go run ./cmd/pifhunt hunt -topo grid:2x4 -trials 4 -steps 4000
@@ -52,6 +61,7 @@ if [ "${CI_FUZZ:-0}" = "1" ]; then
     go test ./internal/sim/ -run xxx -fuzz FuzzForceAged -fuzztime 10s
     go test ./internal/sim/ -run xxx -fuzz FuzzBitsetRoundAccounting -fuzztime 10s
     go test ./internal/fault/ -run xxx -fuzz FuzzInjectorRecovery -fuzztime 10s
+    go test ./internal/flat/ -run xxx -fuzz FuzzFlatVsGeneric -fuzztime 10s
 fi
 
 echo "CI OK"
