@@ -12,14 +12,15 @@ import (
 // outside the list can opt in with a `//snapvet:deterministic` file
 // comment (the analyzer's own testdata does).
 var detrangePackages = map[string]bool{
-	"internal/sim":   true,
-	"internal/core":  true,
-	"internal/exp":   true,
-	"internal/flat":  true,
-	"internal/graph": true,
-	"internal/trace": true,
-	"internal/obs":   true,
-	"internal/hunt":  true,
+	"internal/sim":     true,
+	"internal/core":    true,
+	"internal/exp":     true,
+	"internal/explore": true,
+	"internal/flat":    true,
+	"internal/graph":   true,
+	"internal/trace":   true,
+	"internal/obs":     true,
+	"internal/hunt":    true,
 }
 
 // detrange enforces the engine's determinism invariant at its three

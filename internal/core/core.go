@@ -95,6 +95,33 @@ func (s *State) Clone() sim.State { c := *s; return &c }
 //snapvet:hotpath
 func (s *State) CopyFrom(src sim.State) { *s = *src.(*State) }
 
+// AppendCanonical implements sim.CanonicalState: a fixed-width (50-byte)
+// deterministic encoding of every field. Two states are equal iff their
+// encodings are byte-equal; the exhaustive explorer and the engine
+// differential tests hash and compare states through it.
+func (s *State) AppendCanonical(b []byte) []byte {
+	b = append(b, byte(s.Pif))
+	b = appendU64(b, uint64(int64(s.Par)))
+	b = appendU64(b, uint64(int64(s.L)))
+	b = appendU64(b, uint64(int64(s.Count)))
+	if s.Fok {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendU64(b, s.Msg)
+	b = appendU64(b, uint64(s.Val))
+	return appendU64(b, uint64(s.Agg))
+}
+
+// appendU64 appends v in little-endian order.
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+var _ sim.CanonicalState = (*State)(nil)
+
 // At returns processor p's state by value. It is the exported counterpart of
 // the package-internal accessor the guards use; checkers, fault injectors,
 // and tools read configurations through it.

@@ -1,0 +1,240 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+
+	"snappif/internal/core"
+	"snappif/internal/flat"
+	"snappif/internal/graph"
+	"snappif/internal/hunt"
+	"snappif/internal/sim"
+)
+
+// Engine is one transition oracle over the real implementation: given a
+// concrete state vector it reports the engine's enabled choices, and executes
+// exactly one forced daemon selection through a real runner. The explorer
+// enumerates whatever the engine reports — it never evaluates a guard or
+// applies an action itself — so a certification is a statement about the
+// engine under test (boxed sim.Runner or flat.Runner), not about a model of
+// it.
+//
+// Every Step builds a pristine runner on the engine's scratch configuration:
+// ages start at zero, so the weak-fairness forcing never adds a choice and
+// the committed step is exactly the requested selection. The successor's
+// enabled set is read back from the stepped runner's own guard cache — the
+// incremental refresh path included — not recomputed from scratch.
+type Engine interface {
+	// Name identifies the engine in results ("sim" or "flat").
+	Name() string
+
+	// Probe loads states into the scratch configuration and returns the
+	// engine's enabled choices without stepping.
+	Probe(states []core.State) ([]sim.Choice, error)
+
+	// Step executes exactly sel from states and returns the successor state
+	// vector together with the engine's post-step enabled choices. Every
+	// choice in sel must be enabled (they come from a previous Probe/Step of
+	// the same vector); a selection the engine does not recognize is an
+	// error, never a silent substitution.
+	Step(states []core.State, sel []sim.Choice) (succ []core.State, enabled []sim.Choice, err error)
+}
+
+// forcedDaemon replays one externally chosen selection. Unlike hunt's
+// tolerant scheduleDaemon it is strict: a requested choice missing from the
+// enabled set marks the step as diverged and the engine reports an error.
+type forcedDaemon struct {
+	sel  []sim.Choice
+	miss bool
+	buf  []sim.Choice
+}
+
+var _ sim.Daemon = (*forcedDaemon)(nil)
+
+// Name implements sim.Daemon.
+func (d *forcedDaemon) Name() string { return "explore-forced" }
+
+// Select implements sim.Daemon: it returns exactly the requested choices
+// that the engine reports enabled, flagging any miss.
+func (d *forcedDaemon) Select(_ int, _ *sim.Configuration, enabled []sim.Choice, _ *rand.Rand) []sim.Choice {
+	d.buf = d.buf[:0]
+	for _, want := range d.sel {
+		found := false
+		for _, ch := range enabled {
+			if ch == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			d.miss = true
+			continue
+		}
+		d.buf = append(d.buf, want)
+	}
+	return d.buf
+}
+
+// engineOptions pins the runner options of a single forced step: the
+// fairness bound exceeds the step count so forceAged can never fire even in
+// principle, and two steps of budget leave room for the one we take.
+func engineOptions() sim.Options {
+	return sim.Options{MaxSteps: 2, FairnessAge: 1 << 30}
+}
+
+// simEngine drives the boxed generic engine (sim.Runner over *core.State).
+type simEngine struct {
+	proto  sim.Protocol // possibly plant-wrapped
+	cfg    *sim.Configuration
+	forced *forcedDaemon
+}
+
+// newSimEngine builds a scratch boxed engine. plant, when non-empty, wraps
+// the protocol with the named test-only bug (hunt.PlantByName).
+func newSimEngine(g *graph.Graph, root int, plant string, copts []core.Option) (*simEngine, error) {
+	pr, err := core.New(g, root, copts...)
+	if err != nil {
+		return nil, err
+	}
+	var proto sim.Protocol = pr
+	if plant != "" {
+		pl, ok := hunt.PlantByName(plant)
+		if !ok {
+			return nil, fmt.Errorf("explore: unknown plant %q", plant)
+		}
+		proto = pl.Wrap(pr)
+	}
+	return &simEngine{
+		proto:  proto,
+		cfg:    sim.NewConfiguration(g, proto),
+		forced: &forcedDaemon{},
+	}, nil
+}
+
+// Name implements Engine.
+func (e *simEngine) Name() string { return "sim" }
+
+// load writes the vector into the scratch configuration's boxes.
+func (e *simEngine) load(states []core.State) {
+	for p := range states {
+		*(e.cfg.States[p].(*core.State)) = states[p]
+	}
+}
+
+// Probe implements Engine.
+func (e *simEngine) Probe(states []core.State) ([]sim.Choice, error) {
+	e.load(states)
+	r := sim.NewRunner(e.cfg, e.proto, e.forced, engineOptions())
+	return r.Enabled(), nil
+}
+
+// Step implements Engine.
+func (e *simEngine) Step(states []core.State, sel []sim.Choice) ([]core.State, []sim.Choice, error) {
+	e.load(states)
+	e.forced.sel = sel
+	e.forced.miss = false
+	r := sim.NewRunner(e.cfg, e.proto, e.forced, engineOptions())
+	done, err := r.Step()
+	if err != nil {
+		return nil, nil, fmt.Errorf("explore: sim step: %w", err)
+	}
+	if e.forced.miss {
+		return nil, nil, fmt.Errorf("explore: sim engine does not enable %v", sel)
+	}
+	if done {
+		return nil, nil, fmt.Errorf("explore: sim step from %v reported terminal", sel)
+	}
+	succ := make([]core.State, len(states))
+	for p := range succ {
+		succ[p] = *(e.cfg.States[p].(*core.State))
+	}
+	return succ, r.Enabled(), nil
+}
+
+// flatEngine drives the large-N struct-of-arrays engine (flat.Runner).
+type flatEngine struct {
+	kernel *flat.Protocol
+	cfg    *flat.Config
+	forced *forcedDaemon
+}
+
+// newFlatEngine builds a scratch flat engine. The flat kernel mirrors the
+// unmodified core protocol, so plants are not supported.
+func newFlatEngine(g *graph.Graph, root int, plant string, copts []core.Option) (*flatEngine, error) {
+	if plant != "" {
+		return nil, fmt.Errorf("explore: the flat engine does not support plants (got %q)", plant)
+	}
+	pr, err := core.New(g, root, copts...)
+	if err != nil {
+		return nil, err
+	}
+	kernel, err := flat.FromCore(pr)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := flat.NewConfig(kernel)
+	if err != nil {
+		return nil, err
+	}
+	return &flatEngine{kernel: kernel, cfg: cfg, forced: &forcedDaemon{}}, nil
+}
+
+// Name implements Engine.
+func (e *flatEngine) Name() string { return "flat" }
+
+// load scatters the vector into the SoA slices.
+func (e *flatEngine) load(states []core.State) {
+	for p := range states {
+		e.cfg.SetState(p, states[p])
+	}
+}
+
+// Probe implements Engine.
+func (e *flatEngine) Probe(states []core.State) ([]sim.Choice, error) {
+	e.load(states)
+	r, err := flat.NewRunner(e.cfg, e.kernel, e.forced, flat.Options{Options: engineOptions()})
+	if err != nil {
+		return nil, fmt.Errorf("explore: flat probe: %w", err)
+	}
+	enabled := r.Enabled()
+	r.Close()
+	return enabled, nil
+}
+
+// Step implements Engine.
+func (e *flatEngine) Step(states []core.State, sel []sim.Choice) ([]core.State, []sim.Choice, error) {
+	e.load(states)
+	e.forced.sel = sel
+	e.forced.miss = false
+	r, err := flat.NewRunner(e.cfg, e.kernel, e.forced, flat.Options{Options: engineOptions()})
+	if err != nil {
+		return nil, nil, fmt.Errorf("explore: flat step: %w", err)
+	}
+	defer r.Close()
+	done, err := r.Step()
+	if err != nil {
+		return nil, nil, fmt.Errorf("explore: flat step: %w", err)
+	}
+	if e.forced.miss {
+		return nil, nil, fmt.Errorf("explore: flat engine does not enable %v", sel)
+	}
+	if done {
+		return nil, nil, fmt.Errorf("explore: flat step from %v reported terminal", sel)
+	}
+	succ := make([]core.State, len(states))
+	for p := range succ {
+		succ[p] = e.cfg.StateAt(p)
+	}
+	return succ, r.Enabled(), nil
+}
+
+// newEngine constructs the named engine kind.
+func newEngine(kind string, g *graph.Graph, root int, plant string, copts []core.Option) (Engine, error) {
+	switch kind {
+	case "", "sim":
+		return newSimEngine(g, root, plant, copts)
+	case "flat":
+		return newFlatEngine(g, root, plant, copts)
+	}
+	return nil, fmt.Errorf("explore: unknown engine %q (want sim or flat)", kind)
+}

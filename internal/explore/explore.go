@@ -1,0 +1,620 @@
+// Package explore performs bounded exhaustive schedule exploration of the
+// real PIF engines. Where internal/mc enumerates an abstract transition
+// relation it computes itself from the protocol's guards, explore enumerates
+// every daemon schedule of the actual engine under test — the boxed
+// sim.Runner or the large-N flat.Runner, forced one selection at a time
+// through its public stepping interface — so a clean certification table is
+// a statement about the shipped implementation, including its guard caches
+// and incremental refresh, not about a model of it.
+//
+// The explorer is a deterministic layered BFS over a quotient state space
+// (payload extensions zeroed, message registers reduced to the "carries the
+// current broadcast" bit, exactly as internal/mc does), with three
+// reductions:
+//
+//   - state-hash dedup through a canonical per-configuration key;
+//   - optional sleep-set partial-order reduction for the central daemon,
+//     which prunes commuting interleavings without losing reachable states;
+//   - optional symmetry reduction under the admissible automorphism group
+//     (root-fixing, neighbor-order-preserving — see hash.go).
+//
+// Any [PIF1]/[PIF2] delivery violation or Section-4 invariant violation is
+// reported with its full schedule, exportable as a hunt.Scenario that
+// `pifhunt replay` re-executes bit for bit.
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"snappif/internal/check"
+	"snappif/internal/core"
+	"snappif/internal/graph"
+	"snappif/internal/hunt"
+	"snappif/internal/sim"
+)
+
+// Daemon powers. Central executes one enabled processor per step (every
+// singleton); distributed executes every non-empty subset of the enabled
+// set; synchronous executes exactly the full enabled set.
+const (
+	PowerCentral     = "central"
+	PowerDistributed = "distributed"
+	PowerSynchronous = "synchronous"
+)
+
+// maxN bounds exploration size: bitmasks over processors fit a uint64 with
+// room to spare, and the per-processor key byte layout stays exact.
+const maxN = 12
+
+// Options configures an Explorer.
+type Options struct {
+	// Engine selects the implementation under test: "sim" (default) or
+	// "flat".
+	Engine string
+	// Power is the daemon power: PowerCentral (default), PowerDistributed,
+	// or PowerSynchronous.
+	Power string
+	// Depth bounds the number of BFS layers explored; ≤ 0 means run to
+	// closure (bounded only by MaxStates).
+	Depth int
+	// Workers is the expansion parallelism; ≤ 0 means GOMAXPROCS. Results
+	// are independent of the worker count.
+	Workers int
+	// POR enables sleep-set partial-order reduction. Only consulted under
+	// the central daemon; subsets of the other powers are not reduced.
+	POR bool
+	// Symmetry enables canonicalization under the admissible automorphism
+	// group (n ≤ 8; larger networks silently get the trivial group).
+	Symmetry bool
+	// Plant wraps the protocol with a named test-only bug
+	// (hunt.PlantByName); sim engine only.
+	Plant string
+	// MaxStates aborts the exploration with an error when the interned
+	// state count exceeds it; ≤ 0 means 1,000,000.
+	MaxStates int
+	// CoreOptions are forwarded to core.New (Lmax/N' overrides etc.).
+	CoreOptions []core.Option
+}
+
+// Result is the machine-readable outcome of one exploration, serialized
+// into explore.json by cmd/pifexplore.
+type Result struct {
+	Topology      string  `json:"topology"`
+	N             int     `json:"n"`
+	Root          int     `json:"root"`
+	Engine        string  `json:"engine"`
+	Power         string  `json:"power"`
+	InitMode      string  `json:"init_mode,omitempty"`
+	Plant         string  `json:"plant,omitempty"`
+	Depth         int     `json:"depth"`
+	MaxDepth      int     `json:"max_depth"`
+	InitialStates int     `json:"initial_states"`
+	States        int     `json:"states"`
+	Transitions   int64   `json:"transitions"`
+	Slept         int64   `json:"slept"`
+	PORSavingsPct float64 `json:"por_savings_pct"`
+	SymmetryAutos int     `json:"symmetry_autos"`
+	Complete      bool    `json:"complete"`
+	Verdict       string  `json:"verdict"`
+	Violation     string  `json:"violation,omitempty"`
+	Fingerprint   string  `json:"fingerprint"`
+}
+
+// node is one interned quotient state plus its discovery-tree edge: pred
+// and sel record the first concrete step that reached it, so following the
+// pred chain always yields a genuine executable schedule even under
+// symmetry dedup (the stored states ARE the concrete successor produced by
+// applying sel to the predecessor's stored states).
+type node struct {
+	states      []core.State
+	mon         monState
+	key         string
+	enabled     []sim.Choice
+	enabledMask uint64
+	explored    uint64 // transitions already expanded from this node
+	sleptMask   uint64 // transitions currently accounted as POR-pruned
+	pred        int32
+	depth       int32
+	sel         []sim.Choice
+}
+
+// frontierEntry is one node awaiting expansion with the sleep set it was
+// reached with (always 0 when POR is off).
+type frontierEntry struct {
+	id    int32
+	sleep uint64
+}
+
+// task is one forced engine step scheduled for the parallel expand phase.
+type task struct {
+	node       int32
+	sel        []sim.Choice
+	childSleep uint64
+}
+
+// taskResult is the expand phase's per-task output slot; merge consumes the
+// slots strictly in task order, which makes intern order — and therefore
+// node IDs, frontier order, and every count — independent of how workers
+// interleaved.
+type taskResult struct {
+	succ     []core.State
+	mon      monState
+	enabled  []sim.Choice
+	key      string
+	delivery string
+	err      error
+}
+
+// violationRec pins the first violation in deterministic merge order.
+type violationRec struct {
+	kind string
+	msg  string
+	node int32
+	sel  []sim.Choice // final step, delivery violations only
+}
+
+// Explorer runs one exhaustive exploration. Single-use: construct with New,
+// call Run once, then read Scenario/FrontierSeeds/Visited.
+type Explorer struct {
+	g    *graph.Graph
+	root int
+	opts Options
+
+	pr      *core.Protocol // unplanted, for invariant checks
+	checks  []check.Check
+	scratch *sim.Configuration
+	autos   []automorphism
+	indep   []uint64
+	engines []Engine
+	hashers []hasher
+
+	index       map[string]int32
+	nodes       []node
+	frontier    []frontierEntry
+	violation   *violationRec
+	transitions int64
+	slept       int64
+	maxDepth    int
+	initial     int
+	ran         bool
+}
+
+// New validates the options and builds one engine and hasher per worker.
+func New(g *graph.Graph, root int, opts Options) (*Explorer, error) {
+	if g.N() > maxN {
+		return nil, fmt.Errorf("explore: %d processors exceeds the exploration bound %d", g.N(), maxN)
+	}
+	switch opts.Power {
+	case "", PowerCentral:
+		opts.Power = PowerCentral
+	case PowerDistributed, PowerSynchronous:
+	default:
+		return nil, fmt.Errorf("explore: unknown daemon power %q", opts.Power)
+	}
+	if opts.Engine == "" {
+		opts.Engine = "sim"
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Depth <= 0 {
+		opts.Depth = 1 << 30
+	}
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = 1_000_000
+	}
+	pr, err := core.New(g, root, opts.CoreOptions...)
+	if err != nil {
+		return nil, err
+	}
+	if pr.Lmax >= 1<<15 || pr.NPrime >= 1<<16 {
+		return nil, fmt.Errorf("explore: Lmax=%d / N'=%d exceed the 16-bit key layout", pr.Lmax, pr.NPrime)
+	}
+	e := &Explorer{
+		g:       g,
+		root:    root,
+		opts:    opts,
+		pr:      pr,
+		checks:  check.StandardChecks(),
+		scratch: sim.NewConfiguration(g, pr),
+		indep:   independenceMasks(g, root),
+		index:   make(map[string]int32),
+	}
+	if opts.Symmetry {
+		e.autos = admissibleAutomorphisms(g, root)
+	}
+	e.engines = make([]Engine, opts.Workers)
+	e.hashers = make([]hasher, opts.Workers)
+	for w := 0; w < opts.Workers; w++ {
+		eng, err := newEngine(opts.Engine, g, root, opts.Plant, opts.CoreOptions)
+		if err != nil {
+			return nil, err
+		}
+		e.engines[w] = eng
+		e.hashers[w].autos = e.autos
+	}
+	return e, nil
+}
+
+// Run explores every daemon schedule from every initial state vector (each
+// normalized onto the quotient first) up to the depth bound, and returns
+// the certification result. An error means the exploration itself could not
+// finish (state budget, engine failure) — a protocol violation is NOT an
+// error, it is a Result with Verdict "violation".
+func (e *Explorer) Run(inits [][]core.State) (*Result, error) {
+	if e.ran {
+		return nil, errors.New("explore: Explorer is single-use; construct a new one")
+	}
+	e.ran = true
+	if len(inits) == 0 {
+		return nil, errors.New("explore: no initial states")
+	}
+	for _, init := range inits {
+		if len(init) != e.g.N() {
+			return nil, fmt.Errorf("explore: initial vector has %d states, want %d", len(init), e.g.N())
+		}
+	}
+	if err := e.seedLayer(inits); err != nil {
+		return nil, err
+	}
+	depth := 0
+	for e.violation == nil && len(e.frontier) > 0 && depth < e.opts.Depth {
+		tasks := e.prepare()
+		if len(tasks) == 0 {
+			e.frontier = nil
+			break
+		}
+		results := e.expand(tasks)
+		next, err := e.merge(tasks, results)
+		if err != nil {
+			return nil, err
+		}
+		e.frontier = next
+		depth++
+	}
+	return e.result(), nil
+}
+
+// seedLayer interns the normalized initial vectors as layer 0.
+func (e *Explorer) seedLayer(inits [][]core.State) error {
+	for _, init := range inits {
+		v := normalizeSeed(init)
+		key := e.hashers[0].key(v, monState{})
+		if _, ok := e.index[key]; ok {
+			continue
+		}
+		enabled, err := e.engines[0].Probe(v)
+		if err != nil {
+			return err
+		}
+		id, err := e.intern(v, monState{}, key, enabled, -1, 0, nil)
+		if err != nil {
+			return err
+		}
+		e.frontier = append(e.frontier, frontierEntry{id: id})
+		if e.violation != nil {
+			break
+		}
+	}
+	e.initial = len(e.frontier)
+	return nil
+}
+
+// intern appends a new node, records its discovery edge, and evaluates the
+// per-state checks (deadlock, guard exclusivity, Section-4 invariants). A
+// failing check records the run's violation; interning itself still
+// succeeds so the violating node is addressable for schedule export.
+func (e *Explorer) intern(states []core.State, mon monState, key string, enabled []sim.Choice, pred int32, depth int32, sel []sim.Choice) (int32, error) {
+	if len(e.nodes) >= e.opts.MaxStates {
+		return -1, fmt.Errorf("explore: state budget %d exceeded (raise MaxStates or lower the depth bound)", e.opts.MaxStates)
+	}
+	id := int32(len(e.nodes))
+	var mask uint64
+	for _, ch := range enabled {
+		mask |= 1 << uint(ch.Proc)
+	}
+	e.nodes = append(e.nodes, node{
+		states: states, mon: mon, key: key,
+		enabled: enabled, enabledMask: mask,
+		pred: pred, depth: depth, sel: sel,
+	})
+	e.index[key] = id
+	if int(depth) > e.maxDepth {
+		e.maxDepth = int(depth)
+	}
+	if e.violation == nil {
+		e.violation = e.checkNode(id)
+	}
+	return id, nil
+}
+
+// checkNode evaluates the per-state verdict checks on one interned node.
+func (e *Explorer) checkNode(id int32) *violationRec {
+	nd := &e.nodes[id]
+	if len(nd.enabled) == 0 {
+		return &violationRec{kind: "deadlock", msg: "no processor enabled", node: id}
+	}
+	var seen uint64
+	for _, ch := range nd.enabled {
+		bit := uint64(1) << uint(ch.Proc)
+		if seen&bit != 0 {
+			return &violationRec{
+				kind: "exclusivity",
+				msg:  fmt.Sprintf("p%d has multiple enabled guards", ch.Proc),
+				node: id,
+			}
+		}
+		seen |= bit
+	}
+	for p := range nd.states {
+		core.Set(e.scratch, p, nd.states[p])
+	}
+	for _, chk := range e.checks {
+		if err := chk.Fn(e.scratch, e.pr); err != nil {
+			return &violationRec{kind: "invariant:" + chk.Name, msg: err.Error(), node: id}
+		}
+	}
+	return nil
+}
+
+// prepare turns the current frontier into the layer's task list (serial).
+// Under the central daemon with POR on it maintains the sleep-set algebra:
+// todo = enabled ∖ sleep ∖ explored, and the i-th child's sleep is
+// (sleep ∪ already-explored ∪ earlier-siblings) ∩ indep(taken transition).
+// The slept counter tracks transitions that are enabled somewhere but never
+// executed; a transition first pruned and later executed on a revisit is
+// reclaimed so the POR savings figure stays honest.
+func (e *Explorer) prepare() []task {
+	var tasks []task
+	for _, fe := range e.frontier {
+		nd := &e.nodes[fe.id]
+		if e.opts.Power != PowerCentral {
+			if nd.explored != 0 {
+				continue
+			}
+			nd.explored = ^uint64(0)
+			tasks = e.appendSubsetTasks(tasks, fe.id, nd.enabled)
+			continue
+		}
+		sleep := fe.sleep
+		if !e.opts.POR {
+			sleep = 0
+		}
+		todo := nd.enabledMask &^ sleep &^ nd.explored
+		reclaimed := nd.sleptMask & todo
+		e.slept -= int64(bits.OnesCount64(reclaimed))
+		nd.sleptMask &^= todo
+		newSlept := nd.enabledMask &^ nd.explored & sleep &^ nd.sleptMask
+		e.slept += int64(bits.OnesCount64(newSlept))
+		nd.sleptMask |= newSlept
+		if todo == 0 {
+			continue
+		}
+		base := sleep | nd.explored
+		for _, ch := range nd.enabled {
+			bit := uint64(1) << uint(ch.Proc)
+			if todo&bit == 0 {
+				continue
+			}
+			var childSleep uint64
+			if e.opts.POR {
+				childSleep = base & e.indep[ch.Proc]
+			}
+			tasks = append(tasks, task{node: fe.id, sel: []sim.Choice{ch}, childSleep: childSleep})
+			base |= bit
+		}
+		nd.explored |= todo
+	}
+	return tasks
+}
+
+// appendSubsetTasks emits the non-central selections of one node: every
+// non-empty subset of the enabled set in ascending mask order (mirroring
+// internal/mc's subset enumeration) for the distributed daemon, the single
+// full set for the synchronous daemon.
+func (e *Explorer) appendSubsetTasks(tasks []task, id int32, enabled []sim.Choice) []task {
+	if e.opts.Power == PowerSynchronous {
+		return append(tasks, task{node: id, sel: append([]sim.Choice(nil), enabled...)})
+	}
+	k := len(enabled)
+	for mask := 1; mask < 1<<uint(k); mask++ {
+		sel := make([]sim.Choice, 0, bits.OnesCount(uint(mask)))
+		for i := 0; i < k; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				sel = append(sel, enabled[i])
+			}
+		}
+		tasks = append(tasks, task{node: id, sel: sel})
+	}
+	return tasks
+}
+
+// expand runs the layer's tasks on the worker pool. Workers claim tasks
+// from a shared atomic counter (deterministic work-stealing: the claim
+// order is racy but every result lands in its task's own slot) and each
+// worker drives its private engine and hasher, so the phase shares no
+// mutable state beyond the counter.
+func (e *Explorer) expand(tasks []task) []taskResult {
+	results := make([]taskResult, len(tasks))
+	workers := e.opts.Workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			eng, h := e.engines[w], &e.hashers[w]
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				t := &tasks[i]
+				r := &results[i]
+				pre := e.nodes[t.node].states
+				preMon := e.nodes[t.node].mon
+				succ, enabled, err := eng.Step(pre, t.sel)
+				if err != nil {
+					r.err = err
+					continue
+				}
+				r.mon, r.delivery = e.applyMonitor(pre, preMon, t.sel, succ)
+				r.succ, r.enabled = succ, enabled
+				r.key = h.key(succ, r.mon)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return results
+}
+
+// merge consumes the expand results strictly in task order (serial): counts
+// transitions, interns new states, and accumulates the next frontier,
+// narrowing sleep sets by intersection when several same-layer paths reach
+// one state. A delivery violation ends the run without counting the
+// transition or interning its target, mirroring internal/mc.
+func (e *Explorer) merge(tasks []task, results []taskResult) ([]frontierEntry, error) {
+	var next []frontierEntry
+	at := make(map[int32]int, len(tasks))
+	for i := range tasks {
+		t, r := &tasks[i], &results[i]
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.delivery != "" {
+			e.violation = &violationRec{kind: "pif-delivery", msg: r.delivery, node: t.node, sel: t.sel}
+			return nil, nil
+		}
+		e.transitions++
+		id, ok := e.index[r.key]
+		if !ok {
+			var err error
+			id, err = e.intern(r.succ, r.mon, r.key, r.enabled, t.node, e.nodes[t.node].depth+1, t.sel)
+			if err != nil {
+				return nil, err
+			}
+			if e.violation != nil {
+				return nil, nil
+			}
+		}
+		if j, seen := at[id]; seen {
+			next[j].sleep &= t.childSleep
+		} else {
+			at[id] = len(next)
+			next = append(next, frontierEntry{id: id, sleep: t.childSleep})
+		}
+	}
+	return next, nil
+}
+
+// result assembles the Result from the run's counters.
+func (e *Explorer) result() *Result {
+	r := &Result{
+		Topology:      e.g.Name(),
+		N:             e.g.N(),
+		Root:          e.root,
+		Engine:        e.opts.Engine,
+		Power:         e.opts.Power,
+		Plant:         e.opts.Plant,
+		Depth:         e.opts.Depth,
+		MaxDepth:      e.maxDepth,
+		InitialStates: e.initial,
+		States:        len(e.nodes),
+		Transitions:   e.transitions,
+		Slept:         e.slept,
+		SymmetryAutos: len(e.autos),
+	}
+	if r.Depth == 1<<30 {
+		r.Depth = 0 // ran to closure, no bound
+	}
+	if total := e.transitions + e.slept; total > 0 {
+		r.PORSavingsPct = 100 * float64(e.slept) / float64(total)
+	}
+	var fp uint64
+	for i := range e.nodes {
+		fp ^= sim.FNV1a(sim.FNVOffset, []byte(e.nodes[i].key))
+	}
+	r.Fingerprint = fmt.Sprintf("%016x", fp)
+	switch {
+	case e.violation != nil:
+		r.Verdict = "violation"
+		r.Violation = e.violation.kind + ": " + e.violation.msg
+	case len(e.frontier) == 0:
+		r.Verdict = "certified"
+		r.Complete = true
+	default:
+		r.Verdict = "bounded"
+	}
+	return r
+}
+
+// Visited returns the sorted canonical keys of every interned state — the
+// oracle the POR soundness tests compare: sleep sets may prune transitions
+// but never reachable states.
+func (e *Explorer) Visited() []string {
+	keys := make([]string, len(e.nodes))
+	for i := range e.nodes {
+		keys[i] = e.nodes[i].key
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Scenario exports the recorded violation as a replayable hunt.Scenario:
+// the discovery-tree path from an initial state to the violating node (plus
+// the violating selection itself for delivery violations). Because every
+// node's stored states are the concrete successor of its predecessor's
+// stored states, the exported schedule replays bit for bit even when
+// symmetry dedup was active.
+func (e *Explorer) Scenario(name string) (*hunt.Scenario, error) {
+	if !e.ran {
+		return nil, errors.New("explore: Run first")
+	}
+	if e.violation == nil {
+		return nil, errors.New("explore: no violation recorded")
+	}
+	var rev [][]sim.Choice
+	id := e.violation.node
+	for e.nodes[id].pred >= 0 {
+		rev = append(rev, e.nodes[id].sel)
+		id = e.nodes[id].pred
+	}
+	schedule := make([][]sim.Choice, 0, len(rev)+1)
+	for i := len(rev) - 1; i >= 0; i-- {
+		schedule = append(schedule, rev[i])
+	}
+	if e.violation.sel != nil {
+		schedule = append(schedule, e.violation.sel)
+	}
+	cfg := sim.NewConfiguration(e.g, e.pr)
+	for p, s := range e.nodes[id].states {
+		core.Set(cfg, p, s)
+	}
+	return hunt.NewScheduleScenario(name, e.g, e.root, cfg, schedule, e.opts.Plant), nil
+}
+
+// FrontierSeeds exports the unexpanded horizon states (non-empty only for
+// depth-bounded incomplete runs) as schedule-free hunt scenarios, handing
+// the deepest systematically reached configurations to pifhunt's randomized
+// search as start states.
+func (e *Explorer) FrontierSeeds(prefix, daemon string, maxSteps int) []*hunt.Scenario {
+	out := make([]*hunt.Scenario, 0, len(e.frontier))
+	for i, fe := range e.frontier {
+		cfg := sim.NewConfiguration(e.g, e.pr)
+		for p, s := range e.nodes[fe.id].states {
+			core.Set(cfg, p, s)
+		}
+		name := fmt.Sprintf("%s-%04d", prefix, i)
+		out = append(out, hunt.NewSeedScenario(name, e.g, e.root, cfg, daemon, maxSteps, e.opts.Plant))
+	}
+	return out
+}

@@ -1,0 +1,302 @@
+package explore
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"snappif/internal/core"
+	"snappif/internal/graph"
+	"snappif/internal/hunt"
+)
+
+func mustGraph(t *testing.T, build func(int) (*graph.Graph, error), n int) *graph.Graph {
+	t.Helper()
+	g, err := build(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustInits(t *testing.T, mode string, g *graph.Graph) [][]core.State {
+	t.Helper()
+	inits, err := Inits(mode, g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inits
+}
+
+func run(t *testing.T, g *graph.Graph, opts Options, mode string) (*Explorer, *Result) {
+	t.Helper()
+	e, err := New(g, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(mustInits(t, mode, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, res
+}
+
+// TestCleanAndFaultStartsCertified is the headline certification: on the
+// three acceptance topologies, every central-daemon schedule from the clean
+// start and from every fault-injector corruption reaches closure with zero
+// [PIF1]/[PIF2]/Section-4 violations.
+func TestCleanAndFaultStartsCertified(t *testing.T) {
+	for _, tc := range []struct {
+		g    *graph.Graph
+		mode string
+	}{
+		{mustGraph(t, graph.Line, 3), "clean"},
+		{mustGraph(t, graph.Ring, 3), "clean"},
+		{mustGraph(t, graph.Star, 4), "clean"},
+		{mustGraph(t, graph.Line, 3), "faults:2"},
+		{mustGraph(t, graph.Ring, 3), "faults:2"},
+		{mustGraph(t, graph.Star, 4), "faults:2"},
+	} {
+		t.Run(tc.g.Name()+"/"+tc.mode, func(t *testing.T) {
+			_, res := run(t, tc.g, Options{POR: true}, tc.mode)
+			if res.Verdict != "certified" || !res.Complete {
+				t.Fatalf("verdict %q (complete=%v, violation %q), want certified",
+					res.Verdict, res.Complete, res.Violation)
+			}
+			if res.States == 0 || res.Transitions == 0 {
+				t.Fatalf("empty exploration: %+v", res)
+			}
+		})
+	}
+}
+
+// TestDeterministicAcrossRunsAndWorkers: state counts, transition counts,
+// and the XOR fingerprint are byte-stable run to run and independent of the
+// worker count.
+func TestDeterministicAcrossRunsAndWorkers(t *testing.T) {
+	g := mustGraph(t, graph.Line, 3)
+	var base *Result
+	var baseVisited []string
+	for _, workers := range []int{1, 1, 3, 7} {
+		e, res := run(t, g, Options{POR: true, Workers: workers}, "faults:2")
+		if base == nil {
+			base, baseVisited = res, e.Visited()
+			continue
+		}
+		if res.States != base.States || res.Transitions != base.Transitions ||
+			res.Slept != base.Slept || res.Fingerprint != base.Fingerprint {
+			t.Fatalf("workers=%d diverged: %+v vs %+v", workers, res, base)
+		}
+		if !reflect.DeepEqual(e.Visited(), baseVisited) {
+			t.Fatalf("workers=%d visited a different state set", workers)
+		}
+	}
+}
+
+// TestSimAndFlatEnginesAgree: the boxed and the struct-of-arrays engines
+// explore identical state spaces with identical counts.
+func TestSimAndFlatEnginesAgree(t *testing.T) {
+	for _, build := range []func(int) (*graph.Graph, error){graph.Line, graph.Ring, graph.Star} {
+		g := mustGraph(t, build, 4)
+		t.Run(g.Name(), func(t *testing.T) {
+			eSim, resSim := run(t, g, Options{Engine: "sim"}, "faults:1")
+			eFlat, resFlat := run(t, g, Options{Engine: "flat"}, "faults:1")
+			if resSim.States != resFlat.States || resSim.Transitions != resFlat.Transitions ||
+				resSim.Fingerprint != resFlat.Fingerprint || resSim.Verdict != resFlat.Verdict {
+				t.Fatalf("engines diverge:\nsim  %+v\nflat %+v", resSim, resFlat)
+			}
+			if !reflect.DeepEqual(eSim.Visited(), eFlat.Visited()) {
+				t.Fatal("engines visited different state sets")
+			}
+		})
+	}
+}
+
+// TestPlantedLevelOverflowFoundAndReplays: the PR 4 planted bug is found by
+// exhaustive exploration from the clean start, and the exported scenario
+// replays bit for bit under the hunt replay machinery, reproducing the same
+// domains violation.
+func TestPlantedLevelOverflowFoundAndReplays(t *testing.T) {
+	g := mustGraph(t, graph.Line, 3)
+	e, res := run(t, g, Options{Plant: "level-overflow", POR: true}, "clean")
+	if res.Verdict != "violation" {
+		t.Fatalf("verdict %q, want violation", res.Verdict)
+	}
+	if !strings.Contains(res.Violation, "domains") {
+		t.Fatalf("violation %q, want a domains violation", res.Violation)
+	}
+	sc, err := e.Scenario("explore-level-overflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := sc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := hunt.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sc2.Run(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("replay reproduced no violation")
+	}
+	if rep.Violations[0].Check != "domains" {
+		t.Fatalf("replay violated %q, want domains", rep.Violations[0].Check)
+	}
+	// Bit-for-bit: the replay executed exactly the exported schedule.
+	if got := hunt.ToSchedule(rep.Executed); !reflect.DeepEqual(got, sc.Schedule) {
+		t.Fatalf("replay executed %v, exported %v", got, sc.Schedule)
+	}
+}
+
+// TestDepthBoundAndFrontierSeeds: a depth-limited run reports "bounded" and
+// exports its horizon as runnable pifhunt seed scenarios.
+func TestDepthBoundAndFrontierSeeds(t *testing.T) {
+	g := mustGraph(t, graph.Line, 3)
+	e, res := run(t, g, Options{Depth: 1}, "faults:1")
+	if res.Verdict != "bounded" || res.Complete {
+		t.Fatalf("verdict %q complete=%v, want bounded", res.Verdict, res.Complete)
+	}
+	if res.MaxDepth != 1 {
+		t.Fatalf("max depth %d, want 1", res.MaxDepth)
+	}
+	seeds := e.FrontierSeeds("horizon", "central-random", 30)
+	if len(seeds) == 0 {
+		t.Fatal("no frontier seeds from a bounded run")
+	}
+	for _, sc := range seeds[:1] {
+		rep, err := sc.Run(nil, nil)
+		if err != nil {
+			t.Fatalf("seed %s does not run: %v", sc.Name, err)
+		}
+		if len(rep.Violations) != 0 {
+			t.Fatalf("seed %s violates: %v", sc.Name, rep.Violations)
+		}
+	}
+}
+
+// TestNonCentralPowers: the synchronous daemon's single maximal schedule
+// and the distributed daemon's full subset tree both certify on the
+// triangle.
+func TestNonCentralPowers(t *testing.T) {
+	g := mustGraph(t, graph.Ring, 3)
+	for _, power := range []string{PowerSynchronous, PowerDistributed} {
+		t.Run(power, func(t *testing.T) {
+			_, res := run(t, g, Options{Power: power}, "faults:1")
+			if res.Verdict != "certified" {
+				t.Fatalf("verdict %q (violation %q), want certified", res.Verdict, res.Violation)
+			}
+		})
+	}
+}
+
+// TestDistributedSupersetOfCentral: every central-daemon state is also
+// reached under the distributed daemon (singleton subsets are subsets too).
+func TestDistributedSupersetOfCentral(t *testing.T) {
+	g := mustGraph(t, graph.Ring, 3)
+	eC, _ := run(t, g, Options{Power: PowerCentral}, "clean")
+	eD, _ := run(t, g, Options{Power: PowerDistributed}, "clean")
+	dist := make(map[string]bool)
+	for _, k := range eD.Visited() {
+		dist[k] = true
+	}
+	for _, k := range eC.Visited() {
+		if !dist[k] {
+			t.Fatal("central reaches a state the distributed daemon does not")
+		}
+	}
+}
+
+// TestMaxStatesAborts: blowing the state budget is an error, not a silent
+// truncation.
+func TestMaxStatesAborts(t *testing.T) {
+	g := mustGraph(t, graph.Line, 3)
+	e, err := New(g, 0, Options{MaxStates: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(mustInits(t, "faults:2", g)); err == nil || !strings.Contains(err.Error(), "state budget") {
+		t.Fatalf("err = %v, want state budget exceeded", err)
+	}
+}
+
+// TestOptionAndUsageErrors covers the constructor and single-use guards.
+func TestOptionAndUsageErrors(t *testing.T) {
+	g := mustGraph(t, graph.Line, 3)
+	if _, err := New(g, 0, Options{Power: "chaotic"}); err == nil {
+		t.Fatal("unknown power accepted")
+	}
+	if _, err := New(g, 0, Options{Engine: "quantum"}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if _, err := New(g, 0, Options{Engine: "flat", Plant: "level-overflow"}); err == nil {
+		t.Fatal("flat engine accepted a plant")
+	}
+	if _, err := New(g, 0, Options{Plant: "no-such-bug"}); err == nil {
+		t.Fatal("unknown plant accepted")
+	}
+	big := mustGraph(t, graph.Line, maxN+1)
+	if _, err := New(big, 0, Options{}); err == nil {
+		t.Fatal("oversized network accepted")
+	}
+
+	e, err := New(g, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Scenario("x"); err == nil {
+		t.Fatal("Scenario before Run succeeded")
+	}
+	if _, err := e.Run(nil); err == nil {
+		t.Fatal("Run with no inits succeeded")
+	}
+	if _, err := e.Run(mustInits(t, "clean", g)); err == nil {
+		t.Fatal("second Run on a single-use explorer succeeded")
+	}
+	e2, _ := New(g, 0, Options{})
+	if _, err := e2.Run([][]core.State{make([]core.State, 99)}); err == nil {
+		t.Fatal("mis-sized init vector accepted")
+	}
+	e3, _ := New(g, 0, Options{})
+	if _, err := e3.Run(mustInits(t, "clean", g)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e3.Scenario("x"); err == nil {
+		t.Fatal("Scenario without a violation succeeded")
+	}
+}
+
+// TestInitModes covers the seed generators.
+func TestInitModes(t *testing.T) {
+	g := mustGraph(t, graph.Line, 3)
+	clean := mustInits(t, "clean", g)
+	if len(clean) != 1 {
+		t.Fatalf("clean mode produced %d vectors", len(clean))
+	}
+	faults := mustInits(t, "faults:2", g)
+	if len(faults) < 10 {
+		t.Fatalf("faults:2 produced only %d vectors", len(faults))
+	}
+	domain := mustInits(t, "domain", g)
+	// 3 phases × parents × levels × counts × fok per processor:
+	// ends 3·1·2·3·2 = 36, middle 3·2·2·3·2 = 72, root 3·1·1·3·2 = 18.
+	if want := 36 * 72 * 18; len(domain) != want {
+		t.Fatalf("domain mode produced %d vectors, want %d", len(domain), want)
+	}
+	for _, mode := range []string{"faults:0", "faults:x", "everything"} {
+		if _, err := Inits(mode, g, 0, nil); err == nil {
+			t.Fatalf("mode %q accepted", mode)
+		}
+	}
+	bigGrid, err := graph.Grid(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Inits("domain", bigGrid, 0, nil); err == nil {
+		t.Fatal("domain mode accepted an instance with an astronomical product")
+	}
+}

@@ -1,0 +1,121 @@
+package explore
+
+import (
+	"fmt"
+
+	"snappif/internal/core"
+	"snappif/internal/sim"
+)
+
+// monState is the specification-monitor component of an explored product
+// state, mirroring internal/mc's per-state monitor exactly: fed marks which
+// non-root processors acknowledged the current broadcast wave (bit p set =
+// processor p fed back while holding the live message), inCycle marks an
+// open broadcast window (the root opened a wave it has not yet closed with
+// its F-action).
+type monState struct {
+	fed     uint64
+	inCycle bool
+}
+
+// applyMonitor advances the monitor across one engine step and normalizes
+// the successor vector onto the explored quotient. It mirrors
+// mc.Checker.apply statement for statement:
+//
+//   - a root B-action opens the window: inCycle := true, all fed marks
+//     clear, the root's message register is forced to 1 (the engine stamped
+//     a fresh concrete payload; the quotient keeps one bit: "carries the
+//     current broadcast") and every other processor's to 0;
+//   - a non-root B-action copies its parent's message bit through the
+//     engine's own Apply, reading the pre-step configuration — nothing to
+//     do here;
+//   - a root F-action inside an open window evaluates [PIF1]/[PIF2] on the
+//     pre-step configuration and closes the window;
+//   - a non-root F-action whose post-step state holds the live bit sets
+//     the processor's fed mark.
+//
+// Finally Val and Agg are zeroed: the payload extensions feed no guard
+// (core's documented contract), so quotienting them out loses no behavior
+// and keeps the explored space finite. succ is modified in place; the
+// returned string is a [PIF1]/[PIF2] violation description ("" if none).
+func (e *Explorer) applyMonitor(pre []core.State, preMon monState, sel []sim.Choice, succ []core.State) (monState, string) {
+	mon := preMon
+	root := e.root
+	rootB := false
+	violation := ""
+	for _, ch := range sel {
+		switch ch.Action {
+		case core.ActionB:
+			if ch.Proc == root {
+				rootB = true
+			}
+		case core.ActionF:
+			if ch.Proc == root {
+				if mon.inCycle {
+					if v := e.checkDelivery(pre, preMon, sel); v != "" && violation == "" {
+						violation = v
+					}
+					mon.inCycle = false
+				}
+			} else if succ[ch.Proc].Msg == 1 {
+				mon.fed |= 1 << uint(ch.Proc)
+			}
+		}
+	}
+	if rootB {
+		mon.inCycle = true
+		mon.fed = 0
+		for p := range succ {
+			if p == root {
+				succ[p].Msg = 1
+			} else {
+				succ[p].Msg = 0
+			}
+		}
+	}
+	for p := range succ {
+		succ[p].Val, succ[p].Agg = 0, 0
+	}
+	return mon, violation
+}
+
+// checkDelivery evaluates [PIF1]/[PIF2] at a root F-action closing an open
+// window: in the pre-step configuration every non-root processor must hold
+// the current message and have fed back (or be feeding back in this very
+// step). Mirrors mc.Checker.checkDelivery.
+func (e *Explorer) checkDelivery(pre []core.State, mon monState, sel []sim.Choice) string {
+	var feedingNow uint64
+	for _, ch := range sel {
+		if ch.Proc != e.root && ch.Action == core.ActionF && pre[ch.Proc].Msg == 1 {
+			feedingNow |= 1 << uint(ch.Proc)
+		}
+	}
+	for p := range pre {
+		if p == e.root {
+			continue
+		}
+		if pre[p].Msg != 1 {
+			return fmt.Sprintf("PIF1 violated: p%d never received the broadcast", p)
+		}
+		if mon.fed&(1<<uint(p)) == 0 && feedingNow&(1<<uint(p)) == 0 {
+			return fmt.Sprintf("PIF2 violated: p%d never acknowledged", p)
+		}
+	}
+	return ""
+}
+
+// normalizeSeed maps a concrete initial configuration onto the explored
+// quotient, mirroring mc.Checker.RunFrom's seeding: any nonzero message
+// register maps to 0 — the bit 1 is reserved for the live broadcast, so a
+// stale payload "does not carry the current message" — and the payload
+// extensions are zeroed.
+func normalizeSeed(states []core.State) []core.State {
+	out := append([]core.State(nil), states...)
+	for p := range out {
+		if out[p].Msg != 0 {
+			out[p].Msg = 0
+		}
+		out[p].Val, out[p].Agg = 0, 0
+	}
+	return out
+}

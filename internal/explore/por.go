@@ -1,0 +1,42 @@
+package explore
+
+import "snappif/internal/graph"
+
+// independenceMasks precomputes, per processor, the bitmask of processors
+// whose single-processor central-daemon steps commute with any step of p.
+//
+// Two transitions t_p (processor p moves) and t_q (processor q moves) are
+// independent when executing them in either order from any configuration
+// where both are enabled yields the same configuration, with both enabled
+// after the other fires. In the shared-memory model a processor's guards and
+// actions read only its own state and its neighbors' states (core's locality
+// contract, enforced by snapvet's localitycheck), and an action writes only
+// the mover's own state. So for non-adjacent p ≠ q:
+//
+//   - commutation: p's write cannot appear in q's read set and vice versa;
+//   - enabledness preservation: q's guard evaluates identically before and
+//     after p's step.
+//
+// The wave monitor adds one global effect: a ROOT action can clear every fed
+// mark (B) or evaluate delivery over the whole configuration (F). Root
+// transitions are therefore declared dependent on everything. A non-root
+// F-action's monitor effect (setting fed[p]) depends only on p's own
+// post-step state, so it commutes under the same non-adjacency condition.
+//
+// The masks are symmetric by construction: q ∈ mask[p] ⇔ p ∈ mask[q].
+func independenceMasks(g *graph.Graph, root int) []uint64 {
+	n := g.N()
+	masks := make([]uint64, n)
+	for p := 0; p < n; p++ {
+		if p == root {
+			continue
+		}
+		for q := 0; q < n; q++ {
+			if q == p || q == root || g.HasEdge(p, q) {
+				continue
+			}
+			masks[p] |= 1 << uint(q)
+		}
+	}
+	return masks
+}

@@ -1,0 +1,82 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+
+	"snappif/internal/graph"
+)
+
+// TestSleepSetsPreserveReachableStates is the POR soundness property test:
+// on every ≤ 4-processor acceptance topology, exploration with sleep-set
+// reduction on and off reaches the identical verdict and the identical set
+// of canonical state keys. Sleep sets prune commuting interleavings —
+// transitions — never states.
+func TestSleepSetsPreserveReachableStates(t *testing.T) {
+	for _, tc := range []struct {
+		build func(int) (*graph.Graph, error)
+		n     int
+	}{
+		{graph.Line, 3},
+		{graph.Ring, 3},
+		{graph.Line, 4},
+		{graph.Ring, 4},
+		{graph.Star, 4},
+	} {
+		g := mustGraph(t, tc.build, tc.n)
+		t.Run(g.Name(), func(t *testing.T) {
+			eOff, resOff := run(t, g, Options{POR: false}, "faults:2")
+			eOn, resOn := run(t, g, Options{POR: true}, "faults:2")
+			if resOff.Verdict != resOn.Verdict {
+				t.Fatalf("verdicts diverge: off %q, on %q", resOff.Verdict, resOn.Verdict)
+			}
+			if resOff.States != resOn.States || resOff.Fingerprint != resOn.Fingerprint {
+				t.Fatalf("state spaces diverge: off %d states (%s), on %d (%s)",
+					resOff.States, resOff.Fingerprint, resOn.States, resOn.Fingerprint)
+			}
+			if !reflect.DeepEqual(eOff.Visited(), eOn.Visited()) {
+				t.Fatal("POR changed the reachable state set")
+			}
+			if resOn.Transitions > resOff.Transitions {
+				t.Fatalf("POR executed more transitions (%d) than full enumeration (%d)",
+					resOn.Transitions, resOff.Transitions)
+			}
+			if resOff.Slept != 0 {
+				t.Fatalf("POR off slept %d transitions", resOff.Slept)
+			}
+		})
+	}
+}
+
+// TestPORSavesOnStar: star leaves are pairwise non-adjacent, so the sleep
+// sets must actually prune interleavings there.
+func TestPORSavesOnStar(t *testing.T) {
+	g := mustGraph(t, graph.Star, 4)
+	_, res := run(t, g, Options{POR: true}, "faults:2")
+	if res.Slept == 0 || res.PORSavingsPct <= 0 {
+		t.Fatalf("no POR savings on %s: %+v", g.Name(), res)
+	}
+}
+
+// TestIndependenceMasks pins the structural independence relation: only
+// non-adjacent non-root pairs commute, and the relation is symmetric.
+func TestIndependenceMasks(t *testing.T) {
+	g := mustGraph(t, graph.Line, 4) // 0-1-2-3, root 0
+	masks := independenceMasks(g, 0)
+	want := []uint64{
+		0,      // root: dependent on everything
+		1 << 3, // p1: non-adjacent non-root is only p3
+		0,      // p2: adjacent to 1 and 3, root 0 excluded
+		1 << 1, // p3: only p1
+	}
+	if !reflect.DeepEqual(masks, want) {
+		t.Fatalf("masks = %b, want %b", masks, want)
+	}
+	for p := range masks {
+		for q := range masks {
+			if (masks[p]>>uint(q))&1 != (masks[q]>>uint(p))&1 {
+				t.Fatalf("independence not symmetric at (%d,%d)", p, q)
+			}
+		}
+	}
+}

@@ -244,3 +244,29 @@ func (c *Config) Clone() *Config {
 	}
 	return cp
 }
+
+// AppendCanonical appends the canonical encoding of every processor state in
+// ascending processor order — byte-identical to the boxed path
+// (sim.Configuration.AppendCanonical over *core.State boxes), which the
+// cross-engine differential tests rely on to compare configurations across
+// layouts.
+func (c *Config) AppendCanonical(b []byte) []byte {
+	for p := 0; p < c.N(); p++ {
+		s := c.StateAt(p)
+		b = s.AppendCanonical(b)
+	}
+	return b
+}
+
+// Fingerprint returns the FNV-1a 64-bit hash of the configuration's
+// canonical encoding, equal to the boxed configuration's
+// sim.Configuration.Fingerprint for equal states.
+func (c *Config) Fingerprint() uint64 {
+	var buf [64]byte
+	h := sim.FNVOffset
+	for p := 0; p < c.N(); p++ {
+		s := c.StateAt(p)
+		h = sim.FNV1a(h, s.AppendCanonical(buf[:0]))
+	}
+	return h
+}

@@ -375,6 +375,18 @@ func (r *Runner) choices() []sim.Choice {
 	return r.buf
 }
 
+// Enabled returns a copy of the currently enabled choices in ascending
+// processor order: before the first Step the initial configuration's, after
+// a Step the post-step configuration's (the refresh runs as part of the
+// step's commit, so this is the engine's own incremental view, not a
+// recomputation). Mirrors sim.Runner.Enabled for the exhaustive explorer.
+func (r *Runner) Enabled() []sim.Choice {
+	src := r.choices()
+	out := make([]sim.Choice, len(src))
+	copy(out, src)
+	return out
+}
+
 // forceAged is sim.Runner.forceAged over virtual ages: it appends every
 // enabled processor whose age reached the fairness bound, at most once per
 // processor. The enabled list has exactly one choice per processor (the PIF

@@ -1,0 +1,47 @@
+package hunt
+
+import (
+	"snappif/internal/graph"
+	"snappif/internal/obs"
+	"snappif/internal/sim"
+)
+
+// NewScheduleScenario builds a fully explicit, replayable scenario from a
+// concrete initial configuration and a schedule: the export hook the
+// exhaustive explorer (internal/explore) uses to turn a violating path into
+// a pifhunt artifact. The configuration must hold *core.State boxes.
+//
+// FairnessAge is pinned above the schedule length so the runner's
+// weak-fairness forcing can never add a selection the script does not
+// contain: the replay executes exactly the recorded steps, bit for bit.
+func NewScheduleScenario(name string, g *graph.Graph, root int, init *sim.Configuration, schedule [][]sim.Choice, plant string) *Scenario {
+	snap := obs.CaptureSnapshot(init)
+	return &Scenario{
+		V:           SchemaVersion,
+		Name:        name,
+		Topology:    TopologyOf(g),
+		Root:        root,
+		Init:        &snap,
+		Schedule:    ToSchedule(schedule),
+		FairnessAge: len(schedule) + 2,
+		Plant:       plant,
+	}
+}
+
+// NewSeedScenario builds a schedule-free scenario from a concrete
+// configuration: the explorer's export format for frontier states at the
+// depth horizon, which pifhunt can then take over as search seeds. The
+// configuration must hold *core.State boxes.
+func NewSeedScenario(name string, g *graph.Graph, root int, init *sim.Configuration, daemon string, maxSteps int, plant string) *Scenario {
+	snap := obs.CaptureSnapshot(init)
+	return &Scenario{
+		V:        SchemaVersion,
+		Name:     name,
+		Topology: TopologyOf(g),
+		Root:     root,
+		Init:     &snap,
+		Daemon:   daemon,
+		MaxSteps: maxSteps,
+		Plant:    plant,
+	}
+}

@@ -1,0 +1,101 @@
+package hunt_test
+
+import (
+	"strings"
+	"testing"
+
+	"snappif/internal/core"
+	"snappif/internal/graph"
+	"snappif/internal/hunt"
+	"snappif/internal/sim"
+)
+
+// TestScheduleScenarioReplaysExactly: the explorer's export hook produces a
+// scenario whose replay executes the recorded schedule bit for bit — the
+// fairness bound is pinned above the schedule length so weak-fairness
+// forcing can never add a selection.
+func TestScheduleScenarioReplaysExactly(t *testing.T) {
+	g, err := graph.Line(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	schedule := [][]sim.Choice{
+		{{Proc: 0, Action: core.ActionB}},
+		{{Proc: 1, Action: core.ActionB}},
+		{{Proc: 2, Action: core.ActionB}},
+	}
+	sc := hunt.NewScheduleScenario("export-roundtrip", g, 0, sim.NewConfiguration(g, pr), schedule, "")
+	if sc.FairnessAge != len(schedule)+2 {
+		t.Fatalf("FairnessAge = %d, want %d", sc.FairnessAge, len(schedule)+2)
+	}
+	data, err := sc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := hunt.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sc2.Run(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("clean schedule violated: %v", rep.Violations)
+	}
+	if got := hunt.ToSchedule(rep.Executed); len(got) != len(schedule) {
+		t.Fatalf("executed %d steps, want %d", len(got), len(schedule))
+	}
+	for i, step := range hunt.ToSchedule(rep.Executed) {
+		if len(step) != 1 || step[0] != [2]int{schedule[i][0].Proc, schedule[i][0].Action} {
+			t.Fatalf("step %d executed %v, want %v", i, step, schedule[i])
+		}
+	}
+}
+
+// TestSeedScenarioRuns: the frontier-seed export produces a schedule-free
+// scenario that runs under its named daemon.
+func TestSeedScenarioRuns(t *testing.T) {
+	g, err := graph.Ring(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	sc := hunt.NewSeedScenario("seed", g, 0, sim.NewConfiguration(g, pr), "central-random", 15, "")
+	if sc.MaxSteps != 15 || sc.Daemon != "central-random" || len(sc.Schedule) != 0 {
+		t.Fatalf("unexpected scenario shape: %+v", sc)
+	}
+	rep, err := sc.Run(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("clean seed violated: %v", rep.Violations)
+	}
+}
+
+// TestHostileScenarioValidation pins the decode-time hardening: claimed
+// node counts beyond connectivity, and snapshot parent pointers outside
+// [0,n), are rejected with errors instead of panicking or allocating.
+func TestHostileScenarioValidation(t *testing.T) {
+	huge := `{"v":1,"topology":{"name":"x","n":1000000000000000000,"edges":[]},"root":0,"seed":0}`
+	sc, err := hunt.Unmarshal([]byte(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Graph(); err == nil || !strings.Contains(err.Error(), "cannot be connected") {
+		t.Fatalf("hostile N: err = %v", err)
+	}
+
+	badPar := `{"v":1,"topology":{"name":"x","n":3,"edges":[[0,1],[1,2]]},"root":0,"seed":0,` +
+		`"init":{"t":"snapshot","pif":"CCC","par":[-1,9,1],"l":[0,1,2],"count":[1,1,1],` +
+		`"fok":[false,false,false],"msg":["0","0","0"],"val":[0,0,0],"agg":[0,0,0]}}`
+	sc, err = hunt.Unmarshal([]byte(badPar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Run(nil, nil); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("hostile parent: err = %v", err)
+	}
+}

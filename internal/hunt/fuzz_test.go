@@ -1,0 +1,65 @@
+package hunt_test
+
+import (
+	"testing"
+
+	"snappif/internal/core"
+	"snappif/internal/graph"
+	"snappif/internal/hunt"
+	"snappif/internal/sim"
+)
+
+// FuzzScenarioJSON feeds hostile bytes to the scenario decoder and runner:
+// malformed or truncated JSON must produce an error, and any scenario that
+// does decode must run to a verdict or an error — never panic, never
+// half-apply a snapshot (obs.RestoreSnapshot validates every array length
+// before writing anything). The committed corpus under
+// testdata/fuzz/FuzzScenarioJSON pins the hostile shapes that previously
+// reached panics: snapshot parent pointers outside [0,n), truncated
+// snapshot arrays, and astronomically large claimed node counts.
+func FuzzScenarioJSON(f *testing.F) {
+	g, err := graph.Line(3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	sc := hunt.NewSeedScenario("fuzz-seed", g, 0, sim.NewConfiguration(g, pr), "central-random", 10, "")
+	if data, err := sc.Marshal(); err == nil {
+		f.Add(data)
+	}
+	schedSc := hunt.NewScheduleScenario("fuzz-sched", g, 0, sim.NewConfiguration(g, pr),
+		[][]sim.Choice{{{Proc: 0, Action: core.ActionB}}}, "")
+	if data, err := schedSc.Marshal(); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`{"v":1,"topology":{"name":"x","n":3,`))
+	f.Add([]byte(`{"v":1,"topology":{"name":"x","n":1000000000000000000,"edges":[]},"root":0,"seed":0}`))
+	f.Add([]byte(`{"v":1,"topology":{"name":"x","n":3,"edges":[[0,1],[1,2]]},"root":0,"seed":0,` +
+		`"init":{"t":"snapshot","pif":"BBB","par":[-1,9,1],"l":[0,1,2],"count":[1,1,1],` +
+		`"fok":[false,false,false],"msg":["0","0","0"],"val":[0,0,0],"agg":[0,0,0]}}`))
+	f.Add([]byte(`{"v":1,"topology":{"name":"x","n":3,"edges":[[0,1],[1,2]]},"root":0,"seed":0,` +
+		`"init":{"t":"snapshot","pif":"BBB","par":[-1,0],"l":[0],"count":[1],"fok":[false],` +
+		`"msg":["0"],"val":[0],"agg":[0]}}`))
+	f.Add([]byte(`{"v":1,"topology":{"name":"x","n":2,"edges":[[0,1]]},"root":0,"seed":0,` +
+		`"schedule":[[[7,99]],[[0,0]]],"daemon":"no-such-daemon"}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := hunt.Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Clamp cost, not validity: hostile-but-decodable scenarios must
+		// reach a verdict or an error without panicking; only runs that
+		// would merely be slow are skipped or shortened.
+		if sc.Topology.N > 10 || len(sc.Topology.Edges) > 24 || len(sc.Schedule) > 64 {
+			return
+		}
+		if sc.Lmax > 64 || sc.NPrime > 64 || sc.Lmax < 0 || sc.NPrime < 0 {
+			return
+		}
+		if sc.MaxSteps <= 0 || sc.MaxSteps > 40 {
+			sc.MaxSteps = 20
+		}
+		_, _ = sc.Run(nil, nil)
+	})
+}

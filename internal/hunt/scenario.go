@@ -85,8 +85,16 @@ type Scenario struct {
 	Plant string `json:"plant,omitempty"`
 }
 
-// Graph rebuilds the scenario's network, validating it.
+// Graph rebuilds the scenario's network, validating it. The node count is
+// bounded by the edge count up front: a connected graph has N ≤ M+1, and
+// checking it here keeps a hostile scenario claiming 10¹⁸ processors from
+// allocating per-node slices before graph.New's own connectivity check can
+// reject it.
 func (sc *Scenario) Graph() (*graph.Graph, error) {
+	if sc.Topology.N < 1 || sc.Topology.N > len(sc.Topology.Edges)+1 {
+		return nil, fmt.Errorf("hunt: topology with %d processors and %d edges cannot be connected",
+			sc.Topology.N, len(sc.Topology.Edges))
+	}
 	return graph.New(sc.Topology.Name, sc.Topology.N, sc.Topology.Edges)
 }
 
@@ -166,6 +174,15 @@ func (sc *Scenario) build() (*sim.Configuration, sim.Protocol, *core.Protocol, e
 	if sc.Init != nil {
 		if err := obs.RestoreSnapshot(*sc.Init, cfg); err != nil {
 			return nil, nil, nil, fmt.Errorf("hunt: %w", err)
+		}
+		// The guards read st(c, Par_p) for every non-root processor, so an
+		// out-of-range parent pointer in a hostile snapshot would panic the
+		// engine; in-domain corruption (wrong neighbor, wrong level, …) is
+		// what scenarios exist to carry and passes through untouched.
+		for p := 0; p < cfg.N(); p++ {
+			if par := core.At(cfg, p).Par; p != sc.Root && (par < 0 || par >= cfg.N()) {
+				return nil, nil, nil, fmt.Errorf("hunt: snapshot parent %d at p%d out of range", par, p)
+			}
 		}
 	} else if sc.Fault != "" && sc.Fault != "clean" {
 		inj, ok := fault.ByName(sc.Fault)

@@ -127,12 +127,30 @@ func RestoreSnapshot(snap Snapshot, c *sim.Configuration) error {
 }
 
 // restoreSnapshot writes a snapshot back into a configuration; the inverse
-// of newSnapshot, used by offline replay.
+// of newSnapshot, used by offline replay. Snapshots may come from untrusted
+// JSON (hunt scenario files, fuzzed inputs), so every per-processor array is
+// length-checked and every field parsed *before* the first state is written:
+// a malformed snapshot returns an error with the configuration untouched,
+// never a panic or a half-applied restore.
 func restoreSnapshot(snap Snapshot, c *sim.Configuration) error {
-	if len(snap.Pif) != c.N() {
-		return fmt.Errorf("obs: snapshot has %d processors, configuration %d", len(snap.Pif), c.N())
+	n := c.N()
+	if len(snap.Pif) != n {
+		return fmt.Errorf("obs: snapshot has %d processors, configuration %d", len(snap.Pif), n)
 	}
-	for p := 0; p < c.N(); p++ {
+	for _, f := range []struct {
+		name string
+		len  int
+	}{
+		{"par", len(snap.Par)}, {"l", len(snap.L)}, {"count", len(snap.Count)},
+		{"fok", len(snap.Fok)}, {"msg", len(snap.Msg)}, {"val", len(snap.Val)},
+		{"agg", len(snap.Agg)},
+	} {
+		if f.len != n {
+			return fmt.Errorf("obs: snapshot field %q has %d entries, want %d", f.name, f.len, n)
+		}
+	}
+	states := make([]core.State, n)
+	for p := 0; p < n; p++ {
 		var ph core.Phase
 		switch snap.Pif[p] {
 		case 'B':
@@ -148,7 +166,7 @@ func restoreSnapshot(snap Snapshot, c *sim.Configuration) error {
 		if err != nil {
 			return fmt.Errorf("obs: snapshot msg at p%d: %v", p, err)
 		}
-		core.Set(c, p, core.State{
+		states[p] = core.State{
 			Pif:   ph,
 			Par:   snap.Par[p],
 			L:     snap.L[p],
@@ -157,7 +175,10 @@ func restoreSnapshot(snap Snapshot, c *sim.Configuration) error {
 			Msg:   msg,
 			Val:   snap.Val[p],
 			Agg:   snap.Agg[p],
-		})
+		}
+	}
+	for p := 0; p < n; p++ {
+		core.Set(c, p, states[p])
 	}
 	return nil
 }

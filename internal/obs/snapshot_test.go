@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"snappif/internal/core"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+// TestRestoreSnapshotRejectsMalformedAtomically: a snapshot with truncated
+// or mismatched arrays must be rejected with an error BEFORE any state is
+// written — hostile scenario JSON must never half-apply.
+func TestRestoreSnapshotRejectsMalformedAtomically(t *testing.T) {
+	g, err := graph.Line(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	good := CaptureSnapshot(sim.NewConfiguration(g, pr))
+
+	breakers := map[string]func(*Snapshot){
+		"short-pif":   func(s *Snapshot) { s.Pif = "BB" },
+		"bad-phase":   func(s *Snapshot) { s.Pif = "BXC" },
+		"short-par":   func(s *Snapshot) { s.Par = s.Par[:1] },
+		"short-l":     func(s *Snapshot) { s.L = nil },
+		"short-count": func(s *Snapshot) { s.Count = s.Count[:2] },
+		"short-fok":   func(s *Snapshot) { s.Fok = s.Fok[:0] },
+		"short-msg":   func(s *Snapshot) { s.Msg = s.Msg[:1] },
+		"bad-msg":     func(s *Snapshot) { s.Msg = []string{"zz", "0", "0"} },
+		"short-val":   func(s *Snapshot) { s.Val = s.Val[:2] },
+		"short-agg":   func(s *Snapshot) { s.Agg = nil },
+	}
+	for _, name := range []string{
+		"short-pif", "bad-phase", "short-par", "short-l", "short-count",
+		"short-fok", "short-msg", "bad-msg", "short-val", "short-agg",
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := sim.NewConfiguration(g, pr)
+			// Scribble a recognizable pre-state so mutation is detectable.
+			for p := 0; p < cfg.N(); p++ {
+				s := core.At(cfg, p)
+				s.Count = 2
+				core.Set(cfg, p, s)
+			}
+			before := CaptureSnapshot(cfg)
+
+			bad := good
+			bad.Par = append([]int(nil), good.Par...)
+			bad.L = append([]int(nil), good.L...)
+			bad.Count = append([]int(nil), good.Count...)
+			bad.Fok = append([]bool(nil), good.Fok...)
+			bad.Msg = append([]string(nil), good.Msg...)
+			bad.Val = append([]int64(nil), good.Val...)
+			bad.Agg = append([]int64(nil), good.Agg...)
+			breakers[name](&bad)
+
+			if err := RestoreSnapshot(bad, cfg); err == nil {
+				t.Fatal("malformed snapshot accepted")
+			}
+			after := CaptureSnapshot(cfg)
+			if !snapshotEqual(before, after) {
+				t.Fatal("configuration mutated by a rejected snapshot")
+			}
+		})
+	}
+}
+
+func snapshotEqual(a, b Snapshot) bool {
+	if a.Pif != b.Pif || len(a.Par) != len(b.Par) {
+		return false
+	}
+	for p := range a.Par {
+		if a.Par[p] != b.Par[p] || a.L[p] != b.L[p] || a.Count[p] != b.Count[p] ||
+			a.Fok[p] != b.Fok[p] || a.Msg[p] != b.Msg[p] ||
+			a.Val[p] != b.Val[p] || a.Agg[p] != b.Agg[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRestoreSnapshotRoundTrips: the happy path still works after the
+// hardening.
+func TestRestoreSnapshotRoundTrips(t *testing.T) {
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustNew(g, 0)
+	src := sim.NewConfiguration(g, pr)
+	for p := 0; p < src.N(); p++ {
+		s := core.At(src, p)
+		s.Count = p + 1
+		s.Msg = uint64(p)
+		core.Set(src, p, s)
+	}
+	snap := CaptureSnapshot(src)
+	dst := sim.NewConfiguration(g, pr)
+	if err := RestoreSnapshot(snap, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !snapshotEqual(snap, CaptureSnapshot(dst)) {
+		t.Fatal("round trip lost state")
+	}
+}
+
+// TestSnapshotErrorsName the failing field, so hostile scenario rejections
+// are debuggable.
+func TestSnapshotErrorsNameField(t *testing.T) {
+	g, _ := graph.Line(2)
+	pr := core.MustNew(g, 0)
+	snap := CaptureSnapshot(sim.NewConfiguration(g, pr))
+	snap.Fok = nil
+	err := RestoreSnapshot(snap, sim.NewConfiguration(g, pr))
+	if err == nil || !strings.Contains(err.Error(), "fok") {
+		t.Fatalf("err = %v, want mention of fok", err)
+	}
+}

@@ -1,10 +1,12 @@
 #!/bin/sh
 # ci.sh — the full local verification pipeline. Stdlib toolchain only.
 #
-#   sh scripts/ci.sh            # format check, vet, build, tests, race, allocs
-#   CI_FUZZ=1 sh scripts/ci.sh  # additionally smoke-fuzz the engine oracles
+#   sh scripts/ci.sh               # format check, vet, build, tests, race, allocs
+#   CI_FUZZ=1 sh scripts/ci.sh     # additionally smoke-fuzz the engine oracles
+#   CI_EXPLORE=1 sh scripts/ci.sh  # additionally smoke the exhaustive explorer
 set -eu
 cd "$(dirname "$0")/.."
+mkdir -p artifacts
 
 echo "== gofmt =="
 fmt=$(gofmt -s -l .)
@@ -23,8 +25,19 @@ go run ./cmd/snapvet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test =="
-go test ./...
+echo "== go test (shuffled, repo-wide coverage artifact) =="
+go test -shuffle=on -coverprofile=artifacts/coverage.out ./...
+go tool cover -func=artifacts/coverage.out > artifacts/coverage.txt
+tail -1 artifacts/coverage.txt
+
+echo "== coverage floor (internal/explore >= 85% of statements) =="
+go test ./internal/explore/ -coverprofile=artifacts/explore-cover.out -count=1 > /dev/null
+explore_pct=$(go tool cover -func=artifacts/explore-cover.out | awk '/^total:/ { sub(/%/,"",$NF); print $NF }')
+echo "internal/explore statement coverage: ${explore_pct}%"
+awk -v p="$explore_pct" 'BEGIN { exit (p + 0 >= 85) ? 0 : 1 }' || {
+    echo "internal/explore coverage ${explore_pct}% below the 85% floor" >&2
+    exit 1
+}
 
 echo "== race: simulation engine, experiment executor, concurrent runtime, tracer =="
 go test -race ./internal/sim/ ./internal/exp/ ./internal/runtime/ ./cmd/pifexp/ ./internal/obs/
@@ -56,12 +69,20 @@ go test ./cmd/pifexp/ -run TestRunFlatEngineIdenticalStdout -count=1
 echo "== hunt smoke (clean protocol must hunt clean on a 2x4 grid) =="
 go run ./cmd/pifhunt hunt -topo grid:2x4 -trials 4 -steps 4000
 
+if [ "${CI_EXPLORE:-0}" = "1" ]; then
+    echo "== explore smoke (deterministic state counts pinned, exhaustive on line-3) =="
+    go run ./cmd/pifexplore run -topo line:3 -init faults:3 -expect-states 209
+    go run ./cmd/pifexplore run -topo star:4 -init faults:3 -depth 6 -expect-states 357
+    go run ./cmd/pifexplore certify -quick -json artifacts/explore-smoke.json
+fi
+
 if [ "${CI_FUZZ:-0}" = "1" ]; then
     echo "== fuzz smoke (engine oracles, injector recovery) =="
     go test ./internal/sim/ -run xxx -fuzz FuzzForceAged -fuzztime 10s
     go test ./internal/sim/ -run xxx -fuzz FuzzBitsetRoundAccounting -fuzztime 10s
     go test ./internal/fault/ -run xxx -fuzz FuzzInjectorRecovery -fuzztime 10s
     go test ./internal/flat/ -run xxx -fuzz FuzzFlatVsGeneric -fuzztime 10s
+    go test ./internal/hunt/ -run xxx -fuzz FuzzScenarioJSON -fuzztime 10s
 fi
 
 echo "CI OK"
