@@ -8,6 +8,7 @@
 //
 //	pifexp [-quick] [-trials N] [-seed S] [-only E4[,E7]] [-md] [-parallel]
 //	       [-engine generic|flat] [-parallel-sweep W] [-bench FILE] [-scale FILE]
+//	       [-telemetry] [-spans FILE] [-flight FILE]
 //	       [-http ADDR] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -parallel fans both the experiments and their table cells across
@@ -23,10 +24,21 @@
 // large-N grid — N up to 10^6 on line/ring/grid/random topologies, generic
 // vs flat vs sharded — and writes the BENCH_scale JSON report.
 //
+// -telemetry turns on the large-N observability layer (internal/telemetry):
+// sharded counters, wave-latency histograms, and the sampled time series,
+// all published under /debug/vars and summarized on stderr at exit. -spans
+// additionally writes the causal wave spans as Chrome trace_event JSON that
+// loads in Perfetto (or chrome://tracing); -flight keeps the flight
+// recorder running and dumps the last recorded window as a replayable
+// pifhunt scenario. Both imply -telemetry; both follow one run at a time,
+// so they require a serial run (no -parallel).
+//
 // -http serves live observability while the experiments run: the harness
-// metrics at /debug/vars (expvar; see the "snappif" variable) and the
-// standard pprof profiles at /debug/pprof/. -cpuprofile and -memprofile
-// write one-shot pprof profiles covering the whole run.
+// metrics at /debug/vars (expvar; see the "snappif" variable), a /healthz
+// liveness endpoint, and the standard pprof profiles at /debug/pprof/; the
+// registry also carries meta.* stamps (engine, seed, topology suite, start
+// time) identifying the run. -cpuprofile and -memprofile write one-shot
+// pprof profiles covering the whole run.
 package main
 
 import (
@@ -43,10 +55,12 @@ import (
 	"runtime/pprof"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"snappif/internal/exp"
 	"snappif/internal/obs"
+	"snappif/internal/telemetry"
 	"snappif/internal/trace"
 )
 
@@ -71,7 +85,10 @@ func run(args []string, out io.Writer) (err error) {
 		sweepW   = fs.Int("parallel-sweep", 0, "flat engine only: worker count for the parallel sharded guard sweep (0 or 1 = serial; bit-identical either way)")
 		bench    = fs.String("bench", "", "measure the simulation hot path and write a JSON report to this file")
 		scale    = fs.String("scale", "", "measure the large-N scaling grid (generic vs flat vs sharded) and write a BENCH_scale JSON report to this file")
-		httpAddr = fs.String("http", "", "serve /debug/vars and /debug/pprof on this address while running (e.g. localhost:6060)")
+		telem    = fs.Bool("telemetry", false, "enable the aggregating telemetry layer (sharded counters, wave histograms, sampled time series); published at /debug/vars, summarized on stderr")
+		spansOut = fs.String("spans", "", "write causal wave spans as Chrome trace_event JSON (Perfetto-loadable) to this file; implies -telemetry, serial runs only")
+		flightTo = fs.String("flight", "", "run the flight recorder and dump its last window as a replayable pifhunt scenario (JSON) to this file; implies -telemetry, serial runs only")
+		httpAddr = fs.String("http", "", "serve /debug/vars, /healthz, and /debug/pprof on this address while running (e.g. localhost:6060)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	)
@@ -119,15 +136,36 @@ func run(args []string, out io.Writer) (err error) {
 	}
 	metrics := obs.NewRegistry()
 	metrics.Publish("snappif")
+	stampMeta(metrics, *engine, *seed, *quick, *sweepW)
+
+	var tel *telemetry.Telemetry
+	if *telem || *spansOut != "" || *flightTo != "" {
+		if *parallel && (*spansOut != "" || *flightTo != "") {
+			return fmt.Errorf("-spans and -flight follow one run at a time and need a serial run; drop -parallel")
+		}
+		base := time.Now()
+		tcfg := telemetry.Config{
+			// Monotonic-delta clock: durations survive wall-clock steps.
+			Clock:  func() int64 { return int64(time.Since(base)) },
+			Timing: true,
+		}
+		if *flightTo != "" {
+			tcfg.FlightDepth = 8
+		}
+		tel = telemetry.New(tcfg)
+		tel.PublishTo(metrics)
+	}
+
 	if *httpAddr != "" {
 		// expvar and net/http/pprof register themselves on the default mux;
 		// the server outlives run() only until main exits.
+		serveHealthz(metrics)
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "pifexp: http:", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "pifexp: serving /debug/vars and /debug/pprof on %s\n", *httpAddr)
+		fmt.Fprintf(os.Stderr, "pifexp: serving /debug/vars, /healthz, and /debug/pprof on %s\n", *httpAddr)
 	}
 
 	want := make(map[string]bool)
@@ -147,6 +185,7 @@ func run(args []string, out io.Writer) (err error) {
 		Metrics:      metrics,
 		Engine:       *engine,
 		SweepWorkers: *sweepW,
+		Telemetry:    tel,
 	}
 
 	var selected []exp.Experiment
@@ -238,6 +277,11 @@ func run(args []string, out io.Writer) (err error) {
 			failures++
 		}
 	}
+	if tel != nil {
+		if err := finishTelemetry(tel, *spansOut, *flightTo); err != nil {
+			return err
+		}
+	}
 	if *bench != "" {
 		if err := writeBench(*bench, timings); err != nil {
 			return err
@@ -250,6 +294,91 @@ func run(args []string, out io.Writer) (err error) {
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d experiments failed", failures)
+	}
+	return nil
+}
+
+// stampMeta registers the run-identifying meta.* Text variables, so
+// /debug/vars (and /healthz) answer "what is this process running" without
+// grepping logs.
+func stampMeta(reg *obs.Registry, engine string, seed int64, quick bool, sweepW int) {
+	suite := "full"
+	if quick {
+		suite = "quick"
+	}
+	stamp := func(name, value string) {
+		t := new(obs.Text)
+		t.Set(value)
+		reg.Register(name, t)
+	}
+	stamp("meta.engine", engine)
+	stamp("meta.seed", fmt.Sprint(seed))
+	stamp("meta.topology_suite", suite)
+	stamp("meta.sweep_workers", fmt.Sprint(sweepW))
+	stamp("meta.go", runtime.Version())
+	stamp("meta.started", time.Now().UTC().Format(time.RFC3339))
+}
+
+// healthz registration is once-guarded because run() is re-entered by tests
+// and the default mux panics on duplicate patterns; the handler reads the
+// latest registry through the atomic pointer so re-runs stay visible.
+var (
+	healthzOnce sync.Once
+	healthzReg  atomic.Pointer[obs.Registry]
+)
+
+func serveHealthz(reg *obs.Registry) {
+	healthzReg.Store(reg)
+	healthzOnce.Do(func() {
+		http.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			reg := healthzReg.Load()
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, "{\"status\":\"ok\",\"engine\":%s,\"seed\":%s,\"started\":%s}\n",
+				reg.Text("meta.engine"),
+				reg.Text("meta.seed"),
+				reg.Text("meta.started"))
+		})
+	})
+}
+
+// finishTelemetry prints the end-of-run telemetry summary to stderr and
+// writes the optional span/flight artifacts.
+func finishTelemetry(tel *telemetry.Telemetry, spansPath, flightPath string) error {
+	steps, moves := tel.Totals()
+	waves, abn := tel.Waves()
+	wr := tel.Hist("wave_rounds")
+	fmt.Fprintf(os.Stderr,
+		"pifexp: telemetry: %d steps, %d moves, %d waves (%d abnormal); wave rounds p50≤%d p95≤%d p99≤%d\n",
+		steps, moves, waves, abn, wr.Quantile(0.50), wr.Quantile(0.95), wr.Quantile(0.99))
+	if spansPath != "" {
+		f, err := os.Create(spansPath)
+		if err != nil {
+			return err
+		}
+		if err := tel.WriteSpans(f); err != nil {
+			f.Close()
+			return fmt.Errorf("spans: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("spans: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "pifexp: wrote %d wave spans to %s (load in Perfetto or chrome://tracing)\n",
+			len(tel.Spans()), spansPath)
+	}
+	if flightPath != "" {
+		sc, err := tel.DumpScenario()
+		if err != nil {
+			return fmt.Errorf("flight: %w", err)
+		}
+		data, err := sc.Marshal()
+		if err != nil {
+			return fmt.Errorf("flight: %w", err)
+		}
+		if err := os.WriteFile(flightPath, data, 0o644); err != nil {
+			return fmt.Errorf("flight: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "pifexp: flight recorder dumped %s (replay with: pifhunt replay -in %s)\n",
+			flightPath, flightPath)
 	}
 	return nil
 }

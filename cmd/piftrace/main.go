@@ -6,9 +6,16 @@
 //
 // Usage:
 //
-//	piftrace summary FILE            totals, moves per action, wave table
+//	piftrace summary FILE            totals, moves per action, wave table,
+//	                                 wave-latency percentiles (p50/p95/p99
+//	                                 rounds, and wall time when the trace was
+//	                                 recorded with a clock)
 //	piftrace timeline [-every k] FILE   phase Gantt (rows: processors,
 //	                                 columns: round boundaries) + wave spans
+//	piftrace spans [-o FILE] FILE    export causal wave spans as Chrome
+//	                                 trace_event JSON — load the output in
+//	                                 Perfetto (ui.perfetto.dev) or
+//	                                 chrome://tracing
 //	piftrace check FILE              offline replay: re-run the recorded
 //	                                 schedule from the recorded initial
 //	                                 snapshot, re-evaluate Properties 1–2
@@ -30,11 +37,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"time"
 
 	"snappif/internal/check"
 	"snappif/internal/core"
 	"snappif/internal/obs"
 	"snappif/internal/sim"
+	"snappif/internal/telemetry"
 	"snappif/internal/trace"
 	"snappif/internal/viz"
 )
@@ -48,7 +58,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: piftrace <summary|timeline|check|diff> [flags] FILE...")
+		return fmt.Errorf("usage: piftrace <summary|timeline|spans|check|diff> [flags] FILE...")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -69,6 +79,17 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		return timeline(out, tr, *every)
+	case "spans":
+		fs := flag.NewFlagSet("piftrace spans", flag.ContinueOnError)
+		outPath := fs.String("o", "", "write the trace_event JSON to this file instead of stdout")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		tr, err := readTraceArg(fs.Args(), 0)
+		if err != nil {
+			return err
+		}
+		return spansCmd(out, *outPath, tr)
 	case "check":
 		tr, err := readTraceArg(rest, 0)
 		if err != nil {
@@ -89,7 +110,7 @@ func run(args []string, out io.Writer) error {
 		}
 		return diff(out, a, b)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want summary, timeline, check, or diff)", cmd)
+		return fmt.Errorf("unknown subcommand %q (want summary, timeline, spans, check, or diff)", cmd)
 	}
 }
 
@@ -142,8 +163,54 @@ func summary(out io.Writer, tr *obs.Trace) error {
 			tbl.AddRow(w.id, w.msg, w.startStep, w.endStep, w.startRound, w.endRound, w.endRound-w.startRound+1)
 		}
 		tbl.Render(out)
+		waveLatency(out, waves)
 	}
 	return nil
+}
+
+// waveLatency prints the completed-wave latency percentiles: rounds always,
+// wall time when the trace was recorded with a clock (obs.WithClock).
+func waveLatency(out io.Writer, waves []waveSpan) {
+	var rounds []int
+	var walls []int64 // µs
+	for _, w := range waves {
+		if w.endStep == 0 {
+			continue
+		}
+		rounds = append(rounds, w.endRound-w.startRound+1)
+		if w.startTS > 0 && w.endTS >= w.startTS {
+			walls = append(walls, w.endTS-w.startTS)
+		}
+	}
+	if len(rounds) == 0 {
+		return
+	}
+	sort.Ints(rounds)
+	fmt.Fprintf(out, "wave latency (%d completed): rounds p50=%d p95=%d p99=%d\n",
+		len(rounds), pctInt(rounds, 50), pctInt(rounds, 95), pctInt(rounds, 99))
+	if len(walls) > 0 {
+		sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
+		us := func(q int) time.Duration { return time.Duration(pct64(walls, q)) * time.Microsecond }
+		fmt.Fprintf(out, "wave wall time (%d timed): p50=%v p95=%v p99=%v\n",
+			len(walls), us(50), us(95), us(99))
+	}
+}
+
+// pctInt is the nearest-rank q-th percentile of a sorted slice.
+func pctInt(sorted []int, q int) int {
+	return sorted[pctIdx(len(sorted), q)]
+}
+
+func pct64(sorted []int64, q int) int64 {
+	return sorted[pctIdx(len(sorted), q)]
+}
+
+func pctIdx(n, q int) int {
+	i := (n*q + 99) / 100 // ceil(n·q/100), nearest-rank
+	if i < 1 {
+		i = 1
+	}
+	return i - 1
 }
 
 // waveSpan is one reconstructed PIF wave.
@@ -152,6 +219,7 @@ type waveSpan struct {
 	msg                  string
 	startStep, endStep   int
 	startRound, endRound int
+	startTS, endTS       int64 // µs wall stamps, 0 when the trace has no clock
 }
 
 // waveSpans pairs wave start/end events.
@@ -165,16 +233,44 @@ func waveSpans(tr *obs.Trace) []waveSpan {
 		switch ev.Kind {
 		case "start":
 			open[ev.Wave] = len(out)
-			out = append(out, waveSpan{id: ev.Wave, msg: ev.M, startStep: ev.I, startRound: ev.Round})
+			out = append(out, waveSpan{id: ev.Wave, msg: ev.M, startStep: ev.I, startRound: ev.Round, startTS: ev.TS})
 		case "end":
 			if i, ok := open[ev.Wave]; ok {
 				out[i].endStep = ev.I
 				out[i].endRound = ev.Round
+				out[i].endTS = ev.TS
 				delete(open, ev.Wave)
 			}
 		}
 	}
 	return out
+}
+
+// spansCmd exports the trace's causal wave spans as Chrome trace_event JSON.
+func spansCmd(out io.Writer, path string, tr *obs.Trace) (err error) {
+	spans, err := telemetry.SpansFromTrace(tr)
+	if err != nil {
+		return err
+	}
+	name := "piftrace"
+	if tr.Meta != nil && tr.Meta.Protocol != "" {
+		name = tr.Meta.Protocol
+	}
+	w := out
+	if path != "" {
+		f, cerr := os.Create(path)
+		if cerr != nil {
+			return cerr
+		}
+		// The close error is the write error on many filesystems.
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		w = f
+	}
+	return telemetry.WriteTraceEvents(w, name, spans)
 }
 
 // timeline reconstructs the per-processor phase strips at round boundaries

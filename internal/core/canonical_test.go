@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"snappif/internal/graph"
+)
+
+// mustLineProtocol builds the protocol on a line of n processors.
+func mustLineProtocol(t *testing.T, n int, opts ...Option) *Protocol {
+	t.Helper()
+	g, err := graph.Line(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := New(g, 0, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+// TestDecodeCanonicalRoundTrip pins DecodeCanonical as the exact inverse of
+// AppendCanonical, including extreme and negative field values — the flight
+// recorder depends on the round trip for bit-for-bit replays.
+func TestDecodeCanonicalRoundTrip(t *testing.T) {
+	states := []State{
+		{Pif: C, Par: ParNone, L: 0, Count: 0},
+		{Pif: B, Par: 3, L: 7, Count: 12, Fok: true, Msg: 42, Val: -5, Agg: 17},
+		{Pif: F, Par: 0, L: 1, Count: 1, Msg: math.MaxUint64, Val: math.MinInt64, Agg: math.MaxInt64},
+		{Pif: B, Par: math.MaxInt32, L: math.MaxInt32, Count: math.MaxInt32, Fok: true, Msg: 1},
+	}
+	var buf []byte
+	for _, s := range states {
+		buf = s.AppendCanonical(buf)
+	}
+	if len(buf) != len(states)*CanonicalSize {
+		t.Fatalf("encoded %d states into %d bytes, want %d", len(states), len(buf), len(states)*CanonicalSize)
+	}
+	rest := buf
+	for i, want := range states {
+		got, r, err := DecodeCanonical(rest)
+		if err != nil {
+			t.Fatalf("state %d: %v", i, err)
+		}
+		rest = r
+		if got != want {
+			t.Fatalf("state %d round-trips to %+v, want %+v", i, got, want)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left over after decoding every state", len(rest))
+	}
+}
+
+// TestDecodeCanonicalRejects pins the error paths: truncated input and
+// out-of-domain phase/Fok bytes must fail rather than fabricate a state.
+func TestDecodeCanonicalRejects(t *testing.T) {
+	good := (&State{Pif: B, Par: 1, L: 1, Count: 1}).AppendCanonical(nil)
+	if _, _, err := DecodeCanonical(good[:CanonicalSize-1]); err == nil {
+		t.Fatal("truncated encoding decoded without error")
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] = 9
+	if _, _, err := DecodeCanonical(bad); err == nil {
+		t.Fatal("phase byte 9 decoded without error")
+	}
+	bad = append(bad[:0], good...)
+	bad[25] = 2
+	if _, _, err := DecodeCanonical(bad); err == nil {
+		t.Fatal("Fok byte 2 decoded without error")
+	}
+}
+
+// TestWithFirstMsgResumesCounter pins the payload-counter resume contract.
+func TestWithFirstMsgResumesCounter(t *testing.T) {
+	pr := mustLineProtocol(t, 3)
+	if pr.NextMsg() != 1 {
+		t.Fatalf("fresh protocol counter = %d, want 1", pr.NextMsg())
+	}
+	pr2 := mustLineProtocol(t, 3, WithFirstMsg(41))
+	if pr2.NextMsg() != 41 {
+		t.Fatalf("resumed protocol counter = %d, want 41", pr2.NextMsg())
+	}
+	pr3 := mustLineProtocol(t, 3, WithFirstMsg(0))
+	if pr3.NextMsg() != 1 {
+		t.Fatalf("WithFirstMsg(0) counter = %d, want default 1", pr3.NextMsg())
+	}
+}

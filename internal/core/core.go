@@ -25,7 +25,11 @@
 // paper's.
 package core
 
-import "snappif/internal/sim"
+import (
+	"fmt"
+
+	"snappif/internal/sim"
+)
 
 // Phase is the value of the Pif variable.
 type Phase uint8
@@ -121,6 +125,44 @@ func appendU64(b []byte, v uint64) []byte {
 }
 
 var _ sim.CanonicalState = (*State)(nil)
+
+// CanonicalSize is the length in bytes of one state's canonical encoding:
+// Pif (1) + Par/L/Count (8 each) + Fok (1) + Msg/Val/Agg (8 each).
+const CanonicalSize = 50
+
+// DecodeCanonical decodes one state from the front of b — the inverse of
+// AppendCanonical — and returns the remaining bytes. The telemetry flight
+// recorder stores configurations as concatenated canonical encodings and
+// rehydrates them through this when it dumps a replayable scenario.
+func DecodeCanonical(b []byte) (State, []byte, error) {
+	if len(b) < CanonicalSize {
+		return State{}, b, fmt.Errorf("core: canonical state needs %d bytes, have %d", CanonicalSize, len(b))
+	}
+	ph := Phase(b[0])
+	if ph != B && ph != F && ph != C {
+		return State{}, b, fmt.Errorf("core: canonical phase byte %d out of domain", b[0])
+	}
+	if b[25] > 1 {
+		return State{}, b, fmt.Errorf("core: canonical Fok byte %d out of domain", b[25])
+	}
+	s := State{
+		Pif:   ph,
+		Par:   int(int64(decodeU64(b[1:]))),
+		L:     int(int64(decodeU64(b[9:]))),
+		Count: int(int64(decodeU64(b[17:]))),
+		Fok:   b[25] == 1,
+		Msg:   decodeU64(b[26:]),
+		Val:   int64(decodeU64(b[34:])),
+		Agg:   int64(decodeU64(b[42:])),
+	}
+	return s, b[CanonicalSize:], nil
+}
+
+// decodeU64 reads a little-endian uint64 from the front of b.
+func decodeU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
 
 // At returns processor p's state by value. It is the exported counterpart of
 // the package-internal accessor the guards use; checkers, fault injectors,

@@ -87,6 +87,19 @@ func WithCombine(f CombineFunc) Option {
 	return func(pr *Protocol) { pr.Combine = f }
 }
 
+// WithFirstMsg sets the payload identifier the root's next broadcast will
+// carry (default 1). Mid-run replay tooling — the telemetry flight
+// recorder — captures the counter at checkpoint time and resumes it here,
+// so a scenario cut from the middle of a run reproduces the tail's payload
+// values exactly. Zero is ignored (the counter keeps its default).
+func WithFirstMsg(m uint64) Option {
+	return func(pr *Protocol) {
+		if m > 0 {
+			pr.nextMsg = m
+		}
+	}
+}
+
 // WithPrintedGuards reverts the repairs of DESIGN.md §2 (3 and 4), running
 // the guards exactly as printed in the transcription. Only for
 // demonstrating why the repairs are necessary: corrupted configurations can
@@ -131,6 +144,11 @@ func MustNew(g *graph.Graph, root int, opts ...Option) *Protocol {
 
 // Graph returns the network the protocol runs on.
 func (pr *Protocol) Graph() *graph.Graph { return pr.g }
+
+// NextMsg returns the payload identifier the root's next broadcast will
+// carry. Checkpointing tools persist it so a replay resumed from the
+// checkpoint assigns the same payload sequence (see WithFirstMsg).
+func (pr *Protocol) NextMsg() uint64 { return pr.nextMsg }
 
 // UsesPrintedGuards reports whether WithPrintedGuards reverted the
 // transcription repairs. The flat engine (internal/flat) mirrors the guard

@@ -19,6 +19,7 @@ import (
 	"snappif/internal/graph"
 	"snappif/internal/obs"
 	"snappif/internal/sim"
+	"snappif/internal/telemetry"
 	"snappif/internal/trace"
 )
 
@@ -53,6 +54,12 @@ type Options struct {
 	// with this many workers (≤ 1 keeps sweeps on the calling goroutine).
 	// Ignored by the generic engine.
 	SweepWorkers int
+	// Telemetry, if non-nil, receives the per-step aggregation hooks of
+	// every snap-PIF cycle run (both engines). The instance is shared
+	// across cells — its counters and histograms aggregate the whole
+	// experiment batch, and with Parallel the cells feed it concurrently
+	// (all hooks are safe for concurrent use).
+	Telemetry *telemetry.Telemetry
 }
 
 func (o Options) withDefaults() Options {
@@ -158,9 +165,22 @@ func runCycles(opt Options, g *graph.Graph, d sim.Daemon, k int, seed int64) ([]
 		Observers: []sim.Observer{obs},
 		StopWhen:  obs.StopAfterCycles(k),
 	}
+	meta := telemetry.RunMeta{
+		G:       g,
+		Root:    0,
+		Seed:    seed - 1, // scenario convention: injector seed; run seed is Seed+1
+		Engine:  opt.Engine,
+		Daemon:  d.Name(),
+		NextMsg: pr.NextMsg,
+	}
 	switch opt.Engine {
 	case "", "generic":
 		cfg := sim.NewConfiguration(g, pr)
+		if opt.Telemetry.Enabled() {
+			to := &telemetry.Observer{T: opt.Telemetry, Proto: pr}
+			to.Begin(meta, cfg)
+			simOpts.Observers = append(simOpts.Observers, to)
+		}
 		if _, err := sim.Run(cfg, pr, d, simOpts); err != nil {
 			return nil, err
 		}
@@ -174,8 +194,10 @@ func runCycles(opt Options, g *graph.Graph, d sim.Daemon, k int, seed int64) ([]
 			return nil, err
 		}
 		if _, err := flat.Run(fc, kern, d, flat.Options{
-			Options:      simOpts,
-			SweepWorkers: opt.SweepWorkers,
+			Options:       simOpts,
+			SweepWorkers:  opt.SweepWorkers,
+			Telemetry:     opt.Telemetry,
+			TelemetryMeta: meta,
 		}); err != nil {
 			return nil, err
 		}

@@ -29,6 +29,7 @@
 package flat
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 
@@ -249,13 +250,53 @@ func (c *Config) Clone() *Config {
 // ascending processor order — byte-identical to the boxed path
 // (sim.Configuration.AppendCanonical over *core.State boxes), which the
 // cross-engine differential tests rely on to compare configurations across
-// layouts.
+// layouts. The buffer is grown once and the fields encoded straight from the
+// columns: the telemetry flight recorder calls this on every checkpoint, so
+// at large N the gather-into-core.State path would dominate the recorder's
+// overhead budget.
 func (c *Config) AppendCanonical(b []byte) []byte {
-	for p := 0; p < c.N(); p++ {
-		s := c.StateAt(p)
-		b = s.AppendCanonical(b)
+	n := c.N()
+	off := len(b)
+	need := n * core.CanonicalSize
+	if cap(b)-off < need {
+		nb := make([]byte, off, off+need)
+		copy(nb, b)
+		b = nb
+	}
+	b = b[:off+need]
+	for p := 0; p < n; p++ {
+		e := b[off+p*core.CanonicalSize : off+(p+1)*core.CanonicalSize : off+(p+1)*core.CanonicalSize]
+		e[0] = c.pif[p]
+		binary.LittleEndian.PutUint64(e[1:], uint64(int64(c.par[p])))
+		binary.LittleEndian.PutUint64(e[9:], uint64(int64(c.level[p])))
+		binary.LittleEndian.PutUint64(e[17:], uint64(int64(c.count[p])))
+		if c.fok[p] {
+			e[25] = 1
+		} else {
+			e[25] = 0
+		}
+		binary.LittleEndian.PutUint64(e[26:], c.msg[p])
+		binary.LittleEndian.PutUint64(e[34:], uint64(c.val[p]))
+		binary.LittleEndian.PutUint64(e[42:], uint64(c.agg[p]))
 	}
 	return b
+}
+
+// Census counts processors by phase in one pass over the phase column,
+// allocation-free. The telemetry layer reads it once per run to seed its
+// incremental phase census (per-step upkeep then rides on commit deltas).
+func (c *Config) Census() (b, f, cl int) {
+	for _, ph := range c.pif {
+		switch core.Phase(ph) {
+		case core.B:
+			b++
+		case core.F:
+			f++
+		default:
+			cl++
+		}
+	}
+	return b, f, cl
 }
 
 // Fingerprint returns the FNV-1a 64-bit hash of the configuration's

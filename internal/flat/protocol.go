@@ -38,9 +38,10 @@ type Protocol struct {
 	nextMsg uint64
 }
 
-// FromCore builds the flat kernel for pr's network and parameters. Call it
-// with a freshly constructed protocol: the root's broadcast counter starts
-// at 1 in both engines, so runs stay payload-identical.
+// FromCore builds the flat kernel for pr's network and parameters. The
+// root's broadcast counter is copied from pr (1 on a freshly constructed
+// protocol, a later value when pr was built core.WithFirstMsg), so runs
+// stay payload-identical to the generic engine's.
 func FromCore(pr *core.Protocol) (*Protocol, error) {
 	g := pr.Graph()
 	if g.N() != pr.N {
@@ -56,9 +57,14 @@ func FromCore(pr *core.Protocol) (*Protocol, error) {
 		g:       g,
 		name:    pr.Name(),
 		names:   pr.ActionNames(),
-		nextMsg: 1,
+		nextMsg: pr.NextMsg(),
 	}, nil
 }
+
+// NextMsg returns the payload identifier the root's next broadcast will
+// carry — the flat counterpart of core.Protocol.NextMsg, read by the
+// telemetry flight recorder at checkpoint time.
+func (k *Protocol) NextMsg() uint64 { return k.nextMsg }
 
 // Name returns the source protocol's name, not a flat-specific one: the
 // engines must be indistinguishable in step-limit errors and trace metadata

@@ -6,6 +6,7 @@ import (
 
 	"snappif/internal/core"
 	"snappif/internal/sim"
+	"snappif/internal/telemetry"
 )
 
 // Options configures a flat-engine run. The embedded sim.Options keep their
@@ -26,6 +27,16 @@ type Options struct {
 	// (default 2048): below it the goroutine handoff costs more than the
 	// sweep.
 	MinSweep int
+
+	// Telemetry, when non-nil, receives the per-step aggregation hook plus
+	// per-shard sweep tallies. A nil value keeps the step path free of any
+	// telemetry cost beyond one pointer check.
+	Telemetry *telemetry.Telemetry
+
+	// TelemetryMeta labels the run for the telemetry flight recorder and
+	// metadata stamps. NewRunner fills G, Engine, Daemon, and NextMsg when
+	// unset; protocol parameters and seeds are the caller's to stamp.
+	TelemetryMeta telemetry.RunMeta
 }
 
 // Run executes the kernel on configuration c (mutated in place) under daemon
@@ -94,9 +105,12 @@ type Runner struct {
 	lastReset []int
 
 	// Round accounting: pending holds the processors still owing the current
-	// round an action, pendingCount its cardinality.
+	// round an action, pendingCount its cardinality. enabledCount mirrors
+	// the enabled bitset's cardinality incrementally, so the telemetry path
+	// never pays a per-step popcount over N bits.
 	pending      bitmark
 	pendingCount int
+	enabledCount int
 
 	// Refresh scratch: dirtyBuf lists the step's re-evaluated processors,
 	// scratch dedups it.
@@ -109,8 +123,16 @@ type Runner struct {
 
 	// actionMoves counts executions per action ID; Result materializes the
 	// MovesPerAction map from it lazily, keeping the per-move hot path free
-	// of map assignments (a measurable cost at large N).
+	// of map assignments (a measurable cost at large N). actPrev is the
+	// telemetry path's pre-step snapshot of actionMoves, diffed after the
+	// move loop into the step's per-action counts for censusDeltas.
 	actionMoves []int
+	actPrev     []int
+
+	// packBuf is the telemetry path's pre-packed copy of the step's
+	// selection (telemetry.PackChoice layout), built inside the commit
+	// loop and handed to the flight recorder by swap; see StepInfo.Packed.
+	packBuf []uint32
 
 	// mirror, when non-nil, is a boxed sim.Configuration kept equal to c
 	// after every step (only executed processors change, so updating their
@@ -123,9 +145,27 @@ type Runner struct {
 
 	pool *pool
 
+	// Telemetry wiring: telSrc adapts the flat configuration for flight
+	// checkpoints; guardHits/guardMisses are per-step refresh tallies
+	// (re-evaluated guards whose action was unchanged vs. changed).
+	tel         *telemetry.Telemetry
+	telSrc      *telSource
+	guardHits   int64
+	guardMisses int64
+
 	finished bool
 	err      error
 }
+
+// telSource adapts Config to telemetry.StateSource (the flat canonical
+// encoder is infallible, unlike the boxed one).
+type telSource struct{ c *Config }
+
+func (s *telSource) N() int { return s.c.N() }
+
+func (s *telSource) AppendCanonical(b []byte) ([]byte, error) { return s.c.AppendCanonical(b), nil }
+
+func (s *telSource) Census() (b, f, cl int) { return s.c.Census() }
 
 // NewRunner prepares a flat run of kernel k on configuration c (mutated in
 // place) under daemon d. A mirror boxed configuration is maintained exactly
@@ -175,6 +215,7 @@ func NewRunner(c *Config, k *Protocol, d sim.Daemon, opts Options) (*Runner, err
 		stage:     make([]core.State, n),
 
 		actionMoves: make([]int, len(k.names)),
+		actPrev:     make([]int, len(k.names)),
 	}
 	r.res = sim.Result{MovesPerAction: make(map[string]int, len(r.names))}
 
@@ -200,10 +241,39 @@ func NewRunner(c *Config, k *Protocol, d sim.Daemon, opts Options) (*Runner, err
 		}
 	}
 	r.pending.copyFrom(r.enabled)
-	r.pendingCount = r.enabled.count()
+	r.enabledCount = r.enabled.count()
+	r.pendingCount = r.enabledCount
 
 	if opts.SweepWorkers > 1 {
 		r.pool = newPool(r, opts.SweepWorkers)
+	}
+
+	if opts.Telemetry.Enabled() {
+		r.tel = opts.Telemetry
+		r.telSrc = &telSource{c: c}
+		meta := opts.TelemetryMeta
+		if meta.G == nil {
+			meta.G = c.G
+		}
+		if meta.Engine == "" {
+			meta.Engine = "flat"
+		}
+		if meta.Daemon == "" {
+			meta.Daemon = d.Name()
+		}
+		// The kernel's resolved parameters are authoritative; non-default
+		// bounds are recorded as explicit scenario overrides.
+		meta.Root = k.Root
+		if k.Lmax != c.N()-1 {
+			meta.Lmax = k.Lmax
+		}
+		if k.NPrime != c.N() {
+			meta.NPrime = k.NPrime
+		}
+		if meta.NextMsg == nil {
+			meta.NextMsg = k.NextMsg
+		}
+		r.tel.BeginRun(meta, r.telSrc)
 	}
 	return r, nil
 }
@@ -256,6 +326,12 @@ func (r *Runner) Step() (done bool, err error) {
 	if r.finished {
 		return true, r.err
 	}
+	stepStart := r.tel.Now() // 0 when telemetry or timing is off
+	var rootBefore core.Phase
+	if r.tel != nil {
+		rootBefore = core.Phase(r.c.pif[r.k.Root])
+		r.guardHits, r.guardMisses = 0, 0
+	}
 	enabled := r.choices()
 	if len(enabled) == 0 {
 		r.res.Terminal = true
@@ -286,19 +362,80 @@ func (r *Runner) Step() (done bool, err error) {
 	// Execute: stage every next state from the pre-step slices (sharded when
 	// the selection is large — stage slots are disjoint), then scatter-commit
 	// serially. Composite atomicity, distributed daemon.
+	var commitStart int64
+	if r.tel.DetailTiming() {
+		commitStart = r.tel.Now()
+	}
 	if r.pool != nil && len(selected) >= r.opts.MinSweep {
 		r.pool.run(jobApply, len(selected))
 	} else {
 		for i, ch := range selected {
 			r.k.apply(r.c, ch.Proc, int32(ch.Action), &r.stage[i])
 		}
+		if r.tel != nil {
+			r.tel.ShardApplies(0, int64(len(selected)))
+		}
 	}
-	for i, ch := range selected {
-		r.c.setStateHot(int32(ch.Proc), &r.stage[i])
+	packed := false
+	if r.tel != nil {
+		packed = r.tel.WantPacked()
+	}
+	if packed {
+		// The flight recorder will take this buffer by swap (see
+		// StepInfo.Packed), so the schedule is packed here rather than
+		// re-read by the recorder after the selection has left the cache.
+		// Fusing the sequential 4-byte stores into the scatter-write commit
+		// loop hides them behind its latency-bound state writes. Sizing
+		// mirrors the recorder's own 2× headroom so growing selections do
+		// not re-allocate every step.
+		n := len(selected)
+		if cap(r.packBuf) < n {
+			r.packBuf = make([]uint32, n, 2*n) //snapvet:ok amortized buffer growth, recycled via recorder swap
+		} else {
+			r.packBuf = r.packBuf[:n]
+		}
+		for i, ch := range selected {
+			r.c.setStateHot(int32(ch.Proc), &r.stage[i])
+			r.packBuf[i] = telemetry.PackChoice(ch.Proc, ch.Action)
+		}
+	} else {
+		for i, ch := range selected {
+			r.c.setStateHot(int32(ch.Proc), &r.stage[i])
+		}
+	}
+	var commitNS int64
+	if commitStart > 0 {
+		commitNS = r.tel.Now() - commitStart
+	}
+	var db, df, dc int
+	if r.tel != nil {
+		copy(r.actPrev, r.actionMoves)
 	}
 	for _, ch := range selected {
 		r.res.Moves++
 		r.actionMoves[ch.Action]++
+	}
+	if r.tel != nil {
+		// Telemetry census deltas derive from the step's per-action move
+		// counts: every non-root action has a static phase transition (the
+		// guards pin the from-phase, the statements the to-phase), so the
+		// deltas cost O(#actions) per step, not O(moves). The root — whose
+		// B-correction transition is not static — is fixed up from its
+		// observed before/after phases. Its move is found by rescanning the
+		// selection, gated on the pre-step enabled bit (refresh has not run
+		// yet): the root is quiescent on almost every step of a large run,
+		// so the common case pays one bitset test, not a per-move compare.
+		root := r.k.Root
+		rootAct := -1
+		if r.enabled.test(root) {
+			for _, ch := range selected {
+				if ch.Proc == root {
+					rootAct = ch.Action
+					break
+				}
+			}
+		}
+		db, df, dc = censusDeltas(r.actionMoves, r.actPrev, rootAct, rootBefore, core.Phase(r.c.pif[root]))
 	}
 	r.res.Steps++
 	r.rs.Steps, r.rs.Moves = r.res.Steps, r.res.Moves
@@ -324,12 +461,24 @@ func (r *Runner) Step() (done bool, err error) {
 		o.OnStep(steps, selected, r.mirror)
 	}
 
+	var evalStart int64
+	if r.tel.DetailTiming() {
+		evalStart = r.tel.Now()
+	}
 	r.refresh(selected)
+	var evalNS int64
+	if evalStart > 0 {
+		evalNS = r.tel.Now() - evalStart
+	}
 
 	for _, o := range r.opts.Observers {
 		if eo, ok := o.(sim.EnabledObserver); ok {
-			eo.OnEnabled(steps, r.enabled.count())
+			eo.OnEnabled(steps, r.enabledCount)
 		}
+	}
+
+	if r.tel != nil {
+		r.telStep(steps, selected, packed, rootBefore, db, df, dc, stepStart, evalNS, commitNS)
 	}
 
 	// Round boundary: every processor pending since the round started has
@@ -343,7 +492,7 @@ func (r *Runner) Step() (done bool, err error) {
 			}
 		}
 		r.pending.copyFrom(r.enabled)
-		r.pendingCount = r.enabled.count()
+		r.pendingCount = r.enabledCount
 	}
 
 	// Clear the fairness dedup marks set this step (selBuf covers them).
@@ -357,6 +506,100 @@ func (r *Runner) Step() (done bool, err error) {
 		return true, nil
 	}
 	return false, nil
+}
+
+// censusDeltas converts one step's per-action move counts (cur − prev) into
+// phase-census deltas. Every non-root action has a static phase transition:
+// the guard pins the from-phase (Broadcast needs C, Feedback and AbnormalB
+// need B, Cleaning and AbnormalF need F) and the statement the to-phase;
+// Fok- and Count-action never change the phase. The root deviates only in
+// B-correction (root: →C from any abnormal phase; non-root: B→F), so the
+// root's move — if any — is re-counted from its observed before/after
+// phases. Cross-validated against the generic engine's per-move census in
+// the telemetry package's engine-agreement test.
+func censusDeltas(cur, prev []int, rootAct int, rootBefore, rootAfter core.Phase) (db, df, dc int) {
+	cb := cur[core.ActionB] - prev[core.ActionB]
+	cf := cur[core.ActionF] - prev[core.ActionF]
+	cc := cur[core.ActionC] - prev[core.ActionC]
+	cbc := cur[core.ActionBCorrection] - prev[core.ActionBCorrection]
+	cfc := cur[core.ActionFCorrection] - prev[core.ActionFCorrection]
+	db = cb - cf - cbc
+	df = cf + cbc - cc - cfc
+	dc = cc + cfc - cb
+	if rootAct >= 0 {
+		// Remove the static table's contribution for the root's move...
+		switch rootAct {
+		case core.ActionB:
+			db--
+			dc++
+		case core.ActionF:
+			df--
+			db++
+		case core.ActionC:
+			dc--
+			df++
+		case core.ActionBCorrection:
+			df--
+			db++
+		case core.ActionFCorrection:
+			dc--
+			df++
+		}
+		// ...and re-add its actual transition.
+		if rootBefore != rootAfter {
+			switch rootBefore {
+			case core.B:
+				db--
+			case core.F:
+				df--
+			default:
+				dc--
+			}
+			switch rootAfter {
+			case core.B:
+				db++
+			case core.F:
+				df++
+			default:
+				dc++
+			}
+		}
+	}
+	return db, df, dc
+}
+
+// telStep assembles and delivers the step's StepInfo. Split out of Step so
+// the telemetry-off path never executes it, and so the hotalloc analyzer's
+// per-function scope keeps Step itself literal-free.
+func (r *Runner) telStep(step int, selected []sim.Choice, packed bool, rootBefore core.Phase, db, df, dc int, startNS, evalNS, commitNS int64) {
+	root := r.k.Root
+	var stepNS int64
+	if startNS > 0 {
+		stepNS = r.tel.Now() - startNS
+	}
+	var packedBuf *[]uint32
+	if packed {
+		packedBuf = &r.packBuf
+	}
+	r.tel.Step(telemetry.StepInfo{
+		Step:        step,
+		Executed:    selected,
+		Packed:      packedBuf,
+		Enabled:     r.enabledCount,
+		Rounds:      r.res.Rounds,
+		RootBefore:  rootBefore,
+		RootAfter:   core.Phase(r.c.pif[root]),
+		RootMsg:     r.c.msg[root],
+		NextMsg:     r.k.NextMsg(),
+		DB:          db,
+		DF:          df,
+		DC:          dc,
+		GuardHits:   r.guardHits,
+		GuardMisses: r.guardMisses,
+		EvalNS:      evalNS,
+		CommitNS:    commitNS,
+		StepNS:      stepNS,
+	}, r.telSrc)
 }
 
 // choices returns the enabled list in ascending processor order, rebuilding
@@ -442,6 +685,9 @@ func (r *Runner) refresh(selected []sim.Choice) {
 		for _, p := range r.dirtyBuf {
 			r.newActs[p] = r.k.enabledAction(r.c, int(p))
 		}
+		if r.tel != nil {
+			r.tel.ShardEvals(0, int64(len(r.dirtyBuf)))
+		}
 	}
 
 	steps := r.res.Steps
@@ -451,14 +697,19 @@ func (r *Runner) refresh(selected []sim.Choice) {
 		a := r.newActs[p]
 		old := r.acts[p]
 		if a == old {
+			// A re-evaluation that confirmed the cached action: the guard
+			// cache's hit case (tallies feed telemetry; dead ints otherwise).
+			r.guardHits++
 			continue
 		}
+		r.guardMisses++
 		r.acts[p] = a
 		r.bufValid = false
 		switch {
 		case a == noAction:
 			// Enabled → disabled: the disable action; p leaves the round.
 			r.enabled.clear(p)
+			r.enabledCount--
 			if r.pending.test(p) {
 				r.pending.clear(p)
 				r.pendingCount--
@@ -469,6 +720,7 @@ func (r *Runner) refresh(selected []sim.Choice) {
 			// executed processor is enabled before the step, so never takes
 			// this transition).
 			r.enabled.set(p)
+			r.enabledCount++
 			r.lastReset[p] = steps - 1
 		}
 	}

@@ -59,7 +59,7 @@ func newPool(r *Runner, workers int) *pool {
 		workers: workers,
 	}
 	for i := 0; i < workers; i++ {
-		go p.worker()
+		go p.worker(i)
 	}
 	return p
 }
@@ -68,13 +68,20 @@ func newPool(r *Runner, workers int) *pool {
 // heavier neighborhoods cannot serialize the sweep.
 const shardsPerWorker = 4
 
-func (p *pool) worker() {
+// worker drains jobs; id keys the per-shard telemetry counters (Sharded
+// slots are padded atomics, so the tallies never contend or false-share
+// with another worker). The tel hooks are nil-safe — a telemetry-off run
+// costs one nil check per shard, not per item.
+func (p *pool) worker(id int) {
+	tel := p.r.opts.Telemetry
 	for j := range p.jobs {
 		switch j.kind {
 		case jobEval:
 			p.r.evalRange(int(j.lo), int(j.hi))
+			tel.ShardEvals(id, int64(j.hi-j.lo))
 		case jobApply:
 			p.r.applyRange(int(j.lo), int(j.hi))
+			tel.ShardApplies(id, int64(j.hi-j.lo))
 		}
 		p.wg.Done()
 	}

@@ -83,6 +83,11 @@ type Scenario struct {
 	// Plant names a test-only planted protocol bug (see Plants); "" runs
 	// the unmodified protocol.
 	Plant string `json:"plant,omitempty"`
+	// MsgBase, when > 0, resumes the root's wave-payload counter at this
+	// value instead of 1. Scenarios cut from the middle of a live run (the
+	// telemetry flight recorder) carry it so replayed waves stamp the same
+	// Msg payloads as the original execution.
+	MsgBase uint64 `json:"msg_base,omitempty"`
 }
 
 // Graph rebuilds the scenario's network, validating it. The node count is
@@ -157,6 +162,9 @@ func (sc *Scenario) build() (*sim.Configuration, sim.Protocol, *core.Protocol, e
 	}
 	if sc.NPrime > 0 {
 		opts = append(opts, core.WithNPrime(sc.NPrime))
+	}
+	if sc.MsgBase > 0 {
+		opts = append(opts, core.WithFirstMsg(sc.MsgBase))
 	}
 	pr, err := core.New(g, sc.Root, opts...)
 	if err != nil {

@@ -237,8 +237,10 @@ func appendPhase(buf []byte, step, proc int, from, to core.Phase) []byte {
 	return append(buf, '"', '}', '\n')
 }
 
-// appendWave appends {"t":"wave","kind":"start","wave":1,"i":3,"round":2,"m":"7"}.
-func appendWave(buf []byte, kind string, wave, step, round int, msg uint64) []byte {
+// appendWave appends {"t":"wave","kind":"start","wave":1,"i":3,"round":2,"m":"7"}
+// plus an optional `"ts"` wall-clock microsecond stamp (emitted when ts > 0,
+// i.e. when the tracer was given a clock).
+func appendWave(buf []byte, kind string, wave, step, round int, msg uint64, ts int64) []byte {
 	buf = append(buf, `{"t":"wave","kind":"`...)
 	buf = append(buf, kind...)
 	buf = append(buf, `","wave":`...)
@@ -249,7 +251,12 @@ func appendWave(buf []byte, kind string, wave, step, round int, msg uint64) []by
 	buf = strconv.AppendInt(buf, int64(round), 10)
 	buf = append(buf, `,"m":"`...)
 	buf = strconv.AppendUint(buf, msg, 10)
-	return append(buf, '"', '}', '\n')
+	buf = append(buf, '"')
+	if ts > 0 {
+		buf = append(buf, `,"ts":`...)
+		buf = strconv.AppendInt(buf, ts, 10)
+	}
+	return append(buf, '}', '\n')
 }
 
 // appendAbnormal appends {"t":"abn","round":4,"abn":2}.

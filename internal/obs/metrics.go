@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
@@ -38,6 +39,40 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // String implements expvar.Var.
 func (g *Gauge) String() string { return strconv.FormatInt(g.v.Load(), 10) }
+
+// Text is a string-valued metric: run metadata (engine name, topology,
+// build info) stamped onto an expvar page so scripted scrapes can tell
+// runs apart. Safe for concurrent use.
+type Text struct {
+	mu sync.Mutex
+	s  string
+}
+
+// Set replaces the value.
+func (t *Text) Set(s string) {
+	t.mu.Lock()
+	t.s = s
+	t.mu.Unlock()
+}
+
+// Value returns the current value.
+func (t *Text) Value() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.s
+}
+
+// String implements expvar.Var: the JSON-quoted value.
+func (t *Text) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, err := json.Marshal(t.s)
+	if err != nil {
+		// Marshal cannot fail on a string.
+		panic(fmt.Sprintf("obs: text marshal: %v", err))
+	}
+	return string(b)
+}
 
 // Histogram counts observations into fixed upper-bound buckets (the last
 // bucket is unbounded). All methods are safe for concurrent use.
@@ -173,6 +208,30 @@ func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
 		panic(fmt.Sprintf("obs: metric %q already registered as %T", name, v))
 	}
 	return h
+}
+
+// Text returns the named text metric, creating it on first use.
+func (r *Registry) Text(name string) *Text {
+	v := r.lookup(name, func() expvar.Var { return new(Text) })
+	t, ok := v.(*Text)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %T", name, v))
+	}
+	return t
+}
+
+// Register installs v under name, replacing any existing metric of that
+// name. It is the bridge for externally owned expvar vars — the telemetry
+// package's sharded counters, log-bucketed histograms, and series rings —
+// into a registry's sorted JSON export and Publish surface.
+func (r *Registry) Register(name string, v expvar.Var) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.vars[name]; !ok {
+		r.names = append(r.names, name)
+		sort.Strings(r.names)
+	}
+	r.vars[name] = v
 }
 
 // WriteJSON renders every metric as one JSON object, keys sorted.

@@ -28,6 +28,7 @@ type Tracer struct {
 	w     *asyncWriter
 	mask  Mask
 	proto *core.Protocol
+	clock func() int64 // optional µs wall clock for wave timestamps
 
 	cfg  *sim.Configuration // live configuration, for the final snapshot
 	prev []core.Phase       // last seen phase per processor
@@ -72,6 +73,16 @@ func WithMask(m Mask) Option {
 // 1024).
 func WithRingSize(n int) Option {
 	return func(t *Tracer) { t.ringSize = n }
+}
+
+// WithClock attaches a wall-clock source (microseconds, must be positive)
+// read at wave boundaries: wave events gain a "ts" field, which piftrace
+// summary and the telemetry span exporter turn into wall-time latencies.
+// The tracer itself stays deterministic — obs is clock-free by policy
+// (snapvet detrange), so the clock is injected by callers outside that
+// boundary.
+func WithClock(now func() int64) Option {
+	return func(t *Tracer) { t.clock = now }
 }
 
 // New returns an enabled Tracer streaming JSONL to w.
@@ -145,6 +156,16 @@ func (t *Tracer) Fault(name string, c *sim.Configuration) {
 	}
 }
 
+// now reads the injected clock, or 0 when none is attached. Callers hold
+// t.mu; wave boundaries are the only call sites, so clock reads never land
+// on the per-step path.
+func (t *Tracer) now() int64 {
+	if t.clock == nil {
+		return 0
+	}
+	return t.clock()
+}
+
 // snapshotPhases refreshes the phase-transition baseline from c. Callers
 // hold t.mu.
 func (t *Tracer) snapshotPhases(c *sim.Configuration) {
@@ -204,10 +225,10 @@ func (t *Tracer) OnStep(step int, executed []sim.Choice, c *sim.Configuration) {
 		case to == core.B && from == core.C:
 			t.waves++
 			t.waveOpen = true
-			t.w.put(appendWave(t.w.get(), "start", t.waves, step, t.lastRound+1, core.At(c, root).Msg))
+			t.w.put(appendWave(t.w.get(), "start", t.waves, step, t.lastRound+1, core.At(c, root).Msg, t.now()))
 		case to == core.C && t.waveOpen:
 			t.waveOpen = false
-			t.w.put(appendWave(t.w.get(), "end", t.waves, step, t.lastRound+1, core.At(c, root).Msg))
+			t.w.put(appendWave(t.w.get(), "end", t.waves, step, t.lastRound+1, core.At(c, root).Msg, t.now()))
 		}
 	}
 }

@@ -1,0 +1,235 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"snappif/internal/core"
+	"snappif/internal/hunt"
+	"snappif/internal/obs"
+	"snappif/internal/sim"
+)
+
+// flight is the flight recorder: a rotating ring of full-configuration
+// checkpoints (canonical encoding, recycled buffers) plus a ring of the
+// executed schedule, sized so at least one checkpoint always has complete
+// schedule coverage from its step to the present. When a checker fires —
+// or on demand — dump() cuts the pair into a self-contained hunt.Scenario
+// whose replay is bit-identical to the live tail: explicit Init snapshot,
+// explicit schedule, and the root's payload counter resumed via MsgBase.
+//
+// Memory is bounded by depth·(N·core.CanonicalSize) for checkpoints plus
+// depth·every schedule slots; nothing grows with run length. Schedule slots
+// store packed choices (4 bytes per move, see packChoice) — recording runs
+// once per step on the hot path, so the copy must stay as small as the
+// replay data allows.
+type flight struct {
+	depth, every int
+
+	cps  []flightCheckpoint
+	next int // rotating checkpoint write index
+
+	sched    [][]uint32 // ring indexed by step % cap(sched), packed choices
+	lastStep int        // newest recorded step
+	count    int        // valid schedule entries, ≤ cap
+	frozen   bool
+	disabled bool // run's processor IDs exceed the packed encoding
+}
+
+// Packed choice layout: proc in the upper 24 bits, action in the lower 8.
+// core has 7 actions, so 8 bits is generous; 24 bits of processor ID caps
+// flight recording at 16.7M processors, past the 1M design point. BeginRun
+// disables the recorder (rather than corrupting schedules) beyond the cap.
+const (
+	flightActionBits = 8
+	flightMaxProcs   = 1 << (32 - flightActionBits)
+)
+
+func packChoice(ch sim.Choice) uint32 {
+	return uint32(ch.Proc)<<flightActionBits | uint32(ch.Action)
+}
+
+// PackChoice is the packed-schedule encoding of one executed choice, for
+// engines that pre-pack the step's schedule (StepInfo.Packed) inside their
+// own move loop — while the choices are still cache-hot — instead of having
+// the flight recorder re-read them in a second pass.
+func PackChoice(proc, action int) uint32 {
+	return uint32(proc)<<flightActionBits | uint32(action)
+}
+
+func unpackChoice(v uint32) sim.Choice {
+	return sim.Choice{Proc: int(v >> flightActionBits), Action: int(v & (1<<flightActionBits - 1))}
+}
+
+// flightCheckpoint is one full-state capture after step step.
+type flightCheckpoint struct {
+	step    int
+	nextMsg uint64
+	buf     []byte // canonical encoding, recycled across rotations
+	valid   bool
+}
+
+// newFlight sizes the rings: depth checkpoints, one every `every` steps,
+// and a schedule ring of depth·every steps so the oldest surviving
+// checkpoint still has full coverage.
+func newFlight(depth, every int) *flight {
+	return &flight{
+		depth: depth,
+		every: every,
+		cps:   make([]flightCheckpoint, depth),
+		sched: make([][]uint32, depth*every),
+	}
+}
+
+// record stores step's executed choices into the schedule ring. When the
+// engine pre-packed the schedule (packed non-nil, PackChoice layout), the
+// buffer is taken by swap — the ring keeps the engine's slice and the
+// engine gets the slot's recycled one back, so the step's choices are
+// never read a second time. Otherwise the executed slice (engine scratch)
+// is packed here, 4 bytes per move.
+//
+//snapvet:hotpath
+func (f *flight) record(step int, executed []sim.Choice, packed *[]uint32) {
+	if f.frozen || f.disabled {
+		return
+	}
+	slot := step % len(f.sched)
+	n := len(executed)
+	if packed != nil && len(*packed) == n {
+		f.sched[slot], *packed = *packed, f.sched[slot]
+	} else {
+		s := f.sched[slot]
+		if cap(s) < n {
+			// 2× headroom: in regimes where the executed set grows step
+			// over step, exact sizing would re-allocate the slot on every
+			// ring revisit; doubling stops the churn once the set grows by
+			// less than 100% per rotation.
+			s = make([]uint32, n, 2*n) //snapvet:ok amortized slot growth, recycled across ring rotations
+		} else {
+			s = s[:n]
+		}
+		// Indexed stores, not append: this loop runs once per move on the
+		// hot path, and len(s) == len(executed) lets the compiler elide the
+		// bounds checks.
+		for i, ch := range executed {
+			s[i] = packChoice(ch)
+		}
+		f.sched[slot] = s
+	}
+	if step > f.lastStep {
+		if f.count < len(f.sched) {
+			f.count += step - f.lastStep
+			if f.count > len(f.sched) {
+				f.count = len(f.sched)
+			}
+		}
+		f.lastStep = step
+	}
+}
+
+// due reports whether step is a checkpoint step.
+func (f *flight) due(step int) bool {
+	return !f.frozen && !f.disabled && step%f.every == 0
+}
+
+// checkpoint captures the full configuration after step into the next
+// rotating slot. An encoding failure (non-canonical states) invalidates
+// the slot instead of failing the run.
+func (f *flight) checkpoint(step int, src StateSource, nextMsg uint64) {
+	if f.frozen || f.disabled {
+		return
+	}
+	cp := &f.cps[f.next]
+	f.next = (f.next + 1) % len(f.cps)
+	buf, err := src.AppendCanonical(cp.buf[:0])
+	cp.buf = buf
+	cp.step = step
+	cp.nextMsg = nextMsg
+	cp.valid = err == nil
+}
+
+// reset clears both rings for a new run segment.
+func (f *flight) reset() {
+	for i := range f.cps {
+		f.cps[i].valid = false
+	}
+	for i := range f.sched {
+		f.sched[i] = f.sched[i][:0]
+	}
+	f.lastStep = 0
+	f.count = 0
+	f.next = 0
+	f.frozen = false
+	f.disabled = false
+}
+
+// covered is the oldest step whose executed choices the schedule ring
+// still holds.
+func (f *flight) covered() int { return f.lastStep - f.count + 1 }
+
+// dump cuts the recorder into a replayable scenario: the oldest valid
+// checkpoint with complete schedule coverage becomes Init (longest
+// replayable tail), the executed steps after it become the schedule, and
+// the checkpoint's payload counter becomes MsgBase.
+func (f *flight) dump(meta RunMeta) (*hunt.Scenario, error) {
+	if f.disabled {
+		return nil, fmt.Errorf("telemetry: flight recorder disabled — %d processors exceed the %d packed-schedule cap",
+			meta.G.N(), flightMaxProcs)
+	}
+	best := -1
+	for i := range f.cps {
+		cp := &f.cps[i]
+		if !cp.valid || cp.step > f.lastStep || cp.step+1 < f.covered() {
+			continue
+		}
+		if best == -1 || cp.step < f.cps[best].step {
+			best = i
+		}
+	}
+	if best == -1 {
+		return nil, fmt.Errorf("telemetry: flight recorder has no checkpoint with schedule coverage")
+	}
+	cp := &f.cps[best]
+
+	n := meta.G.N()
+	if len(cp.buf) != n*core.CanonicalSize {
+		return nil, fmt.Errorf("telemetry: checkpoint holds %d bytes for %d processors (want %d)",
+			len(cp.buf), n, n*core.CanonicalSize)
+	}
+	states := make([]sim.State, n)
+	rest := cp.buf
+	for p := 0; p < n; p++ {
+		s, r, err := core.DecodeCanonical(rest)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: checkpoint state p%d: %w", p, err)
+		}
+		rest = r
+		box := s
+		states[p] = &box
+	}
+	cfg := &sim.Configuration{G: meta.G, States: states}
+	snap := obs.CaptureSnapshot(cfg)
+
+	tail := make([][]sim.Choice, 0, f.lastStep-cp.step)
+	for step := cp.step + 1; step <= f.lastStep; step++ {
+		packed := f.sched[step%len(f.sched)]
+		choices := make([]sim.Choice, len(packed))
+		for i, v := range packed {
+			choices[i] = unpackChoice(v)
+		}
+		tail = append(tail, choices)
+	}
+	sc := &hunt.Scenario{
+		V:        hunt.SchemaVersion,
+		Name:     fmt.Sprintf("flight@%d", f.lastStep),
+		Topology: hunt.TopologyOf(meta.G),
+		Root:     meta.Root,
+		Lmax:     meta.Lmax,
+		NPrime:   meta.NPrime,
+		Seed:     meta.Seed,
+		Init:     &snap,
+		Schedule: hunt.ToSchedule(tail),
+		Plant:    meta.Plant,
+		MsgBase:  cp.nextMsg,
+	}
+	return sc, nil
+}

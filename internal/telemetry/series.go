@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Row is one time-series sample: the run's shape at one sampled step. All
+// values are cumulative or instantaneous gauges, so downsampling (the ring
+// dropping old rows) never loses the ability to compute rates between any
+// two surviving rows.
+type Row struct {
+	// Step is the committed step index the sample was taken at.
+	Step int64
+	// Enabled is the enabled-processor count after the step.
+	Enabled int64
+	// B, F, C is the phase census (processors in broadcast, feedback,
+	// cleaning phase).
+	B, F, C int64
+	// Waves is the cumulative completed-wave count.
+	Waves int64
+	// AbnWaves is the cumulative abnormal-wave count.
+	AbnWaves int64
+	// GuardHitPct is the cumulative hbits guard-cache hit rate in percent
+	// (0 when the engine reports no guard statistics).
+	GuardHitPct int64
+}
+
+// seriesExportCap bounds how many trailing rows String() renders: the
+// expvar page stays a scrape, not a download. Rows() returns everything.
+const seriesExportCap = 64
+
+// Series is a bounded ring of Rows sampled every K steps: constant memory
+// regardless of run length, newest rows overwrite oldest. Appends come
+// from the telemetry step hook (already serialized by its mutex) but reads
+// race with them via expvar, so the ring carries its own lock.
+type Series struct {
+	mu      sync.Mutex
+	rows    []Row
+	head    int // next write position
+	n       int // valid rows, ≤ cap(rows)
+	dropped int64
+}
+
+// newSeries returns a ring with the given capacity (minimum 1).
+func newSeries(capRows int) *Series {
+	if capRows < 1 {
+		capRows = 1
+	}
+	return &Series{rows: make([]Row, capRows)}
+}
+
+// append records one row, overwriting the oldest when full.
+func (s *Series) append(r Row) {
+	s.mu.Lock()
+	s.rows[s.head] = r
+	s.head = (s.head + 1) % len(s.rows)
+	if s.n < len(s.rows) {
+		s.n++
+	} else {
+		s.dropped++
+	}
+	s.mu.Unlock()
+}
+
+// Rows returns the retained rows, oldest first.
+func (s *Series) Rows() []Row {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Row, s.n)
+	start := s.head - s.n
+	if start < 0 {
+		start += len(s.rows)
+	}
+	for i := 0; i < s.n; i++ {
+		out[i] = s.rows[(start+i)%len(s.rows)]
+	}
+	return out
+}
+
+// Dropped returns how many rows were overwritten.
+func (s *Series) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// String implements expvar.Var: retention stats plus the trailing rows
+// (capped at seriesExportCap) as arrays in Row field order.
+func (s *Series) String() string {
+	rows := s.Rows()
+	s.mu.Lock()
+	dropped := s.dropped
+	s.mu.Unlock()
+	exported := rows
+	if len(exported) > seriesExportCap {
+		exported = exported[len(exported)-seriesExportCap:]
+	}
+	var b strings.Builder
+	b.WriteString(`{"len":`)
+	b.WriteString(strconv.Itoa(len(rows)))
+	b.WriteString(`,"dropped":`)
+	b.WriteString(strconv.FormatInt(dropped, 10))
+	b.WriteString(`,"cols":["step","enabled","b","f","c","waves","abn_waves","guard_hit_pct"],"rows":[`)
+	for i, r := range exported {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('[')
+		for j, v := range [...]int64{r.Step, r.Enabled, r.B, r.F, r.C, r.Waves, r.AbnWaves, r.GuardHitPct} {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatInt(v, 10))
+		}
+		b.WriteByte(']')
+	}
+	b.WriteString("]}")
+	return b.String()
+}

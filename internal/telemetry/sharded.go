@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// shardSlots is the fixed shard count of a Sharded counter. Writers index
+// by worker ID modulo shardSlots, so any worker-pool size folds onto the
+// slots without configuration.
+const shardSlots = 64
+
+// shardSlot is one cache-line-padded counter: 8 bytes of value plus 120
+// bytes of padding keep two slots from sharing a 64/128-byte line, so
+// sweep workers incrementing adjacent shards never false-share.
+type shardSlot struct {
+	v atomic.Int64
+	_ [120]byte
+}
+
+// Sharded is a write-sharded counter for the parallel sweep: each worker
+// adds to its own padded slot with no coordination, and the total is
+// summed only on read. The per-shard values are also exported — the skew
+// between shards is itself a useful signal (imbalanced CSR partitions show
+// up as hot slots).
+type Sharded struct {
+	slots [shardSlots]shardSlot
+}
+
+// Add adds n to worker's shard. Safe for concurrent use; never allocates.
+//
+//snapvet:hotpath
+func (s *Sharded) Add(worker int, n int64) {
+	s.slots[uint(worker)%shardSlots].v.Add(n)
+}
+
+// Value returns the sum over all shards.
+func (s *Sharded) Value() int64 {
+	var total int64
+	for i := range s.slots {
+		total += s.slots[i].v.Load()
+	}
+	return total
+}
+
+// String implements expvar.Var: the total plus the per-shard values up to
+// the last non-zero slot (all-zero tails are elided, so an 8-worker pool
+// prints 8 shards, not 64).
+func (s *Sharded) String() string {
+	last := -1
+	for i := range s.slots {
+		if s.slots[i].v.Load() != 0 {
+			last = i
+		}
+	}
+	var b strings.Builder
+	b.WriteString(`{"total":`)
+	b.WriteString(strconv.FormatInt(s.Value(), 10))
+	b.WriteString(`,"shards":[`)
+	for i := 0; i <= last; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(s.slots[i].v.Load(), 10))
+	}
+	b.WriteString("]}")
+	return b.String()
+}

@@ -10,9 +10,25 @@ import (
 	"snappif/internal/core"
 	"snappif/internal/obs"
 	"snappif/internal/sim"
+	"snappif/internal/telemetry"
 	"snappif/internal/trace"
 	"snappif/internal/viz"
 )
+
+// Telemetry is the sampling/aggregating observability layer for long or
+// large runs: sharded counters, wave-latency histograms, a bounded
+// time-series ring, causal wave spans (Perfetto-exportable), and the flight
+// recorder that turns the last recorded window into a replayable pifhunt
+// scenario. Build one with NewTelemetry, attach it WithTelemetry, and read
+// it during or after the runs; a nil *Telemetry is the disabled instance.
+// See DESIGN.md §11.
+type Telemetry = telemetry.Telemetry
+
+// TelemetryConfig sizes and gates a Telemetry (zero value = defaults).
+type TelemetryConfig = telemetry.Config
+
+// NewTelemetry builds an enabled telemetry aggregator.
+func NewTelemetry(cfg TelemetryConfig) *Telemetry { return telemetry.New(cfg) }
 
 // CombineFunc folds a feedback child's aggregate into an accumulator; it
 // configures feedback aggregation (distributed infimum computation and
@@ -67,6 +83,8 @@ type Network struct {
 	traceEvery int
 	recorder   *trace.Recorder
 	tracer     *obs.Tracer
+	telObs     *telemetry.Observer
+	telMeta    telemetry.RunMeta
 }
 
 // NetworkOption customizes NewNetwork.
@@ -84,6 +102,7 @@ type networkOptions struct {
 	record      bool
 	recordLimit int
 	eventW      io.Writer
+	telemetry   *telemetry.Telemetry
 }
 
 // WithDaemon selects the scheduling daemon (default: DistributedDaemon(0.5)).
@@ -141,6 +160,16 @@ func WithEventTrace(w io.Writer) NetworkOption {
 	return func(o *networkOptions) { o.eventW = w }
 }
 
+// WithTelemetry attaches a telemetry aggregator to every run of the
+// network (see NewTelemetry). Unlike WithInvariantChecking it is built for
+// permanent use: everything it records is O(1) per step or amortized over a
+// sampling cadence. Combined WithInvariantChecking, the flight recorder
+// freezes the moment a checker fires, so Telemetry.DumpScenario captures a
+// replayable window that ends at the violating step.
+func WithTelemetry(t *Telemetry) NetworkOption {
+	return func(o *networkOptions) { o.telemetry = t }
+}
+
 // WithRoundTrace prints a one-line phase strip (one character per
 // processor: B/F/C, lowercase when the processor is abnormal) to w at every
 // every-th round boundary of every run — a live view of waves sweeping the
@@ -192,6 +221,16 @@ func NewNetwork(topo Topology, root int, opts ...NetworkOption) (*Network, error
 	}
 	if o.eventW != nil {
 		net.tracer = obs.New(o.eventW, obs.WithProtocol(proto))
+	}
+	if o.telemetry.Enabled() {
+		net.telObs = &telemetry.Observer{T: o.telemetry, Proto: proto}
+		net.telMeta = telemetry.RunMeta{
+			G:       topo.g,
+			Root:    proto.Root,
+			Lmax:    o.lmax,
+			Engine:  "generic",
+			NextMsg: proto.NextMsg,
+		}
 	}
 	return net, nil
 }
@@ -297,6 +336,17 @@ func (n *Network) RunWaves(k int) ([]WaveResult, error) {
 		n.tracer.BeginRun(n.topo.g, n.daemon.Name(), seed, n.cfg)
 		observers = append(observers, n.tracer)
 	}
+	if n.telObs != nil {
+		// Appended after the monitor: when a check fires at step i, the
+		// telemetry observer sees the new violation record in the same step's
+		// OnEnabled and freezes the flight recorder with step i inside it.
+		n.telObs.Mon = mon
+		meta := n.telMeta
+		meta.Seed = seed - 1
+		meta.Daemon = n.daemon.Name()
+		n.telObs.Begin(meta, n.cfg)
+		observers = append(observers, n.telObs)
+	}
 	res, err := sim.Run(n.cfg, n.proto, n.daemon, sim.Options{
 		MaxSteps:  n.maxSteps,
 		Seed:      seed,
@@ -344,6 +394,14 @@ func (n *Network) Stabilize() (rounds int, err error) {
 	if n.tracer.Enabled() {
 		n.tracer.BeginRun(n.topo.g, n.daemon.Name(), seed, n.cfg)
 		observers = append(observers, n.tracer)
+	}
+	if n.telObs != nil {
+		n.telObs.Mon = nil
+		meta := n.telMeta
+		meta.Seed = seed - 1
+		meta.Daemon = n.daemon.Name()
+		n.telObs.Begin(meta, n.cfg)
+		observers = append(observers, n.telObs)
 	}
 	res, err := sim.Run(n.cfg, n.proto, n.daemon, sim.Options{
 		MaxSteps:  n.maxSteps,

@@ -4,6 +4,8 @@
 #   sh scripts/ci.sh               # format check, vet, build, tests, race, allocs
 #   CI_FUZZ=1 sh scripts/ci.sh     # additionally smoke-fuzz the engine oracles
 #   CI_EXPLORE=1 sh scripts/ci.sh  # additionally smoke the exhaustive explorer
+#   CI_OVERHEAD=1 sh scripts/ci.sh # additionally gate telemetry overhead (timing-
+#                                  # sensitive; needs a quiet box)
 set -eu
 cd "$(dirname "$0")/.."
 mkdir -p artifacts
@@ -39,6 +41,15 @@ awk -v p="$explore_pct" 'BEGIN { exit (p + 0 >= 85) ? 0 : 1 }' || {
     exit 1
 }
 
+echo "== coverage floor (internal/telemetry >= 85% of statements) =="
+go test ./internal/telemetry/ -coverprofile=artifacts/telemetry-cover.out -count=1 > /dev/null
+telemetry_pct=$(go tool cover -func=artifacts/telemetry-cover.out | awk '/^total:/ { sub(/%/,"",$NF); print $NF }')
+echo "internal/telemetry statement coverage: ${telemetry_pct}%"
+awk -v p="$telemetry_pct" 'BEGIN { exit (p + 0 >= 85) ? 0 : 1 }' || {
+    echo "internal/telemetry coverage ${telemetry_pct}% below the 85% floor" >&2
+    exit 1
+}
+
 echo "== race: simulation engine, experiment executor, concurrent runtime, tracer =="
 go test -race ./internal/sim/ ./internal/exp/ ./internal/runtime/ ./cmd/pifexp/ ./internal/obs/
 
@@ -48,6 +59,9 @@ go test -race ./internal/flat/
 echo "== race: counterexample hunter =="
 go test -race ./internal/hunt/
 
+echo "== race: telemetry (concurrent engine writers + registry readers) =="
+go test -race ./internal/telemetry/
+
 echo "== race: soak (reduced horizon) =="
 go test -race -short -run TestSoakManyWaves -count=1 .
 
@@ -55,6 +69,7 @@ echo "== allocation budget (zero allocs/step after warm-up, disabled tracer incl
 go test ./internal/sim/ -run 'TestZeroAllocs|TestCycleByteBudget|TestChoicesBufferReuse|TestCopyFromZeroAllocs' -count=1 -v
 go test ./internal/obs/ -run TestDisabledTracerZeroAllocs -count=1 -v
 go test ./internal/flat/ -run 'TestFlatZeroAllocsPerStep|TestFlatShardedZeroAllocsPerStep|TestFlatCopyFromZeroAllocs' -count=1 -v
+go test ./internal/telemetry/ -run 'TestDisabledAllocs|TestEnabledSteadyStateAllocs' -count=1 -v
 
 echo "== determinism (serial vs parallel, optimized vs reference) =="
 go test ./internal/sim/ -run TestRunnerMatchesReference -count=1
@@ -74,6 +89,11 @@ if [ "${CI_EXPLORE:-0}" = "1" ]; then
     go run ./cmd/pifexplore run -topo line:3 -init faults:3 -expect-states 209
     go run ./cmd/pifexplore run -topo star:4 -init faults:3 -depth 6 -expect-states 357
     go run ./cmd/pifexplore certify -quick -json artifacts/explore-smoke.json
+fi
+
+if [ "${CI_OVERHEAD:-0}" = "1" ]; then
+    echo "== telemetry overhead gate (fully enabled <= 5% ns/step at N=100k) =="
+    TELEMETRY_OVERHEAD=1 go test ./internal/telemetry/ -run TestTelemetryOverheadGate -count=1 -v
 fi
 
 if [ "${CI_FUZZ:-0}" = "1" ]; then

@@ -40,9 +40,15 @@ func TestSoakManyWaves(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	tel := snappif.NewTelemetry(snappif.TelemetryConfig{
+		SampleEvery: 16,
+		FlightDepth: 4,
+		FlightEvery: 64,
+	})
 	netOpts := []snappif.NetworkOption{
 		snappif.WithSeed(13),
 		snappif.WithInvariantChecking(),
+		snappif.WithTelemetry(tel),
 	}
 	if path := os.Getenv("SOAK_TRACE"); path != "" {
 		f, err := os.Create(path)
@@ -98,5 +104,39 @@ func TestSoakManyWaves(t *testing.T) {
 	if roundsHist.Count() != int64(waves) || roundsHist.Max() <= 0 {
 		t.Fatalf("metrics drift: rounds histogram count=%d max=%d", roundsHist.Count(), roundsHist.Max())
 	}
-	t.Logf("soak: %d waves, mean %.1f rounds/wave, max %d", waves, roundsHist.Mean(), roundsHist.Max())
+
+	// The telemetry layer watched the same runs: its wave count must agree
+	// with the soak's (every Broadcast is one C→B→F→C root excursion), the
+	// rounds-per-wave histogram must have one observation per wave, and the
+	// post-corruption waves start over B/F leftovers, so some must have been
+	// flagged abnormal.
+	telWaves, telAbn := tel.Waves()
+	if telWaves != int64(waves) {
+		t.Fatalf("telemetry drift: %d waves recorded, soak ran %d", telWaves, waves)
+	}
+	// Abnormal waves need the root to open over still-uncleaned B/F debris —
+	// rare under the random daemon, so only the full horizon (8 corruption
+	// patterns) reliably produces one; the short lap skips the assertion.
+	if telAbn == 0 && !testing.Short() {
+		t.Fatalf("telemetry drift: no abnormal waves recorded across %d corruptions", waves/25)
+	}
+	wr := tel.Hist("wave_rounds")
+	if wr.Count() != int64(waves) {
+		t.Fatalf("telemetry drift: wave_rounds has %d observations, want %d", wr.Count(), waves)
+	}
+	if got, want := wr.Max(), int64(roundsHist.Max()); got != want {
+		t.Fatalf("telemetry drift: wave_rounds max=%d, soak histogram max=%d", got, want)
+	}
+	if rows := tel.Series().Rows(); len(rows) == 0 {
+		t.Fatal("telemetry drift: time series stayed empty")
+	}
+	sc, err := tel.DumpScenario()
+	if err != nil {
+		t.Fatalf("flight recorder dump: %v", err)
+	}
+	if sc.Init == nil || len(sc.Schedule) == 0 {
+		t.Fatalf("flight dump is not self-contained: init=%v, %d schedule steps", sc.Init != nil, len(sc.Schedule))
+	}
+	t.Logf("soak: %d waves (%d abnormal), mean %.1f rounds/wave, max %d; flight dump covers %d steps",
+		waves, telAbn, roundsHist.Mean(), roundsHist.Max(), len(sc.Schedule))
 }
