@@ -143,9 +143,11 @@ func run(args []string, out io.Writer) (err error) {
 		if *parallel && (*spansOut != "" || *flightTo != "") {
 			return fmt.Errorf("-spans and -flight follow one run at a time and need a serial run; drop -parallel")
 		}
+		//snapvet:ok telemetry clock base for span timestamps; timing fields are measurement output, not engine state
 		base := time.Now()
 		tcfg := telemetry.Config{
 			// Monotonic-delta clock: durations survive wall-clock steps.
+			//snapvet:ok monotonic telemetry clock; timing fields are measurement output, not engine state
 			Clock:  func() int64 { return int64(time.Since(base)) },
 			Timing: true,
 		}
@@ -209,8 +211,10 @@ func run(args []string, out io.Writer) (err error) {
 	results := make([]result, len(selected))
 	runOne := func(i int) {
 		e, r := selected[i], &results[i]
+		//snapvet:ok experiment harness timing recorded in the artifact; never feeds engine state
 		start := time.Now()
 		o, err := e.Run(opt)
+		//snapvet:ok experiment harness timing recorded in the artifact; never feeds engine state
 		r.elapsed = time.Since(start)
 		if err != nil {
 			r.err = fmt.Errorf("%s: %w", e.ID, err)
@@ -316,6 +320,7 @@ func stampMeta(reg *obs.Registry, engine string, seed int64, quick bool, sweepW 
 	stamp("meta.topology_suite", suite)
 	stamp("meta.sweep_workers", fmt.Sprint(sweepW))
 	stamp("meta.go", runtime.Version())
+	//snapvet:ok run timestamp in the artifact metadata; never feeds engine state
 	stamp("meta.started", time.Now().UTC().Format(time.RFC3339))
 }
 

@@ -118,12 +118,14 @@ func measureStepper(s stepper, warmup, steps int) (ns, sps, mps, aps float64, er
 	var m0, m1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&m0)
+	//snapvet:ok scaling-benchmark wall time is the measured quantity itself
 	start := time.Now()
 	for i := 0; i < steps; i++ {
 		if done, err := s.Step(); done {
 			return 0, 0, 0, 0, fmt.Errorf("scale: run ended during measurement: %v", err)
 		}
 	}
+	//snapvet:ok scaling-benchmark wall time is the measured quantity itself
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&m1)
 	fs := float64(steps)

@@ -13,7 +13,10 @@ func TestListAnalyzers(t *testing.T) {
 	if err != nil || code != 0 {
 		t.Fatalf("run(-list) = %d, %v", code, err)
 	}
-	for _, name := range []string{"guardpure", "writelocal", "detrange", "hotalloc"} {
+	for _, name := range []string{
+		"guardpure", "writelocal", "detrange", "hotalloc",
+		"radiusbound", "sharddisjoint", "obspure",
+	} {
 		if !strings.Contains(buf.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, buf.String())
 		}

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"snappif/internal/analysis/dataflow"
 )
 
 // A Finding is one analyzer diagnostic.
@@ -22,6 +24,10 @@ type Finding struct {
 	Col  int `json:"col"`
 	// Message describes the violation.
 	Message string `json:"message"`
+	// Severity is "" for an error (fails the build) or "warning" for
+	// advisory findings (radiusbound's over-declared radius): printed and
+	// exported, but never failing the run.
+	Severity string `json:"severity,omitempty"`
 }
 
 // String renders the vet-style "file:line:col: [analyzer] message" line.
@@ -45,9 +51,9 @@ type Analyzer struct {
 	Run func(pass *Pass)
 }
 
-// Analyzers returns the four snapvet rules in reporting order.
+// Analyzers returns the seven snapvet rules in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{guardpure, writelocal, detrange, hotalloc}
+	return []*Analyzer{guardpure, writelocal, detrange, hotalloc, radiusbound, sharddisjoint, obspure}
 }
 
 // Pass hands one analyzer the loaded program and its reporting sink.
@@ -58,12 +64,24 @@ type Pass struct {
 	ann      *annotations
 	analyzer *Analyzer
 	findings *[]Finding
-	cg       *callGraph
+	eng      *dataflow.Engine
+	st       *simTypes
+	stDone   bool
 }
 
 // Report records a finding at pos unless a `//snapvet:ok` annotation on
 // the same or the preceding line suppresses it.
 func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.report(pos, "", format, args...)
+}
+
+// Warn records an advisory finding: printed and exported, never failing
+// the run.
+func (p *Pass) Warn(pos token.Pos, format string, args ...any) {
+	p.report(pos, "warning", format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, severity, format string, args ...any) {
 	position := p.Prog.Fset.Position(pos)
 	if p.ann.suppressed(position) {
 		return
@@ -74,7 +92,15 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 		Line:     position.Line,
 		Col:      position.Column,
 		Message:  fmt.Sprintf(format, args...),
+		Severity: severity,
 	})
+}
+
+// suppressedAt reports whether pos carries a `//snapvet:ok` suppression,
+// for analyzers that must treat annotated sites as vouched-for rather
+// than merely unreported (radiusbound, hotalloc's transitive audit).
+func (p *Pass) suppressedAt(pos token.Pos) bool {
+	return p.ann.suppressed(p.Prog.Fset.Position(pos))
 }
 
 // relFile makes file paths module-relative so findings and baselines are
@@ -89,12 +115,29 @@ func (p *Pass) relFile(file string) string {
 	return file
 }
 
-// callGraph returns the shared static call graph, built on first use.
-func (p *Pass) callGraph() *callGraph {
-	if p.cg == nil {
-		p.cg = buildCallGraph(p.Prog)
+// simTypes returns the model-type index, resolved on first use (nil when
+// the module has no internal/sim).
+func (p *Pass) simTypes() *simTypes {
+	if !p.stDone {
+		p.st = lookupSimTypes(p.Prog)
+		p.stDone = true
 	}
-	return p.cg
+	return p.st
+}
+
+// engine returns the shared interprocedural dataflow engine, built on
+// first use over every loaded package (fixture packages appended by
+// RunPackage included). The simTypes index doubles as the engine's model;
+// a nil *simTypes is a valid dataflow.Model that matches nothing.
+func (p *Pass) engine() *dataflow.Engine {
+	if p.eng == nil {
+		pkgs := make([]*dataflow.Pkg, len(p.Prog.Packages))
+		for i, pkg := range p.Prog.Packages {
+			pkgs[i] = &dataflow.Pkg{Path: pkg.Path, Files: pkg.Files, Types: pkg.Pkg, Info: pkg.Info}
+		}
+		p.eng = dataflow.NewEngine(pkgs, p.simTypes())
+	}
+	return p.eng
 }
 
 // Run executes the given analyzers (all four when nil) over prog and
@@ -125,7 +168,17 @@ func Run(prog *Program, analyzers []*Analyzer) []Finding {
 		}
 		return findings[i].Message < findings[j].Message
 	})
-	return findings
+	// Test variants re-analyze base declarations in a fresh universe;
+	// identical findings (same position, analyzer, and message) collapse
+	// to one.
+	out := findings[:0]
+	for i, f := range findings {
+		if i > 0 && f == findings[i-1] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
 }
 
 // RunPackage is Run restricted to one package (the testdata harness):
@@ -162,16 +215,32 @@ type annotations struct {
 	ok map[string]map[int]*okMark
 	// hotpath holds the functions annotated `//snapvet:hotpath`.
 	hotpath map[*ast.FuncDecl]bool
+	// coldpath holds the functions annotated `//snapvet:coldpath <reason>`:
+	// callees hotalloc's transitive audit must not charge against their
+	// hot-path callers (panic formatting, one-time growth). The reason is
+	// mandatory, like snapvet:ok's.
+	coldpath map[*ast.FuncDecl]*okMark
+	// nilsafe holds the type names annotated `//snapvet:nilsafe`: obspure
+	// proves their exported pointer-receiver methods' nil-receiver paths
+	// effect- and allocation-free.
+	nilsafe map[*ast.TypeSpec]bool
 	// deterministic holds packages opting into detrange via a
 	// `//snapvet:deterministic` file directive.
 	deterministic map[string]bool
+	// shardcheck holds packages opting into sharddisjoint via a
+	// `//snapvet:shardcheck` file directive (internal/flat needs no
+	// opt-in; the fixture packages do).
+	shardcheck map[string]bool
 }
 
 // The recognized comment directives.
 const (
-	okDirective      = "//snapvet:ok"
-	hotpathDirective = "//snapvet:hotpath"
-	detPkgDirective  = "//snapvet:deterministic"
+	okDirective       = "//snapvet:ok"
+	hotpathDirective  = "//snapvet:hotpath"
+	coldpathDirective = "//snapvet:coldpath"
+	nilsafeDirective  = "//snapvet:nilsafe"
+	detPkgDirective   = "//snapvet:deterministic"
+	shardPkgDirective = "//snapvet:shardcheck"
 )
 
 // collectAnnotations scans every file's comments once.
@@ -179,19 +248,24 @@ func collectAnnotations(prog *Program) *annotations {
 	ann := &annotations{
 		ok:            make(map[string]map[int]*okMark),
 		hotpath:       make(map[*ast.FuncDecl]bool),
+		coldpath:      make(map[*ast.FuncDecl]*okMark),
+		nilsafe:       make(map[*ast.TypeSpec]bool),
 		deterministic: make(map[string]bool),
+		shardcheck:    make(map[string]bool),
 	}
 	for _, pkg := range prog.Packages {
 		for _, file := range pkg.Files {
 			fileName := prog.Fset.Position(file.Pos()).Filename
 			hotLines := make(map[int]bool)
+			coldLines := make(map[int]*okMark)
+			nilsafeLines := make(map[int]bool)
 			for _, cg := range file.Comments {
 				for _, c := range cg.List {
 					text := strings.TrimSpace(c.Text)
+					line := prog.Fset.Position(c.Pos()).Line
 					switch {
 					case strings.HasPrefix(text, okDirective):
 						reason := strings.TrimSpace(strings.TrimPrefix(text, okDirective))
-						line := prog.Fset.Position(c.Pos()).Line
 						marks := ann.ok[fileName]
 						if marks == nil {
 							marks = make(map[int]*okMark)
@@ -199,29 +273,69 @@ func collectAnnotations(prog *Program) *annotations {
 						}
 						marks[line] = &okMark{reason: reason, pos: c.Pos()}
 					case strings.HasPrefix(text, hotpathDirective):
-						hotLines[prog.Fset.Position(c.Pos()).Line] = true
+						hotLines[line] = true
+					case strings.HasPrefix(text, coldpathDirective):
+						reason := strings.TrimSpace(strings.TrimPrefix(text, coldpathDirective))
+						coldLines[line] = &okMark{reason: reason, pos: c.Pos()}
+					case strings.HasPrefix(text, nilsafeDirective):
+						nilsafeLines[line] = true
 					case strings.HasPrefix(text, detPkgDirective):
 						ann.deterministic[pkg.Path] = true
+					case strings.HasPrefix(text, shardPkgDirective):
+						ann.shardcheck[pkg.Path] = true
 					}
 				}
 			}
 			for _, decl := range file.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok {
-					continue
-				}
-				if fd.Doc != nil {
-					for _, c := range fd.Doc.List {
-						if strings.HasPrefix(strings.TrimSpace(c.Text), hotpathDirective) {
-							ann.hotpath[fd] = true
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Doc != nil {
+						for _, c := range d.Doc.List {
+							text := strings.TrimSpace(c.Text)
+							if strings.HasPrefix(text, coldpathDirective) {
+								ann.coldpath[d] = &okMark{
+									reason: strings.TrimSpace(strings.TrimPrefix(text, coldpathDirective)),
+									pos:    c.Pos(),
+								}
+							} else if strings.HasPrefix(text, hotpathDirective) {
+								ann.hotpath[d] = true
+							}
 						}
 					}
-				}
-				// A bare directive line immediately above the declaration
-				// also counts (doc comment or not).
-				declLine := prog.Fset.Position(fd.Pos()).Line
-				if hotLines[declLine-1] {
-					ann.hotpath[fd] = true
+					// A bare directive line immediately above the
+					// declaration also counts (doc comment or not).
+					declLine := prog.Fset.Position(d.Pos()).Line
+					if hotLines[declLine-1] {
+						ann.hotpath[d] = true
+					}
+					if m := coldLines[declLine-1]; m != nil {
+						ann.coldpath[d] = m
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						marked := false
+						for _, doc := range []*ast.CommentGroup{d.Doc, ts.Doc} {
+							if doc == nil {
+								continue
+							}
+							for _, c := range doc.List {
+								if strings.HasPrefix(strings.TrimSpace(c.Text), nilsafeDirective) {
+									marked = true
+								}
+							}
+						}
+						declLine := prog.Fset.Position(ts.Pos()).Line
+						if nilsafeLines[declLine-1] {
+							marked = true
+						}
+						if marked {
+							ann.nilsafe[ts] = true
+						}
+					}
 				}
 			}
 		}
@@ -239,8 +353,8 @@ func (ann *annotations) suppressed(position token.Position) bool {
 	return marks[position.Line] != nil || marks[position.Line-1] != nil
 }
 
-// hygiene reports every `//snapvet:ok` carrying no reason: suppressions
-// must explain themselves.
+// hygiene reports every `//snapvet:ok` or `//snapvet:coldpath` carrying
+// no reason: suppressions must explain themselves.
 func (ann *annotations) hygiene(pass *Pass) []Finding {
 	var out []Finding
 	for file, marks := range ann.ok {
@@ -257,6 +371,19 @@ func (ann *annotations) hygiene(pass *Pass) []Finding {
 				Message:  "snapvet:ok requires a reason (\"//snapvet:ok <why this is safe>\")",
 			})
 		}
+	}
+	for _, m := range ann.coldpath {
+		if m.reason != "" {
+			continue
+		}
+		position := pass.Prog.Fset.Position(m.pos)
+		out = append(out, Finding{
+			Analyzer: "annotation",
+			File:     pass.relFile(position.Filename),
+			Line:     position.Line,
+			Col:      position.Column,
+			Message:  "snapvet:coldpath requires a reason (\"//snapvet:coldpath <why this never runs per step>\")",
+		})
 	}
 	return out
 }
@@ -308,6 +435,35 @@ func WriteBaseline(path string, findings []Finding) error {
 }
 
 // Filter splits findings into new ones and baselined ones.
+// UpdateBaseline regenerates the baseline file at path from the current
+// findings and reports the delta against whatever the file held before:
+// keys newly grandfathered, keys whose findings no longer exist, and keys
+// carried over. The write goes through WriteBaseline, so updating twice
+// from the same tree is byte-for-byte stable.
+func UpdateBaseline(path string, findings []Finding) (added, removed, kept int, err error) {
+	old, err := ReadBaseline(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	now := make(map[string]bool, len(findings))
+	for _, f := range findings {
+		now[f.Key()] = true
+	}
+	for k := range now {
+		if old[k] {
+			kept++
+		} else {
+			added++
+		}
+	}
+	for k := range old {
+		if !now[k] {
+			removed++
+		}
+	}
+	return added, removed, kept, WriteBaseline(path, findings)
+}
+
 func Filter(findings []Finding, baseline map[string]bool) (fresh, old []Finding) {
 	for _, f := range findings {
 		if baseline[f.Key()] {

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"bytes"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -15,6 +17,10 @@ var (
 	loadOnce sync.Once
 	loaded   *Program
 	loadErr  error
+
+	loadTestsOnce sync.Once
+	loadedTests   *Program
+	loadTestsErr  error
 )
 
 func loadProg(t *testing.T) *Program {
@@ -24,6 +30,18 @@ func loadProg(t *testing.T) *Program {
 		t.Fatalf("Load: %v", loadErr)
 	}
 	return loaded
+}
+
+// loadTestProg loads the module with test variants: every *_test.go file
+// (internal and external test packages) joins the program, re-type-checked
+// per test-binary universe the way `go list -deps -test` reports them.
+func loadTestProg(t *testing.T) *Program {
+	t.Helper()
+	loadTestsOnce.Do(func() { loadedTests, loadTestsErr = LoadTests("../..") })
+	if loadTestsErr != nil {
+		t.Fatalf("LoadTests: %v", loadTestsErr)
+	}
+	return loadedTests
 }
 
 // wantExp is one `// want "regexp"` expectation in a testdata file.
@@ -113,10 +131,13 @@ func runWantTest(t *testing.T, name string, analyzers []*Analyzer) {
 	}
 }
 
-func TestGuardpure(t *testing.T)  { runWantTest(t, "guardpure", []*Analyzer{guardpure}) }
-func TestWritelocal(t *testing.T) { runWantTest(t, "writelocal", []*Analyzer{writelocal}) }
-func TestDetrange(t *testing.T)   { runWantTest(t, "detrange", []*Analyzer{detrange}) }
-func TestHotalloc(t *testing.T)   { runWantTest(t, "hotalloc", []*Analyzer{hotalloc}) }
+func TestGuardpure(t *testing.T)     { runWantTest(t, "guardpure", []*Analyzer{guardpure}) }
+func TestWritelocal(t *testing.T)    { runWantTest(t, "writelocal", []*Analyzer{writelocal}) }
+func TestDetrange(t *testing.T)      { runWantTest(t, "detrange", []*Analyzer{detrange}) }
+func TestHotalloc(t *testing.T)      { runWantTest(t, "hotalloc", []*Analyzer{hotalloc}) }
+func TestRadiusbound(t *testing.T)   { runWantTest(t, "radiusbound", []*Analyzer{radiusbound}) }
+func TestSharddisjoint(t *testing.T) { runWantTest(t, "sharddisjoint", []*Analyzer{sharddisjoint}) }
+func TestObspure(t *testing.T)       { runWantTest(t, "obspure", []*Analyzer{obspure}) }
 
 // TestAnnotationHygiene checks that a `//snapvet:ok` without a reason is
 // itself reported, even with no analyzer selected — suppressions must
@@ -139,17 +160,19 @@ func TestAnnotationHygiene(t *testing.T) {
 }
 
 // TestTreeClean is the repo's own conformance gate in test form: the
-// current tree must be analyzer-clean without any baseline.
+// current tree — *_test.go files included — must be analyzer-clean without
+// any baseline.
 func TestTreeClean(t *testing.T) {
-	prog := loadProg(t)
+	prog := loadTestProg(t)
 	findings := Run(prog, nil)
 	for _, f := range findings {
 		t.Errorf("tree not analyzer-clean: %s", f)
 	}
 }
 
-// TestDetrangeTarget pins the engine-package gate: exact matches and
-// nested subpackages are in; siblings with a shared prefix are out.
+// TestDetrangeTarget pins the engine-package gate: exact matches, nested
+// subpackages, and the cmd/ tools are in; siblings with a shared prefix
+// are out.
 func TestDetrangeTarget(t *testing.T) {
 	for rel, want := range map[string]bool{
 		"internal/sim":       true,
@@ -157,7 +180,8 @@ func TestDetrangeTarget(t *testing.T) {
 		"internal/core":      true,
 		"internal/simulator": false,
 		"internal/analysis":  false,
-		"cmd/pifsim":         false,
+		"cmd/pifsim":         true,
+		"cmdlet":             false,
 		"":                   false,
 	} {
 		if got := detrangeTarget(rel); got != want {
@@ -199,6 +223,52 @@ func TestBaselineRoundTrip(t *testing.T) {
 	fresh, _ = Filter([]Finding{novel}, base)
 	if len(fresh) != 1 {
 		t.Errorf("novel finding not reported as fresh")
+	}
+}
+
+// TestUpdateBaselineStable pins the -baseline-update contract: updating
+// from an unchanged tree is a byte-for-byte no-op, and the delta counts
+// track what actually changed.
+func TestUpdateBaselineStable(t *testing.T) {
+	findings := []Finding{
+		{Analyzer: "detrange", File: "internal/sim/a.go", Line: 10, Col: 2, Message: "range over a map"},
+		{Analyzer: "hotalloc", File: "internal/core/b.go", Line: 3, Col: 1, Message: "calls make"},
+	}
+	path := filepath.Join(t.TempDir(), ".snapvet.baseline")
+
+	added, removed, kept, err := UpdateBaseline(path, findings)
+	if err != nil {
+		t.Fatalf("UpdateBaseline: %v", err)
+	}
+	if added != 2 || removed != 0 || kept != 0 {
+		t.Errorf("first update = +%d -%d =%d, want +2 -0 =0", added, removed, kept)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+
+	added, removed, kept, err = UpdateBaseline(path, findings)
+	if err != nil {
+		t.Fatalf("UpdateBaseline (again): %v", err)
+	}
+	if added != 0 || removed != 0 || kept != 2 {
+		t.Errorf("idempotent update = +%d -%d =%d, want +0 -0 =2", added, removed, kept)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("baseline not byte-stable under re-update:\n--- first\n%s--- second\n%s", first, second)
+	}
+
+	added, removed, kept, err = UpdateBaseline(path, findings[:1])
+	if err != nil {
+		t.Fatalf("UpdateBaseline (shrunk): %v", err)
+	}
+	if added != 0 || removed != 1 || kept != 1 {
+		t.Errorf("shrinking update = +%d -%d =%d, want +0 -1 =1", added, removed, kept)
 	}
 }
 

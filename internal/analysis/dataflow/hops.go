@@ -1,0 +1,393 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file computes per-function neighbor-read summaries: for every
+// processor-index parameter, how many neighbor hops away from it the
+// function reads processor state. The lattice is the hop count itself,
+// capped at MaxHop and widened to Unbounded: a read whose index cannot be
+// derived from a parameter through neighbor iteration (an arbitrary
+// integer, a protocol-owned lookup table) is Unbounded, because the guard
+// cache cannot bound its dirty region.
+//
+// Derivations recognized, matching the code shapes the engines use:
+//
+//	q := <param>                     hop 0
+//	for _, q := range g.Neighbors(p) hop(p) + 1
+//	nb := c.neighbors(p); nb[i]      hop(p) + 1
+//	par := c.par[p] / st(c,p).Par    hop(p) + 1 (a parent is a neighbor)
+//	helper(c, q) with a summary      hop(q) + callee's per-param hop
+//
+// The walk is flow-insensitive over source order (last assignment wins),
+// which is exact for the straight-line guard cascades this repository
+// writes and safely over-approximates branches (max over both arms would
+// only ever lower the derived radius — not taken).
+
+// derivKind classifies what a tracked local holds.
+type derivKind int
+
+const (
+	derivNone  derivKind = iota
+	derivProc            // a processor index, hop hops from param
+	derivState           // a processor-state value read hop hops from param
+	derivNbrs            // the neighbor list of a processor hop-1 hops from param
+)
+
+type deriv struct {
+	kind  derivKind
+	param int
+	hop   int
+}
+
+// hopWalk computes fi's Hops given the engine's current callee summaries
+// (re-run per fixpoint iteration).
+func hopWalk(e *Engine, fi *FuncInfo) *Hops {
+	w := &hopWalker{
+		e:    e,
+		fi:   fi,
+		info: fi.Pkg.Info,
+		env:  make(map[types.Object]deriv),
+		out:  &Hops{ByParam: map[int]int{}, RetState: map[int]int{}, RetNeighbor: map[int]int{}},
+	}
+	// Seed: every integer-typed parameter is a candidate processor index
+	// at hop 0 from itself.
+	if params := fi.Decl.Type.Params; params != nil {
+		i := 0
+		for _, field := range params.List {
+			for _, name := range field.Names {
+				if obj := w.info.Defs[name]; obj != nil && isIntegral(obj.Type()) {
+					w.env[obj] = deriv{kind: derivProc, param: i, hop: 0}
+				}
+				i++
+			}
+			if len(field.Names) == 0 {
+				i++
+			}
+		}
+	}
+	w.walk(fi.Decl.Body)
+	// Expression evaluation can visit the same site from several
+	// contexts (assignment rhs then the generic walk); keep one entry
+	// per position.
+	seen := make(map[int]bool, len(w.out.UnboundedSites))
+	dedup := w.out.UnboundedSites[:0]
+	for _, pos := range w.out.UnboundedSites {
+		if !seen[int(pos)] {
+			seen[int(pos)] = true
+			dedup = append(dedup, pos)
+		}
+	}
+	w.out.UnboundedSites = dedup
+	return w.out
+}
+
+type hopWalker struct {
+	e    *Engine
+	fi   *FuncInfo
+	info *types.Info
+	env  map[types.Object]deriv
+	out  *Hops
+}
+
+func isIntegral(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func (w *hopWalker) read(param, hop int) {
+	if hop > MaxHop {
+		hop = Unbounded
+	}
+	if cur, ok := w.out.ByParam[param]; !ok || hop > cur {
+		w.out.ByParam[param] = hop
+	}
+}
+
+// addHop saturates hop addition at Unbounded.
+func addHop(h, d int) int {
+	if h >= Unbounded || h+d > MaxHop {
+		return Unbounded
+	}
+	return h + d
+}
+
+// walk processes nodes in pre-order: assignments update the environment
+// before later siblings are visited, and every state read is recorded at
+// the point it appears.
+func (w *hopWalker) walk(node ast.Node) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			w.assign(x)
+		case *ast.RangeStmt:
+			w.rangeStmt(x)
+		case *ast.IndexExpr:
+			// Every state-indexing expression is a read; evalProcIndexed
+			// records it (idempotently — ByParam takes the max).
+			if _, _, ok := w.e.model.StateIndex(w.info, x); ok {
+				w.evalProcIndexed(x)
+			}
+		case *ast.CallExpr:
+			w.callSite(x)
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if d := w.evalState(res); d.kind == derivState {
+					if cur, ok := w.out.RetState[d.param]; !ok || d.hop > cur {
+						w.out.RetState[d.param] = d.hop
+					}
+				} else if d := w.evalProc(res); d.kind == derivProc && d.hop > 0 {
+					if cur, ok := w.out.RetNeighbor[d.param]; !ok || d.hop > cur {
+						w.out.RetNeighbor[d.param] = d.hop
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// assign tracks single-target bindings; everything else degrades to
+// untracked (derivNone), which is conservative.
+func (w *hopWalker) assign(as *ast.AssignStmt) {
+	bind := func(lhs ast.Expr, d deriv) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		var obj types.Object
+		if o := w.info.Defs[id]; o != nil {
+			obj = o
+		} else if o := w.info.Uses[id]; o != nil {
+			obj = o
+		}
+		if obj != nil {
+			w.env[obj] = d
+		}
+	}
+	if len(as.Lhs) == len(as.Rhs) {
+		for i := range as.Lhs {
+			bind(as.Lhs[i], w.evalAny(as.Rhs[i]))
+		}
+		return
+	}
+	// s, ok := expr.(T) — the comma-ok form binds the asserted value to
+	// the first target.
+	if len(as.Lhs) == 2 && len(as.Rhs) == 1 {
+		bind(as.Lhs[0], w.evalAny(as.Rhs[0]))
+		bind(as.Lhs[1], deriv{})
+	}
+}
+
+// rangeStmt handles neighbor iteration (hop+1) and whole-column scans
+// (unbounded).
+func (w *hopWalker) rangeStmt(r *ast.RangeStmt) {
+	bind := func(lhs ast.Expr, d deriv) {
+		if lhs == nil {
+			return
+		}
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		var obj types.Object
+		if o := w.info.Defs[id]; o != nil {
+			obj = o
+		} else if o := w.info.Uses[id]; o != nil {
+			obj = o
+		}
+		if obj != nil {
+			w.env[obj] = d
+		}
+	}
+	if d := w.evalNbrs(r.X); d.kind == derivNbrs {
+		// for _, q := range Neighbors(p): the value is a processor one
+		// hop past p; the key is a position within the list, not a
+		// processor.
+		bind(r.Value, deriv{kind: derivProc, param: d.param, hop: d.hop})
+		bind(r.Key, deriv{})
+		return
+	}
+	if w.e.model.IsStateColumn(w.info, r.X) {
+		// Ranging over an entire state column reads state at every
+		// processor: unbounded by construction.
+		w.out.UnboundedSites = append(w.out.UnboundedSites, r.X.Pos())
+	}
+	bind(r.Key, deriv{})
+	bind(r.Value, deriv{})
+}
+
+// evalProcIndexed evaluates a state-indexing expression: records the read
+// and, for parent-pointer columns, returns the loaded value's derivation
+// (one hop further).
+func (w *hopWalker) evalProcIndexed(ix *ast.IndexExpr) deriv {
+	idx, parent, ok := w.e.model.StateIndex(w.info, ix)
+	if !ok {
+		return deriv{}
+	}
+	d := w.evalProc(idx)
+	if d.kind != derivProc {
+		w.out.UnboundedSites = append(w.out.UnboundedSites, ix.Pos())
+		return deriv{}
+	}
+	w.read(d.param, d.hop)
+	if parent {
+		return deriv{kind: derivProc, param: d.param, hop: addHop(d.hop, 1)}
+	}
+	return deriv{kind: derivState, param: d.param, hop: d.hop}
+}
+
+// callSite composes callee hop summaries into this function's, for calls
+// used as statements or in untracked positions (calls in tracked
+// positions go through evalProc/evalState, which also land here).
+func (w *hopWalker) callSite(call *ast.CallExpr) {
+	callee := CalleeOf(w.info, call)
+	if callee == nil {
+		return
+	}
+	hg := w.e.hops[callee]
+	if hg == nil {
+		return
+	}
+	for j, h := range hg.ByParam {
+		arg := argAt(call, j)
+		if arg == nil {
+			continue
+		}
+		d := w.evalProc(arg)
+		if d.kind == derivProc {
+			w.read(d.param, addHop(d.hop, h))
+		} else if isIntegral(w.info.TypeOf(arg)) {
+			// The callee reads state indexed by this parameter, and the
+			// argument does not derive from any of ours: unbounded.
+			w.out.UnboundedSites = append(w.out.UnboundedSites, arg.Pos())
+		}
+	}
+}
+
+// argAt returns the j-th argument (nil when out of range).
+func argAt(call *ast.CallExpr, j int) ast.Expr {
+	if j < 0 || j >= len(call.Args) {
+		return nil
+	}
+	return call.Args[j]
+}
+
+// evalAny tries processor, state, and neighbor-list derivations in turn.
+func (w *hopWalker) evalAny(e ast.Expr) deriv {
+	if d := w.evalProc(e); d.kind != derivNone {
+		return d
+	}
+	if d := w.evalState(e); d.kind != derivNone {
+		return d
+	}
+	return w.evalNbrs(e)
+}
+
+// evalProc resolves e to a processor-index derivation.
+func (w *hopWalker) evalProc(e ast.Expr) deriv {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if d, ok := w.env[lookupObj(w.info, x)]; ok && d.kind == derivProc {
+			return d
+		}
+	case *ast.CallExpr:
+		// Conversions int(q), int32(q) preserve the derivation.
+		if tv, ok := w.info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return w.evalProc(x.Args[0])
+		}
+		if callee := CalleeOf(w.info, x); callee != nil {
+			if hg := w.e.hops[callee]; hg != nil {
+				for j, off := range hg.RetNeighbor {
+					if arg := argAt(x, j); arg != nil {
+						if d := w.evalProc(arg); d.kind == derivProc {
+							return deriv{kind: derivProc, param: d.param, hop: addHop(d.hop, off)}
+						}
+					}
+				}
+			}
+		}
+	case *ast.IndexExpr:
+		// Parent-pointer column read: c.par[p] is a neighbor of p.
+		if _, parent, ok := w.e.model.StateIndex(w.info, x); ok && parent {
+			return w.evalProcIndexed(x)
+		}
+		// Indexing a tracked neighbor list: nb[i] is a processor at the
+		// list's hop.
+		if d := w.evalNbrs(x.X); d.kind == derivNbrs {
+			return deriv{kind: derivProc, param: d.param, hop: d.hop}
+		}
+	case *ast.SelectorExpr:
+		// Parent field of a state value: st(c, p).Par is a neighbor of p.
+		if w.e.model.IsParentField(w.info, x) {
+			if d := w.evalState(x.X); d.kind == derivState {
+				return deriv{kind: derivProc, param: d.param, hop: addHop(d.hop, 1)}
+			}
+		}
+	}
+	return deriv{}
+}
+
+// evalState resolves e to a state-value derivation.
+func (w *hopWalker) evalState(e ast.Expr) deriv {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if d, ok := w.env[lookupObj(w.info, x)]; ok && d.kind == derivState {
+			return d
+		}
+	case *ast.IndexExpr:
+		if _, parent, ok := w.e.model.StateIndex(w.info, x); ok && !parent {
+			return w.evalProcIndexed(x)
+		}
+	case *ast.TypeAssertExpr:
+		return w.evalState(x.X)
+	case *ast.StarExpr:
+		return w.evalState(x.X)
+	case *ast.UnaryExpr:
+		if x.Op.String() == "&" {
+			return w.evalState(x.X)
+		}
+	case *ast.CallExpr:
+		if callee := CalleeOf(w.info, x); callee != nil {
+			if hg := w.e.hops[callee]; hg != nil {
+				for j, off := range hg.RetState {
+					if arg := argAt(x, j); arg != nil {
+						if d := w.evalProc(arg); d.kind == derivProc {
+							return deriv{kind: derivState, param: d.param, hop: addHop(d.hop, off)}
+						}
+					}
+				}
+			}
+		}
+	}
+	return deriv{}
+}
+
+// evalNbrs resolves e to a neighbor-list derivation: Neighbors(p) or a
+// variable bound to one.
+func (w *hopWalker) evalNbrs(e ast.Expr) deriv {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if d, ok := w.env[lookupObj(w.info, x)]; ok && d.kind == derivNbrs {
+			return d
+		}
+	case *ast.CallExpr:
+		callee := CalleeOf(w.info, x)
+		if callee != nil && w.e.model.IsNeighbors(callee) && len(x.Args) == 1 {
+			if d := w.evalProc(x.Args[0]); d.kind == derivProc {
+				return deriv{kind: derivNbrs, param: d.param, hop: addHop(d.hop, 1)}
+			}
+		}
+	}
+	return deriv{}
+}
+
+// lookupObj resolves an identifier to its object (use or def).
+func lookupObj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}

@@ -1,0 +1,415 @@
+package dataflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file proves shard-disjointness: code reachable from a sweep-worker
+// goroutine may write shared memory only through slots keyed by a
+// shard-derived index, so no two workers can ever write the same slot.
+//
+// "Shard-derived" is a taint lattice seeded at the goroutine root:
+//
+//   - the root's own parameters (each goroutine is launched with distinct
+//     arguments — the worker ID),
+//   - values received from the root's job channel (the orchestrator
+//     distributes disjoint shard descriptors; this is the sanctioned
+//     fan-out pattern, and the serial sender is not worker code),
+//
+// and propagated through field selection on derived values, indexing and
+// subslicing by derived indices, arithmetic with constants, conversions,
+// and calls (a callee parameter is derived when every call site passes a
+// derived argument — checked context-sensitively per call). Writes
+// allowed without derivation: locals, writes through pointers that
+// provably point at a derived slot or a local, and calls into sync /
+// sync/atomic. Everything else — shared field writes, map and global
+// writes, element writes at non-derived indices, and calls the type
+// checker cannot resolve — is a violation.
+
+// ShardViolationKind classifies one escape from the discipline.
+type ShardViolationKind int
+
+const (
+	// ShardFieldWrite writes a field of shared memory (receiver, shared
+	// struct) rather than a derived slot.
+	ShardFieldWrite ShardViolationKind = iota
+	// ShardIndexWrite writes an element at a non-shard-derived index.
+	ShardIndexWrite
+	// ShardMapWrite stores into (or deletes from) a map.
+	ShardMapWrite
+	// ShardGlobalWrite writes a package-level variable.
+	ShardGlobalWrite
+	// ShardPtrWrite stores through a pointer not proven to target a
+	// derived slot or a local.
+	ShardPtrWrite
+	// ShardDynamicCall is a call with no static callee: the discipline
+	// cannot be verified past it.
+	ShardDynamicCall
+	// ShardSend sends on a channel from worker code.
+	ShardSend
+)
+
+// ShardViolation is one escape, attributed to the function containing it.
+type ShardViolation struct {
+	Kind ShardViolationKind
+	Pos  token.Pos
+	Fn   *types.Func
+}
+
+// ShardCheck verifies every function reachable from the goroutine root fn
+// against the disjoint-slot write discipline. Violations are deduplicated
+// by position (the same callee checked under several contexts reports a
+// site once) and returned in source order.
+func (e *Engine) ShardCheck(root *types.Func) []ShardViolation {
+	sw := &shardChecker{e: e, seen: make(map[string]bool), reported: make(map[token.Pos]bool)}
+	fi := e.funcs[root]
+	if fi == nil {
+		return nil
+	}
+	// Every root parameter is derived: goroutines are launched with
+	// distinct arguments.
+	n := paramCount(fi)
+	mask := make([]bool, n)
+	for i := range mask {
+		mask[i] = true
+	}
+	sw.check(fi, mask, true)
+	sort.Slice(sw.out, func(i, j int) bool { return sw.out[i].Pos < sw.out[j].Pos })
+	return sw.out
+}
+
+type shardChecker struct {
+	e        *Engine
+	seen     map[string]bool
+	reported map[token.Pos]bool
+	out      []ShardViolation
+}
+
+func paramCount(fi *FuncInfo) int {
+	params := fi.Decl.Type.Params
+	if params == nil {
+		return 0
+	}
+	n := 0
+	for _, field := range params.List {
+		if len(field.Names) == 0 {
+			n++
+		} else {
+			n += len(field.Names)
+		}
+	}
+	return n
+}
+
+func (sw *shardChecker) violate(kind ShardViolationKind, pos token.Pos, fn *types.Func) {
+	if sw.reported[pos] {
+		return
+	}
+	sw.reported[pos] = true
+	sw.out = append(sw.out, ShardViolation{Kind: kind, Pos: pos, Fn: fn})
+}
+
+// check walks one function under a parameter-derivation context. chanRoot
+// marks the goroutine entry, where channel receives yield derived shard
+// descriptors.
+func (sw *shardChecker) check(fi *FuncInfo, mask []bool, chanRoot bool) {
+	key := fmt.Sprintf("%p|%v|%v", fi.Fn, mask, chanRoot)
+	if sw.seen[key] {
+		return
+	}
+	sw.seen[key] = true
+
+	w := &shardWalker{sw: sw, fi: fi, info: fi.Pkg.Info, derived: make(map[types.Object]bool)}
+	for i, ok := range mask {
+		if ok {
+			if obj := ParamAt(fi, i); obj != nil {
+				w.derived[obj] = true
+			}
+		}
+	}
+	w.chanRoot = chanRoot
+	w.walk(fi.Decl.Body)
+}
+
+type shardWalker struct {
+	sw       *shardChecker
+	fi       *FuncInfo
+	info     *types.Info
+	derived  map[types.Object]bool
+	chanRoot bool
+}
+
+func (w *shardWalker) walk(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			w.assign(x)
+		case *ast.IncDecStmt:
+			w.write(x.X, x.X.Pos())
+		case *ast.RangeStmt:
+			w.rangeStmt(x)
+		case *ast.SendStmt:
+			w.sw.violate(ShardSend, x.Pos(), w.fi.Fn)
+		case *ast.CallExpr:
+			w.call(x)
+		}
+		return true
+	})
+}
+
+func (w *shardWalker) bind(lhs ast.Expr, derived bool) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	if obj := lookupObj(w.info, id); obj != nil {
+		w.derived[obj] = derived
+	}
+}
+
+func (w *shardWalker) assign(as *ast.AssignStmt) {
+	if as.Tok == token.DEFINE {
+		if len(as.Lhs) == len(as.Rhs) {
+			for i := range as.Lhs {
+				w.bind(as.Lhs[i], w.isDerived(as.Rhs[i]))
+			}
+		} else if len(as.Lhs) == 2 && len(as.Rhs) == 1 {
+			// v, ok := <-ch / m[k] / x.(T)
+			w.bind(as.Lhs[0], w.isDerived(as.Rhs[0]))
+			w.bind(as.Lhs[1], false)
+		}
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if id.Name == "_" {
+				continue
+			}
+			// Plain local rebinding: not a shared write; update taint.
+			if obj := lookupObj(w.info, id); obj != nil && !isPkgLevel2(obj) {
+				if i < len(as.Rhs) {
+					w.derived[obj] = w.isDerived(as.Rhs[i])
+				}
+				continue
+			}
+		}
+		w.write(lhs, lhs.Pos())
+	}
+}
+
+func isPkgLevel2(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// write classifies one mutation target against the discipline.
+func (w *shardWalker) write(lhs ast.Expr, pos token.Pos) {
+	e := ast.Unparen(lhs)
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := lookupObj(w.info, x); obj != nil && isPkgLevel2(obj) {
+			w.sw.violate(ShardGlobalWrite, pos, w.fi.Fn)
+		}
+		return
+	case *ast.IndexExpr:
+		if t := w.info.TypeOf(x.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				w.sw.violate(ShardMapWrite, pos, w.fi.Fn)
+				return
+			}
+		}
+		if w.isDerived(x.Index) {
+			return // disjoint slot: index is shard-derived
+		}
+		// An element write at a non-derived index is still fine when the
+		// backing store itself is derived or local-owned.
+		if w.isDerived(x.X) || w.isLocalOwned(x.X) {
+			return
+		}
+		w.sw.violate(ShardIndexWrite, pos, w.fi.Fn)
+		return
+	case *ast.StarExpr:
+		if w.isDerived(x.X) || w.isLocalOwned(x.X) {
+			return
+		}
+		w.sw.violate(ShardPtrWrite, pos, w.fi.Fn)
+		return
+	case *ast.SelectorExpr:
+		// Field write: allowed on derived values (a job struct copy, a
+		// derived-slot pointer) and on locals; a field of shared memory
+		// is not a slot.
+		if w.isDerived(x.X) || w.isLocalOwned(x.X) {
+			return
+		}
+		w.sw.violate(ShardFieldWrite, pos, w.fi.Fn)
+		return
+	default:
+		// Conservative: unknown write shape.
+		w.sw.violate(ShardFieldWrite, pos, w.fi.Fn)
+	}
+}
+
+// isLocalOwned reports whether e is (a path into) a non-pointer local
+// variable: writes to it stay on this goroutine's stack.
+func (w *shardWalker) isLocalOwned(e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := lookupObj(w.info, x)
+			if obj == nil || isPkgLevel2(obj) {
+				return false
+			}
+			v, ok := obj.(*types.Var)
+			if !ok {
+				return false
+			}
+			// A pointer-typed variable may alias shared memory; only its
+			// derivation (tracked separately) makes it safe.
+			if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+				return false
+			}
+			if _, isSlice := v.Type().Underlying().(*types.Slice); isSlice {
+				return false
+			}
+			if _, isMap := v.Type().Underlying().(*types.Map); isMap {
+				return false
+			}
+			// Declared in this function (not a field, not a param of an
+			// enclosing scope we can't see).
+			return v.Parent() != nil && v.Pkg() != nil && v.Parent() != v.Pkg().Scope()
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			return false
+		default:
+			return false
+		}
+	}
+}
+
+// isDerived reports whether e's value is shard-derived.
+func (w *shardWalker) isDerived(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := lookupObj(w.info, x); obj != nil {
+			return w.derived[obj]
+		}
+	case *ast.SelectorExpr:
+		// A field of a derived value (job.lo) is derived.
+		return w.isDerived(x.X)
+	case *ast.IndexExpr:
+		// Loading any store at a derived index yields that slot's
+		// content: the shard's own data.
+		return w.isDerived(x.Index)
+	case *ast.SliceExpr:
+		lo := x.Low == nil || w.isDerived(x.Low) || isConstExpr(w.info, x.Low)
+		hi := x.High == nil || w.isDerived(x.High) || isConstExpr(w.info, x.High)
+		one := (x.Low != nil && w.isDerived(x.Low)) || (x.High != nil && w.isDerived(x.High))
+		return lo && hi && one
+	case *ast.BinaryExpr:
+		lx := w.isDerived(x.X) || isConstExpr(w.info, x.X)
+		ly := w.isDerived(x.Y) || isConstExpr(w.info, x.Y)
+		one := w.isDerived(x.X) || w.isDerived(x.Y)
+		return lx && ly && one
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			// &X[derived] and &local are private-slot pointers.
+			if ix, ok := ast.Unparen(x.X).(*ast.IndexExpr); ok {
+				return w.isDerived(ix.Index)
+			}
+			return w.isLocalOwned(x.X)
+		}
+		return w.isDerived(x.X)
+	case *ast.CallExpr:
+		// Conversions preserve derivation.
+		if tv, ok := w.info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return w.isDerived(x.Args[0])
+		}
+	}
+	return false
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// rangeStmt handles the derived iteration shapes.
+func (w *shardWalker) rangeStmt(r *ast.RangeStmt) {
+	t := w.info.TypeOf(r.X)
+	if t != nil {
+		if _, isChan := t.Underlying().(*types.Chan); isChan {
+			// Receiving from the job channel at the goroutine root yields
+			// shard descriptors; anywhere else the values are untrusted.
+			w.bind2(r.Key, w.chanRoot)
+			w.bind2(r.Value, false)
+			return
+		}
+	}
+	// range X[lo:hi] with derived bounds: values are the shard's items.
+	// The key is an offset within the subslice — shared across shards —
+	// so it stays underived.
+	w.bind2(r.Value, w.isDerived(r.X))
+	w.bind2(r.Key, false)
+}
+
+func (w *shardWalker) bind2(lhs ast.Expr, derived bool) {
+	if lhs == nil {
+		return
+	}
+	w.bind(lhs, derived)
+}
+
+// call checks builtins, sanctioned packages, and recurses into static
+// callees under the argument-derived context.
+func (w *shardWalker) call(call *ast.CallExpr) {
+	switch BuiltinName(w.info, call) {
+	case "delete":
+		w.sw.violate(ShardMapWrite, call.Pos(), w.fi.Fn)
+		return
+	case "":
+		// Conversion or ordinary call.
+	default:
+		return
+	}
+	if tv, ok := w.info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion
+	}
+	callee := CalleeOf(w.info, call)
+	if callee == nil {
+		w.sw.violate(ShardDynamicCall, call.Pos(), w.fi.Fn)
+		return
+	}
+	pkg := pkgPath(callee)
+	if pkg == "sync" || pkg == "sync/atomic" || strings.HasPrefix(pkg, "internal/race") {
+		return // synchronization primitives order their own memory
+	}
+	fi := w.sw.e.funcs[callee]
+	if fi == nil {
+		return // no body: cannot write our shared state through values it got
+	}
+	mask := make([]bool, paramCount(fi))
+	for i := range mask {
+		if arg := argForParam(call, fi, i); arg != nil {
+			mask[i] = w.isDerived(arg)
+		}
+	}
+	w.sw.check(fi, mask, false)
+}
+
+// argForParam maps a declared-parameter index to the call argument
+// (handling the variadic tail conservatively: nil).
+func argForParam(call *ast.CallExpr, fi *FuncInfo, i int) ast.Expr {
+	if i < len(call.Args) {
+		return call.Args[i]
+	}
+	return nil
+}

@@ -1,0 +1,366 @@
+package dataflow
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// buildSummary runs the intraprocedural effect/alloc/call walk over one
+// function body.
+func buildSummary(model Model, fi *FuncInfo) *Summary {
+	s := &Summary{Fn: fi.Fn}
+	sc := &scanner{model: model, info: fi.Pkg.Info, fn: fi.Fn, sum: s}
+	sc.scan(fi.Decl.Body)
+	return s
+}
+
+// ScanNode classifies the effects and allocations of one subtree (an
+// obspure disabled-path statement, a fixture body) without touching the
+// engine's caches. fn labels the sites; it may be nil.
+func ScanNode(model Model, pkg *Pkg, fn *types.Func, node ast.Node) (effects, allocs []Site) {
+	s := &Summary{Fn: fn}
+	sc := &scanner{model: model, info: pkg.Info, fn: fn, sum: s}
+	sc.scan(node)
+	return s.Effects, s.Allocs
+}
+
+// scanner accumulates one function's summary in source order.
+type scanner struct {
+	model Model
+	info  *types.Info
+	fn    *types.Func
+	sum   *Summary
+
+	safeAppends map[*ast.CallExpr]bool
+}
+
+func (sc *scanner) scan(node ast.Node) {
+	sc.findSafeAppends(node)
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			sc.effect(Site{Kind: EffSend, Pos: x.Pos()})
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					sc.alloc(Site{Kind: EffAlloc, Alloc: AllocAddrComposite, Pos: x.Pos()})
+				}
+			}
+		case *ast.CompositeLit:
+			if t := sc.info.TypeOf(x); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					sc.alloc(Site{Kind: EffAlloc, Alloc: AllocLit, Pos: x.Pos(), Detail: "slice"})
+				case *types.Map:
+					sc.alloc(Site{Kind: EffAlloc, Alloc: AllocLit, Pos: x.Pos(), Detail: "map"})
+				}
+			}
+		case *ast.FuncLit:
+			// The literal itself allocates; its body is also scanned —
+			// conservative, since the closure usually runs where it is made.
+			sc.alloc(Site{Kind: EffAlloc, Alloc: AllocClosure, Pos: x.Pos()})
+		case *ast.CallExpr:
+			sc.call(x)
+		default:
+			writeTargets(n, func(lhs ast.Expr, pos token.Pos) {
+				sc.write(lhs, pos)
+			})
+		}
+		return true
+	})
+}
+
+// findSafeAppends marks `x = append(x, ...)` / `x = append(x[:k], ...)`
+// self-appends: amortized growth into a buffer reused across steps, the
+// engine's sanctioned pattern.
+func (sc *scanner) findSafeAppends(node ast.Node) {
+	sc.safeAppends = make(map[*ast.CallExpr]bool)
+	ast.Inspect(node, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || BuiltinName(sc.info, call) != "append" || len(call.Args) == 0 {
+				continue
+			}
+			base := ast.Unparen(call.Args[0])
+			if sl, ok := base.(*ast.SliceExpr); ok {
+				base = sl.X
+			}
+			if exprString(as.Lhs[i]) == exprString(base) {
+				sc.safeAppends[call] = true
+			}
+		}
+		return true
+	})
+}
+
+func (sc *scanner) effect(s Site) {
+	s.Fn = sc.fn
+	sc.sum.Effects = append(sc.sum.Effects, s)
+}
+
+func (sc *scanner) alloc(s Site) {
+	s.Fn = sc.fn
+	sc.sum.Allocs = append(sc.sum.Allocs, s)
+}
+
+// call classifies one call expression: builtin effects, allocating
+// builtins, conversions, impure stdlib targets, interface-argument
+// boxing, and the call-graph edge itself.
+func (sc *scanner) call(call *ast.CallExpr) {
+	switch b := BuiltinName(sc.info, call); b {
+	case "delete":
+		sc.effect(Site{Kind: EffDelete, Pos: call.Pos()})
+		return
+	case "close":
+		sc.effect(Site{Kind: EffClose, Pos: call.Pos()})
+		return
+	case "print", "println":
+		sc.effect(Site{Kind: EffPrint, Pos: call.Pos(), Detail: b})
+		return
+	case "make":
+		sc.alloc(Site{Kind: EffAlloc, Alloc: AllocMake, Pos: call.Pos()})
+		return
+	case "new":
+		sc.alloc(Site{Kind: EffAlloc, Alloc: AllocNew, Pos: call.Pos()})
+		return
+	case "append":
+		if !sc.safeAppends[call] {
+			sc.alloc(Site{Kind: EffAlloc, Alloc: AllocAppend, Pos: call.Pos()})
+		}
+		return
+	case "panic":
+		for _, arg := range call.Args {
+			sc.boxed(arg, "panic")
+		}
+		return
+	case "":
+		// Not a builtin: conversion or ordinary call, handled below.
+	default:
+		return
+	}
+
+	if tv, ok := sc.info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: string <-> []byte/[]rune copies into fresh memory.
+		if len(call.Args) == 1 {
+			from, to := sc.info.TypeOf(call.Args[0]), tv.Type
+			if from != nil && allocatingConversion(from, to) {
+				sc.alloc(Site{Kind: EffAlloc, Alloc: AllocConv, Pos: call.Pos(),
+					Detail: fmt.Sprintf("%s -> %s", from, to)})
+			}
+		}
+		return
+	}
+
+	callee := CalleeOf(sc.info, call)
+	if callee == nil {
+		sc.sum.Dynamic = append(sc.sum.Dynamic, Site{Kind: EffDynamic, Pos: call.Pos(), Fn: sc.fn})
+	} else {
+		if kind, ok := impureCall(callee); ok {
+			sc.effect(Site{Kind: kind, Pos: call.Pos(), Callee: callee})
+		}
+		sc.sum.Calls = append(sc.sum.Calls, Call{Callee: callee, Expr: call})
+	}
+
+	// Interface-argument boxing, independent of whether the callee is
+	// static.
+	if sig, ok := sc.info.TypeOf(call.Fun).(*types.Signature); ok {
+		np := sig.Params().Len()
+		for i, arg := range call.Args {
+			var param types.Type
+			switch {
+			case sig.Variadic() && i >= np-1:
+				if call.Ellipsis != token.NoPos {
+					continue // slice passed through, no per-element boxing
+				}
+				param = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+			case i < np:
+				param = sig.Params().At(i).Type()
+			default:
+				continue
+			}
+			if _, isIface := param.Underlying().(*types.Interface); isIface {
+				sc.boxed(arg, "interface argument")
+			}
+		}
+	}
+}
+
+// boxed records a non-constant, non-pointer-shaped value converted to an
+// interface: the conversion heap-allocates the boxed copy.
+func (sc *scanner) boxed(arg ast.Expr, what string) {
+	tv, ok := sc.info.Types[arg]
+	if !ok || tv.Value != nil { // constants box to static data
+		return
+	}
+	t := tv.Type
+	if t == nil || t == types.Typ[types.UntypedNil] {
+		return
+	}
+	if _, isIface := t.Underlying().(*types.Interface); isIface {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: fits the interface word, no allocation
+	}
+	sc.alloc(Site{Kind: EffAlloc, Alloc: AllocBox, Pos: arg.Pos(), Detail: t.String(), BoxWhat: what})
+}
+
+// write classifies one assignment target against the model.
+func (sc *scanner) write(lhs ast.Expr, pos token.Pos) {
+	kind, root := ClassifyWrite(sc.info, sc.model, lhs)
+	switch kind {
+	case EffWriteConfig, EffWriteBox, EffWriteMap:
+		sc.effect(Site{Kind: kind, Pos: pos, Root: root})
+	default:
+		// A plain write is still an effect when its root is a
+		// package-level variable: the function mutates global state.
+		if root != nil {
+			if v, ok := sc.info.Uses[root].(*types.Var); ok && isPkgLevel(v) {
+				sc.effect(Site{Kind: EffWriteGlobal, Pos: pos, Root: root})
+			}
+		}
+	}
+}
+
+// isPkgLevel reports whether v is declared at package scope.
+func isPkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// ClassifyWrite walks the assignment target's access path outward-in and
+// reports the most model-relevant memory it writes through, together with
+// the path's root identifier (nil when the root is not a plain
+// identifier). Rebinding a pointer variable (`p = q`) is not a write
+// through it: only Selector/Index/Star steps dereference. The returned
+// kind is one of EffWriteConfig, EffWriteBox, EffWriteMap, or -1 for a
+// write the model does not care about.
+func ClassifyWrite(info *types.Info, model Model, lhs ast.Expr) (EffectKind, *ast.Ident) {
+	kind := EffectKind(-1)
+	note := func(k EffectKind) {
+		// Config and state-box writes outrank map writes: the closer to
+		// the shared-memory model, the more specific the message.
+		if k == EffWriteConfig || (k == EffWriteBox && kind != EffWriteConfig) || kind == -1 {
+			kind = k
+		}
+	}
+	classifyBase := func(base ast.Expr, isIndex bool) {
+		t := info.TypeOf(base)
+		if t == nil {
+			return
+		}
+		switch {
+		case model != nil && model.IsConfig(t):
+			note(EffWriteConfig)
+		case model != nil && model.IsStateBox(t):
+			note(EffWriteBox)
+		case isIndex:
+			if _, ok := t.Underlying().(*types.Map); ok {
+				note(EffWriteMap)
+			}
+		}
+	}
+	e := lhs
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			classifyBase(x.X, false)
+			e = x.X
+		case *ast.IndexExpr:
+			classifyBase(x.X, true)
+			e = x.X
+		case *ast.StarExpr:
+			classifyBase(x.X, false)
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			root, _ := e.(*ast.Ident)
+			return kind, root
+		}
+	}
+}
+
+// writeTargets yields every (target, pos) a statement mutates: assignment
+// left-hand sides (definitions excluded — they bind fresh variables) and
+// increment/decrement targets.
+func writeTargets(n ast.Node, fn func(lhs ast.Expr, pos token.Pos)) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		if s.Tok == token.DEFINE {
+			return
+		}
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			fn(lhs, lhs.Pos())
+		}
+	case *ast.IncDecStmt:
+		fn(s.X, s.X.Pos())
+	}
+}
+
+// impureCall classifies calls that are impure regardless of their bodies:
+// I/O, clock access, and process-global randomness.
+func impureCall(fn *types.Func) (EffectKind, bool) {
+	pkg := pkgPath(fn)
+	name := fn.Name()
+	switch pkg {
+	case "os", "io", "bufio", "syscall", "log":
+		return EffIO, true
+	case "fmt":
+		if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") || name == "Scan" || strings.HasPrefix(name, "Scan") || strings.HasPrefix(name, "Fscan") {
+			return EffIO, true
+		}
+	case "time":
+		switch name {
+		case "Now", "Since", "Until", "Sleep", "Tick", "After", "AfterFunc", "NewTimer", "NewTicker":
+			return EffClock, true
+		}
+	case "math/rand", "math/rand/v2":
+		if IsGlobalRand(fn) {
+			return EffRand, true
+		}
+	}
+	if strings.HasPrefix(pkg, "net") {
+		return EffIO, true
+	}
+	return 0, false
+}
+
+// allocatingConversion reports the conversions that copy into fresh heap
+// memory.
+func allocatingConversion(from, to types.Type) bool {
+	isString := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteish := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isString(from) && isByteish(to)) || (isByteish(from) && isString(to))
+}
+
+// exprString renders an expression for textual buffer-identity checks.
+func exprString(e ast.Expr) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, token.NewFileSet(), e)
+	return buf.String()
+}

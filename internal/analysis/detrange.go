@@ -4,6 +4,8 @@ import (
 	"go/ast"
 	"go/types"
 	"strings"
+
+	"snappif/internal/analysis/dataflow"
 )
 
 // detrangePackages are the deterministic-engine packages (module-relative
@@ -35,9 +37,14 @@ var detrange = &Analyzer{
 }
 
 // detrangeTarget reports whether the module-relative package path rel is
-// one of the deterministic engine packages or nested inside one.
+// one of the deterministic engine packages or nested inside one. The
+// cmd/ tools are included: their artifact output feeds diffable logs, so
+// any intentional wall-clock read there carries an //snapvet:ok note.
 func detrangeTarget(rel string) bool {
 	if detrangePackages[rel] {
+		return true
+	}
+	if strings.HasPrefix(rel, "cmd/") {
 		return true
 	}
 	for dir := range detrangePackages {
@@ -66,19 +73,19 @@ func runDetrange(pass *Pass) {
 						pass.Report(x.Pos(), "range over a map iterates in nondeterministic order inside a deterministic engine package; iterate a sorted key slice or annotate //snapvet:ok <reason>")
 					}
 				case *ast.CallExpr:
-					callee := calleeOf(pkg.Info, x)
+					callee := dataflow.CalleeOf(pkg.Info, x)
 					if callee == nil {
 						return true
 					}
-					switch calleePackagePath(callee) {
+					switch dataflow.PkgPath(callee) {
 					case "time":
 						switch callee.Name() {
 						case "Now", "Since", "Until":
 							pass.Report(x.Pos(), "time.%s reads the wall clock inside a deterministic engine package; derive timing outside the engine or annotate //snapvet:ok <reason>", callee.Name())
 						}
 					case "math/rand", "math/rand/v2":
-						if globalRandFunc(callee) {
-							pass.Report(x.Pos(), "package-level %s.%s draws from the process-global source; thread a seeded *rand.Rand instead", calleePackagePath(callee), callee.Name())
+						if dataflow.IsGlobalRand(callee) {
+							pass.Report(x.Pos(), "package-level %s.%s draws from the process-global source; thread a seeded *rand.Rand instead", dataflow.PkgPath(callee), callee.Name())
 						}
 					}
 				}

@@ -1,18 +1,20 @@
 package analysis
 
 import (
-	"go/ast"
-	"go/token"
 	"go/types"
-	"strings"
+
+	"snappif/internal/analysis/dataflow"
 )
 
 // guardpure enforces the paper's guard semantics (Section 2): a guard is
 // a boolean predicate over the executing processor's own and its
 // neighbors' registers. Every function statically reachable from the
 // Enabled method of a sim.Protocol implementer must therefore be pure: no
-// writes to a sim.Configuration or a shared processor-state box, no
-// channel or map mutation, and no I/O or clock/global-randomness calls.
+// writes to a sim.Configuration, a shared processor-state box, or
+// package-level state, no channel or map mutation, and no I/O or
+// clock/global-randomness calls. The reachability and effect
+// classification come from the dataflow summary engine, so helper chains
+// of any depth are covered.
 var guardpure = &Analyzer{
 	Name: "guardpure",
 	Doc:  "guard-reachable code must not write shared state, mutate maps/channels, or perform I/O",
@@ -20,99 +22,51 @@ var guardpure = &Analyzer{
 }
 
 func runGuardpure(pass *Pass) {
-	st := lookupSimTypes(pass.Prog)
+	st := pass.simTypes()
 	if st == nil {
 		return
 	}
-	cg := pass.callGraph()
+	eng := pass.engine()
 	var roots []*types.Func
 	for _, named := range protocolImplementers(pass.Prog, st) {
 		if fn := methodOf(named, "Enabled"); fn != nil {
 			roots = append(roots, fn)
 		}
 	}
-	for _, node := range cg.reachable(roots) {
-		checkPureBody(pass, st, node, "guard")
+	for _, fi := range eng.Reachable(roots) {
+		sum := eng.Summary(fi.Fn)
+		for _, s := range sum.Effects {
+			reportImpurity(pass, "guard", fi.Fn.Name(), s)
+		}
 	}
 }
 
-// checkPureBody reports every impurity in one guard-reachable function.
-// kind names the root family ("guard") in messages.
-func checkPureBody(pass *Pass, st *simTypes, node *funcNode, kind string) {
-	info := node.pkg.Info
-	fname := node.fn.Name()
-	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.SendStmt:
-			pass.Report(x.Pos(), "%s-reachable %s sends on a channel; guards are pure predicates over registers", kind, fname)
-		case *ast.CallExpr:
-			switch builtinName(info, x) {
-			case "delete":
-				pass.Report(x.Pos(), "%s-reachable %s deletes from a map; guards are pure predicates over registers", kind, fname)
-			case "close":
-				pass.Report(x.Pos(), "%s-reachable %s closes a channel; guards are pure predicates over registers", kind, fname)
-			case "print", "println":
-				pass.Report(x.Pos(), "%s-reachable %s calls %s; guards must not perform I/O", kind, fname, builtinName(info, x))
-			}
-			if callee := calleeOf(info, x); callee != nil {
-				if why := impureCall(callee); why != "" {
-					pass.Report(x.Pos(), "%s-reachable %s calls %s.%s (%s)", kind, fname, calleePackagePath(callee), callee.Name(), why)
-				}
-			}
-		default:
-			writes(n, func(lhs ast.Expr, pos token.Pos) {
-				switch k, _ := classifyWrite(info, st, lhs); k {
-				case writeConfig:
-					pass.Report(pos, "%s-reachable %s writes the configuration; the model's guards only read registers", kind, fname)
-				case writeStateBox:
-					pass.Report(pos, "%s-reachable %s writes a processor-state box; the model's guards only read registers", kind, fname)
-				case writeMap:
-					pass.Report(pos, "%s-reachable %s stores into a map; guards are pure predicates over registers", kind, fname)
-				}
-			})
-		}
-		return true
-	})
-}
-
-// impureCall reports why calling fn from guard-reachable code breaks
-// purity, or "" when the call is acceptable.
-func impureCall(fn *types.Func) string {
-	pkg := calleePackagePath(fn)
-	name := fn.Name()
-	switch pkg {
-	case "os", "io", "bufio", "syscall", "log":
-		return "I/O from a guard"
-	case "fmt":
-		if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") || name == "Scan" || strings.HasPrefix(name, "Scan") || strings.HasPrefix(name, "Fscan") {
-			return "I/O from a guard"
-		}
-	case "time":
-		switch name {
-		case "Now", "Since", "Until", "Sleep", "Tick", "After", "AfterFunc", "NewTimer", "NewTicker":
-			return "clock access from a guard"
-		}
-	case "math/rand", "math/rand/v2":
-		if globalRandFunc(fn) {
-			return "global randomness from a guard"
-		}
+// reportImpurity renders one effect site as a purity violation. kind
+// names the root family ("guard") in messages.
+func reportImpurity(pass *Pass, kind, fname string, s dataflow.Site) {
+	switch s.Kind {
+	case dataflow.EffSend:
+		pass.Report(s.Pos, "%s-reachable %s sends on a channel; guards are pure predicates over registers", kind, fname)
+	case dataflow.EffDelete:
+		pass.Report(s.Pos, "%s-reachable %s deletes from a map; guards are pure predicates over registers", kind, fname)
+	case dataflow.EffClose:
+		pass.Report(s.Pos, "%s-reachable %s closes a channel; guards are pure predicates over registers", kind, fname)
+	case dataflow.EffPrint:
+		pass.Report(s.Pos, "%s-reachable %s calls %s; guards must not perform I/O", kind, fname, s.Detail)
+	case dataflow.EffIO, dataflow.EffClock, dataflow.EffRand:
+		why := map[dataflow.EffectKind]string{
+			dataflow.EffIO:    "I/O from a guard",
+			dataflow.EffClock: "clock access from a guard",
+			dataflow.EffRand:  "global randomness from a guard",
+		}[s.Kind]
+		pass.Report(s.Pos, "%s-reachable %s calls %s.%s (%s)", kind, fname, dataflow.PkgPath(s.Callee), s.Callee.Name(), why)
+	case dataflow.EffWriteConfig:
+		pass.Report(s.Pos, "%s-reachable %s writes the configuration; the model's guards only read registers", kind, fname)
+	case dataflow.EffWriteBox:
+		pass.Report(s.Pos, "%s-reachable %s writes a processor-state box; the model's guards only read registers", kind, fname)
+	case dataflow.EffWriteMap:
+		pass.Report(s.Pos, "%s-reachable %s stores into a map; guards are pure predicates over registers", kind, fname)
+	case dataflow.EffWriteGlobal:
+		pass.Report(s.Pos, "%s-reachable %s writes package-level state; guards are pure predicates over registers", kind, fname)
 	}
-	if strings.HasPrefix(pkg, "net") {
-		return "I/O from a guard"
-	}
-	return ""
-}
-
-// globalRandFunc reports whether fn is a package-level math/rand function
-// drawing from the process-global source (methods on *rand.Rand and the
-// seeded constructors are deterministic and allowed).
-func globalRandFunc(fn *types.Func) bool {
-	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
-		return false
-	}
-	switch fn.Name() {
-	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
-		return false
-	}
-	return true
 }

@@ -1,20 +1,21 @@
 package analysis
 
 import (
-	"bytes"
 	"go/ast"
-	"go/printer"
-	"go/token"
 	"go/types"
+
+	"snappif/internal/analysis/dataflow"
 )
 
 // hotalloc is the static complement of the CI AllocsPerRun gates: inside
 // functions annotated `//snapvet:hotpath` (the InPlaceProtocol step path)
 // it flags every construct that can heap-allocate per step — make/new,
 // escaping composite literals, appends that may grow, closures, interface
-// boxing, and allocating conversions. The runtime gates prove the budget
-// holds today; this analyzer points at the exact expression when a future
-// edit would break it.
+// boxing, and allocating conversions. The dataflow engine extends the
+// check across calls: a hot-path function calling an unannotated module
+// function whose reachable body can allocate is flagged at the call site,
+// so the annotation set stays closed under the real call graph. Callees
+// that never run per step opt out with `//snapvet:coldpath <reason>`.
 var hotalloc = &Analyzer{
 	Name: "hotalloc",
 	Doc:  "no per-step heap allocation constructs in //snapvet:hotpath functions",
@@ -22,6 +23,23 @@ var hotalloc = &Analyzer{
 }
 
 func runHotalloc(pass *Pass) {
+	eng := pass.engine()
+
+	// The annotation maps key *ast.FuncDecl; the engine keys *types.Func.
+	// Resolve both directions once.
+	hot := make(map[*types.Func]bool)
+	cold := make(map[*types.Func]bool)
+	for fd := range pass.ann.hotpath {
+		if fn := pass.declFunc(fd); fn != nil {
+			hot[fn] = true
+		}
+	}
+	for fd := range pass.ann.coldpath {
+		if fn := pass.declFunc(fd); fn != nil {
+			cold[fn] = true
+		}
+	}
+
 	for fd, ok := range pass.ann.hotpath {
 		if !ok || fd.Body == nil {
 			continue
@@ -30,8 +48,18 @@ func runHotalloc(pass *Pass) {
 		if pkg == nil {
 			continue
 		}
-		checkHotBody(pass, pkg, fd)
+		checkHotBody(pass, eng, pkg, fd, hot, cold)
 	}
+}
+
+// declFunc resolves a declaration to its type-checker object.
+func (p *Pass) declFunc(fd *ast.FuncDecl) *types.Func {
+	pkg := p.ownerPackage(fd)
+	if pkg == nil {
+		return nil
+	}
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	return fn
 }
 
 // ownerPackage finds the package containing a declaration.
@@ -46,176 +74,97 @@ func (p *Pass) ownerPackage(fd *ast.FuncDecl) *Package {
 	return nil
 }
 
-func checkHotBody(pass *Pass, pkg *Package, fd *ast.FuncDecl) {
-	info := pkg.Info
+func checkHotBody(pass *Pass, eng *dataflow.Engine, pkg *Package, fd *ast.FuncDecl, hot, cold map[*types.Func]bool) {
 	fname := fd.Name.Name
 
-	// safeAppends are `x = append(x, ...)` / `x = append(x[:k], ...)`
-	// self-appends: amortized growth into a buffer that is reused across
-	// steps, the engine's sanctioned pattern.
-	safeAppends := make(map[*ast.CallExpr]bool)
+	// The function's own allocation sites, classified by the summary
+	// scanner (same walk the engine uses for summaries).
+	dfPkg := &dataflow.Pkg{Path: pkg.Path, Files: pkg.Files, Types: pkg.Pkg, Info: pkg.Info}
+	_, allocs := dataflow.ScanNode(pass.simTypes(), dfPkg, nil, fd.Body)
+	for _, a := range allocs {
+		reportHotAlloc(pass, fname, a)
+	}
+
+	// The transitive audit: a call to an unannotated module function whose
+	// reachable body can allocate means either the callee belongs on the
+	// hot path (annotate it //snapvet:hotpath and fix it) or it never runs
+	// per step (annotate it //snapvet:coldpath <reason>).
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		as, ok := n.(*ast.AssignStmt)
-		if !ok || len(as.Lhs) != len(as.Rhs) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
 			return true
 		}
-		for i, rhs := range as.Rhs {
-			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
-			if !ok || builtinName(info, call) != "append" || len(call.Args) == 0 {
-				continue
-			}
-			base := ast.Unparen(call.Args[0])
-			if sl, ok := base.(*ast.SliceExpr); ok {
-				base = sl.X
-			}
-			if exprString(as.Lhs[i]) == exprString(base) {
-				safeAppends[call] = true
-			}
+		callee := dataflow.CalleeOf(pkg.Info, call)
+		if callee == nil || hot[callee] || cold[callee] {
+			return true
 		}
-		return true
-	})
-
-	// addrTaken marks composite literals under a & operator (reported at
-	// the & so struct literals by value stay silent).
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.UnaryExpr:
-			if x.Op == token.AND {
-				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
-					pass.Report(x.Pos(), "hotpath %s takes the address of a composite literal (escapes to the heap)", fname)
-				}
+		fi := eng.Info(callee)
+		if fi == nil {
+			return true // no body in the module: stdlib, covered by boxing checks
+		}
+		var leak *dataflow.Site
+		for _, site := range eng.ReachableAllocs(callee) {
+			if hot[site.Fn] || cold[site.Fn] {
+				continue // checked directly, or sanctioned as off-step
 			}
-		case *ast.CompositeLit:
-			t := info.TypeOf(x)
-			if t == nil {
-				return true
+			if pass.suppressedAt(site.Pos) {
+				continue // vouched for at the site
 			}
-			switch t.Underlying().(type) {
-			case *types.Slice, *types.Map:
-				pass.Report(x.Pos(), "hotpath %s builds a %s literal (allocates); preallocate in the constructor", fname, typeKind(t))
-			}
-		case *ast.FuncLit:
-			pass.Report(x.Pos(), "hotpath %s creates a closure (captured variables may escape); hoist it or annotate //snapvet:ok <reason>", fname)
-		case *ast.CallExpr:
-			checkHotCall(pass, info, fname, x, safeAppends)
+			leak = &site
+			break
+		}
+		if leak != nil {
+			pos := pass.Prog.Fset.Position(leak.Pos)
+			pass.Report(call.Pos(), "hotpath %s calls %s, which can allocate (%s at %s:%d); annotate the callee //snapvet:hotpath and fix it, or //snapvet:coldpath <reason> if it never runs per step",
+				fname, callee.Name(), allocDesc(leak.Alloc), pass.relFile(pos.Filename), pos.Line)
 		}
 		return true
 	})
 }
 
-func checkHotCall(pass *Pass, info *types.Info, fname string, call *ast.CallExpr, safeAppends map[*ast.CallExpr]bool) {
-	switch builtinName(info, call) {
-	case "make":
-		pass.Report(call.Pos(), "hotpath %s calls make (allocates per step); move the allocation to setup", fname)
-		return
-	case "new":
-		pass.Report(call.Pos(), "hotpath %s calls new (allocates per step); move the allocation to setup", fname)
-		return
-	case "append":
-		if !safeAppends[call] {
-			pass.Report(call.Pos(), "hotpath %s append result does not feed back into its buffer; growth allocates — use x = append(x[:0], ...) into a reused buffer", fname)
-		}
-		return
-	case "panic":
-		for _, arg := range call.Args {
-			reportBoxed(pass, info, fname, arg, "panic")
-		}
-		return
-	case "":
-		// Not a builtin: conversion or ordinary call, handled below.
+// reportHotAlloc renders one allocation site in hotalloc's message
+// vocabulary.
+func reportHotAlloc(pass *Pass, fname string, a dataflow.Site) {
+	switch a.Alloc {
+	case dataflow.AllocAddrComposite:
+		pass.Report(a.Pos, "hotpath %s takes the address of a composite literal (escapes to the heap)", fname)
+	case dataflow.AllocLit:
+		pass.Report(a.Pos, "hotpath %s builds a %s literal (allocates); preallocate in the constructor", fname, a.Detail)
+	case dataflow.AllocClosure:
+		pass.Report(a.Pos, "hotpath %s creates a closure (captured variables may escape); hoist it or annotate //snapvet:ok <reason>", fname)
+	case dataflow.AllocMake:
+		pass.Report(a.Pos, "hotpath %s calls make (allocates per step); move the allocation to setup", fname)
+	case dataflow.AllocNew:
+		pass.Report(a.Pos, "hotpath %s calls new (allocates per step); move the allocation to setup", fname)
+	case dataflow.AllocAppend:
+		pass.Report(a.Pos, "hotpath %s append result does not feed back into its buffer; growth allocates — use x = append(x[:0], ...) into a reused buffer", fname)
+	case dataflow.AllocBox:
+		pass.Report(a.Pos, "hotpath %s boxes %s into an %s (allocates); keep hot-path calls monomorphic", fname, a.Detail, a.BoxWhat)
+	case dataflow.AllocConv:
+		pass.Report(a.Pos, "hotpath %s conversion %s copies (allocates)", fname, a.Detail)
+	}
+}
+
+// allocDesc names an allocation kind for the transitive-audit message.
+func allocDesc(k dataflow.AllocKind) string {
+	switch k {
+	case dataflow.AllocMake:
+		return "make"
+	case dataflow.AllocNew:
+		return "new"
+	case dataflow.AllocLit:
+		return "a composite literal"
+	case dataflow.AllocAddrComposite:
+		return "an escaping composite literal"
+	case dataflow.AllocClosure:
+		return "a closure"
+	case dataflow.AllocAppend:
+		return "append growth"
+	case dataflow.AllocBox:
+		return "interface boxing"
+	case dataflow.AllocConv:
+		return "an allocating conversion"
 	default:
-		return
+		return "an allocation"
 	}
-
-	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
-		// Conversion: string <-> []byte/[]rune copies into fresh memory.
-		if len(call.Args) == 1 {
-			from, to := info.TypeOf(call.Args[0]), tv.Type
-			if from != nil && allocatingConversion(from, to) {
-				pass.Report(call.Pos(), "hotpath %s conversion %s -> %s copies (allocates)", fname, from, to)
-			}
-		}
-		return
-	}
-
-	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
-	if !ok {
-		return
-	}
-	np := sig.Params().Len()
-	for i, arg := range call.Args {
-		var param types.Type
-		switch {
-		case sig.Variadic() && i >= np-1:
-			if call.Ellipsis != token.NoPos {
-				continue // slice passed through, no per-element boxing
-			}
-			param = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
-		case i < np:
-			param = sig.Params().At(i).Type()
-		default:
-			continue
-		}
-		if _, isIface := param.Underlying().(*types.Interface); isIface {
-			reportBoxed(pass, info, fname, arg, "interface argument")
-		}
-	}
-}
-
-// reportBoxed flags a non-constant, non-pointer-shaped value converted to
-// an interface: the conversion heap-allocates the boxed copy.
-func reportBoxed(pass *Pass, info *types.Info, fname string, arg ast.Expr, what string) {
-	tv, ok := info.Types[arg]
-	if !ok || tv.Value != nil { // constants box to static data
-		return
-	}
-	t := tv.Type
-	if t == nil || t == types.Typ[types.UntypedNil] {
-		return
-	}
-	if _, isIface := t.Underlying().(*types.Interface); isIface {
-		return
-	}
-	switch t.Underlying().(type) {
-	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
-		return // pointer-shaped: fits the interface word, no allocation
-	}
-	pass.Report(arg.Pos(), "hotpath %s boxes %s into an %s (allocates); keep hot-path calls monomorphic", fname, t, what)
-}
-
-// allocatingConversion reports the conversions that copy into fresh heap
-// memory.
-func allocatingConversion(from, to types.Type) bool {
-	isString := func(t types.Type) bool {
-		b, ok := t.Underlying().(*types.Basic)
-		return ok && b.Info()&types.IsString != 0
-	}
-	isByteish := func(t types.Type) bool {
-		s, ok := t.Underlying().(*types.Slice)
-		if !ok {
-			return false
-		}
-		b, ok := s.Elem().Underlying().(*types.Basic)
-		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
-	}
-	return (isString(from) && isByteish(to)) || (isByteish(from) && isString(to))
-}
-
-// typeKind names a composite literal's shape for messages.
-func typeKind(t types.Type) string {
-	switch t.Underlying().(type) {
-	case *types.Slice:
-		return "slice"
-	case *types.Map:
-		return "map"
-	default:
-		return "composite"
-	}
-}
-
-// exprString renders an expression for textual buffer-identity checks.
-func exprString(e ast.Expr) string {
-	var buf bytes.Buffer
-	printer.Fprint(&buf, token.NewFileSet(), e)
-	return buf.String()
 }

@@ -28,16 +28,22 @@ import (
 
 // Package is one type-checked module package.
 type Package struct {
-	// Path is the import path.
+	// Path is the import path. Test variants ("X [X.test]" in go list
+	// output) carry the base path X.
 	Path string
 	// Dir is the package directory on disk.
 	Dir string
-	// Files are the parsed non-test Go files.
+	// Files are the parsed Go files (test files included for variants).
 	Files []*ast.File
 	// Pkg is the type-checked package.
 	Pkg *types.Package
 	// Info carries the type-checker's expression/object tables.
 	Info *types.Info
+	// Test marks a package type-checked for a test binary: an in-package
+	// test variant or an external _test package. Variants re-check their
+	// base files into a fresh type universe, so analyzers must match model
+	// types by name, not object identity (see simTypes).
+	Test bool
 }
 
 // Program is a loaded module: every module package, type-checked from
@@ -56,6 +62,12 @@ type Program struct {
 	byPath map[string]*Package
 	export map[string]string // non-module import path -> export data file
 	imp    types.Importer
+
+	// redirect, when non-nil, resolves module import paths before byPath:
+	// while checking the packages of one test binary it maps each rebuilt
+	// dependency to that binary's variant, so `import "x"` inside the
+	// test universe sees the variant of x, not the base package.
+	redirect map[string]*Package
 }
 
 // listPackage is the subset of `go list -json` output the loader reads.
@@ -65,6 +77,7 @@ type listPackage struct {
 	GoFiles    []string
 	Export     string
 	Standard   bool
+	ForTest    string
 	Module     *struct{ Path, Dir string }
 	Error      *struct{ Err string }
 }
@@ -73,10 +86,29 @@ type listPackage struct {
 // go tool, resolved from dir (any directory inside the module), and
 // type-checks every module package from source.
 func Load(dir string, patterns ...string) (*Program, error) {
+	return load(dir, false, patterns)
+}
+
+// LoadTests is Load plus every test variant: for each test binary `go
+// list -deps -test` rebuilds the package under test (base files + in-
+// package test files) and every module dependency that imports it, and
+// adds the external _test package. Each binary's rebuilt packages form
+// one coherent type universe; imports inside it resolve to the variants,
+// so the analyzers see test code exactly as the compiler does.
+func LoadTests(dir string, patterns ...string) (*Program, error) {
+	return load(dir, true, patterns)
+}
+
+func load(dir string, tests bool, patterns []string) (*Program, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,GoFiles,Export,Standard,Module,Error"}, patterns...)
+	args := []string{"list", "-deps", "-export"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, "-json=ImportPath,Dir,GoFiles,Export,Standard,ForTest,Module,Error")
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
@@ -109,6 +141,9 @@ func Load(dir string, patterns ...string) (*Program, error) {
 			prog.export[lp.ImportPath] = lp.Export
 			continue
 		}
+		if strings.HasSuffix(lp.ImportPath, ".test") && lp.ForTest == "" {
+			continue // the synthesized test main: generated, not ours
+		}
 		if prog.ModulePath == "" {
 			prog.ModulePath = lp.Module.Path
 			prog.ModuleDir = lp.Module.Dir
@@ -118,16 +153,43 @@ func Load(dir string, patterns ...string) (*Program, error) {
 
 	// go list -deps emits dependencies before dependents, so checking in
 	// output order guarantees module imports resolve to already-checked
-	// packages (one *types.Package identity per path).
+	// packages (one *types.Package identity per path). Test variants print
+	// as "path [binary.test]": each binary's variants share one universe,
+	// accumulated here and consulted by the importer before the base
+	// packages while that universe is being checked.
+	universes := make(map[string]map[string]*Package)
 	for _, lp := range modPkgs {
-		pkg, err := prog.check(lp.ImportPath, lp.Dir, lp.GoFiles)
+		path, universe := splitVariant(lp.ImportPath)
+		prog.redirect = nil
+		if universe != "" {
+			if universes[universe] == nil {
+				universes[universe] = make(map[string]*Package)
+			}
+			prog.redirect = universes[universe]
+		}
+		pkg, err := prog.check(path, lp.Dir, lp.GoFiles)
+		prog.redirect = nil
 		if err != nil {
 			return nil, err
 		}
+		pkg.Test = universe != ""
 		prog.Packages = append(prog.Packages, pkg)
-		prog.byPath[lp.ImportPath] = pkg
+		if universe == "" {
+			prog.byPath[path] = pkg
+		} else {
+			universes[universe][path] = pkg
+		}
 	}
 	return prog, nil
+}
+
+// splitVariant splits go list's "path [binary.test]" import-path form.
+func splitVariant(importPath string) (path, universe string) {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 &&
+		strings.HasPrefix(importPath[i+1:], "[") && strings.HasSuffix(importPath, "]") {
+		return importPath[:i], importPath[i+2 : len(importPath)-1]
+	}
+	return importPath, ""
 }
 
 // Lookup returns the loaded module package with the given import path, or
@@ -215,6 +277,9 @@ func newProgramImporter(prog *Program) *programImporter {
 func (pi *programImporter) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
+	}
+	if p := pi.prog.redirect[path]; p != nil {
+		return p.Pkg, nil
 	}
 	if p := pi.prog.byPath[path]; p != nil {
 		return p.Pkg, nil

@@ -2,77 +2,281 @@ package analysis
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
+	"strings"
+
+	"snappif/internal/analysis/dataflow"
 )
 
 // simTypes locates the types of the paper's computational model in the
-// loaded program: the sim.Protocol and sim.State interfaces and the
-// sim.Configuration struct. All four analyzers key off them.
+// loaded program. Test variants re-type-check the same source into fresh
+// universes, so each model type may have several incarnations; every
+// lookup here is a slice and every predicate answers "in any universe".
 type simTypes struct {
-	protocol *types.Interface
-	state    *types.Interface
-	config   *types.Named
+	protocols []*types.Interface // sim.Protocol per universe
+	states    []*types.Interface // sim.State per universe
+	locals    []*types.Interface // sim.LocalProtocol per universe
+	radii     []*types.Interface // sim.RadiusProtocol per universe
+	configs   []*types.Named     // sim.Configuration per universe
+	flats     []*types.Named     // flat.Config per universe
 }
 
 // lookupSimTypes returns nil when the module has no internal/sim package
 // (then the model-aware analyzers have nothing to check).
 func lookupSimTypes(prog *Program) *simTypes {
-	pkg := prog.Lookup(prog.ModulePath + "/internal/sim")
-	if pkg == nil {
-		return nil
-	}
 	st := &simTypes{}
-	if o := pkg.Pkg.Scope().Lookup("Protocol"); o != nil {
-		if iface, ok := o.Type().Underlying().(*types.Interface); ok {
-			st.protocol = iface
+	for _, pkg := range prog.Packages {
+		switch prog.RelPath(pkg.Path) {
+		case "internal/sim":
+			scope := pkg.Pkg.Scope()
+			if o := scope.Lookup("Protocol"); o != nil {
+				if iface, ok := o.Type().Underlying().(*types.Interface); ok {
+					st.protocols = append(st.protocols, iface)
+				}
+			}
+			if o := scope.Lookup("State"); o != nil {
+				if iface, ok := o.Type().Underlying().(*types.Interface); ok {
+					st.states = append(st.states, iface)
+				}
+			}
+			if o := scope.Lookup("LocalProtocol"); o != nil {
+				if iface, ok := o.Type().Underlying().(*types.Interface); ok {
+					st.locals = append(st.locals, iface)
+				}
+			}
+			if o := scope.Lookup("RadiusProtocol"); o != nil {
+				if iface, ok := o.Type().Underlying().(*types.Interface); ok {
+					st.radii = append(st.radii, iface)
+				}
+			}
+			if o := scope.Lookup("Configuration"); o != nil {
+				if named, ok := o.Type().(*types.Named); ok {
+					st.configs = append(st.configs, named)
+				}
+			}
+		case "internal/flat":
+			if o := pkg.Pkg.Scope().Lookup("Config"); o != nil {
+				if named, ok := o.Type().(*types.Named); ok {
+					st.flats = append(st.flats, named)
+				}
+			}
 		}
 	}
-	if o := pkg.Pkg.Scope().Lookup("State"); o != nil {
-		if iface, ok := o.Type().Underlying().(*types.Interface); ok {
-			st.state = iface
-		}
-	}
-	if o := pkg.Pkg.Scope().Lookup("Configuration"); o != nil {
-		if named, ok := o.Type().(*types.Named); ok {
-			st.config = named
-		}
-	}
-	if st.protocol == nil || st.state == nil || st.config == nil {
+	if len(st.protocols) == 0 || len(st.states) == 0 || len(st.configs) == 0 {
 		return nil
 	}
 	return st
 }
 
-// implementsProtocol reports whether T (or *T) satisfies sim.Protocol.
+// implementsProtocol reports whether T (or *T) satisfies sim.Protocol in
+// T's own universe.
 func (st *simTypes) implementsProtocol(t types.Type) bool {
-	return types.Implements(t, st.protocol) || types.Implements(types.NewPointer(t), st.protocol)
-}
-
-// isConfiguration reports whether t is sim.Configuration or a pointer to
-// it.
-func (st *simTypes) isConfiguration(t types.Type) bool {
-	if ptr, ok := t.Underlying().(*types.Pointer); ok {
-		t = ptr.Elem()
+	if st == nil {
+		return false
 	}
-	named, ok := t.(*types.Named)
-	return ok && named.Origin() == st.config.Origin()
-}
-
-// isStateBox reports whether t is a shared processor-state box: a pointer
-// whose type implements sim.State, or the sim.State interface itself.
-func (st *simTypes) isStateBox(t types.Type) bool {
-	if _, ok := t.Underlying().(*types.Pointer); ok {
-		return types.Implements(t, st.state)
-	}
-	if iface, ok := t.Underlying().(*types.Interface); ok {
-		return types.Implements(iface, st.state) || types.Identical(iface, st.state)
+	for _, p := range st.protocols {
+		if types.Implements(t, p) || types.Implements(types.NewPointer(t), p) {
+			return true
+		}
 	}
 	return false
 }
 
+// implementsLocal reports whether T (or *T) claims sim.LocalProtocol —
+// the radius contract's entry condition.
+func (st *simTypes) implementsLocal(t types.Type) bool {
+	if st == nil {
+		return false
+	}
+	for _, p := range st.locals {
+		if types.Implements(t, p) || types.Implements(types.NewPointer(t), p) {
+			return true
+		}
+	}
+	return false
+}
+
+// implementsRadius reports whether T (or *T) additionally declares a
+// DirtyRadius via sim.RadiusProtocol.
+func (st *simTypes) implementsRadius(t types.Type) bool {
+	if st == nil {
+		return false
+	}
+	for _, p := range st.radii {
+		if types.Implements(t, p) || types.Implements(types.NewPointer(t), p) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsConfig reports whether t is a global-configuration type —
+// sim.Configuration or the flat engine's Config — possibly behind a
+// pointer. Implements dataflow.Model.
+func (st *simTypes) IsConfig(t types.Type) bool {
+	if st == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	for _, c := range st.configs {
+		if named.Origin() == c.Origin() {
+			return true
+		}
+	}
+	for _, c := range st.flats {
+		if named.Origin() == c.Origin() {
+			return true
+		}
+	}
+	return false
+}
+
+// IsStateBox reports whether t is a shared processor-state box: a pointer
+// whose type implements sim.State, or the sim.State interface itself.
+// Implements dataflow.Model.
+func (st *simTypes) IsStateBox(t types.Type) bool {
+	if st == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Pointer); ok {
+		for _, s := range st.states {
+			if types.Implements(t, s) {
+				return true
+			}
+		}
+		return false
+	}
+	if iface, ok := t.Underlying().(*types.Interface); ok {
+		for _, s := range st.states {
+			if types.Implements(iface, s) || types.Identical(iface, s) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// flatStateColumns are flat.Config's per-processor register columns, the
+// SoA mirror of core.State (flat.go). Indexing one reads processor state;
+// "par" yields the indexed processor's parent pointer. The CSR topology
+// fields (off, adj) and the graph handle are deliberately absent: reading
+// topology is not reading state.
+var flatStateColumns = map[string]bool{
+	"pif": true, "par": true, "level": true, "count": true,
+	"fok": true, "msg": true, "val": true, "agg": true,
+}
+
+// stateColumn reports whether sel selects a per-processor state column
+// from a configuration value: sim's States slice or a flat register
+// column. parent marks the column holding neighbor pointers.
+func (st *simTypes) stateColumn(info *types.Info, sel *ast.SelectorExpr) (parent, ok bool) {
+	if st == nil {
+		return false, false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil || !st.IsConfig(t) {
+		return false, false
+	}
+	name := sel.Sel.Name
+	if name == "States" || flatStateColumns[name] {
+		return name == "par", true
+	}
+	return false, false
+}
+
+// StateIndex implements dataflow.Model: c.States[i] and flat column
+// indexing c.pif[i] are processor-state reads keyed by i.
+func (st *simTypes) StateIndex(info *types.Info, e ast.Expr) (idx ast.Expr, parent bool, ok bool) {
+	if st == nil {
+		return nil, false, false
+	}
+	ix, isIx := ast.Unparen(e).(*ast.IndexExpr)
+	if !isIx {
+		return nil, false, false
+	}
+	sel, isSel := ast.Unparen(ix.X).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false, false
+	}
+	parent, ok = st.stateColumn(info, sel)
+	if !ok {
+		return nil, false, false
+	}
+	return ix.Index, parent, true
+}
+
+// IsNeighbors implements dataflow.Model: a callee returning the neighbor
+// list of its single processor-index argument. Matched structurally
+// (name + signature) so graph.Graph.Neighbors and flat.Config.neighbors
+// qualify in every universe.
+func (st *simTypes) IsNeighbors(callee *types.Func) bool {
+	if st == nil {
+		return false
+	}
+	if callee == nil {
+		return false
+	}
+	switch callee.Name() {
+	case "Neighbors", "neighbors":
+	default:
+		return false
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	if !isIntegerType(sig.Params().At(0).Type()) {
+		return false
+	}
+	sl, ok := sig.Results().At(0).Type().Underlying().(*types.Slice)
+	return ok && isIntegerType(sl.Elem())
+}
+
+// IsParentField implements dataflow.Model: the Par field of a state value
+// holds the processor's parent pointer — one neighbor hop.
+func (st *simTypes) IsParentField(info *types.Info, sel *ast.SelectorExpr) bool {
+	if st == nil {
+		return false
+	}
+	if sel.Sel.Name != "Par" {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "State"
+}
+
+// IsStateColumn implements dataflow.Model: an entire per-processor column
+// (ranging over it reads state at every processor).
+func (st *simTypes) IsStateColumn(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	_, isCol := st.stateColumn(info, sel)
+	return isCol
+}
+
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
 // protocolImplementers yields every named type in the module that
-// satisfies sim.Protocol, with its defining package.
+// satisfies sim.Protocol, with its defining package. Test variants
+// re-declare base types; the caller's findings deduplicate by position.
 func protocolImplementers(prog *Program, st *simTypes) []*types.Named {
 	var out []*types.Named
 	for _, pkg := range prog.Packages {
@@ -104,106 +308,9 @@ func methodOf(t *types.Named, name string) *types.Func {
 	return fn
 }
 
-// writeKind classifies one assignment target.
-type writeKind int
-
-const (
-	writeOther    writeKind = iota // plain local write, not model-relevant
-	writeConfig                    // mutates a sim.Configuration
-	writeStateBox                  // mutates a shared processor-state box
-	writeMap                       // stores into a map
-)
-
-// classifyWrite walks the assignment target's access path outward-in and
-// reports the most model-relevant memory it writes through, together with
-// the path's root identifier (nil when the root is not a plain
-// identifier). Rebinding a pointer variable (`p = q`) is not a write
-// through it: only Selector/Index/Star steps dereference.
-func classifyWrite(info *types.Info, st *simTypes, lhs ast.Expr) (writeKind, *ast.Ident) {
-	kind := writeOther
-	note := func(k writeKind) {
-		// Config and state-box writes outrank map writes: the closer to
-		// the shared-memory model, the more specific the message.
-		if k == writeConfig || (k == writeStateBox && kind != writeConfig) || kind == writeOther {
-			kind = k
-		}
-	}
-	classifyBase := func(base ast.Expr, isIndex bool) {
-		t := info.TypeOf(base)
-		if t == nil {
-			return
-		}
-		switch {
-		case st != nil && st.isConfiguration(t):
-			note(writeConfig)
-		case st != nil && st.isStateBox(t):
-			note(writeStateBox)
-		case isIndex:
-			if _, ok := t.Underlying().(*types.Map); ok {
-				note(writeMap)
-			}
-		}
-	}
-	e := lhs
-	for {
-		switch x := e.(type) {
-		case *ast.ParenExpr:
-			e = x.X
-		case *ast.SelectorExpr:
-			classifyBase(x.X, false)
-			e = x.X
-		case *ast.IndexExpr:
-			classifyBase(x.X, true)
-			e = x.X
-		case *ast.StarExpr:
-			classifyBase(x.X, false)
-			e = x.X
-		case *ast.TypeAssertExpr:
-			e = x.X
-		default:
-			root, _ := e.(*ast.Ident)
-			return kind, root
-		}
-	}
-}
-
-// writes yields every (target, pos) a statement mutates: assignment
-// left-hand sides (definitions excluded — they bind fresh variables) and
-// increment/decrement targets.
-func writes(n ast.Node, fn func(lhs ast.Expr, pos token.Pos)) {
-	switch s := n.(type) {
-	case *ast.AssignStmt:
-		if s.Tok == token.DEFINE {
-			return
-		}
-		for _, lhs := range s.Lhs {
-			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
-				continue
-			}
-			fn(lhs, lhs.Pos())
-		}
-	case *ast.IncDecStmt:
-		fn(s.X, s.X.Pos())
-	}
-}
-
-// builtinName returns the name of the builtin a call invokes, or "".
-func builtinName(info *types.Info, call *ast.CallExpr) string {
-	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
-	if !ok {
-		return ""
-	}
-	if b, ok := info.Uses[id].(*types.Builtin); ok {
-		return b.Name()
-	}
-	return ""
-}
-
-// calleePackagePath returns the import path of the called function's
-// package ("" for builtins, locals without packages, and dynamic calls).
-func calleePackagePath(fn *types.Func) string {
-	if fn == nil || fn.Pkg() == nil {
-		return ""
-	}
-	return fn.Pkg().Path()
+// moduleFunc reports whether fn is declared in this module (test variants
+// included): the boundary for "we can see the body" decisions.
+func moduleFunc(prog *Program, fn *types.Func) bool {
+	path := dataflow.PkgPath(fn)
+	return path == prog.ModulePath || strings.HasPrefix(path, prog.ModulePath+"/")
 }

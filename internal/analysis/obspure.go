@@ -1,0 +1,424 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"snappif/internal/analysis/dataflow"
+)
+
+// obspure proves the observability contract the engines rely on: a
+// disabled observer is a nil pointer, and every exported pointer-receiver
+// method of a `//snapvet:nilsafe` type (obs.Tracer, telemetry.Telemetry)
+// must be a statically verified no-op on that nil receiver — no receiver
+// dereference, no side effects, no heap allocation. The checker walks each
+// method body along the nil path only: conditions are evaluated under
+// "receiver == nil" with short-circuit semantics, so code behind the
+// `if t == nil { return }` guard (or the false arm of `t != nil && …`)
+// is out of scope. panic calls are allowed — crashing on misuse is not an
+// observer effect. Approximations: a nested short-circuit inside a checked
+// subexpression is effect-scanned whole, and stdlib callees without an
+// effect classification are assumed pure.
+var obspure = &Analyzer{
+	Name: "obspure",
+	Doc:  "nil-receiver paths of //snapvet:nilsafe observer types are alloc- and effect-free",
+	Run:  runObspure,
+}
+
+func runObspure(pass *Pass) {
+	eng := pass.engine()
+	checked := make(map[*types.Func]bool)
+	for ts, ok := range pass.ann.nilsafe {
+		if !ok {
+			continue
+		}
+		named := resolveTypeSpec(pass, ts)
+		if named == nil {
+			continue
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			fn := named.Method(i)
+			if !fn.Exported() || !pointerReceiver(fn) {
+				continue
+			}
+			checkNilPath(pass, eng, named, fn, checked)
+		}
+	}
+}
+
+// resolveTypeSpec maps an annotated type declaration to its named type.
+func resolveTypeSpec(pass *Pass, ts *ast.TypeSpec) *types.Named {
+	for _, pkg := range pass.Prog.Packages {
+		if obj := pkg.Info.Defs[ts.Name]; obj != nil {
+			named, _ := obj.Type().(*types.Named)
+			return named
+		}
+	}
+	return nil
+}
+
+func pointerReceiver(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, isPtr := sig.Recv().Type().(*types.Pointer)
+	return isPtr
+}
+
+// checkNilPath walks fn's body under "receiver == nil". Memoized so
+// same-type helper methods called on the receiver are checked once and
+// mutual recursion terminates.
+func checkNilPath(pass *Pass, eng *dataflow.Engine, named *types.Named, fn *types.Func, checked map[*types.Func]bool) {
+	if checked[fn] {
+		return
+	}
+	checked[fn] = true
+	fi := eng.Info(fn)
+	if fi == nil || fi.Decl.Body == nil {
+		return
+	}
+	w := &nilWalker{
+		pass: pass, eng: eng, fi: fi, named: named,
+		fname: named.Obj().Name() + "." + fn.Name(), checked: checked,
+	}
+	if recv := fi.Decl.Recv; recv != nil && len(recv.List) == 1 && len(recv.List[0].Names) == 1 {
+		w.recv = fi.Pkg.Info.Defs[recv.List[0].Names[0]]
+	}
+	w.stmts(fi.Decl.Body.List)
+}
+
+// condVerdict is a condition's truth value under "receiver == nil".
+type condVerdict int
+
+const (
+	condUnknown condVerdict = iota
+	condTrue
+	condFalse
+)
+
+type nilWalker struct {
+	pass    *Pass
+	eng     *dataflow.Engine
+	fi      *dataflow.FuncInfo
+	named   *types.Named
+	fname   string
+	recv    types.Object // nil for unnamed receivers
+	checked map[*types.Func]bool
+}
+
+func (w *nilWalker) violate(pos token.Pos, format string, args ...any) {
+	w.pass.Report(pos, format, args...)
+}
+
+// stmts walks a statement list on the nil path; true means execution
+// provably terminates (returns or panics) before the list's end.
+func (w *nilWalker) stmts(list []ast.Stmt) bool {
+	for _, s := range list {
+		if w.stmt(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *nilWalker) stmt(s ast.Stmt) bool {
+	switch x := s.(type) {
+	case *ast.IfStmt:
+		if x.Init != nil {
+			w.stmt(x.Init)
+		}
+		switch w.cond(x.Cond) {
+		case condTrue:
+			// The guard fires on nil: only its body runs; statements after
+			// the if are reachable only if the body falls through.
+			return w.stmts(x.Body.List)
+		case condFalse:
+			if x.Else != nil {
+				return w.stmt(x.Else)
+			}
+			return false
+		default:
+			w.stmts(x.Body.List)
+			if x.Else != nil {
+				w.stmt(x.Else)
+			}
+			return false
+		}
+	case *ast.BlockStmt:
+		return w.stmts(x.List)
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			w.evalExpr(r)
+		}
+		return true
+	case *ast.ExprStmt:
+		w.evalExpr(x.X)
+		if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+			if dataflow.BuiltinName(w.fi.Pkg.Info, call) == "panic" {
+				return true
+			}
+		}
+		return false
+	case nil:
+		return false
+	default:
+		// Assignments, loops, switches, defers: scanned whole (no
+		// short-circuit reasoning below the statement level).
+		w.scan(s)
+		return false
+	}
+}
+
+// cond evaluates a condition under "receiver == nil", checking exactly the
+// operands that would be evaluated at runtime.
+func (w *nilWalker) cond(e ast.Expr) condVerdict {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LOR:
+			switch w.cond(x.X) {
+			case condTrue:
+				return condTrue // right operand never evaluated
+			case condFalse:
+				return w.cond(x.Y)
+			default:
+				w.cond(x.Y)
+				return condUnknown
+			}
+		case token.LAND:
+			switch w.cond(x.X) {
+			case condFalse:
+				return condFalse // right operand never evaluated
+			case condTrue:
+				return w.cond(x.Y)
+			default:
+				w.cond(x.Y)
+				return condUnknown
+			}
+		case token.EQL:
+			if w.isRecvNilCompare(x) {
+				return condTrue
+			}
+		case token.NEQ:
+			if w.isRecvNilCompare(x) {
+				return condFalse
+			}
+		}
+		w.evalExpr(x.X)
+		w.evalExpr(x.Y)
+		return condUnknown
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			switch w.cond(x.X) {
+			case condTrue:
+				return condFalse
+			case condFalse:
+				return condTrue
+			}
+			return condUnknown
+		}
+	}
+	w.evalExpr(e)
+	return condUnknown
+}
+
+// isRecvNilCompare matches `recv == nil` / `nil != recv` in either order.
+func (w *nilWalker) isRecvNilCompare(b *ast.BinaryExpr) bool {
+	if w.recv == nil {
+		return false
+	}
+	isNil := func(e ast.Expr) bool {
+		tv, ok := w.fi.Pkg.Info.Types[e]
+		return ok && tv.IsNil()
+	}
+	return (w.isRecvIdent(b.X) && isNil(b.Y)) || (w.isRecvIdent(b.Y) && isNil(b.X))
+}
+
+func (w *nilWalker) isRecvIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && w.recv != nil && lookupObj(w.fi.Pkg.Info, id) == w.recv
+}
+
+// evalExpr checks one evaluated expression: short-circuit operators route
+// back through cond so skipped operands stay unchecked; everything else is
+// scanned whole.
+func (w *nilWalker) evalExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		if x.Op == token.LAND || x.Op == token.LOR {
+			w.cond(e)
+			return
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			w.cond(e)
+			return
+		}
+	}
+	w.scan(e)
+}
+
+// scan reports every nil-path violation in a subtree: effects and
+// allocations (the summary scanner's classification), receiver
+// dereferences, and calls whose transitive purity the engine cannot
+// vouch for.
+func (w *nilWalker) scan(n ast.Node) {
+	effects, allocs := dataflow.ScanNode(w.pass.simTypes(), w.fi.Pkg, nil, n)
+	for _, s := range effects {
+		w.violate(s.Pos, "the nil-receiver path of %s %s; a disabled observer must be a no-op", w.fname, effDesc(s))
+	}
+	for _, a := range allocs {
+		w.violate(a.Pos, "the nil-receiver path of %s allocates (%s); a disabled observer costs one nil check, not a heap allocation", w.fname, allocDesc(a.Alloc))
+	}
+	ast.Inspect(n, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.CallExpr:
+			return w.callCheck(x)
+		case *ast.SelectorExpr:
+			if w.isRecvIdent(x.X) {
+				w.violate(x.Pos(), "the nil-receiver path of %s dereferences the receiver; a disabled (nil) observer must be a no-op", w.fname)
+				return false
+			}
+		case *ast.StarExpr:
+			if w.isRecvIdent(x.X) {
+				w.violate(x.Pos(), "the nil-receiver path of %s dereferences the receiver; a disabled (nil) observer must be a no-op", w.fname)
+				return false
+			}
+		case *ast.IndexExpr:
+			if w.isRecvIdent(x.X) {
+				w.violate(x.Pos(), "the nil-receiver path of %s indexes the nil receiver; a disabled (nil) observer must be a no-op", w.fname)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// callCheck handles one call on the nil path; the return value feeds
+// ast.Inspect (false = subtree handled here).
+func (w *nilWalker) callCheck(call *ast.CallExpr) bool {
+	info := w.fi.Pkg.Info
+	switch dataflow.BuiltinName(info, call) {
+	case "":
+		// Conversion or ordinary call.
+	case "panic":
+		return false // crashing on misuse is allowed; its argument never escapes a live run
+	default:
+		return true // len/cap/…: arguments checked by the normal descent
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return true // conversion
+	}
+
+	// A method invoked on the receiver itself: nil flows in, so the callee
+	// must be nil-safe too — recurse instead of flagging the selector.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && w.isRecvIdent(sel.X) {
+		callee := dataflow.CalleeOf(info, call)
+		if callee != nil && sameReceiverType(callee, w.named) {
+			checkNilPath(w.pass, w.eng, w.named, callee, w.checked)
+			for _, arg := range call.Args {
+				w.evalExpr(arg)
+			}
+			return false
+		}
+		w.violate(call.Pos(), "the nil-receiver path of %s dereferences the receiver; a disabled (nil) observer must be a no-op", w.fname)
+		return false
+	}
+
+	callee := dataflow.CalleeOf(info, call)
+	if callee == nil {
+		w.violate(call.Pos(), "the nil-receiver path of %s calls through a function value; a disabled observer must be a no-op", w.fname)
+		return true
+	}
+	if w.isRecvArg(call) {
+		w.violate(call.Pos(), "the nil-receiver path of %s passes the nil receiver to %s, which may dereference it", w.fname, callee.Name())
+	}
+	if fi := w.eng.Info(callee); fi != nil && !w.eng.Clean(callee) {
+		// Distinguish the two ways a callee dirties the nil path: real
+		// side effects (or calls the engine cannot see through) versus a
+		// mere allocation — the fix differs.
+		effectful := false
+		for _, rfi := range w.eng.Reachable([]*types.Func{callee}) {
+			sum := w.eng.Summary(rfi.Fn)
+			if len(sum.Effects) > 0 || len(sum.Dynamic) > 0 {
+				effectful = true
+				break
+			}
+		}
+		if effectful {
+			w.violate(call.Pos(), "the nil-receiver path of %s calls %s, which is not provably side-effect-free", w.fname, callee.Name())
+		} else {
+			w.violate(call.Pos(), "the nil-receiver path of %s calls %s, which can allocate", w.fname, callee.Name())
+		}
+	}
+	return true
+}
+
+// isRecvArg reports whether the bare receiver is passed as an argument.
+func (w *nilWalker) isRecvArg(call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if w.isRecvIdent(arg) {
+			return true
+		}
+	}
+	return false
+}
+
+// sameReceiverType reports whether fn is a method of named (up to type
+// universe: same origin object position).
+func sameReceiverType(fn *types.Func, named *types.Named) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pos() == named.Obj().Pos()
+}
+
+// effDesc names an effect kind for obspure's message.
+func effDesc(s dataflow.Site) string {
+	switch s.Kind {
+	case dataflow.EffSend:
+		return "sends on a channel"
+	case dataflow.EffClose:
+		return "closes a channel"
+	case dataflow.EffDelete:
+		return "deletes from a map"
+	case dataflow.EffPrint:
+		return "calls " + s.Detail
+	case dataflow.EffIO:
+		return "performs I/O (" + calleeDesc(s) + ")"
+	case dataflow.EffClock:
+		return "reads the clock (" + calleeDesc(s) + ")"
+	case dataflow.EffRand:
+		return "draws global randomness (" + calleeDesc(s) + ")"
+	case dataflow.EffWriteConfig:
+		return "writes the configuration"
+	case dataflow.EffWriteBox:
+		return "writes a processor-state box"
+	case dataflow.EffWriteMap:
+		return "stores into a map"
+	case dataflow.EffWriteGlobal:
+		return "writes package-level state"
+	case dataflow.EffDynamic:
+		return "calls through a function value"
+	default:
+		return "has side effects"
+	}
+}
+
+func calleeDesc(s dataflow.Site) string {
+	if s.Callee == nil {
+		return "?"
+	}
+	return dataflow.PkgPath(s.Callee) + "." + s.Callee.Name()
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"snappif/internal/analysis/dataflow"
+)
+
+// radiusbound verifies the sim.RadiusProtocol contract statically: for
+// every sim.LocalProtocol implementer, the hop distance its Enabled method
+// actually reads (derived by the dataflow engine's neighbor-hop walker)
+// must not exceed the radius it declares — DirtyRadius() for a
+// RadiusProtocol, 1 otherwise. Understating the radius makes the runner's
+// incremental enabled cache silently stale (the exact failure
+// TestDirtyRadiusStaleWithoutHint demonstrates), so it is an error;
+// overstating only wastes guard re-evaluations, so it is a warning. Reads
+// whose hop distance the walker cannot bound (indexing state by a
+// protocol-owned table, ranging over a whole column) are errors at the
+// read site unless vouched for with //snapvet:ok.
+var radiusbound = &Analyzer{
+	Name: "radiusbound",
+	Doc:  "Enabled of a LocalProtocol reads at most DirtyRadius (default 1) hops",
+	Run:  runRadiusbound,
+}
+
+func runRadiusbound(pass *Pass) {
+	st := pass.simTypes()
+	if st == nil {
+		return
+	}
+	eng := pass.engine()
+	for _, named := range protocolImplementers(pass.Prog, st) {
+		if !st.implementsLocal(named) {
+			continue
+		}
+		fn := methodOf(named, "Enabled")
+		if fn == nil || eng.Info(fn) == nil {
+			continue // no body in the module; nothing to derive
+		}
+		tname := named.Obj().Name()
+		declPos := named.Obj().Pos()
+		if pass.suppressedAt(declPos) {
+			continue // the whole contract is vouched for at the type
+		}
+
+		hops := eng.HopsOf(fn)
+		bounded := true
+		for _, sitePos := range hops.UnboundedSites {
+			if pass.suppressedAt(sitePos) {
+				continue // vouched: the index is bounded for a reason the walker cannot see
+			}
+			bounded = false
+			pass.Report(sitePos, "Enabled of %s reads processor state at a statically unbounded hop distance; the radius contract cannot be verified — bound the read or annotate //snapvet:ok <reason>", tname)
+		}
+
+		derived := 0
+		for _, h := range hops.ByParam {
+			if h > derived {
+				derived = h
+			}
+		}
+
+		declared := 1
+		if st.implementsRadius(named) {
+			dr := methodOf(named, "DirtyRadius")
+			v, ok := constRadius(eng, dr)
+			if !ok {
+				pass.Report(declPos, "DirtyRadius of %s is not a compile-time constant; radiusbound cannot check the radius contract — return a constant or annotate //snapvet:ok <reason>", tname)
+				continue
+			}
+			declared = v
+		}
+
+		if !bounded {
+			continue // the site errors above already describe the failure
+		}
+		if derived >= dataflow.Unbounded {
+			pass.Report(declPos, "Enabled of %s reads state beyond %d hops (past the analyzable bound); declare and honor a finite DirtyRadius or annotate //snapvet:ok <reason>", tname, dataflow.MaxHop)
+			continue
+		}
+		if derived > declared {
+			pass.Report(declPos, "%s declares DirtyRadius %d but Enabled reads state %d hops away; an understated radius leaves the incremental enabled cache silently stale", tname, declared, derived)
+		} else if derived < declared && derived > 0 {
+			pass.Warn(declPos, "%s declares DirtyRadius %d but Enabled reads at most %d hops; the enabled cache re-evaluates a wider neighborhood than the guards use", tname, declared, derived)
+		}
+	}
+}
+
+// constRadius extracts the constant return value of a DirtyRadius body:
+// a single `return <const>` statement. Anything else is not statically
+// checkable and the caller reports it.
+func constRadius(eng *dataflow.Engine, fn *types.Func) (int, bool) {
+	if fn == nil {
+		return 0, false
+	}
+	fi := eng.Info(fn)
+	if fi == nil || fi.Decl.Body == nil || len(fi.Decl.Body.List) != 1 {
+		return 0, false
+	}
+	ret, ok := fi.Decl.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return 0, false
+	}
+	tv, ok := fi.Pkg.Info.Types[ret.Results[0]]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	if !exact {
+		return 0, false
+	}
+	return int(v), true
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+
+	"snappif/internal/analysis/dataflow"
+)
+
+// sharddisjoint proves the flat engine's sweep claim (sweep.go): workers
+// only write slots owned by their shard's items, so the parallel sweep is
+// race-free by structure rather than by locking. Every goroutine launched
+// with a static callee in internal/flat (or a package opting in with a
+// `//snapvet:shardcheck` file directive) is treated as a sweep worker and
+// its reachable code checked against the engine's shard-derivation
+// discipline: shared memory may be written only through indices derived
+// from the worker's arguments or its job-channel receives, or into
+// per-worker locals. sync and sync/atomic calls are sanctioned — they
+// order their own memory.
+var sharddisjoint = &Analyzer{
+	Name: "sharddisjoint",
+	Doc:  "sweep workers write only shard-derived slots or per-worker scratch",
+	Run:  runSharddisjoint,
+}
+
+func runSharddisjoint(pass *Pass) {
+	eng := pass.engine()
+	for _, pkg := range pass.Prog.Packages {
+		rel := pass.Prog.RelPath(pkg.Path)
+		if rel != "internal/flat" && !strings.HasPrefix(rel, "internal/flat/") && !pass.ann.shardcheck[pkg.Path] {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				callee := dataflow.CalleeOf(pkg.Info, g.Call)
+				if callee == nil {
+					return true // a func-literal goroutine is not the sweep pattern
+				}
+				for _, v := range eng.ShardCheck(callee) {
+					reportShard(pass, v)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// reportShard renders one escape from the disjoint-slot discipline.
+func reportShard(pass *Pass, v dataflow.ShardViolation) {
+	fname := v.Fn.Name()
+	switch v.Kind {
+	case dataflow.ShardFieldWrite:
+		pass.Report(v.Pos, "sweep-worker-reachable %s writes a shared field; workers may write only their shard's disjoint slots — restructure or annotate //snapvet:ok <reason>", fname)
+	case dataflow.ShardIndexWrite:
+		pass.Report(v.Pos, "sweep-worker-reachable %s writes an element at a non-shard-derived index; disjointness across workers cannot be proven", fname)
+	case dataflow.ShardMapWrite:
+		pass.Report(v.Pos, "sweep-worker-reachable %s writes a map; map writes race across workers", fname)
+	case dataflow.ShardGlobalWrite:
+		pass.Report(v.Pos, "sweep-worker-reachable %s writes package-level state, which every worker shares", fname)
+	case dataflow.ShardPtrWrite:
+		pass.Report(v.Pos, "sweep-worker-reachable %s stores through a pointer not proven to target its own shard's slot", fname)
+	case dataflow.ShardDynamicCall:
+		pass.Report(v.Pos, "sweep-worker-reachable %s calls through a function value; shard-disjointness cannot be verified past a dynamic call — devirtualize or annotate //snapvet:ok <reason>", fname)
+	case dataflow.ShardSend:
+		pass.Report(v.Pos, "sweep-worker-reachable %s sends on a channel; workers hand results back only through their disjoint slots and the WaitGroup", fname)
+	}
+}

@@ -1,0 +1,192 @@
+// Package obstest exercises the obspure analyzer: every exported
+// pointer-receiver method of a //snapvet:nilsafe type must be a no-op on a
+// nil receiver — no dereference, no side effects, no allocation — because
+// engines wire disabled observers as nil and call them unconditionally.
+package obstest
+
+// wake is a channel an observer must not touch while disabled.
+var wake = make(chan int, 1)
+
+// journal is package state an observer must not grow while disabled.
+var journal []int
+
+// record appends to the journal: fine when enabled, a side effect the nil
+// path must never reach.
+func record(v int) { journal = append(journal, v) }
+
+// Rec is the disabled-observer contract under test: nil means off.
+//
+//snapvet:nilsafe
+type Rec struct {
+	n   int
+	buf []int
+}
+
+// Add is the canonical guarded shape.
+func (r *Rec) Add(v int) {
+	if r == nil {
+		return
+	}
+	r.n += v
+}
+
+// Enabled compares the receiver without dereferencing it.
+func (r *Rec) Enabled() bool { return r != nil }
+
+// Level relies on short-circuit evaluation: the deref sits behind the nil
+// disjunct and is never reached.
+func (r *Rec) Level() int {
+	if r == nil || r.n == 0 {
+		return 0
+	}
+	return r.n
+}
+
+// Active guards with the conjunction form.
+func (r *Rec) Active() bool { return r != nil && r.n > 0 }
+
+// Bump inverts the guard: the body is off the nil path entirely.
+func (r *Rec) Bump() {
+	if r != nil {
+		r.n++
+	}
+}
+
+// MustN may panic on misuse — crashing is allowed, observing is not.
+func (r *Rec) MustN() int {
+	if r == nil {
+		panic("disabled recorder")
+	}
+	return r.n
+}
+
+// Total recurses through an unexported same-type helper: nil flows into
+// count, whose own guard keeps the chain clean.
+func (r *Rec) Total() int {
+	return r.count()
+}
+
+func (r *Rec) count() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Bad dereferences the receiver with no guard at all.
+func (r *Rec) Bad() int {
+	return r.n // want `the nil-receiver path of Rec.Bad dereferences the receiver`
+}
+
+// Sum reaches a deref through a same-type helper: the finding lands in the
+// helper, where the fix belongs.
+func (r *Rec) Sum() int {
+	return r.raw()
+}
+
+func (r *Rec) raw() int {
+	return r.n // want `the nil-receiver path of Rec.raw dereferences the receiver`
+}
+
+// Leaky allocates before its guard: the disabled path costs a heap
+// allocation on every call.
+func (r *Rec) Leaky(vs []int) {
+	tmp := make([]int, len(vs)) // want `the nil-receiver path of Rec.Leaky allocates \(make\)`
+	if r == nil {
+		return
+	}
+	copy(r.buf, tmp)
+}
+
+// Notify signals before its guard: a disabled observer must not touch
+// shared channels.
+func (r *Rec) Notify() {
+	wake <- 1 // want `the nil-receiver path of Rec.Notify sends on a channel`
+	if r == nil {
+		return
+	}
+	r.n++
+}
+
+// Mark calls an impure helper before its guard: the engine's transitive
+// summary rules it out.
+func (r *Rec) Mark() {
+	record(1) // want `the nil-receiver path of Rec.Mark calls record, which is not provably side-effect-free`
+	if r == nil {
+		return
+	}
+	r.n++
+}
+
+// table, stop, and hook are more shared bait for the unguarded paths
+// below.
+var (
+	table = map[int]int{}
+	stop  = make(chan int)
+	hook  func()
+)
+
+// pad is effect-free but allocates: the precise finding names the cost.
+func pad() []int { return make([]int, 8) }
+
+// Guarded folds an extra condition into the canonical conjunction guard;
+// nil short-circuits the whole test false.
+func (r *Rec) Guarded(v int) {
+	if r != nil && v > 0 {
+		r.n += v
+	}
+}
+
+// Negated guards through double negation; the walker still proves the
+// early return.
+func (r *Rec) Negated() bool {
+	if !(r != nil) {
+		return false
+	}
+	return r.n > 0
+}
+
+// Stash writes a shared map before its guard.
+func (r *Rec) Stash(v int) {
+	table[v] = v // want `the nil-receiver path of Rec.Stash stores into a map`
+	if r == nil {
+		return
+	}
+	r.n = v
+}
+
+// Drop deletes from a shared map before its guard.
+func (r *Rec) Drop(v int) {
+	delete(table, v) // want `the nil-receiver path of Rec.Drop deletes from a map`
+	if r == nil {
+		return
+	}
+	r.n--
+}
+
+// Halt closes a shared channel before its guard.
+func (r *Rec) Halt() {
+	close(stop) // want `the nil-receiver path of Rec.Halt closes a channel`
+	if r == nil {
+		return
+	}
+	r.n = 0
+}
+
+// Fire calls through a function value: the engine cannot see past it.
+func (r *Rec) Fire() {
+	hook() // want `the nil-receiver path of Rec.Fire calls through a function value`
+	if r == nil {
+		return
+	}
+	r.n++
+}
+
+// Pad reaches an allocation through an otherwise effect-free helper.
+func (r *Rec) Pad() {
+	_ = pad() // want `the nil-receiver path of Rec.Pad calls pad, which can allocate`
+	if r == nil {
+		return
+	}
+	r.n++
+}

@@ -1,0 +1,146 @@
+// Package radiustest exercises the radiusbound analyzer: a LocalProtocol's
+// Enabled may read processor state at most DirtyRadius hops from p (one hop
+// when no DirtyRadius is declared). Derived-versus-declared mismatches are
+// reported on the protocol's type declaration line; statically unbounded
+// reads on the read itself.
+package radiustest
+
+import (
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+// State is a one-register processor state.
+type State struct{ X int }
+
+// Clone implements sim.State.
+func (s *State) Clone() sim.State { c := *s; return &c }
+
+// st is the box accessor every guard below composes through: a 0-hop read
+// of its processor argument.
+func st(c *sim.Configuration, p int) *State { return c.States[p].(*State) }
+
+// plumbing stamps out the Protocol boilerplate radiusbound ignores.
+type plumbing struct{}
+
+func (plumbing) Name() string               { return "radiustest" }
+func (plumbing) ActionNames() []string      { return []string{"A"} }
+func (plumbing) InitialState(int) sim.State { return &State{} }
+func (plumbing) Apply(c *sim.Configuration, p int, a int) sim.State {
+	next := *c.States[p].(*State)
+	next.X++
+	return &next
+}
+
+// Clean reads one hop and declares nothing: the implicit radius 1 holds.
+type Clean struct {
+	plumbing
+	g *graph.Graph
+}
+
+func (u *Clean) GuardsAreLocal() bool { return true }
+
+func (u *Clean) Enabled(c *sim.Configuration, p int) []int {
+	for _, q := range u.g.Neighbors(p) {
+		if st(c, q).X > st(c, p).X {
+			return []int{0}
+		}
+	}
+	return nil
+}
+
+// Understated declares radius 1 while its guard composes two Neighbors
+// hops: the incremental enabled cache would go silently stale.
+type Understated struct { // want `Understated declares DirtyRadius 1 but Enabled reads state 2 hops away`
+	plumbing
+	g *graph.Graph
+}
+
+func (u *Understated) GuardsAreLocal() bool { return true }
+func (u *Understated) DirtyRadius() int     { return 1 }
+
+func (u *Understated) Enabled(c *sim.Configuration, p int) []int {
+	for _, q := range u.g.Neighbors(p) {
+		for _, r := range u.g.Neighbors(q) {
+			if st(c, r).X > st(c, p).X {
+				return []int{0}
+			}
+		}
+	}
+	return nil
+}
+
+// Hidden reads two hops and declares no DirtyRadius at all — the same
+// understatement through the interface-assertion path (the runner assumes
+// radius 1 for any LocalProtocol without the extension).
+type Hidden struct { // want `Hidden declares DirtyRadius 1 but Enabled reads state 2 hops away`
+	plumbing
+	g *graph.Graph
+}
+
+func (u *Hidden) GuardsAreLocal() bool { return true }
+
+func (u *Hidden) Enabled(c *sim.Configuration, p int) []int {
+	for _, q := range u.g.Neighbors(p) {
+		for _, r := range u.g.Neighbors(q) {
+			if st(c, r).X > st(c, q).X {
+				return []int{0}
+			}
+		}
+	}
+	return nil
+}
+
+// Overstated declares radius 3 for a 1-hop guard: sound but wasteful, so
+// advisory only.
+type Overstated struct { // want `Overstated declares DirtyRadius 3 but Enabled reads at most 1 hops`
+	plumbing
+	g *graph.Graph
+}
+
+func (u *Overstated) GuardsAreLocal() bool { return true }
+func (u *Overstated) DirtyRadius() int     { return 3 }
+
+func (u *Overstated) Enabled(c *sim.Configuration, p int) []int {
+	for _, q := range u.g.Neighbors(p) {
+		if st(c, q).X != st(c, p).X {
+			return []int{0}
+		}
+	}
+	return nil
+}
+
+// Unbounded indexes state through a protocol-owned lookup table: the hop
+// walker cannot bound table[p]'s distance from p, so the read itself is
+// the finding.
+type Unbounded struct {
+	plumbing
+	table []int
+}
+
+func (u *Unbounded) GuardsAreLocal() bool { return true }
+
+func (u *Unbounded) Enabled(c *sim.Configuration, p int) []int {
+	if st(c, u.table[p]).X > 0 { // want `reads processor state at a statically unbounded hop distance`
+		return []int{0}
+	}
+	return nil
+}
+
+// NonConst computes its radius at run time, which no static check can
+// verify against the guard.
+type NonConst struct { // want `DirtyRadius of NonConst is not a compile-time constant`
+	plumbing
+	g *graph.Graph
+	r int
+}
+
+func (u *NonConst) GuardsAreLocal() bool { return true }
+func (u *NonConst) DirtyRadius() int     { return u.r }
+
+func (u *NonConst) Enabled(c *sim.Configuration, p int) []int {
+	if st(c, p).X > 0 {
+		return []int{0}
+	}
+	return nil
+}

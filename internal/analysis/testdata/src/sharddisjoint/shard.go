@@ -1,0 +1,77 @@
+// Package shardtest exercises the sharddisjoint analyzer: goroutines
+// launched with a static callee are sweep workers, and everything they
+// reach may write shared memory only through shard-derived indices or
+// per-worker locals. The package opts in via the file directive below
+// (internal/flat needs no opt-in).
+//
+//snapvet:shardcheck
+package shardtest
+
+import "sync"
+
+// job is a contiguous shard descriptor, the unit the orchestrator fans
+// out; its fields are shard-derived wherever a received job flows.
+type job struct{ lo, hi int }
+
+// counter is package-level state no worker may touch.
+var counter int
+
+// pool mirrors the flat engine's sweep shape: a jobs channel, a results
+// slice indexed by item, and some deliberately shared bait.
+type pool struct {
+	jobs    chan job
+	out     []int
+	scratch []int
+	m       map[int]int
+	done    chan int
+	hook    func()
+	ptr     *int
+	total   int
+	wg      sync.WaitGroup
+}
+
+func start(p *pool, workers int) {
+	for i := 0; i < workers; i++ {
+		go p.worker(i)
+		go p.leaky(i)
+	}
+}
+
+// worker is the sanctioned shape: every write lands in a slot keyed by a
+// shard-derived index (the received job's range), in a local, or behind a
+// sync primitive.
+func (p *pool) worker(id int) {
+	for j := range p.jobs {
+		for i := j.lo; i < j.hi; i++ {
+			p.out[i] = i * 2 // derived index: each slot belongs to this shard
+		}
+		fill(p.out, j.lo, j.hi) // derived arguments confer the privilege on the callee
+		local := 0
+		for i := j.lo; i < j.hi; i++ {
+			local += p.out[i] // reads are unrestricted; local writes are private
+		}
+		p.total += local // want `sweep-worker-reachable worker writes a shared field`
+		p.wg.Done()
+	}
+}
+
+// fill is clean when called with derived bounds: its parameter derivation
+// is checked per call site.
+func fill(out []int, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = i
+	}
+}
+
+// leaky commits every escape the discipline knows about.
+func (p *pool) leaky(id int) {
+	for j := range p.jobs {
+		p.scratch[p.total] = id // want `writes an element at a non-shard-derived index`
+		p.m[id] = 1             // want `writes a map; map writes race across workers`
+		counter++               // want `writes package-level state`
+		p.done <- id            // want `sends on a channel`
+		*p.ptr = id             // want `stores through a pointer not proven to target its own shard's slot`
+		p.hook()                // want `calls through a function value`
+		_ = j
+	}
+}

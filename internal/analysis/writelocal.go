@@ -2,8 +2,9 @@ package analysis
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
+
+	"snappif/internal/analysis/dataflow"
 )
 
 // writelocal enforces the locally shared memory model's write rule
@@ -12,7 +13,10 @@ import (
 // sim.Protocol implementer, plus everything they reach — must not mutate
 // the pre-step configuration at all (the runner alone commits writes),
 // and may write through exactly one shared state box: ApplyInto's
-// caller-supplied dst, the acting processor's shadow box.
+// caller-supplied dst, the acting processor's shadow box. The dst
+// privilege follows the value interprocedurally: a helper receiving dst
+// as a parameter from an action-reachable call site may write through
+// that parameter too.
 var writelocal = &Analyzer{
 	Name: "writelocal",
 	Doc:  "action bodies may write only the acting processor's state (via return value or ApplyInto dst)",
@@ -20,15 +24,33 @@ var writelocal = &Analyzer{
 }
 
 func runWritelocal(pass *Pass) {
-	st := lookupSimTypes(pass.Prog)
+	st := pass.simTypes()
 	if st == nil {
 		return
 	}
-	cg := pass.callGraph()
+	eng := pass.engine()
 
-	// allowedDst collects the *types.Var of every ApplyInto dst parameter:
-	// the one shared box an action may overwrite.
-	allowedDst := make(map[types.Object]bool)
+	// allowed collects, per function, the objects an action may write a
+	// state box through. Seeded with every ApplyInto dst parameter; then
+	// propagated along action-reachable call edges: an argument rooted in
+	// an allowed object confers the privilege on the callee's parameter.
+	allowed := make(map[*types.Func]map[types.Object]bool)
+	permit := func(fn *types.Func, obj types.Object) bool {
+		if obj == nil {
+			return false
+		}
+		set := allowed[fn]
+		if set == nil {
+			set = make(map[types.Object]bool)
+			allowed[fn] = set
+		}
+		if set[obj] {
+			return false
+		}
+		set[obj] = true
+		return true
+	}
+
 	var roots []*types.Func
 	for _, named := range protocolImplementers(pass.Prog, st) {
 		for _, name := range []string{"Apply", "ApplyInto"} {
@@ -40,39 +62,88 @@ func runWritelocal(pass *Pass) {
 			if name != "ApplyInto" {
 				continue
 			}
-			if node := cg.nodes[fn]; node != nil {
-				if obj := lastParamObj(node); obj != nil {
-					allowedDst[obj] = true
+			if fi := eng.Info(fn); fi != nil {
+				permit(fn, lastParamObj(fi))
+			}
+		}
+	}
+
+	reach := eng.Reachable(roots)
+	// Fixpoint over the (finite) allowed sets: each pass threads dst
+	// through one more level of helper calls.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range reach {
+			set := allowed[fi.Fn]
+			if len(set) == 0 {
+				continue
+			}
+			for _, c := range eng.Summary(fi.Fn).Calls {
+				callee := eng.Info(c.Callee)
+				if callee == nil {
+					continue
+				}
+				for j, arg := range c.Expr.Args {
+					if !set[argRootObj(fi.Pkg.Info, arg)] {
+						continue
+					}
+					if permit(c.Callee, dataflow.ParamAt(callee, j)) {
+						changed = true
+					}
 				}
 			}
 		}
 	}
 
-	for _, node := range cg.reachable(roots) {
-		info := node.pkg.Info
-		fname := node.fn.Name()
-		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
-			writes(n, func(lhs ast.Expr, pos token.Pos) {
-				kind, root := classifyWrite(info, st, lhs)
-				switch kind {
-				case writeConfig:
-					pass.Report(pos, "action-reachable %s writes the configuration; actions read the pre-step configuration and only the runner commits", fname)
-				case writeStateBox:
-					if root != nil && allowedDst[info.Uses[root]] {
-						return // the acting processor's own dst box
-					}
-					pass.Report(pos, "action-reachable %s writes a state box that is not the acting processor's ApplyInto dst; the model forbids writing other processors' variables", fname)
+	for _, fi := range reach {
+		fname := fi.Fn.Name()
+		for _, s := range eng.Summary(fi.Fn).Effects {
+			switch s.Kind {
+			case dataflow.EffWriteConfig:
+				pass.Report(s.Pos, "action-reachable %s writes the configuration; actions read the pre-step configuration and only the runner commits", fname)
+			case dataflow.EffWriteBox:
+				if s.Root != nil && allowed[fi.Fn][lookupObj(fi.Pkg.Info, s.Root)] {
+					continue // the acting processor's own dst box
 				}
-			})
-			return true
-		})
+				pass.Report(s.Pos, "action-reachable %s writes a state box that is not the acting processor's ApplyInto dst; the model forbids writing other processors' variables", fname)
+			}
+		}
 	}
+}
+
+// argRootObj resolves the object an argument expression is rooted in,
+// unwrapping the value-preserving wrappers (&x, *x, x.(T), parens).
+func argRootObj(info *types.Info, arg ast.Expr) types.Object {
+	for {
+		switch x := arg.(type) {
+		case *ast.ParenExpr:
+			arg = x.X
+		case *ast.UnaryExpr:
+			arg = x.X
+		case *ast.StarExpr:
+			arg = x.X
+		case *ast.TypeAssertExpr:
+			arg = x.X
+		case *ast.Ident:
+			return lookupObj(info, x)
+		default:
+			return nil
+		}
+	}
+}
+
+// lookupObj resolves an identifier's object (use or definition).
+func lookupObj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
 }
 
 // lastParamObj returns the object of the function's final declared
 // parameter (ApplyInto's dst), or nil.
-func lastParamObj(node *funcNode) types.Object {
-	params := node.decl.Type.Params
+func lastParamObj(fi *dataflow.FuncInfo) types.Object {
+	params := fi.Decl.Type.Params
 	if params == nil || len(params.List) == 0 {
 		return nil
 	}
@@ -81,5 +152,5 @@ func lastParamObj(node *funcNode) types.Object {
 		return nil
 	}
 	name := last.Names[len(last.Names)-1]
-	return node.pkg.Info.Defs[name]
+	return fi.Pkg.Info.Defs[name]
 }

@@ -183,6 +183,7 @@ func (pr *Protocol) Enabled(c *sim.Configuration, p int) []int {
 			return nil
 		}
 	}
+	//snapvet:ok parent[p] is a fixed tree edge of p — one of its graph neighbors, so this is a 1-hop read
 	par := st(c, pr.parent[p])
 	switch {
 	case s.Pif == C && par.Pif == B && pr.childrenAll(c, p, C):

@@ -341,6 +341,7 @@ func (k *Protocol) aggregate(c *Config, p int) int64 {
 	p32 := int32(p)
 	for _, q := range c.neighbors(p) {
 		if c.par[q] == p32 && c.pif[q] == phF && c.level[q] == lp1 {
+			//snapvet:ok Combine is the pure aggregation fold fixed at construction; it reads only its arguments
 			acc = k.Combine(acc, c.agg[q])
 		}
 	}
@@ -363,6 +364,7 @@ func (k *Protocol) apply(c *Config, p int, a int32, dst *core.State) {
 			dst.Count = 1
 			dst.Fok = k.N == 1
 			dst.Msg = k.nextMsg
+			//snapvet:ok only the root's B-action reaches this, and a daemon selects at most one action per processor per step (sweep.go's ownership argument)
 			k.nextMsg++
 		case core.ActionF:
 			dst.Pif = core.F

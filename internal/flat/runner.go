@@ -309,6 +309,8 @@ func (r *Runner) Close() {
 }
 
 // finish seals the run and materializes Result.Final.
+//
+//snapvet:coldpath runs once when the run terminates, not per step
 func (r *Runner) finish() {
 	r.finished = true
 	if r.mirror != nil {

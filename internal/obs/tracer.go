@@ -23,6 +23,8 @@ import (
 // writes the trace header) → callbacks → Close (writes the final snapshot
 // and summary, flushes, joins the writer goroutine). Tracer methods are
 // safe for concurrent use — the runtime's goroutines all feed Action.
+//
+//snapvet:nilsafe
 type Tracer struct {
 	mu    sync.Mutex
 	w     *asyncWriter

@@ -69,6 +69,8 @@ func (tp *twoHopMax) GuardsAreLocal() bool { return true }
 func (tp *twoHopMax) DirtyRadius() int { return 2 }
 
 // hideRadiusWrap forwards LocalProtocol but not RadiusProtocol.
+//
+//snapvet:ok deliberately understates the radius to reproduce the pre-DirtyRadius stale-cache bug; TestDirtyRadiusStaleWithoutHint depends on it
 type hideRadiusWrap struct{ p *twoHopMax }
 
 func (h hideRadiusWrap) Name() string                              { return h.p.Name() }

@@ -166,6 +166,8 @@ func (c *Configuration) CopyFrom(src *Configuration) {
 // boxes do not implement InPlaceState (or whose lengths differ). Kept out of
 // the hot-path annotation: protocols on the zero-allocation path never reach
 // it.
+//
+//snapvet:coldpath fallback for non-InPlaceState boxes; the zero-allocation path never reaches it
 func (c *Configuration) copyFromSlow(src *Configuration) {
 	if cap(c.States) >= len(src.States) {
 		c.States = c.States[:len(src.States)]

@@ -123,6 +123,7 @@ func FuzzForceAged(f *testing.F) {
 // pending = pending ∩ enabled ∖ executed.
 func naiveRoundUpdate(pending, enabled, executed map[int]bool) map[int]bool {
 	out := make(map[int]bool)
+	//snapvet:ok test oracle builds a set, not an ordered output; membership is order-independent
 	for p := range pending {
 		if enabled[p] && !executed[p] {
 			out[p] = true

@@ -68,6 +68,7 @@ func (s *simSource) Census() (b, f, cl int) {
 // configuration pointer changed.
 func (o *Observer) source(c *sim.Configuration) *simSource {
 	if o.src == nil || o.src.c != c {
+		//snapvet:ok one allocation when the configuration identity changes (per run), not per step
 		o.src = &simSource{c: c}
 	}
 	return o.src
@@ -95,6 +96,7 @@ func (o *Observer) Begin(meta RunMeta, c *sim.Configuration) {
 // snapshotPhases rebuilds the per-processor phase baseline.
 func (o *Observer) snapshotPhases(c *sim.Configuration) {
 	if len(o.prev) != c.N() {
+		//snapvet:ok resizes only when the topology size changes (per run), not per step
 		o.prev = make([]core.Phase, c.N())
 	}
 	for p := 0; p < c.N(); p++ {

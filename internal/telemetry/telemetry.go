@@ -153,6 +153,8 @@ type RunMeta struct {
 // engines wire their hooks unconditionally. All methods are safe for
 // concurrent use; the per-step hook serializes on one mutex while the
 // sharded counters and histogram reads stay lock-free.
+//
+//snapvet:nilsafe
 type Telemetry struct {
 	cfg Config
 

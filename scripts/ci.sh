@@ -20,9 +20,17 @@ fi
 
 echo "== go vet =="
 go vet ./...
+# Passing an analyzer flag restricts go vet to that analyzer, so the
+# unsafe.Pointer audit is a second pass on top of the default suite.
+go vet -unsafeptr ./...
 
-echo "== snapvet (model conformance, determinism, hot-path allocation) =="
-go run ./cmd/snapvet ./...
+echo "== snapvet (model conformance, determinism, radius/shard/observer contracts) =="
+go run ./cmd/snapvet -tests ./...
+go run ./cmd/snapvet -tests -json ./... > artifacts/snapvet.json
+echo "snapvet findings artifact: artifacts/snapvet.json"
+
+echo "== snapvet negative gate (planted-defect fixtures must yield exactly the expected findings) =="
+go test ./internal/analysis/ -run 'TestGuardpure|TestWritelocal|TestDetrange|TestHotalloc|TestRadiusbound|TestSharddisjoint|TestObspure' -count=1
 
 echo "== go build =="
 go build ./...
@@ -47,6 +55,15 @@ telemetry_pct=$(go tool cover -func=artifacts/telemetry-cover.out | awk '/^total
 echo "internal/telemetry statement coverage: ${telemetry_pct}%"
 awk -v p="$telemetry_pct" 'BEGIN { exit (p + 0 >= 85) ? 0 : 1 }' || {
     echo "internal/telemetry coverage ${telemetry_pct}% below the 85% floor" >&2
+    exit 1
+}
+
+echo "== coverage floor (internal/analysis + dataflow >= 85% of statements) =="
+go test ./internal/analysis/... -coverpkg=./internal/analysis/... -coverprofile=artifacts/analysis-cover.out -count=1 > /dev/null
+analysis_pct=$(go tool cover -func=artifacts/analysis-cover.out | awk '/^total:/ { sub(/%/,"",$NF); print $NF }')
+echo "internal/analysis (with dataflow) statement coverage: ${analysis_pct}%"
+awk -v p="$analysis_pct" 'BEGIN { exit (p + 0 >= 85) ? 0 : 1 }' || {
+    echo "internal/analysis coverage ${analysis_pct}% below the 85% floor" >&2
     exit 1
 }
 
