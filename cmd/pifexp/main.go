@@ -7,7 +7,8 @@
 // Usage:
 //
 //	pifexp [-quick] [-trials N] [-seed S] [-only E4[,E7]] [-md] [-parallel]
-//	       [-engine generic|flat] [-parallel-sweep W] [-bench FILE] [-scale FILE]
+//	       [-engine generic|flat|event] [-latency DIST] [-parallel-sweep W]
+//	       [-bench FILE] [-scale FILE]
 //	       [-telemetry] [-spans FILE] [-flight FILE]
 //	       [-http ADDR] [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -15,14 +16,19 @@
 // GOMAXPROCS workers; every cell derives its randomness from its own seed,
 // so stdout is byte-identical to a serial run (timing goes to stderr).
 // -engine=flat runs the cycle-based experiments on the struct-of-arrays
-// kernel (internal/flat); the engines are bit-identical, so the tables do
-// not change — only the wall clock does. -parallel-sweep W additionally
+// kernel (internal/flat); -engine=event runs them on the discrete-event
+// scheduler (internal/event). The engines are bit-identical, so the tables
+// do not change — only the wall clock does. -parallel-sweep W additionally
 // shards the flat engine's guard sweep over W workers (still
-// bit-identical; see DESIGN.md §9).
+// bit-identical; see DESIGN.md §9). -latency DIST (event engine only)
+// switches to asynchronous message-latency scheduling with the named
+// per-link distribution — const:K, uniform:LO-HI, or pareto:a=A,cap=C —
+// replacing the daemon; telemetry steps and span timestamps are then in
+// virtual time (see DESIGN.md §12).
 // -bench additionally measures the simulation hot path and writes a JSON
 // report (steps/sec, allocs/step) to the given file. -scale measures the
 // large-N grid — N up to 10^6 on line/ring/grid/random topologies, generic
-// vs flat vs sharded — and writes the BENCH_scale JSON report.
+// vs flat vs sharded vs event — and writes the BENCH_scale JSON report.
 //
 // -telemetry turns on the large-N observability layer (internal/telemetry):
 // sharded counters, wave-latency histograms, and the sampled time series,
@@ -58,6 +64,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"snappif/internal/event"
 	"snappif/internal/exp"
 	"snappif/internal/obs"
 	"snappif/internal/telemetry"
@@ -81,7 +88,8 @@ func run(args []string, out io.Writer) (err error) {
 		markdown = fs.Bool("md", false, "emit tables as markdown")
 		csvDir   = fs.String("csv", "", "also write each table as <dir>/<id>.csv")
 		parallel = fs.Bool("parallel", false, "fan experiments and table cells across GOMAXPROCS workers (stdout identical to serial)")
-		engine   = fs.String("engine", "generic", "simulation engine for the cycle-based experiments: generic or flat (tables are byte-identical; flat is the large-N SoA kernel)")
+		engine   = fs.String("engine", "generic", "simulation engine for the cycle-based experiments: generic, flat, or event (tables are byte-identical; flat is the large-N SoA kernel, event the discrete-event scheduler)")
+		latency  = fs.String("latency", "", "event engine only: per-link latency distribution (const:K, uniform:LO-HI, pareto:a=A,cap=C); replaces the daemon with asynchronous virtual-time scheduling")
 		sweepW   = fs.Int("parallel-sweep", 0, "flat engine only: worker count for the parallel sharded guard sweep (0 or 1 = serial; bit-identical either way)")
 		bench    = fs.String("bench", "", "measure the simulation hot path and write a JSON report to this file")
 		scale    = fs.String("scale", "", "measure the large-N scaling grid (generic vs flat vs sharded) and write a BENCH_scale JSON report to this file")
@@ -134,11 +142,20 @@ func run(args []string, out io.Writer) (err error) {
 			}
 		}()
 	}
+	if *latency != "" {
+		if *engine != "event" {
+			return fmt.Errorf("-latency requires -engine=event (got -engine=%s)", *engine)
+		}
+		if _, lerr := event.ParseLatency(*latency); lerr != nil {
+			return lerr
+		}
+	}
 	metrics := obs.NewRegistry()
 	metrics.Publish("snappif")
-	stampMeta(metrics, *engine, *seed, *quick, *sweepW)
+	stampMeta(metrics, *engine, *latency, *seed, *quick, *sweepW)
 
 	var tel *telemetry.Telemetry
+	var vclock *event.VirtualClock
 	if *telem || *spansOut != "" || *flightTo != "" {
 		if *parallel && (*spansOut != "" || *flightTo != "") {
 			return fmt.Errorf("-spans and -flight follow one run at a time and need a serial run; drop -parallel")
@@ -150,6 +167,13 @@ func run(args []string, out io.Writer) (err error) {
 			//snapvet:ok monotonic telemetry clock; timing fields are measurement output, not engine state
 			Clock:  func() int64 { return int64(time.Since(base)) },
 			Timing: true,
+		}
+		if *latency != "" {
+			// Asynchronous event runs stamp spans in virtual time: the
+			// runner publishes its tick counter through the shared clock, so
+			// span durations are measured in ticks, not wall nanoseconds.
+			vclock = new(event.VirtualClock)
+			tcfg.Clock = vclock.Now
 		}
 		if *flightTo != "" {
 			tcfg.FlightDepth = 8
@@ -186,6 +210,8 @@ func run(args []string, out io.Writer) (err error) {
 		Timings:      timings,
 		Metrics:      metrics,
 		Engine:       *engine,
+		Latency:      *latency,
+		VClock:       vclock,
 		SweepWorkers: *sweepW,
 		Telemetry:    tel,
 	}
@@ -305,7 +331,7 @@ func run(args []string, out io.Writer) (err error) {
 // stampMeta registers the run-identifying meta.* Text variables, so
 // /debug/vars (and /healthz) answer "what is this process running" without
 // grepping logs.
-func stampMeta(reg *obs.Registry, engine string, seed int64, quick bool, sweepW int) {
+func stampMeta(reg *obs.Registry, engine, latency string, seed int64, quick bool, sweepW int) {
 	suite := "full"
 	if quick {
 		suite = "quick"
@@ -316,6 +342,7 @@ func stampMeta(reg *obs.Registry, engine string, seed int64, quick bool, sweepW 
 		reg.Register(name, t)
 	}
 	stamp("meta.engine", engine)
+	stamp("meta.latency", latency)
 	stamp("meta.seed", fmt.Sprint(seed))
 	stamp("meta.topology_suite", suite)
 	stamp("meta.sweep_workers", fmt.Sprint(sweepW))

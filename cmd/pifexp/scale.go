@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"snappif/internal/core"
+	"snappif/internal/event"
 	"snappif/internal/flat"
 	"snappif/internal/graph"
 	"snappif/internal/sim"
@@ -106,6 +107,11 @@ type flatStepper struct{ r *flat.Runner }
 func (s flatStepper) Step() (bool, error) { return s.r.Step() }
 func (s flatStepper) Moves() int          { return s.r.Result().Moves }
 
+type eventStepper struct{ r *event.Runner }
+
+func (s eventStepper) Step() (bool, error) { return s.r.Step() }
+func (s eventStepper) Moves() int          { return s.r.Result().Moves }
+
 // measureStepper warms a stepper and measures ns/step, steps/sec,
 // moves/step, and allocs/step over the given number of committed steps.
 func measureStepper(s stepper, warmup, steps int) (ns, sps, mps, aps float64, err error) {
@@ -137,7 +143,8 @@ func measureStepper(s stepper, warmup, steps int) (ns, sps, mps, aps float64, er
 }
 
 // measureScaleCell measures one engine on one graph. engine is "generic",
-// "flat", or "flat-sharded"; workers only applies to the sharded mode.
+// "flat", "flat-sharded", or "event"; workers only applies to the sharded
+// mode.
 func measureScaleCell(g *graph.Graph, engine string, workers int, pt scalePoint, seed int64) (scaleCell, error) {
 	pr, err := core.New(g, 0)
 	if err != nil {
@@ -170,6 +177,20 @@ func measureScaleCell(g *graph.Graph, engine string, workers int, pt scalePoint,
 			return scaleCell{}, err
 		}
 		s, closer = flatStepper{r: fr}, fr
+	case "event":
+		kern, err := flat.FromCore(pr)
+		if err != nil {
+			return scaleCell{}, err
+		}
+		fc, err := flat.NewConfig(kern)
+		if err != nil {
+			return scaleCell{}, err
+		}
+		er, err := event.NewRunner(fc, kern, d, event.Options{Options: simOpts})
+		if err != nil {
+			return scaleCell{}, err
+		}
+		s, closer = eventStepper{r: er}, er
 	default:
 		return scaleCell{}, fmt.Errorf("scale: unknown engine %q", engine)
 	}
@@ -186,6 +207,115 @@ func measureScaleCell(g *graph.Graph, engine string, workers int, pt scalePoint,
 		Engine:        engine,
 		Daemon:        d.Name(),
 		Steps:         pt.steps,
+		NsPerStep:     ns,
+		StepsPerSec:   sps,
+		MovesPerStep:  mps,
+		AllocsPerStep: aps,
+	}
+	if engine == "flat-sharded" {
+		cell.SweepWorkers = workers
+	}
+	return cell, nil
+}
+
+// frontierPoints sizes the cleaning-frontier cells: the regime the event
+// engine exists for, where the active frontier is a vanishing fraction of N.
+type frontierPoint struct {
+	n      int
+	warmup int
+	steps  int
+}
+
+var frontierPoints = []frontierPoint{
+	{n: 100_000, warmup: 300, steps: 1_000},
+	{n: 1_000_000, warmup: 100, steps: 300},
+}
+
+// loadFrontier scatters a mid-cleaning-wave configuration of a line into
+// fc: processors 0..front carry the feedback tail of a completed wave
+// (chain tree, Fok raised), processors past front are already clean. The
+// guards admit exactly one move — Cleaning(front) — and each C-action
+// hands the frontier to front−1, so every committed step has one enabled
+// processor, one move, and (under the synchronous daemon) one round. That
+// makes the cell a pure measurement of per-step overhead that scales with
+// N: the flat engines pay the Θ(N/64) pending-bitset copy at every round
+// boundary, while the event engine's epoch accounting touches only the
+// frontier.
+func loadFrontier(fc *flat.Config, n, front int) {
+	for p := 0; p < n; p++ {
+		s := core.State{Pif: core.C, Par: p - 1, L: p}
+		if p == 0 {
+			s.Par = core.ParNone
+		}
+		if p <= front {
+			s.Pif = core.F
+			s.Fok = true
+			s.Count = 1
+			s.Msg = 1
+		}
+		fc.SetState(p, s)
+	}
+}
+
+// measureFrontierCell measures one flat-kernel engine ("flat",
+// "flat-sharded", or "event") on the mid-cleaning-wave line of size n.
+func measureFrontierCell(fp frontierPoint, engine string, workers int, seed int64) (scaleCell, error) {
+	g, err := graph.Line(fp.n)
+	if err != nil {
+		return scaleCell{}, err
+	}
+	pr, err := core.New(g, 0)
+	if err != nil {
+		return scaleCell{}, err
+	}
+	kern, err := flat.FromCore(pr)
+	if err != nil {
+		return scaleCell{}, err
+	}
+	fc, err := flat.NewConfig(kern)
+	if err != nil {
+		return scaleCell{}, err
+	}
+	// The frontier retreats one processor per committed step; +8 keeps the
+	// run from draining (and the root from re-broadcasting) inside the
+	// measured window.
+	loadFrontier(fc, fp.n, fp.warmup+fp.steps+8)
+	d := sim.Synchronous{}
+	simOpts := sim.Options{Seed: seed, MaxSteps: fp.warmup + fp.steps + 1}
+	var s stepper
+	var closer interface{ Close() }
+	switch engine {
+	case "flat", "flat-sharded":
+		fopts := flat.Options{Options: simOpts}
+		if engine == "flat-sharded" {
+			fopts.SweepWorkers = workers
+			fopts.MinSweep = 1
+		}
+		fr, err := flat.NewRunner(fc, kern, d, fopts)
+		if err != nil {
+			return scaleCell{}, err
+		}
+		s, closer = flatStepper{r: fr}, fr
+	case "event":
+		er, err := event.NewRunner(fc, kern, d, event.Options{Options: simOpts})
+		if err != nil {
+			return scaleCell{}, err
+		}
+		s, closer = eventStepper{r: er}, er
+	default:
+		return scaleCell{}, fmt.Errorf("scale: unknown frontier engine %q", engine)
+	}
+	ns, sps, mps, aps, err := measureStepper(s, fp.warmup, fp.steps)
+	closer.Close()
+	if err != nil {
+		return scaleCell{}, fmt.Errorf("%s/line-frontier/N=%d: %w", engine, fp.n, err)
+	}
+	cell := scaleCell{
+		Topology:      "line-frontier",
+		N:             fp.n,
+		Engine:        engine,
+		Daemon:        d.Name(),
+		Steps:         fp.steps,
 		NsPerStep:     ns,
 		StepsPerSec:   sps,
 		MovesPerStep:  mps,
@@ -226,6 +356,7 @@ func writeScale(path string, seed int64) error {
 			if pt.n >= 10_000 {
 				engines = append(engines, "flat-sharded")
 			}
+			engines = append(engines, "event")
 			for _, eng := range engines {
 				cell, err := measureScaleCell(g, eng, workers, pt, seed)
 				if err != nil {
@@ -235,6 +366,17 @@ func writeScale(path string, seed int64) error {
 				fmt.Fprintf(os.Stderr, "pifexp: scale %s N=%d %s: %.0f ns/step (%.0f steps/sec)\n",
 					cell.Topology, cell.N, cell.Engine, cell.NsPerStep, cell.StepsPerSec)
 			}
+		}
+	}
+	for _, fp := range frontierPoints {
+		for _, eng := range []string{"flat", "flat-sharded", "event"} {
+			cell, err := measureFrontierCell(fp, eng, workers, seed)
+			if err != nil {
+				return err
+			}
+			rep.Cells = append(rep.Cells, cell)
+			fmt.Fprintf(os.Stderr, "pifexp: scale %s N=%d %s: %.0f ns/step (%.0f steps/sec)\n",
+				cell.Topology, cell.N, cell.Engine, cell.NsPerStep, cell.StepsPerSec)
 		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -17,8 +17,10 @@
 // `run` explores one instance and exits 1 on any violation (the emitted
 // -scenario artifact replays under `pifhunt replay`). -expect-states
 // asserts the deterministic state count, which is how CI pins run-to-run
-// stability. `certify` runs the standard certification table (the
-// EXPERIMENTS.md rows) and writes explore.json.
+// stability. `certify` runs the standard certification tables — the safety
+// rows plus the round-bound liveness rows (Theorem 1's 3·Lmax+3 and
+// Theorem 4's 5h+5, certified over every central schedule) — and writes
+// both into explore.json.
 package main
 
 import (
@@ -171,17 +173,54 @@ func certTable(quick bool) []certRow {
 	return rows
 }
 
+// liveRow is one line of the liveness certification table.
+type liveRow struct {
+	topo string
+	root int
+	opts explore.LivenessOptions
+	init string
+}
+
+// livenessTable is the round-bound (liveness) certification matrix: the
+// Theorem-4 cycle bound from the clean start and the Theorem-1
+// normal-configuration bound from corrupted starts, on ≥5-processor
+// non-star topologies, plus the flat/event engine cross-checks. Every row
+// expects "certified".
+func livenessTable(quick bool) []liveRow {
+	rows := []liveRow{
+		{"line:5", 0, explore.LivenessOptions{Target: explore.TargetCycle}, "clean"},
+		{"ring:5", 0, explore.LivenessOptions{Target: explore.TargetCycle}, "clean"},
+		{"grid:2x3", 0, explore.LivenessOptions{Target: explore.TargetCycle}, "clean"},
+		{"line:5", 0, explore.LivenessOptions{Target: explore.TargetCycle, Engine: "flat"}, "clean"},
+		{"line:5", 0, explore.LivenessOptions{Target: explore.TargetCycle, Engine: "event"}, "clean"},
+	}
+	if !quick {
+		rows = append(rows,
+			liveRow{"line:5", 0, explore.LivenessOptions{Target: explore.TargetNormal}, "faults:2"},
+			liveRow{"ring:5", 0, explore.LivenessOptions{Target: explore.TargetNormal}, "faults:2"},
+		)
+	}
+	return rows
+}
+
+// certArtifact is the explore.json layout: the safety rows (reachable-state
+// certification) and the liveness rows (round-bound certification).
+type certArtifact struct {
+	Safety   []*explore.Result         `json:"safety"`
+	Liveness []*explore.LivenessResult `json:"liveness"`
+}
+
 func runCertify(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pifexplore certify", flag.ContinueOnError)
 	var (
 		jsonPath = fs.String("json", "explore.json", "write the machine-readable results here ('' = skip)")
-		quick    = fs.Bool("quick", false, "skip the full-domain row (CI smoke)")
+		quick    = fs.Bool("quick", false, "skip the full-domain and faults-liveness rows (CI smoke)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	fmt.Fprintln(out, tableHeader())
-	var results []*explore.Result
+	var art certArtifact
 	bad := 0
 	for _, row := range certTable(*quick) {
 		g, err := parseTopo(row.topo)
@@ -192,7 +231,7 @@ func runCertify(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		results = append(results, res)
+		art.Safety = append(art.Safety, res)
 		line := renderRow(res)
 		if res.Verdict != row.expect {
 			bad++
@@ -200,8 +239,31 @@ func runCertify(args []string, out io.Writer) error {
 		}
 		fmt.Fprintln(out, line)
 	}
+	fmt.Fprintln(out, "\n"+livenessHeader())
+	for _, row := range livenessTable(*quick) {
+		g, err := parseTopo(row.topo)
+		if err != nil {
+			return err
+		}
+		inits, err := explore.Inits(row.init, g, row.root, row.opts.CoreOptions)
+		if err != nil {
+			return err
+		}
+		res, err := explore.CertifyLiveness(g, row.root, inits, row.opts)
+		if err != nil {
+			return err
+		}
+		res.InitMode = row.init
+		art.Liveness = append(art.Liveness, res)
+		line := renderLivenessRow(res)
+		if res.Verdict != "certified" {
+			bad++
+			line += "   << want certified"
+		}
+		fmt.Fprintln(out, line)
+	}
 	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, results); err != nil {
+		if err := writeJSON(*jsonPath, art); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "pifexplore: results written to %s\n", *jsonPath)
@@ -236,6 +298,19 @@ func exploreOnce(g *graph.Graph, root int, opts explore.Options, initMode string
 func tableHeader() string {
 	return "| topology | engine | power | init | depth | states | transitions | POR saved | autos | verdict |\n" +
 		"|---|---|---|---|---|---|---|---|---|---|"
+}
+
+// livenessHeader returns the liveness table's markdown header.
+func livenessHeader() string {
+	return "| topology | engine | target | init | bound | worst | product states | transitions | verdict |\n" +
+		"|---|---|---|---|---|---|---|---|---|"
+}
+
+// renderLivenessRow renders one LivenessResult as a markdown table row.
+func renderLivenessRow(r *explore.LivenessResult) string {
+	return fmt.Sprintf("| %s | %s | %s | %s | %d | %d | %d | %d | %s |",
+		r.Topology, r.Engine, r.Target, r.InitMode,
+		r.Bound, r.WorstRounds, r.ProductStates, r.Transitions, r.Verdict)
 }
 
 // renderRow renders one Result as a markdown table row.

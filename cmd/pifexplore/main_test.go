@@ -125,12 +125,20 @@ func TestCertifyQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var results []*explore.Result
-	if err := json.Unmarshal(data, &results); err != nil {
+	var art certArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != len(certTable(true)) {
-		t.Fatalf("artifact has %d rows, want %d", len(results), len(certTable(true)))
+	if len(art.Safety) != len(certTable(true)) {
+		t.Fatalf("artifact has %d safety rows, want %d", len(art.Safety), len(certTable(true)))
+	}
+	if len(art.Liveness) != len(livenessTable(true)) {
+		t.Fatalf("artifact has %d liveness rows, want %d", len(art.Liveness), len(livenessTable(true)))
+	}
+	for _, r := range art.Liveness {
+		if r.Verdict != "certified" || r.WorstRounds > r.Bound {
+			t.Fatalf("liveness row off its bound: %+v", r)
+		}
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 var detrangePackages = map[string]bool{
 	"internal/sim":     true,
 	"internal/core":    true,
+	"internal/event":   true,
 	"internal/exp":     true,
 	"internal/explore": true,
 	"internal/flat":    true,

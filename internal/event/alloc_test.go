@@ -1,0 +1,156 @@
+package event_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"snappif/internal/core"
+	"snappif/internal/event"
+	"snappif/internal/fault"
+	"snappif/internal/flat"
+	"snappif/internal/graph"
+	"snappif/internal/sim"
+)
+
+// warmEventRunner builds an event runner on g and steps it past the
+// warm-up horizon so the wake queue, batch buffers, and staging arrays
+// reach their high-water marks.
+func warmEventRunner(tb testing.TB, g *graph.Graph, d sim.Daemon, lat event.Latency, warmup int) *event.Runner {
+	tb.Helper()
+	pr, err := core.New(g, 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	k, err := flat.FromCore(pr)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := sim.NewConfiguration(g, pr)
+	fault.UniformRandom().Apply(cfg, pr, rand.New(rand.NewSource(3)))
+	fc, err := flat.FromSim(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	r, err := event.NewRunner(fc, k, d, event.Options{
+		Options: sim.Options{Seed: 1, MaxSteps: 1 << 30},
+		Latency: lat,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < warmup; i++ {
+		if done, err := r.Step(); done {
+			tb.Fatalf("run ended during warm-up: %v", err)
+		}
+	}
+	return r
+}
+
+// TestEventZeroAllocsPerStep is the event engine's allocation contract,
+// the analogue of flat's: once warm, a committed step — wake-queue pop,
+// batch filter, frontier re-guard, staging commit, epoch round accounting
+// — performs zero heap allocations, in both daemon mode and latency mode.
+// scripts/ci.sh gates on this test.
+func TestEventZeroAllocsPerStep(t *testing.T) {
+	g, err := graph.Ring(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		d    sim.Daemon
+		lat  event.Latency
+	}{
+		{"daemon-synchronous", sim.Synchronous{}, nil},
+		{"daemon-distributed", sim.DistributedRandom{P: 0.5}, nil},
+		{"latency-const0", nil, event.Constant(0)},
+		{"latency-uniform", nil, event.Uniform{Lo: 1, Hi: 4}},
+		{"latency-pareto", nil, event.Pareto{Alpha: 1.5, Cap: 16}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := warmEventRunner(t, g, tc.d, tc.lat, 2000)
+			defer r.Close()
+			allocs := testing.AllocsPerRun(200, func() {
+				if done, err := r.Step(); done {
+					t.Fatalf("run ended mid-measurement: %v", err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("event Step allocates %.2f objects/step after warm-up, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestEventRunDeterministic: two runs with identical options must agree
+// exactly — results, final states, and virtual clocks. scripts/ci.sh gates
+// on this test; any hidden map iteration or time dependence would break it.
+func TestEventRunDeterministic(t *testing.T) {
+	g, err := graph.Grid(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lat := range diffLatencies() {
+		t.Run(lat.Name(), func(t *testing.T) {
+			run := func() (sim.Result, []core.State, int64) {
+				pr, err := core.New(g, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				k, err := flat.FromCore(pr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := sim.NewConfiguration(g, pr)
+				fault.UniformRandom().Apply(cfg, pr, rand.New(rand.NewSource(11)))
+				fc, err := flat.FromSim(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				const steps = 500
+				r, err := event.NewRunner(fc, k, nil, event.Options{
+					Options: sim.Options{
+						Seed: 42, MaxSteps: steps + 1,
+						StopWhen: func(rs *sim.RunState) bool { return rs.Steps >= steps },
+					},
+					Latency: lat,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer r.Close()
+				for {
+					done, serr := r.Step()
+					if done {
+						if serr != nil {
+							t.Fatal(serr)
+						}
+						break
+					}
+				}
+				final := make([]core.State, g.N())
+				c := fc.ToSim()
+				for p := range final {
+					final[p] = core.At(c, p)
+				}
+				return r.Result(), final, r.VirtualTime()
+			}
+			r1, s1, v1 := run()
+			r2, s2, v2 := run()
+			r1.Final, r2.Final = nil, nil // pointer identity, not run state
+			if fmt.Sprintf("%+v", r1) != fmt.Sprintf("%+v", r2) {
+				t.Fatalf("results differ across identical runs:\n%+v\n%+v", r1, r2)
+			}
+			if v1 != v2 {
+				t.Fatalf("virtual clocks differ across identical runs: %d vs %d", v1, v2)
+			}
+			for p := range s1 {
+				if s1[p] != s2[p] {
+					t.Fatalf("proc %d final state differs across identical runs: %+v vs %+v", p, s1[p], s2[p])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,90 @@
+package event
+
+import "math/bits"
+
+// hbits is the event scheduler's enabled-set index: a two-level
+// hierarchical bitset with a maintained population count, structurally the
+// same cache as the flat engine's (see internal/flat/hbits.go) — the
+// summary level lets the choice-buffer rebuild skip empty regions, so
+// enumeration is O(summary words + |enabled|) instead of Θ(N/64). The event
+// engine leans on it harder than flat does: with a frontier-bounded batch
+// the enabled set is tiny and the summary scan is the only per-step cost
+// that still touches a Θ(N)-sized structure.
+type hbits struct {
+	l0  []uint64 // one bit per ID
+	sum []uint64 // one bit per l0 word
+	n   int      // population count
+}
+
+func newHbits(n int) *hbits {
+	words := (n + 63) / 64
+	return &hbits{
+		l0:  make([]uint64, words),
+		sum: make([]uint64, (words+63)/64),
+	}
+}
+
+//snapvet:hotpath
+func (h *hbits) test(i int) bool { return h.l0[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+//snapvet:hotpath
+func (h *hbits) set(i int) {
+	w := i >> 6
+	mask := uint64(1) << (uint(i) & 63)
+	if h.l0[w]&mask != 0 {
+		return
+	}
+	h.l0[w] |= mask
+	h.sum[w>>6] |= 1 << (uint(w) & 63)
+	h.n++
+}
+
+//snapvet:hotpath
+func (h *hbits) clear(i int) {
+	w := i >> 6
+	mask := uint64(1) << (uint(i) & 63)
+	if h.l0[w]&mask == 0 {
+		return
+	}
+	h.l0[w] &^= mask
+	if h.l0[w] == 0 {
+		h.sum[w>>6] &^= 1 << (uint(w) & 63)
+	}
+	h.n--
+}
+
+//snapvet:hotpath
+func (h *hbits) count() int { return h.n }
+
+// forEach calls fn for every ID in the set in ascending order.
+//
+//snapvet:hotpath
+func (h *hbits) forEach(fn func(i int)) {
+	for si, sw := range h.sum {
+		for sw != 0 {
+			wi := si<<6 + bits.TrailingZeros64(sw)
+			sw &= sw - 1
+			w := h.l0[wi]
+			for w != 0 {
+				fn(wi<<6 + bits.TrailingZeros64(w))
+				w &= w - 1
+			}
+		}
+	}
+}
+
+// bitmark is the plain one-level scratch bitset (fairness dedup, dirty-set
+// dedup, batch dedup). Cleared by replaying the ID lists that set it, never
+// wholesale.
+type bitmark []uint64
+
+func newBitmark(n int) bitmark { return make(bitmark, (n+63)/64) }
+
+//snapvet:hotpath
+func (b bitmark) test(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+//snapvet:hotpath
+func (b bitmark) set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+//snapvet:hotpath
+func (b bitmark) clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }

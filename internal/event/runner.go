@@ -1,0 +1,716 @@
+package event
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+
+	"snappif/internal/core"
+	"snappif/internal/flat"
+	"snappif/internal/sim"
+	"snappif/internal/telemetry"
+)
+
+// Options configures an event-engine run. The embedded sim.Options keep
+// their meaning and defaults, exactly as in the flat engine.
+type Options struct {
+	sim.Options
+
+	// Latency, when non-nil, puts the runner in discrete-event mode: the
+	// schedule is generated internally from the virtual-time wake queue and
+	// this per-link delay distribution, and the daemon argument is ignored
+	// (may be nil). When nil, the runner executes an external daemon's
+	// schedule — the degenerate zero-latency case — with flat.Runner's
+	// exact observable behavior.
+	Latency Latency
+
+	// Telemetry, when non-nil, receives the per-step aggregation hook. In
+	// latency mode StepInfo.Step carries the batch's *virtual time*, which
+	// is sparse: consecutive committed batches may be many ticks apart.
+	Telemetry *telemetry.Telemetry
+
+	// TelemetryMeta labels the run; NewRunner fills G, Engine ("event"),
+	// Daemon, and NextMsg when unset.
+	TelemetryMeta telemetry.RunMeta
+
+	// VClock, when non-nil, is advanced to the run's virtual time after
+	// every committed step. Wiring it as the telemetry Clock timestamps
+	// wave spans in virtual time instead of wall time.
+	VClock *VirtualClock
+}
+
+// Run executes the kernel on configuration c (mutated in place) until a
+// terminal configuration, the stop predicate, or the step limit — the
+// event-engine counterpart of flat.Run, with the same error contract.
+func Run(c *flat.Config, k *flat.Protocol, d sim.Daemon, opts Options) (sim.Result, error) {
+	r, err := NewRunner(c, k, d, opts)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	defer r.Close()
+	for {
+		done, err := r.Step()
+		if done {
+			return r.Result(), err
+		}
+	}
+}
+
+// Runner is the discrete-event stepping loop over the flat engine's
+// struct-of-arrays state. Per-step work is bounded by the step's activity —
+// the batch, its closed neighborhoods (the kernel's statically certified
+// invalidation radius), and the enabled-set churn — never by N:
+//
+//   - The guard cache (hbits + per-processor action slot) re-evaluates only
+//     processors whose neighborhood changed, exactly like flat.Runner.
+//   - Round accounting is epoch-based: a sequence number replaces the flat
+//     engine's Θ(N/64) pending-bitset copy at every round boundary, which
+//     at N = 10⁶ under the synchronous daemon is an O(N) cost *per step*.
+//   - In latency mode the schedule itself comes from the wake queue, so a
+//     one-processor frontier steps in O(1) regardless of N.
+//
+// In external-daemon mode the Runner reproduces flat.Runner (and therefore
+// sim.Runner) bit for bit: same RNG draw sequence, same moves, rounds,
+// fairness forcing, observer callback order, and step-limit error. The
+// three-way differential grid and fuzz target enforce this.
+type Runner struct {
+	c    *flat.Config
+	k    *flat.Protocol
+	d    sim.Daemon // nil in latency mode
+	lat  Latency    // nil in external-daemon mode
+	opts Options
+	rng  *rand.Rand
+
+	names []string
+	res   sim.Result
+	rs    sim.RunState
+
+	// Guard cache, mirroring flat.Runner.
+	acts     []int32
+	enabled  *hbits
+	buf      []sim.Choice
+	bufValid bool
+
+	daemonBuf []sim.Choice
+	selBuf    []sim.Choice
+	have      bitmark
+
+	lastReset []int
+
+	// Epoch-based round accounting. A processor is pending in the current
+	// round iff it is enabled, was already enabled when the round started
+	// (enabledSince ≤ roundStart), and has not left yet (removedSeq ≠
+	// roundSeq). A round boundary is then O(1): bump roundSeq — which
+	// implicitly empties the removed set — and snapshot the enabled count.
+	roundSeq     int   // current round epoch, starts at 1
+	roundStart   int   // step at which the current round's snapshot was taken
+	enabledSince []int // step of p's last disabled→enabled transition
+	removedSeq   []int // round epoch in which p last left the round
+	pendingCount int
+	enabledCount int
+
+	scratch  bitmark
+	dirtyBuf []int32
+
+	stage []core.State
+
+	actionMoves []int
+	actPrev     []int
+	packBuf     []uint32
+
+	mirror *sim.Configuration
+	facade *sim.Configuration
+
+	// Latency mode: the wake queue, the current virtual time, and the
+	// batch-dedup stamps (wakeStamp[p] = last tick p was delivered).
+	q         *queue
+	vtime     int64
+	wakeStamp []int64
+	wakeBuf   []int32
+
+	tel         *telemetry.Telemetry
+	telSrc      *telSource
+	guardHits   int64
+	guardMisses int64
+
+	finished bool
+	err      error
+}
+
+// telSource adapts flat.Config to telemetry.StateSource.
+type telSource struct{ c *flat.Config }
+
+func (s *telSource) N() int { return s.c.N() }
+
+func (s *telSource) AppendCanonical(b []byte) ([]byte, error) { return s.c.AppendCanonical(b), nil }
+
+func (s *telSource) Census() (b, f, cl int) { return s.c.Census() }
+
+// NewRunner prepares an event-engine run of kernel k on configuration c
+// (mutated in place). With opts.Latency nil the schedule comes from daemon
+// d; with a Latency the schedule is generated internally and d may be nil.
+// Mutating observers are rejected for the same mirror-desync reason as in
+// the flat engine.
+func NewRunner(c *flat.Config, k *flat.Protocol, d sim.Daemon, opts Options) (*Runner, error) {
+	if c.N() != k.Graph().N() {
+		return nil, fmt.Errorf("event: configuration has %d processors, kernel network %d", c.N(), k.Graph().N())
+	}
+	if opts.Latency == nil && d == nil {
+		return nil, fmt.Errorf("event: need a daemon or a latency distribution")
+	}
+	for _, o := range opts.Observers {
+		if mo, ok := o.(sim.MutatingObserver); ok && mo.MutatesConfiguration() {
+			return nil, fmt.Errorf("event: mutating observers are not supported (observer %T)", o)
+		}
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 1_000_000
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.FairnessAge <= 0 {
+		opts.FairnessAge = 4 * c.N()
+	}
+	n := c.N()
+	r := &Runner{
+		c:    c,
+		k:    k,
+		d:    d,
+		lat:  opts.Latency,
+		opts: opts,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+
+		names:     k.ActionNames(),
+		acts:      make([]int32, n),
+		enabled:   newHbits(n),
+		have:      newBitmark(n),
+		lastReset: make([]int, n),
+
+		roundSeq:     1,
+		enabledSince: make([]int, n),
+		removedSeq:   make([]int, n),
+
+		scratch: newBitmark(n),
+		stage:   make([]core.State, n),
+	}
+	r.actionMoves = make([]int, len(r.names))
+	r.actPrev = make([]int, len(r.names))
+	r.res = sim.Result{MovesPerAction: make(map[string]int, len(r.names))}
+
+	if len(opts.Observers) > 0 || opts.StopWhen != nil {
+		r.mirror = c.ToSim()
+		r.facade = r.mirror
+	} else {
+		r.facade = &sim.Configuration{G: c.G}
+	}
+	r.rs = sim.RunState{Config: r.mirror}
+
+	if opts.StopWhen != nil && opts.StopWhen(&r.rs) {
+		r.res.Stopped = true
+		r.finish()
+		return r, nil
+	}
+
+	for p := 0; p < n; p++ {
+		a := k.EnabledAction(c, p)
+		r.acts[p] = a
+		if a != flat.NoAction {
+			r.enabled.set(p)
+		}
+	}
+	r.enabledCount = r.enabled.count()
+	r.pendingCount = r.enabledCount
+
+	if r.lat != nil {
+		r.q = newQueue(r.lat.Max() + 2)
+		r.wakeStamp = make([]int64, n)
+		// Seed: every initially enabled processor wakes at tick 1 — the
+		// liveness invariant "enabled ⇒ wake pending" holds from the start.
+		r.enabled.forEach(func(p int) { //snapvet:ok non-escaping closure, stack-allocated
+			r.q.push(1, int32(p))
+		})
+	}
+
+	if opts.Telemetry.Enabled() {
+		r.tel = opts.Telemetry
+		r.telSrc = &telSource{c: c}
+		meta := opts.TelemetryMeta
+		if meta.G == nil {
+			meta.G = c.G
+		}
+		if meta.Engine == "" {
+			meta.Engine = "event"
+		}
+		if meta.Daemon == "" {
+			meta.Daemon = r.daemonName()
+		}
+		meta.Root = k.Root
+		if k.Lmax != c.N()-1 {
+			meta.Lmax = k.Lmax
+		}
+		if k.NPrime != c.N() {
+			meta.NPrime = k.NPrime
+		}
+		if meta.NextMsg == nil {
+			meta.NextMsg = k.NextMsg
+		}
+		r.tel.BeginRun(meta, r.telSrc)
+	}
+	return r, nil
+}
+
+// daemonName labels the schedule source: the external daemon's name, or the
+// induced schedule's "event:<distribution>".
+func (r *Runner) daemonName() string {
+	if r.lat != nil {
+		return "event:" + r.lat.Name()
+	}
+	return r.d.Name()
+}
+
+// Result returns the run summary accumulated so far, with flat.Runner's
+// exact contract.
+func (r *Runner) Result() sim.Result {
+	for a, n := range r.actionMoves {
+		if n != 0 {
+			r.res.MovesPerAction[r.names[a]] = n
+		}
+	}
+	return r.res
+}
+
+// Mirror returns the boxed configuration kept in sync with the flat state,
+// or nil when no observers or stop predicate requested one.
+func (r *Runner) Mirror() *sim.Configuration { return r.mirror }
+
+// VirtualTime returns the virtual time of the last committed batch (in
+// external-daemon mode, the committed step count — the zero-latency
+// degenerate clock).
+func (r *Runner) VirtualTime() int64 { return r.vtime }
+
+// QueueDepth returns the wake queue's entry count (0 in external-daemon
+// mode).
+func (r *Runner) QueueDepth() int {
+	if r.q == nil {
+		return 0
+	}
+	return r.q.depth()
+}
+
+// Close releases run resources. The event runner holds none (no worker
+// pool), but callers treat all engines uniformly.
+func (r *Runner) Close() {}
+
+// finish seals the run and materializes Result.Final.
+//
+//snapvet:coldpath runs once when the run terminates, not per step
+func (r *Runner) finish() {
+	r.finished = true
+	if r.mirror != nil {
+		r.res.Final = r.mirror
+	} else {
+		r.res.Final = r.c.ToSim()
+	}
+}
+
+// Step executes one committed step — one daemon selection, or one effective
+// wake batch — with sim.Runner.Step's exact contract.
+//
+//snapvet:hotpath
+func (r *Runner) Step() (done bool, err error) {
+	if r.finished {
+		return true, r.err
+	}
+	stepStart := r.tel.Now() // 0 when telemetry or timing is off
+	var rootBefore core.Phase
+	if r.tel != nil {
+		rootBefore = r.c.Phase(r.k.Root)
+		r.guardHits, r.guardMisses = 0, 0
+	}
+
+	var selected []sim.Choice
+	if r.lat == nil {
+		enabled := r.choices()
+		if len(enabled) == 0 {
+			r.res.Terminal = true
+			r.finish()
+			return true, nil
+		}
+		if r.res.Steps >= r.opts.MaxSteps {
+			//snapvet:ok cold step-limit failure path, allocation acceptable
+			r.err = fmt.Errorf("sim: %s under %s after %d steps (%d rounds): %w",
+				r.k.Name(), r.daemonName(), r.res.Steps, r.res.Rounds, sim.ErrStepLimit) //snapvet:ok cold step-limit failure path, allocation acceptable
+			r.finish()
+			return true, r.err
+		}
+		// Selection: same buffers, same RNG draw sequence as flat.Runner.
+		r.daemonBuf = append(r.daemonBuf[:0], enabled...)
+		sel := r.d.Select(r.res.Steps, r.facade, r.daemonBuf, r.rng)
+		r.selBuf = append(r.selBuf[:0], sel...)
+		r.selBuf = r.forceAged(r.selBuf, enabled)
+		if len(r.selBuf) == 0 {
+			// Defensive: a daemon must select at least one processor.
+			r.selBuf = append(r.selBuf, enabled[r.rng.Intn(len(enabled))])
+		}
+		selected = r.selBuf
+	} else {
+		if r.enabledCount == 0 {
+			r.res.Terminal = true
+			r.finish()
+			return true, nil
+		}
+		if r.res.Steps >= r.opts.MaxSteps {
+			//snapvet:ok cold step-limit failure path, allocation acceptable
+			r.err = fmt.Errorf("sim: %s under %s after %d steps (%d rounds): %w",
+				r.k.Name(), r.daemonName(), r.res.Steps, r.res.Rounds, sim.ErrStepLimit) //snapvet:ok cold step-limit failure path, allocation acceptable
+			r.finish()
+			return true, r.err
+		}
+		selected, err = r.nextBatch()
+		if err != nil {
+			r.err = err
+			r.finish()
+			return true, err
+		}
+		// Wakes are drawn before the commit (scheduling reads no state) in
+		// the same (mover asc × CSR neighbor) order InducedDaemon draws at
+		// Select time, keeping the two schedules' RNG streams aligned.
+		r.scheduleWakes(selected)
+	}
+
+	// Execute: stage every next state from the pre-step slices, then
+	// scatter-commit. Composite atomicity, distributed daemon.
+	var commitStart int64
+	if r.tel.DetailTiming() {
+		commitStart = r.tel.Now()
+	}
+	for i, ch := range selected {
+		r.k.Apply(r.c, ch.Proc, int32(ch.Action), &r.stage[i])
+	}
+	if r.tel != nil {
+		r.tel.ShardApplies(0, int64(len(selected)))
+	}
+	packed := false
+	if r.tel != nil {
+		packed = r.tel.WantPacked()
+	}
+	if packed {
+		n := len(selected)
+		if cap(r.packBuf) < n {
+			r.packBuf = make([]uint32, n, 2*n) //snapvet:ok amortized buffer growth, recycled via recorder swap
+		} else {
+			r.packBuf = r.packBuf[:n]
+		}
+		for i, ch := range selected {
+			r.c.SetStateHot(int32(ch.Proc), &r.stage[i])
+			r.packBuf[i] = telemetry.PackChoice(ch.Proc, ch.Action)
+		}
+	} else {
+		for i, ch := range selected {
+			r.c.SetStateHot(int32(ch.Proc), &r.stage[i])
+		}
+	}
+	var commitNS int64
+	if commitStart > 0 {
+		commitNS = r.tel.Now() - commitStart
+	}
+	var db, df, dc int
+	if r.tel != nil {
+		copy(r.actPrev, r.actionMoves)
+	}
+	for _, ch := range selected {
+		r.res.Moves++
+		r.actionMoves[ch.Action]++
+	}
+	if r.tel != nil {
+		root := r.k.Root
+		rootAct := -1
+		if r.enabled.test(root) {
+			for _, ch := range selected {
+				if ch.Proc == root {
+					rootAct = ch.Action
+					break
+				}
+			}
+		}
+		db, df, dc = flat.CensusDeltas(r.actionMoves, r.actPrev, rootAct, rootBefore, r.c.Phase(root))
+	}
+	r.res.Steps++
+	r.rs.Steps, r.rs.Moves = r.res.Steps, r.res.Moves
+	steps := r.res.Steps
+	if r.lat == nil {
+		r.vtime = int64(steps)
+	}
+	if r.opts.VClock != nil {
+		r.opts.VClock.set(r.vtime)
+	}
+
+	// Executed processors leave the round and restart their fairness age.
+	for _, ch := range selected {
+		r.lastReset[ch.Proc] = steps
+		if r.enabledSince[ch.Proc] <= r.roundStart && r.removedSeq[ch.Proc] != r.roundSeq {
+			r.removedSeq[ch.Proc] = r.roundSeq
+			r.pendingCount--
+		}
+	}
+
+	if r.mirror != nil {
+		for i, ch := range selected {
+			*(r.mirror.States[ch.Proc].(*core.State)) = r.stage[i]
+		}
+	}
+	for _, o := range r.opts.Observers {
+		o.OnStep(steps, selected, r.mirror)
+	}
+
+	var evalStart int64
+	if r.tel.DetailTiming() {
+		evalStart = r.tel.Now()
+	}
+	r.refresh(selected)
+	var evalNS int64
+	if evalStart > 0 {
+		evalNS = r.tel.Now() - evalStart
+	}
+
+	for _, o := range r.opts.Observers {
+		if eo, ok := o.(sim.EnabledObserver); ok {
+			eo.OnEnabled(steps, r.enabledCount)
+		}
+	}
+
+	if r.tel != nil {
+		r.telStep(selected, packed, rootBefore, db, df, dc, stepStart, evalNS, commitNS)
+	}
+
+	// Round boundary: every processor pending since the round started has
+	// now executed or been disabled. Bumping the epoch empties the removed
+	// set; the new snapshot is the enabled set by the membership predicate
+	// (everything currently enabled has enabledSince ≤ the new roundStart).
+	if r.pendingCount == 0 {
+		r.res.Rounds++
+		r.rs.Rounds = r.res.Rounds
+		for _, o := range r.opts.Observers {
+			if ro, ok := o.(sim.RoundObserver); ok {
+				ro.OnRound(r.res.Rounds, r.mirror)
+			}
+		}
+		r.roundSeq++
+		r.roundStart = steps
+		r.pendingCount = r.enabledCount
+	}
+
+	// Clear the fairness dedup marks set this step (external-daemon mode
+	// only; latency mode never marks).
+	if r.lat == nil {
+		for _, ch := range selected {
+			r.have.clear(ch.Proc)
+		}
+	}
+
+	if r.opts.StopWhen != nil && r.opts.StopWhen(&r.rs) {
+		r.res.Stopped = true
+		r.finish()
+		return true, nil
+	}
+	return false, nil
+}
+
+// nextBatch advances the wake queue to the next effective batch: the woken
+// processors (deduplicated) that are currently enabled, in ascending
+// processor order. Ticks whose batch is entirely disabled are consumed
+// silently — they are not computation steps.
+//
+//snapvet:hotpath
+func (r *Runner) nextBatch() ([]sim.Choice, error) {
+	for {
+		t, bucket, ok := r.q.pop()
+		if !ok {
+			//snapvet:ok cold invariant-violation failure path
+			return nil, fmt.Errorf("event: wake queue drained with %d processors enabled (lost wakeup)", r.enabledCount)
+		}
+		r.wakeBuf = r.wakeBuf[:0]
+		for _, p := range bucket {
+			if r.wakeStamp[p] == t {
+				continue
+			}
+			r.wakeStamp[p] = t
+			if r.acts[p] != flat.NoAction {
+				r.wakeBuf = append(r.wakeBuf, p)
+			}
+		}
+		if len(r.wakeBuf) == 0 {
+			continue
+		}
+		slices.Sort(r.wakeBuf)
+		r.selBuf = r.selBuf[:0]
+		for _, p := range r.wakeBuf {
+			r.selBuf = append(r.selBuf, sim.Choice{Proc: int(p), Action: int(r.acts[p])})
+		}
+		r.vtime = t
+		return r.selBuf, nil
+	}
+}
+
+// scheduleWakes posts the batch's consequences: each mover re-evaluates at
+// t+1 (its own state changed) and each of its neighbors at t+1+latency.
+// Draw order is mover-ascending × CSR-neighbor order — InducedDaemon must
+// draw identically.
+//
+//snapvet:hotpath
+func (r *Runner) scheduleWakes(selected []sim.Choice) {
+	t := r.vtime
+	for _, ch := range selected {
+		r.q.push(t+1, int32(ch.Proc))
+		for _, nb := range r.c.Neighbors(ch.Proc) {
+			r.q.push(t+1+r.lat.Sample(r.rng, int32(ch.Proc), nb), nb)
+		}
+	}
+}
+
+// telStep assembles and delivers the step's StepInfo. In latency mode the
+// Step stamp is the batch's virtual time — sparse, strictly increasing; in
+// external-daemon mode it equals the committed step count, making the
+// telemetry stream byte-compatible with the flat engine's.
+func (r *Runner) telStep(selected []sim.Choice, packed bool, rootBefore core.Phase, db, df, dc int, startNS, evalNS, commitNS int64) {
+	root := r.k.Root
+	var stepNS int64
+	if startNS > 0 {
+		stepNS = r.tel.Now() - startNS
+	}
+	var packedBuf *[]uint32
+	if packed {
+		packedBuf = &r.packBuf
+	}
+	r.tel.Step(telemetry.StepInfo{
+		Step:        int(r.vtime),
+		Executed:    selected,
+		Packed:      packedBuf,
+		Enabled:     r.enabledCount,
+		Rounds:      r.res.Rounds,
+		RootBefore:  rootBefore,
+		RootAfter:   r.c.Phase(root),
+		RootMsg:     r.c.Msg(root),
+		NextMsg:     r.k.NextMsg(),
+		DB:          db,
+		DF:          df,
+		DC:          dc,
+		GuardHits:   r.guardHits,
+		GuardMisses: r.guardMisses,
+		QueueDepth:  r.QueueDepth(),
+		EvalNS:      evalNS,
+		CommitNS:    commitNS,
+		StepNS:      stepNS,
+	}, r.telSrc)
+}
+
+// choices returns the enabled list in ascending processor order, rebuilding
+// the reusable buffer only after a refresh changed some processor's action.
+//
+//snapvet:hotpath
+func (r *Runner) choices() []sim.Choice {
+	if r.bufValid {
+		return r.buf
+	}
+	r.buf = r.buf[:0]
+	r.enabled.forEach(func(p int) { //snapvet:ok non-escaping closure over r, stack-allocated (proved by the CI alloc gates)
+		r.buf = append(r.buf, sim.Choice{Proc: p, Action: int(r.acts[p])})
+	})
+	r.bufValid = true
+	return r.buf
+}
+
+// Enabled returns a copy of the currently enabled choices in ascending
+// processor order, mirroring flat.Runner.Enabled for the exhaustive
+// explorer.
+func (r *Runner) Enabled() []sim.Choice {
+	src := r.choices()
+	out := make([]sim.Choice, len(src))
+	copy(out, src)
+	return out
+}
+
+// forceAged is flat.Runner.forceAged: every enabled processor whose virtual
+// age reached the fairness bound joins the selection, consuming one Intn(1)
+// draw to stay aligned with the generic engine. Latency mode never calls it
+// — the induced schedule is intrinsically weakly fair (an enabled processor
+// executes within Latency.Max()+1 ticks), and the differential harness pins
+// equivalence with flat-under-InducedDaemon for FairnessAge > Max()+1,
+// where flat's forcing never fires either.
+//
+//snapvet:hotpath
+func (r *Runner) forceAged(selected, enabled []sim.Choice) []sim.Choice {
+	for _, ch := range selected {
+		r.have.set(ch.Proc)
+	}
+	bound := r.opts.FairnessAge
+	steps := r.res.Steps
+	for i := range enabled {
+		proc := enabled[i].Proc
+		if steps-r.lastReset[proc] >= bound && !r.have.test(proc) {
+			selected = append(selected, enabled[i+r.rng.Intn(1)])
+			r.have.set(proc)
+		}
+	}
+	return selected
+}
+
+// refresh re-evaluates the guards of the executed processors' closed
+// neighborhoods — the kernel's invalidation radius is 1, statically
+// certified by snapvet's radiusbound analyzer against Protocol.DirtyRadius
+// — and commits the changes to the enabled set, the choice buffer, the
+// round's pending count, and the fairness ages.
+//
+//snapvet:hotpath
+func (r *Runner) refresh(selected []sim.Choice) {
+	r.dirtyBuf = r.dirtyBuf[:0]
+	for _, ch := range selected {
+		if !r.scratch.test(ch.Proc) {
+			r.scratch.set(ch.Proc)
+			r.dirtyBuf = append(r.dirtyBuf, int32(ch.Proc))
+		}
+		for _, q := range r.c.Neighbors(ch.Proc) {
+			if !r.scratch.test(int(q)) {
+				r.scratch.set(int(q))
+				r.dirtyBuf = append(r.dirtyBuf, q)
+			}
+		}
+	}
+
+	steps := r.res.Steps
+	for _, p32 := range r.dirtyBuf {
+		p := int(p32)
+		r.scratch.clear(p)
+		a := r.k.EnabledAction(r.c, p)
+		old := r.acts[p]
+		if a == old {
+			r.guardHits++
+			continue
+		}
+		r.guardMisses++
+		r.acts[p] = a
+		r.bufValid = false
+		switch {
+		case a == flat.NoAction:
+			// Enabled → disabled: p leaves the round.
+			r.enabled.clear(p)
+			r.enabledCount--
+			if r.enabledSince[p] <= r.roundStart && r.removedSeq[p] != r.roundSeq {
+				r.removedSeq[p] = r.roundSeq
+				r.pendingCount--
+			}
+		case old == flat.NoAction:
+			// Disabled → enabled: age 1 at the end of this step, and the
+			// epoch predicate keeps p out of the current round's snapshot
+			// (enabledSince > roundStart).
+			r.enabled.set(p)
+			r.enabledCount++
+			r.lastReset[p] = steps - 1
+			r.enabledSince[p] = steps
+		}
+	}
+	if r.tel != nil {
+		r.tel.ShardEvals(0, int64(len(r.dirtyBuf)))
+	}
+}

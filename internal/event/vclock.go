@@ -1,0 +1,18 @@
+package event
+
+import "sync/atomic"
+
+// VirtualClock publishes the runner's virtual time. Wiring Now as
+// telemetry.Config.Clock timestamps wave spans and step durations in
+// virtual ticks instead of wall nanoseconds — the discrete-event analogue
+// of a monotonic clock, deterministic across runs. Reads and writes are
+// atomic so the expvar/registry side can sample it concurrently.
+type VirtualClock struct{ v atomic.Int64 }
+
+// Now returns the current virtual time (telemetry.Config.Clock signature).
+func (c *VirtualClock) Now() int64 { return c.v.Load() }
+
+// set advances the clock; only the owning runner calls it.
+//
+//snapvet:hotpath
+func (c *VirtualClock) set(t int64) { c.v.Store(t) }

@@ -14,6 +14,7 @@ import (
 
 	"snappif/internal/check"
 	"snappif/internal/core"
+	"snappif/internal/event"
 	"snappif/internal/fault"
 	"snappif/internal/flat"
 	"snappif/internal/graph"
@@ -44,12 +45,23 @@ type Options struct {
 	// the live progress feed behind pifexp's -http endpoint.
 	Metrics *obs.Registry
 	// Engine selects the simulation engine for the snap-PIF runs that
-	// support both: "generic" (the interface-based sim.Runner, the default)
-	// or "flat" (the struct-of-arrays kernel in internal/flat). The engines
-	// are bit-identical — same moves, rounds, daemon choices, and traces —
-	// so every table is byte-identical across engines; "flat" only changes
-	// how fast the cells run (see DESIGN.md §9).
+	// support it: "generic" (the interface-based sim.Runner, the default),
+	// "flat" (the struct-of-arrays kernel in internal/flat), or "event"
+	// (the discrete-event scheduler in internal/event). The engines are
+	// bit-identical — same moves, rounds, daemon choices, and traces — so
+	// every table is byte-identical across engines; the choice only changes
+	// how fast the cells run (see DESIGN.md §9 and §12).
 	Engine string
+	// Latency, for the event engine only, replaces the daemon with the
+	// named per-link latency distribution (event.ParseLatency syntax,
+	// e.g. "const:2", "uniform:1-5", "pareto:a=1.5,cap=64"). Empty keeps
+	// the daemon-driven zero-latency mode that is bit-identical to the
+	// other engines.
+	Latency string
+	// VClock, if non-nil, receives the event engine's virtual-time tick
+	// counter as each step commits, so a telemetry Config.Clock built on it
+	// stamps spans in virtual time. Ignored by the other engines.
+	VClock *event.VirtualClock
 	// SweepWorkers enables the flat engine's parallel sharded guard sweep
 	// with this many workers (≤ 1 keeps sweeps on the calling goroutine).
 	// Ignored by the generic engine.
@@ -201,8 +213,35 @@ func runCycles(opt Options, g *graph.Graph, d sim.Daemon, k int, seed int64) ([]
 		}); err != nil {
 			return nil, err
 		}
+	case "event":
+		kern, err := flat.FromCore(pr)
+		if err != nil {
+			return nil, err
+		}
+		fc, err := flat.NewConfig(kern)
+		if err != nil {
+			return nil, err
+		}
+		lat, err := event.ParseLatency(opt.Latency)
+		if err != nil {
+			return nil, err
+		}
+		eopts := event.Options{
+			Options:       simOpts,
+			Latency:       lat,
+			Telemetry:     opt.Telemetry,
+			TelemetryMeta: meta,
+			VClock:        opt.VClock,
+		}
+		if lat != nil {
+			// Latency mode schedules itself; the daemon argument is unused.
+			d = nil
+		}
+		if _, err := event.Run(fc, kern, d, eopts); err != nil {
+			return nil, err
+		}
 	default:
-		return nil, fmt.Errorf("exp: unknown engine %q (want generic or flat)", opt.Engine)
+		return nil, fmt.Errorf("exp: unknown engine %q (want generic, flat, or event)", opt.Engine)
 	}
 	return obs.Cycles, nil
 }

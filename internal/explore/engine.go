@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"snappif/internal/core"
+	"snappif/internal/event"
 	"snappif/internal/flat"
 	"snappif/internal/graph"
 	"snappif/internal/hunt"
@@ -228,6 +229,86 @@ func (e *flatEngine) Step(states []core.State, sel []sim.Choice) ([]core.State, 
 	return succ, r.Enabled(), nil
 }
 
+// eventEngine drives the discrete-event engine in external-daemon mode
+// (event.Runner, zero latency), so scripted-selection enumeration covers
+// the third execution semantics through the same facade.
+type eventEngine struct {
+	kernel *flat.Protocol
+	cfg    *flat.Config
+	forced *forcedDaemon
+}
+
+// newEventEngine builds a scratch event engine over the shared flat kernel.
+// Like the flat engine, it mirrors the unmodified core protocol, so plants
+// are not supported.
+func newEventEngine(g *graph.Graph, root int, plant string, copts []core.Option) (*eventEngine, error) {
+	if plant != "" {
+		return nil, fmt.Errorf("explore: the event engine does not support plants (got %q)", plant)
+	}
+	pr, err := core.New(g, root, copts...)
+	if err != nil {
+		return nil, err
+	}
+	kernel, err := flat.FromCore(pr)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := flat.NewConfig(kernel)
+	if err != nil {
+		return nil, err
+	}
+	return &eventEngine{kernel: kernel, cfg: cfg, forced: &forcedDaemon{}}, nil
+}
+
+// Name implements Engine.
+func (e *eventEngine) Name() string { return "event" }
+
+// load scatters the vector into the SoA slices.
+func (e *eventEngine) load(states []core.State) {
+	for p := range states {
+		e.cfg.SetState(p, states[p])
+	}
+}
+
+// Probe implements Engine.
+func (e *eventEngine) Probe(states []core.State) ([]sim.Choice, error) {
+	e.load(states)
+	r, err := event.NewRunner(e.cfg, e.kernel, e.forced, event.Options{Options: engineOptions()})
+	if err != nil {
+		return nil, fmt.Errorf("explore: event probe: %w", err)
+	}
+	enabled := r.Enabled()
+	r.Close()
+	return enabled, nil
+}
+
+// Step implements Engine.
+func (e *eventEngine) Step(states []core.State, sel []sim.Choice) ([]core.State, []sim.Choice, error) {
+	e.load(states)
+	e.forced.sel = sel
+	e.forced.miss = false
+	r, err := event.NewRunner(e.cfg, e.kernel, e.forced, event.Options{Options: engineOptions()})
+	if err != nil {
+		return nil, nil, fmt.Errorf("explore: event step: %w", err)
+	}
+	defer r.Close()
+	done, err := r.Step()
+	if err != nil {
+		return nil, nil, fmt.Errorf("explore: event step: %w", err)
+	}
+	if e.forced.miss {
+		return nil, nil, fmt.Errorf("explore: event engine does not enable %v", sel)
+	}
+	if done {
+		return nil, nil, fmt.Errorf("explore: event step from %v reported terminal", sel)
+	}
+	succ := make([]core.State, len(states))
+	for p := range succ {
+		succ[p] = e.cfg.StateAt(p)
+	}
+	return succ, r.Enabled(), nil
+}
+
 // newEngine constructs the named engine kind.
 func newEngine(kind string, g *graph.Graph, root int, plant string, copts []core.Option) (Engine, error) {
 	switch kind {
@@ -235,6 +316,8 @@ func newEngine(kind string, g *graph.Graph, root int, plant string, copts []core
 		return newSimEngine(g, root, plant, copts)
 	case "flat":
 		return newFlatEngine(g, root, plant, copts)
+	case "event":
+		return newEventEngine(g, root, plant, copts)
 	}
-	return nil, fmt.Errorf("explore: unknown engine %q (want sim or flat)", kind)
+	return nil, fmt.Errorf("explore: unknown engine %q (want sim, flat, or event)", kind)
 }

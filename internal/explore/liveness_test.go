@@ -1,0 +1,174 @@
+package explore
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"snappif/internal/graph"
+)
+
+// TestLivenessCertifiesRoundBounds is the liveness half of the
+// certification table: on ≥5-processor non-star topologies, every
+// central-daemon schedule reaches the Theorem-4 target (one full PIF cycle
+// from the clean start) and the Theorem-1 target (a normal configuration
+// from corrupted starts) within the theorems' own round bounds. The
+// product-state and worst-round counts are pinned — the certifier is
+// deterministic, so any drift means the engines or the round accounting
+// changed.
+func TestLivenessCertifiesRoundBounds(t *testing.T) {
+	for _, tc := range []struct {
+		topo      string
+		mk        func() (*graph.Graph, error)
+		target    string
+		init      string
+		bound     int
+		worst     int
+		product   int
+		wantTrans int64
+	}{
+		{"line:5", func() (*graph.Graph, error) { return graph.Line(5) }, TargetCycle, "clean", 25, 20, 279, 468},
+		{"ring:5", func() (*graph.Graph, error) { return graph.Ring(5) }, TargetCycle, "clean", 25, 14, 767, 1347},
+		{"line:5", func() (*graph.Graph, error) { return graph.Line(5) }, TargetNormal, "faults:2", 15, 10, 25529, 67831},
+		{"ring:5", func() (*graph.Graph, error) { return graph.Ring(5) }, TargetNormal, "faults:2", 15, 8, 35007, 93752},
+		{"grid:2x3", func() (*graph.Graph, error) { return graph.Grid(2, 3) }, TargetCycle, "clean", 30, 17, 3634, 7621},
+	} {
+		t.Run(tc.topo+"/"+tc.target, func(t *testing.T) {
+			g, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			inits, err := Inits(tc.init, g, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := CertifyLiveness(g, 0, inits, LivenessOptions{Target: tc.target})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Verdict != "certified" || !res.Complete {
+				t.Fatalf("verdict %q (%s), want certified", res.Verdict, res.Violation)
+			}
+			if res.Bound != tc.bound || res.WorstRounds != tc.worst {
+				t.Errorf("bound/worst = %d/%d, want %d/%d", res.Bound, res.WorstRounds, tc.bound, tc.worst)
+			}
+			if res.ProductStates != tc.product || res.Transitions != tc.wantTrans {
+				t.Errorf("product/transitions = %d/%d, want %d/%d",
+					res.ProductStates, res.Transitions, tc.product, tc.wantTrans)
+			}
+		})
+	}
+}
+
+// TestLivenessEnginesAgree: the certifier is itself a differential — the
+// sim, flat, and event engines must produce the identical certification
+// (same product space, same transition count, same worst round), because
+// each forced step is the same protocol step.
+func TestLivenessEnginesAgree(t *testing.T) {
+	g, err := graph.Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inits, err := Inits("clean", g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base *LivenessResult
+	for _, engine := range []string{"sim", "flat", "event"} {
+		res, err := CertifyLiveness(g, 0, inits, LivenessOptions{Target: TargetCycle, Engine: engine})
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		want := *base
+		want.Engine = res.Engine
+		if !reflect.DeepEqual(*res, want) {
+			t.Errorf("%s certification diverges from sim:\nsim  %+v\n%s %+v", engine, *base, engine, *res)
+		}
+	}
+}
+
+// TestLivenessTightBoundViolates: a bound below the measured worst case
+// must flip the verdict to violation — the certifier really is checking the
+// bound, not just exploring.
+func TestLivenessTightBoundViolates(t *testing.T) {
+	g, err := graph.Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inits, err := Inits("clean", g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CertifyLiveness(g, 0, inits, LivenessOptions{Target: TargetCycle, Bound: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != "violation" || !strings.Contains(res.Violation, "19 rounds completed") {
+		t.Fatalf("bound 19 (< worst 20) not flagged: %+v", res)
+	}
+	// One round of slack over the worst case certifies again.
+	res, err = CertifyLiveness(g, 0, inits, LivenessOptions{Target: TargetCycle, Bound: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != "certified" || res.WorstRounds != 20 {
+		t.Fatalf("bound 20 should be exactly tight: %+v", res)
+	}
+}
+
+// TestLivenessNormalInitIsZeroRounds: a TargetNormal certification whose
+// initial states are already normal succeeds immediately with zero worst
+// rounds and an empty product space.
+func TestLivenessNormalInitIsZeroRounds(t *testing.T) {
+	g, err := graph.Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inits, err := Inits("clean", g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CertifyLiveness(g, 0, inits, LivenessOptions{Target: TargetNormal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != "certified" || res.WorstRounds != 0 || res.ProductStates != 0 {
+		t.Fatalf("already-normal init not certified in 0 rounds: %+v", res)
+	}
+}
+
+// TestLivenessOptionValidation: bad targets, oversized networks, empty
+// inits, and unknown engines are errors, not verdicts.
+func TestLivenessOptionValidation(t *testing.T) {
+	g, err := graph.Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inits, err := Inits("clean", g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CertifyLiveness(g, 0, inits, LivenessOptions{Target: "bogus"}); err == nil {
+		t.Error("bogus target accepted")
+	}
+	if _, err := CertifyLiveness(g, 0, nil, LivenessOptions{Target: TargetCycle}); err == nil {
+		t.Error("empty inits accepted")
+	}
+	if _, err := CertifyLiveness(g, 0, inits, LivenessOptions{Target: TargetCycle, Engine: "bogus"}); err == nil {
+		t.Error("bogus engine accepted")
+	}
+	big, err := graph.Line(maxN + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CertifyLiveness(big, 0, inits, LivenessOptions{Target: TargetCycle}); err == nil {
+		t.Error("oversized network accepted")
+	}
+	if _, err := CertifyLiveness(g, 0, inits, LivenessOptions{Target: TargetCycle, MaxStates: 3}); err == nil {
+		t.Error("state budget not enforced")
+	}
+}

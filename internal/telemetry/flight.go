@@ -22,17 +22,31 @@ import (
 // store packed choices (4 bytes per move, see packChoice) — recording runs
 // once per step on the hot path, so the copy must stay as small as the
 // replay data allows.
+//
+// The schedule ring is insertion-ordered, not step-indexed: engines may
+// stamp steps with sparse virtual times (the event engine's latency mode
+// skips ticks), so slot `step % len` addressing would collide and leave
+// holes. Each slot instead carries its stamp (stepOf); the ring holds the
+// most recent len(sched) batches regardless of how their stamps are spaced,
+// and evictedMax — the largest stamp ever overwritten — tells dump which
+// checkpoints still have complete coverage. Batches arrive with strictly
+// increasing stamps, so the slots between head−count and head are already
+// in replay order.
 type flight struct {
 	depth, every int
 
 	cps  []flightCheckpoint
 	next int // rotating checkpoint write index
 
-	sched    [][]uint32 // ring indexed by step % cap(sched), packed choices
-	lastStep int        // newest recorded step
-	count    int        // valid schedule entries, ≤ cap
-	frozen   bool
-	disabled bool // run's processor IDs exceed the packed encoding
+	sched      [][]uint32 // insertion-ordered ring of packed batches
+	stepOf     []int      // stamp of each slot, parallel to sched
+	head       int        // next insertion slot
+	count      int        // valid slots, ≤ len(sched)
+	lastStep   int        // newest recorded stamp
+	evictedMax int        // largest stamp overwritten by ring rotation
+	nextCp     int        // checkpoint threshold: due at step ≥ nextCp
+	frozen     bool
+	disabled   bool // run's processor IDs exceed the packed encoding
 }
 
 // Packed choice layout: proc in the upper 24 bits, action in the lower 8.
@@ -73,10 +87,12 @@ type flightCheckpoint struct {
 // checkpoint still has full coverage.
 func newFlight(depth, every int) *flight {
 	return &flight{
-		depth: depth,
-		every: every,
-		cps:   make([]flightCheckpoint, depth),
-		sched: make([][]uint32, depth*every),
+		depth:  depth,
+		every:  every,
+		cps:    make([]flightCheckpoint, depth),
+		sched:  make([][]uint32, depth*every),
+		stepOf: make([]int, depth*every),
+		nextCp: every,
 	}
 }
 
@@ -92,7 +108,16 @@ func (f *flight) record(step int, executed []sim.Choice, packed *[]uint32) {
 	if f.frozen || f.disabled {
 		return
 	}
-	slot := step % len(f.sched)
+	if f.count > 0 && step <= f.lastStep {
+		// Stale or duplicate stamp (e.g. two engines sharing one Telemetry):
+		// the ring stores strictly increasing stamps only, and a mixed
+		// stream is not replayable anyway.
+		return
+	}
+	slot := f.head
+	if f.count == len(f.sched) && f.stepOf[slot] > f.evictedMax {
+		f.evictedMax = f.stepOf[slot]
+	}
 	n := len(executed)
 	if packed != nil && len(*packed) == n {
 		f.sched[slot], *packed = *packed, f.sched[slot]
@@ -115,20 +140,23 @@ func (f *flight) record(step int, executed []sim.Choice, packed *[]uint32) {
 		}
 		f.sched[slot] = s
 	}
-	if step > f.lastStep {
-		if f.count < len(f.sched) {
-			f.count += step - f.lastStep
-			if f.count > len(f.sched) {
-				f.count = len(f.sched)
-			}
-		}
-		f.lastStep = step
+	f.stepOf[slot] = step
+	f.head++
+	if f.head == len(f.sched) {
+		f.head = 0
 	}
+	if f.count < len(f.sched) {
+		f.count++
+	}
+	f.lastStep = step
 }
 
-// due reports whether step is a checkpoint step.
+// due reports whether a checkpoint is owed at step. Threshold, not modulo:
+// sparse virtual-time stamps may never hit an exact multiple of the
+// cadence; for dense step counts the threshold fires on exactly the
+// multiples the old modulo did.
 func (f *flight) due(step int) bool {
-	return !f.frozen && !f.disabled && step%f.every == 0
+	return !f.frozen && !f.disabled && step >= f.nextCp
 }
 
 // checkpoint captures the full configuration after step into the next
@@ -145,6 +173,7 @@ func (f *flight) checkpoint(step int, src StateSource, nextMsg uint64) {
 	cp.step = step
 	cp.nextMsg = nextMsg
 	cp.valid = err == nil
+	f.nextCp = (step/f.every + 1) * f.every
 }
 
 // reset clears both rings for a new run segment.
@@ -157,14 +186,13 @@ func (f *flight) reset() {
 	}
 	f.lastStep = 0
 	f.count = 0
+	f.head = 0
+	f.evictedMax = 0
+	f.nextCp = f.every
 	f.next = 0
 	f.frozen = false
 	f.disabled = false
 }
-
-// covered is the oldest step whose executed choices the schedule ring
-// still holds.
-func (f *flight) covered() int { return f.lastStep - f.count + 1 }
 
 // dump cuts the recorder into a replayable scenario: the oldest valid
 // checkpoint with complete schedule coverage becomes Init (longest
@@ -178,7 +206,9 @@ func (f *flight) dump(meta RunMeta) (*hunt.Scenario, error) {
 	best := -1
 	for i := range f.cps {
 		cp := &f.cps[i]
-		if !cp.valid || cp.step > f.lastStep || cp.step+1 < f.covered() {
+		// Coverage: every recorded batch with a stamp above cp.step must
+		// still be in the ring, i.e. nothing above cp.step was evicted.
+		if !cp.valid || cp.step > f.lastStep || cp.step < f.evictedMax {
 			continue
 		}
 		if best == -1 || cp.step < f.cps[best].step {
@@ -209,12 +239,25 @@ func (f *flight) dump(meta RunMeta) (*hunt.Scenario, error) {
 	cfg := &sim.Configuration{G: meta.G, States: states}
 	snap := obs.CaptureSnapshot(cfg)
 
-	tail := make([][]sim.Choice, 0, f.lastStep-cp.step)
-	for step := cp.step + 1; step <= f.lastStep; step++ {
-		packed := f.sched[step%len(f.sched)]
+	// Collect the covered tail in insertion order (oldest slot first); the
+	// stamps are strictly increasing, so this is replay order. The replay
+	// schedule is the batch sequence — sparse virtual-time stamps replay as
+	// consecutive scripted steps, which is exactly the engine's committed
+	// step sequence.
+	tail := make([][]sim.Choice, 0, f.count)
+	start := f.head - f.count
+	if start < 0 {
+		start += len(f.sched)
+	}
+	for i := 0; i < f.count; i++ {
+		slot := (start + i) % len(f.sched)
+		if f.stepOf[slot] <= cp.step {
+			continue
+		}
+		packed := f.sched[slot]
 		choices := make([]sim.Choice, len(packed))
-		for i, v := range packed {
-			choices[i] = unpackChoice(v)
+		for j, v := range packed {
+			choices[j] = unpackChoice(v)
 		}
 		tail = append(tail, choices)
 	}

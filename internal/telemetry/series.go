@@ -25,6 +25,9 @@ type Row struct {
 	// GuardHitPct is the cumulative hbits guard-cache hit rate in percent
 	// (0 when the engine reports no guard statistics).
 	GuardHitPct int64
+	// QDepth is the event engine's wake-queue occupancy at the sampled
+	// step (0 for the other engines).
+	QDepth int64
 }
 
 // seriesExportCap bounds how many trailing rows String() renders: the
@@ -102,13 +105,13 @@ func (s *Series) String() string {
 	b.WriteString(strconv.Itoa(len(rows)))
 	b.WriteString(`,"dropped":`)
 	b.WriteString(strconv.FormatInt(dropped, 10))
-	b.WriteString(`,"cols":["step","enabled","b","f","c","waves","abn_waves","guard_hit_pct"],"rows":[`)
+	b.WriteString(`,"cols":["step","enabled","b","f","c","waves","abn_waves","guard_hit_pct","queue_depth"],"rows":[`)
 	for i, r := range exported {
 		if i > 0 {
 			b.WriteByte(',')
 		}
 		b.WriteByte('[')
-		for j, v := range [...]int64{r.Step, r.Enabled, r.B, r.F, r.C, r.Waves, r.AbnWaves, r.GuardHitPct} {
+		for j, v := range [...]int64{r.Step, r.Enabled, r.B, r.F, r.C, r.Waves, r.AbnWaves, r.GuardHitPct, r.QDepth} {
 			if j > 0 {
 				b.WriteByte(',')
 			}

@@ -104,6 +104,9 @@ type StepInfo struct {
 	// GuardHits and GuardMisses are the step's guard-cache tallies (flat
 	// engine hbits; zero elsewhere).
 	GuardHits, GuardMisses int64
+	// QueueDepth is the event engine's wake-queue occupancy after the step
+	// (entries, duplicates included); zero for the other engines.
+	QueueDepth int
 	// EvalNS, CommitNS, StepNS are wall-clock durations (0 when the engine
 	// has no clock or the corresponding timing level is off).
 	EvalNS, CommitNS, StepNS int64
@@ -169,10 +172,11 @@ type Telemetry struct {
 	shardEvals             Sharded
 	shardApplies           Sharded
 
-	mu     sync.Mutex
-	meta   RunMeta
-	series *Series
-	fl     *flight
+	mu         sync.Mutex
+	meta       RunMeta
+	series     *Series
+	fl         *flight
+	nextSample int // sampling threshold (under mu): sample at Step ≥ nextSample
 
 	// Wave-span state (under mu).
 	spans         []Span
@@ -209,9 +213,10 @@ func New(cfg Config) *Telemetry {
 		cfg.DetailTiming = false
 	}
 	t := &Telemetry{
-		cfg:    cfg,
-		series: newSeries(cfg.SeriesCap),
-		spans:  make([]Span, 0, cfg.MaxSpans),
+		cfg:        cfg,
+		series:     newSeries(cfg.SeriesCap),
+		spans:      make([]Span, 0, cfg.MaxSpans),
+		nextSample: cfg.SampleEvery,
 	}
 	if cfg.FlightDepth > 0 {
 		t.fl = newFlight(cfg.FlightDepth, cfg.FlightEvery)
@@ -252,6 +257,7 @@ func (t *Telemetry) BeginRun(meta RunMeta, src StateSource) {
 	defer t.mu.Unlock()
 	t.meta = meta
 	t.waveOpen = false
+	t.nextSample = t.cfg.SampleEvery
 	if src != nil {
 		b, f, c := src.Census()
 		t.cenB.Store(int64(b))
@@ -327,8 +333,13 @@ func (t *Telemetry) Step(info StepInfo, src StateSource) {
 			t.fl.checkpoint(info.Step, src, info.NextMsg)
 		}
 	}
-	if info.Step%t.cfg.SampleEvery == 0 {
+	// Threshold, not modulo: engines reporting sparse virtual-time stamps
+	// (the event engine's latency mode) may never land on an exact multiple
+	// of the cadence. For dense step counts the threshold fires on exactly
+	// the multiples the old modulo did.
+	if info.Step >= t.nextSample {
 		t.sampleLocked(info)
+		t.nextSample = (info.Step/t.cfg.SampleEvery + 1) * t.cfg.SampleEvery
 	}
 	t.mu.Unlock()
 }
@@ -423,6 +434,7 @@ func (t *Telemetry) sampleLocked(info StepInfo) {
 		Waves:       t.waves.Value(),
 		AbnWaves:    t.abnWaves.Value(),
 		GuardHitPct: hitPct,
+		QDepth:      int64(info.QueueDepth),
 	})
 }
 

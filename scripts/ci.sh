@@ -58,6 +58,15 @@ awk -v p="$telemetry_pct" 'BEGIN { exit (p + 0 >= 85) ? 0 : 1 }' || {
     exit 1
 }
 
+echo "== coverage floor (internal/event >= 85% of statements) =="
+go test ./internal/event/ -coverprofile=artifacts/event-cover.out -count=1 > /dev/null
+event_pct=$(go tool cover -func=artifacts/event-cover.out | awk '/^total:/ { sub(/%/,"",$NF); print $NF }')
+echo "internal/event statement coverage: ${event_pct}%"
+awk -v p="$event_pct" 'BEGIN { exit (p + 0 >= 85) ? 0 : 1 }' || {
+    echo "internal/event coverage ${event_pct}% below the 85% floor" >&2
+    exit 1
+}
+
 echo "== coverage floor (internal/analysis + dataflow >= 85% of statements) =="
 go test ./internal/analysis/... -coverpkg=./internal/analysis/... -coverprofile=artifacts/analysis-cover.out -count=1 > /dev/null
 analysis_pct=$(go tool cover -func=artifacts/analysis-cover.out | awk '/^total:/ { sub(/%/,"",$NF); print $NF }')
@@ -73,6 +82,9 @@ go test -race ./internal/sim/ ./internal/exp/ ./internal/runtime/ ./cmd/pifexp/ 
 echo "== race: flat engine (differential grid + sharded sweep) =="
 go test -race ./internal/flat/
 
+echo "== race: event engine (three-way differential + latency properties) =="
+go test -race ./internal/event/
+
 echo "== race: counterexample hunter =="
 go test -race ./internal/hunt/
 
@@ -86,6 +98,7 @@ echo "== allocation budget (zero allocs/step after warm-up, disabled tracer incl
 go test ./internal/sim/ -run 'TestZeroAllocs|TestCycleByteBudget|TestChoicesBufferReuse|TestCopyFromZeroAllocs' -count=1 -v
 go test ./internal/obs/ -run TestDisabledTracerZeroAllocs -count=1 -v
 go test ./internal/flat/ -run 'TestFlatZeroAllocsPerStep|TestFlatShardedZeroAllocsPerStep|TestFlatCopyFromZeroAllocs' -count=1 -v
+go test ./internal/event/ -run TestEventZeroAllocsPerStep -count=1 -v
 go test ./internal/telemetry/ -run 'TestDisabledAllocs|TestEnabledSteadyStateAllocs' -count=1 -v
 
 echo "== determinism (serial vs parallel, optimized vs reference) =="
@@ -97,6 +110,9 @@ echo "== determinism (flat engine bit-identical to generic) =="
 go test ./internal/flat/ -run TestFlatMatchesGeneric -count=1
 go test ./internal/exp/ -run TestFlatEngineTablesByteIdentical -count=1
 go test ./cmd/pifexp/ -run TestRunFlatEngineIdenticalStdout -count=1
+
+echo "== determinism (event engine: three-way differential, latency repeatability) =="
+go test ./internal/event/ -run 'TestEventMatchesThreeWay|TestEventTraceByteIdentical|TestEventRunDeterministic|TestEventLatencyMatchesInducedDaemon' -count=1
 
 echo "== hunt smoke (clean protocol must hunt clean on a 2x4 grid) =="
 go run ./cmd/pifhunt hunt -topo grid:2x4 -trials 4 -steps 4000
@@ -119,6 +135,7 @@ if [ "${CI_FUZZ:-0}" = "1" ]; then
     go test ./internal/sim/ -run xxx -fuzz FuzzBitsetRoundAccounting -fuzztime 10s
     go test ./internal/fault/ -run xxx -fuzz FuzzInjectorRecovery -fuzztime 10s
     go test ./internal/flat/ -run xxx -fuzz FuzzFlatVsGeneric -fuzztime 10s
+    go test ./internal/event/ -run xxx -fuzz FuzzThreeEngines -fuzztime 10s
     go test ./internal/hunt/ -run xxx -fuzz FuzzScenarioJSON -fuzztime 10s
 fi
 
