@@ -5,10 +5,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"runtime/debug"
 	"time"
 
 	"snappif/internal/core"
+	"snappif/internal/exp"
 	"snappif/internal/graph"
 	"snappif/internal/sim"
 	"snappif/internal/trace"
@@ -36,32 +36,6 @@ type benchReport struct {
 	Commit     string         `json:"commit"`
 	Cells      []benchCell    `json:"cells"`
 	CellTimes  []trace.Timing `json:"experiment_cell_seconds,omitempty"`
-}
-
-// vcsCommit returns the VCS revision baked into the binary by the Go
-// toolchain ("unknown" for go-run builds or builds outside a repository),
-// with a "+dirty" suffix when the working tree was modified.
-func vcsCommit() string {
-	info, ok := debug.ReadBuildInfo()
-	if !ok {
-		return "unknown"
-	}
-	rev, dirty := "", false
-	for _, s := range info.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			rev = s.Value
-		case "vcs.modified":
-			dirty = s.Value == "true"
-		}
-	}
-	if rev == "" {
-		return "unknown"
-	}
-	if dirty {
-		rev += "+dirty"
-	}
-	return rev
 }
 
 // measureSim steps a warm runner for a fixed number of committed steps and
@@ -127,10 +101,14 @@ func writeBench(path string, timings *trace.Timings) error {
 		{mk(graph.Grid(8, 8)), sim.Synchronous{}},
 		{mk(graph.Line(64)), sim.Central{Order: sim.CentralRandom}},
 	}
+	commit, err := exp.VCSCommit()
+	if err != nil {
+		return err
+	}
 	rep := benchReport{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Commit:     vcsCommit(),
+		Commit:     commit,
 	}
 	for _, c := range grid {
 		cell, err := measureSim(c.g, c.d, 50_000)

@@ -11,6 +11,7 @@ import (
 
 	"snappif/internal/core"
 	"snappif/internal/event"
+	"snappif/internal/exp"
 	"snappif/internal/flat"
 	"snappif/internal/graph"
 	"snappif/internal/sim"
@@ -336,11 +337,15 @@ func writeScale(path string, seed int64) error {
 	if workers < 2 {
 		workers = 2
 	}
+	commit, err := exp.VCSCommit()
+	if err != nil {
+		return err
+	}
 	rep := scaleReport{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
-		Commit:     vcsCommit(),
+		Commit:     commit,
 		Seed:       seed,
 	}
 	for _, pt := range scalePoints {

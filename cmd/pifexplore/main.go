@@ -31,7 +31,6 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
-	"strings"
 
 	"snappif/internal/explore"
 	"snappif/internal/graph"
@@ -87,7 +86,7 @@ func runOne(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	g, err := parseTopo(*topo)
+	g, err := graph.Parse(*topo)
 	if err != nil {
 		return err
 	}
@@ -223,7 +222,7 @@ func runCertify(args []string, out io.Writer) error {
 	var art certArtifact
 	bad := 0
 	for _, row := range certTable(*quick) {
-		g, err := parseTopo(row.topo)
+		g, err := graph.Parse(row.topo)
 		if err != nil {
 			return err
 		}
@@ -241,7 +240,7 @@ func runCertify(args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out, "\n"+livenessHeader())
 	for _, row := range livenessTable(*quick) {
-		g, err := parseTopo(row.topo)
+		g, err := graph.Parse(row.topo)
 		if err != nil {
 			return err
 		}
@@ -340,43 +339,4 @@ func writeJSON(path string, v any) error {
 		}
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
-}
-
-// parseTopo builds a graph from a "family:params" spec (the pifhunt
-// syntax; explore's n ≤ 12 bound is enforced by the explorer itself).
-func parseTopo(spec string) (*graph.Graph, error) {
-	fam, params, ok := strings.Cut(spec, ":")
-	if !ok {
-		return nil, fmt.Errorf("topology %q: want family:params (e.g. line:3)", spec)
-	}
-	if fam == "grid" {
-		r, c, ok := strings.Cut(params, "x")
-		if !ok {
-			return nil, fmt.Errorf("topology %q: want grid:RxC", spec)
-		}
-		rows, err := strconv.Atoi(r)
-		if err != nil {
-			return nil, fmt.Errorf("topology %q: %w", spec, err)
-		}
-		cols, err := strconv.Atoi(c)
-		if err != nil {
-			return nil, fmt.Errorf("topology %q: %w", spec, err)
-		}
-		return graph.Grid(rows, cols)
-	}
-	n, err := strconv.Atoi(params)
-	if err != nil {
-		return nil, fmt.Errorf("topology %q: %w", spec, err)
-	}
-	switch fam {
-	case "line":
-		return graph.Line(n)
-	case "ring":
-		return graph.Ring(n)
-	case "star":
-		return graph.Star(n)
-	case "complete":
-		return graph.Complete(n)
-	}
-	return nil, fmt.Errorf("unknown topology family %q", fam)
 }

@@ -24,12 +24,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"strconv"
-	"strings"
 
 	"snappif/internal/fault"
 	"snappif/internal/graph"
 	"snappif/internal/hunt"
+	"snappif/internal/service"
 )
 
 func main() {
@@ -78,7 +77,7 @@ func runHunt(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	g, err := parseTopo(*topo)
+	g, err := graph.Parse(*topo)
 	if err != nil {
 		return err
 	}
@@ -145,6 +144,9 @@ func runReplay(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if sc.Service != nil {
+		return replayService(sc, *trFile, out)
+	}
 	var rep *hunt.Report
 	if *trFile != "" {
 		f, err := os.Create(*trFile)
@@ -179,6 +181,26 @@ func runReplay(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "pifhunt: VIOLATION %s\n", v.String())
 	}
 	return errFound
+}
+
+// replayService re-runs a serving scenario (hunt.Scenario with a Service
+// spec) deterministically. trFile, when set, receives the run's canonical
+// byte report — the serving analog of an obs trace: two replays of the same
+// scenario bytes write identical files.
+func replayService(sc *hunt.Scenario, trFile string, out io.Writer) error {
+	rep, err := service.ReplayScenario(sc)
+	if err != nil {
+		return err
+	}
+	if trFile != "" {
+		if err := os.WriteFile(trFile, rep.Canonical(), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "pifhunt: replayed serving run on %s (%s): %d waves in %d ticks, residue=%d aborts=%d, latency p50=%d p99=%d ticks\n",
+		sc.Topology.Name, rep.Engine, len(rep.Waves), rep.Ticks, rep.Residue, rep.Aborts,
+		rep.QuantileTicks(0.50), rep.QuantileTicks(0.99))
+	return nil
 }
 
 func runShrink(args []string, out io.Writer) error {
@@ -268,48 +290,6 @@ func writeTrace(path string, sc *hunt.Scenario) error {
 		return terr
 	}
 	return cerr
-}
-
-// parseTopo builds a graph from a "family:params" spec.
-func parseTopo(spec string) (*graph.Graph, error) {
-	fam, params, ok := strings.Cut(spec, ":")
-	if !ok {
-		return nil, fmt.Errorf("topology %q: want family:params (e.g. grid:2x4)", spec)
-	}
-	if fam == "grid" {
-		r, c, ok := strings.Cut(params, "x")
-		if !ok {
-			return nil, fmt.Errorf("topology %q: want grid:RxC", spec)
-		}
-		rows, err := strconv.Atoi(r)
-		if err != nil {
-			return nil, fmt.Errorf("topology %q: %w", spec, err)
-		}
-		cols, err := strconv.Atoi(c)
-		if err != nil {
-			return nil, fmt.Errorf("topology %q: %w", spec, err)
-		}
-		return graph.Grid(rows, cols)
-	}
-	n, err := strconv.Atoi(params)
-	if err != nil {
-		return nil, fmt.Errorf("topology %q: %w", spec, err)
-	}
-	switch fam {
-	case "line":
-		return graph.Line(n)
-	case "ring":
-		return graph.Ring(n)
-	case "star":
-		return graph.Star(n)
-	case "complete":
-		return graph.Complete(n)
-	case "hypercube":
-		return graph.Hypercube(n)
-	case "btree":
-		return graph.BinaryTree(n)
-	}
-	return nil, fmt.Errorf("unknown topology family %q", fam)
 }
 
 func orClean(s string) string {

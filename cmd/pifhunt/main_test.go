@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"snappif/internal/graph"
 )
 
 func TestHuntCleanProtocolExitsZero(t *testing.T) {
@@ -128,17 +130,17 @@ func TestParseTopo(t *testing.T) {
 		{"line:5", 5}, {"ring:6", 6}, {"star:7", 7}, {"complete:4", 4},
 		{"grid:2x4", 8}, {"hypercube:3", 8}, {"btree:7", 7},
 	} {
-		g, err := parseTopo(tc.spec)
+		g, err := graph.Parse(tc.spec)
 		if err != nil {
-			t.Fatalf("parseTopo(%q): %v", tc.spec, err)
+			t.Fatalf("graph.Parse(%q): %v", tc.spec, err)
 		}
 		if g.N() != tc.n {
-			t.Fatalf("parseTopo(%q).N() = %d, want %d", tc.spec, g.N(), tc.n)
+			t.Fatalf("graph.Parse(%q).N() = %d, want %d", tc.spec, g.N(), tc.n)
 		}
 	}
 	for _, bad := range []string{"", "grid", "grid:2", "blob:4", "line:x"} {
-		if _, err := parseTopo(bad); err == nil {
-			t.Fatalf("parseTopo(%q) accepted", bad)
+		if _, err := graph.Parse(bad); err == nil {
+			t.Fatalf("graph.Parse(%q) accepted", bad)
 		}
 	}
 }

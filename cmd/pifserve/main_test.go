@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("pifserve %s: %v\n%s", strings.Join(args, " "), err, buf.String())
+	}
+	return buf.String()
+}
+
+func TestRunSubcommand(t *testing.T) {
+	out := runCLI(t, "run", "-topo", "ring:16", "-engine", "flat",
+		"-initiators", "0,8", "-rate", "10", "-requests", "20", "-seed", "3")
+	if !strings.Contains(out, "20 waves") {
+		t.Fatalf("expected 20 delivered waves:\n%s", out)
+	}
+	// Same flags twice → byte-identical output (virtual time only).
+	if out2 := runCLI(t, "run", "-topo", "ring:16", "-engine", "flat",
+		"-initiators", "0,8", "-rate", "10", "-requests", "20", "-seed", "3"); out2 != out {
+		t.Fatalf("non-deterministic CLI output:\n%s\nvs\n%s", out, out2)
+	}
+}
+
+func TestRunJSONAndMix(t *testing.T) {
+	out := runCLI(t, "run", "-topo", "line:8", "-engine", "event", "-latency", "const:2",
+		"-rate", "5", "-requests", "10", "-mix", "snapshot=3,barrier=1", "-json")
+	var s struct {
+		Engine string  `json:"engine"`
+		Waves  int     `json:"waves"`
+		P99    int64   `json:"p99_ticks"`
+		WPK    float64 `json:"waves_per_ktick"`
+	}
+	if err := json.Unmarshal([]byte(out), &s); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if s.Engine != "event" || s.Waves != 10 || s.P99 <= 0 || s.WPK <= 0 {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+func TestSerialFlag(t *testing.T) {
+	out := runCLI(t, "run", "-topo", "ring:12", "-initiators", "0,6",
+		"-rate", "50", "-requests", "12", "-serial")
+	if !strings.Contains(out, "serial") {
+		t.Fatalf("serial mode not reported:\n%s", out)
+	}
+}
+
+func TestCapacitySubcommand(t *testing.T) {
+	out := runCLI(t, "capacity", "-topo", "ring:16", "-engine", "flat",
+		"-requests", "30", "-slo-p99", "500", "-lo", "0.5", "-hi", "100", "-iters", "6")
+	if !strings.Contains(out, "sustains") {
+		t.Fatalf("no capacity verdict:\n%s", out)
+	}
+}
+
+func TestDumpReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	runCLI(t, "dump", "-topo", "ring:12", "-engine", "flat", "-initiators", "0,6",
+		"-rate", "20", "-requests", "15", "-out", path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"service"`) || !strings.Contains(string(data), `"arrivals"`) {
+		t.Fatalf("scenario missing service spec:\n%s", data)
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{},
+		{"warp"},
+		{"run", "-topo", "moebius:9"},
+		{"run", "-topo", "ring:8", "-initiators", "0,x"},
+		{"run", "-topo", "ring:8", "-mix", "snapshot"},
+		{"run", "-topo", "ring:8", "-mix", "snapshot=x"},
+		{"capacity", "-topo", "ring:8"}, // missing -slo-p99
+		{"dump", "-topo", "ring:8"},     // missing -out
+	} {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("pifserve %v accepted", args)
+		}
+	}
+}
+
+// TestServiceBenchSmoke is the CI_SERVICE=1 gate: the quick bench grid must
+// emit the pinned small cell — every offered request delivered on the
+// flat/ring:64 cell — and be byte-identical across two runs (modulo nothing:
+// the commit stamp is resolved once per process environment, not per run).
+func TestServiceBenchSmoke(t *testing.T) {
+	if os.Getenv("CI_SERVICE") != "1" {
+		t.Skip("set CI_SERVICE=1 to run the bench smoke gate")
+	}
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "b1.json")
+	p2 := filepath.Join(dir, "b2.json")
+	runCLI(t, "bench", "-quick", "-out", p1)
+	runCLI(t, "bench", "-quick", "-out", p2)
+	d1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Fatal("bench grid not byte-identical across runs")
+	}
+	var rep struct {
+		Commit    string `json:"commit"`
+		LoadCells []struct {
+			Engine   string `json:"engine"`
+			Topology string `json:"topology"`
+			Requests int    `json:"requests"`
+			Waves    int    `json:"waves"`
+			P50      int64  `json:"p50_ticks"`
+		} `json:"load_cells"`
+	}
+	if err := json.Unmarshal(d1, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Commit == "" || rep.Commit == "unknown" {
+		t.Fatalf("bench commit stamp %q", rep.Commit)
+	}
+	pinned := false
+	for _, c := range rep.LoadCells {
+		if c.Engine == "flat" && c.Topology == "ring:64" {
+			pinned = true
+			if c.Waves != c.Requests {
+				t.Fatalf("pinned cell dropped waves: %d/%d", c.Waves, c.Requests)
+			}
+			if c.P50 <= 0 {
+				t.Fatalf("pinned cell p50 = %d", c.P50)
+			}
+		}
+	}
+	if !pinned {
+		t.Fatal("quick grid no longer contains the pinned flat/ring:64 cell")
+	}
+}

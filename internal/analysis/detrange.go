@@ -24,6 +24,7 @@ var detrangePackages = map[string]bool{
 	"internal/trace":   true,
 	"internal/obs":     true,
 	"internal/hunt":    true,
+	"internal/service": true,
 }
 
 // detrange enforces the engine's determinism invariant at its three

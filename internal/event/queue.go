@@ -56,14 +56,15 @@ func (q *queue) push(t int64, p int32) {
 	q.size++
 }
 
-// pop advances to the next non-empty bucket and returns its time and
-// contents. The returned slice is only valid until the following push or
-// pop: the slot is recycled. ok is false when the queue is empty.
+// peek advances past empty buckets and returns the virtual time of the
+// earliest pending wake without consuming it. ok is false when the queue is
+// empty. Advancing base here is safe: skipped slots are empty, so no entry
+// is lost, and a subsequent push can only target the remaining window.
 //
 //snapvet:hotpath
-func (q *queue) pop() (t int64, batch []int32, ok bool) {
+func (q *queue) peek() (t int64, ok bool) {
 	if q.size == 0 {
-		return 0, nil, false
+		return 0, false
 	}
 	for len(q.buckets[q.head]) == 0 {
 		q.buckets[q.head] = q.buckets[q.head][:0]
@@ -73,7 +74,19 @@ func (q *queue) pop() (t int64, batch []int32, ok bool) {
 		}
 		q.base++
 	}
-	t = q.base
+	return q.base, true
+}
+
+// pop advances to the next non-empty bucket and returns its time and
+// contents. The returned slice is only valid until the following push or
+// pop: the slot is recycled. ok is false when the queue is empty.
+//
+//snapvet:hotpath
+func (q *queue) pop() (t int64, batch []int32, ok bool) {
+	t, ok = q.peek()
+	if !ok {
+		return 0, nil, false
+	}
 	batch = q.buckets[q.head]
 	q.size -= len(batch)
 	// Recycle the slot and step past it so wakes for t+1 land correctly
@@ -93,3 +106,29 @@ func (q *queue) pop() (t int64, batch []int32, ok bool) {
 //
 //snapvet:hotpath
 func (q *queue) depth() int { return q.size }
+
+// wake schedules an out-of-band re-evaluation of p, clamping t into the
+// window the ring can still hold, and returns the effective time. Unlike
+// push it never panics: wakes are re-evaluation hints (the scheduler dedups
+// and drops disabled processors at pop time), so delivering one *early* is
+// always sound — the clamps only ever move t earlier relative to the
+// requested point, never lose it.
+//
+//   - Empty queue, t beyond base: fast-forward base to t, so a far-future
+//     arrival on an otherwise idle schedule lands exactly on time.
+//   - t before base: the requested tick has already been consumed; deliver
+//     at base, the earliest still-addressable tick.
+//   - t beyond the horizon: deliver at the last in-window tick.
+func (q *queue) wake(t int64, p int32) int64 {
+	if q.size == 0 && t > q.base {
+		q.base = t
+	}
+	if t < q.base {
+		t = q.base
+	}
+	if d := t - q.base; d >= int64(len(q.buckets)) {
+		t = q.base + int64(len(q.buckets)) - 1
+	}
+	q.push(t, p)
+	return t
+}

@@ -159,3 +159,56 @@ func TestQueuePopAfterSparseGap(t *testing.T) {
 		t.Fatalf("second pop = (%d, %v, %v), want (100, [1], true)", tick, batch, ok)
 	}
 }
+
+// TestQueueWakeClamps pins wake's out-of-band scheduling semantics: empty
+// queue fast-forward, before-base clamp, and beyond-horizon clamp — every
+// clamp delivers early-or-exact, never loses the wake.
+func TestQueueWakeClamps(t *testing.T) {
+	q := newQueue(4) // window [base, base+4)
+
+	// Empty queue, far-future wake: base fast-forwards to the target.
+	if eff := q.wake(100, 1); eff != 100 {
+		t.Fatalf("empty-queue wake: eff = %d, want 100", eff)
+	}
+	if tm, batch, ok := q.pop(); !ok || tm != 100 || len(batch) != 1 || batch[0] != 1 {
+		t.Fatalf("pop after fast-forward: t=%d batch=%v ok=%v", tm, batch, ok)
+	}
+
+	// base is now 101; a wake for an already-consumed tick clamps to base.
+	if eff := q.wake(50, 2); eff != 101 {
+		t.Fatalf("past wake: eff = %d, want 101", eff)
+	}
+
+	// Non-empty queue, beyond-horizon wake clamps to the last in-window
+	// slot (101+4-1 = 104) instead of panicking like push.
+	if eff := q.wake(1000, 3); eff != 104 {
+		t.Fatalf("beyond-horizon wake: eff = %d, want 104", eff)
+	}
+	if tm, batch, ok := q.pop(); !ok || tm != 101 || batch[0] != 2 {
+		t.Fatalf("pop clamped-past wake: t=%d batch=%v ok=%v", tm, batch, ok)
+	}
+	if tm, batch, ok := q.pop(); !ok || tm != 104 || batch[0] != 3 {
+		t.Fatalf("pop clamped-horizon wake: t=%d batch=%v ok=%v", tm, batch, ok)
+	}
+	if _, _, ok := q.pop(); ok {
+		t.Fatal("queue not empty after draining wakes")
+	}
+}
+
+// TestQueuePeekNonConsuming: peek reports the earliest pending time without
+// consuming it, and agrees with the subsequent pop.
+func TestQueuePeekNonConsuming(t *testing.T) {
+	q := newQueue(8)
+	q.push(3, 9)
+	for i := 0; i < 3; i++ {
+		if tm, ok := q.peek(); !ok || tm != 3 {
+			t.Fatalf("peek #%d: t=%d ok=%v, want 3", i, tm, ok)
+		}
+	}
+	if tm, batch, ok := q.pop(); !ok || tm != 3 || batch[0] != 9 {
+		t.Fatalf("pop after peek: t=%d batch=%v ok=%v", tm, batch, ok)
+	}
+	if _, ok := q.peek(); ok {
+		t.Fatal("peek on empty queue reported ok")
+	}
+}

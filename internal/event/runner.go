@@ -37,12 +37,26 @@ type Options struct {
 	// every committed step. Wiring it as the telemetry Clock timestamps
 	// wave spans in virtual time instead of wall time.
 	VClock *VirtualClock
+
+	// Gate, when non-nil, filters the induced schedule (latency mode only):
+	// a woken processor whose enabled action a fails Gate(p, a) is withheld
+	// from the batch and its wake consumed. The caller owns the lost-wakeup
+	// cure — whoever opens the gate must call Runner.Wake for the withheld
+	// processor. A fully gated quiescent schedule parks (Idle) instead of
+	// reporting a drained-queue invariant violation or terminating, so a
+	// gated runner must be driven through ServeStep, never Run.
+	Gate func(p int, a int32) bool
 }
 
 // Run executes the kernel on configuration c (mutated in place) until a
 // terminal configuration, the stop predicate, or the step limit — the
 // event-engine counterpart of flat.Run, with the same error contract.
 func Run(c *flat.Config, k *flat.Protocol, d sim.Daemon, opts Options) (sim.Result, error) {
+	if opts.Gate != nil {
+		// A gated schedule can park without terminating; Run would spin on
+		// the no-progress steps forever.
+		return sim.Result{}, fmt.Errorf("event: Run does not support a gated schedule; drive Runner.ServeStep")
+	}
 	r, err := NewRunner(c, k, d, opts)
 	if err != nil {
 		return sim.Result{}, err
@@ -128,6 +142,13 @@ type Runner struct {
 	wakeStamp []int64
 	wakeBuf   []int32
 
+	// Serving-layer gating (latency mode only): the admission filter, the
+	// current ServeStep bound (-1 = unbounded), and whether the last Step
+	// committed a batch (vs parking or stopping short of the bound).
+	gate       func(p int, a int32) bool
+	limit      int64
+	progressed bool
+
 	tel         *telemetry.Telemetry
 	telSrc      *telSource
 	guardHits   int64
@@ -157,6 +178,9 @@ func NewRunner(c *flat.Config, k *flat.Protocol, d sim.Daemon, opts Options) (*R
 	}
 	if opts.Latency == nil && d == nil {
 		return nil, fmt.Errorf("event: need a daemon or a latency distribution")
+	}
+	if opts.Gate != nil && opts.Latency == nil {
+		return nil, fmt.Errorf("event: Gate requires a latency distribution (the external-daemon path has no wake queue to park)")
 	}
 	for _, o := range opts.Observers {
 		if mo, ok := o.(sim.MutatingObserver); ok && mo.MutatesConfiguration() {
@@ -193,6 +217,9 @@ func NewRunner(c *flat.Config, k *flat.Protocol, d sim.Daemon, opts Options) (*R
 
 		scratch: newBitmark(n),
 		stage:   make([]core.State, n),
+
+		gate:  opts.Gate,
+		limit: -1,
 	}
 	r.actionMoves = make([]int, len(r.names))
 	r.actPrev = make([]int, len(r.names))
@@ -298,6 +325,103 @@ func (r *Runner) QueueDepth() int {
 	return r.q.depth()
 }
 
+// EnabledCount returns the number of currently enabled processors — the
+// guard cache's incremental count.
+func (r *Runner) EnabledCount() int { return r.enabledCount }
+
+// EnabledActionOf returns p's cached enabled action or flat.NoAction. The
+// serving layer's park check reads it to decide whether a gated lane has
+// quiesced down to exactly the withheld root broadcast.
+func (r *Runner) EnabledActionOf(p int) int32 { return r.acts[p] }
+
+// NextWake returns the virtual time of the earliest pending wake, or -1
+// when the queue is empty (or the runner is in external-daemon mode). The
+// serving layer fast-forwards across idle gaps with it.
+func (r *Runner) NextWake() int64 {
+	if r.q == nil {
+		return -1
+	}
+	t, ok := r.q.peek()
+	if !ok {
+		return -1
+	}
+	return t
+}
+
+// Idle reports whether the induced schedule has no effective work left at
+// any future time: the wake queue is drained and everything still enabled
+// is withheld by the gate (or nothing is enabled at all). An idle gated
+// runner resumes only through Wake.
+func (r *Runner) Idle() bool {
+	if r.finished {
+		return true
+	}
+	if r.q == nil {
+		return r.enabledCount == 0
+	}
+	if r.q.depth() > 0 {
+		return false
+	}
+	if r.enabledCount == 0 {
+		return true
+	}
+	return r.gate != nil && !r.anyEnabledUngated()
+}
+
+// anyEnabledUngated reports whether some enabled processor's action passes
+// the gate — the discriminator between a gated park and a genuine lost
+// wakeup when the queue drains.
+func (r *Runner) anyEnabledUngated() bool {
+	any := false
+	r.enabled.forEach(func(p int) { //snapvet:ok non-escaping closure over r, stack-allocated
+		if !any && r.gate(p, r.acts[p]) {
+			any = true
+		}
+	})
+	return any
+}
+
+// Wake schedules an out-of-band re-evaluation of p at virtual time at and
+// returns the effective (clamped) time — the serving layer's lost-wakeup
+// cure when its admission gate opens. Early delivery is always sound
+// (wakes are re-evaluation hints, deduplicated and filtered at pop time),
+// so the queue clamps rather than rejects out-of-window times; see
+// queue.wake. Latency mode only.
+func (r *Runner) Wake(p int, at int64) int64 {
+	if r.q == nil {
+		panic("event: Wake requires latency mode")
+	}
+	eff := r.q.wake(at, int32(p))
+	if r.wakeStamp[p] >= eff {
+		// Defensive: never let the dedup stamp swallow an explicit wake.
+		r.wakeStamp[p] = eff - 1
+	}
+	return eff
+}
+
+// ServeStep advances the induced schedule by at most one effective batch
+// whose virtual time is ≤ limit (limit < 0 means unbounded). It returns
+// progressed=false — with nothing committed — when the earliest effective
+// batch lies beyond limit or the schedule is gate-parked; stale wakes at or
+// before limit (disabled or withheld processors) are consumed either way.
+// Errors carry Step's contract (step limit, lost wakeup). Latency mode
+// only: this is the serving layer's tick-bounded drive.
+func (r *Runner) ServeStep(limit int64) (progressed bool, err error) {
+	if r.lat == nil {
+		return false, fmt.Errorf("event: ServeStep requires latency mode")
+	}
+	if r.finished {
+		return false, r.err
+	}
+	r.limit = limit
+	_, err = r.Step()
+	r.limit = -1
+	if err != nil {
+		return false, err
+	}
+	return r.progressed, nil
+}
+
 // Close releases run resources. The event runner holds none (no worker
 // pool), but callers treat all engines uniformly.
 func (r *Runner) Close() {}
@@ -356,6 +480,13 @@ func (r *Runner) Step() (done bool, err error) {
 		selected = r.selBuf
 	} else {
 		if r.enabledCount == 0 {
+			if r.gate != nil {
+				// Gated quiescence is not termination: the gate may open
+				// and a Wake re-arm the schedule.
+				r.progressed = false
+				return false, nil
+			}
+			r.progressed = false
 			r.res.Terminal = true
 			r.finish()
 			return true, nil
@@ -372,6 +503,12 @@ func (r *Runner) Step() (done bool, err error) {
 			r.err = err
 			r.finish()
 			return true, err
+		}
+		if selected == nil {
+			// No effective batch within the ServeStep bound, or a gated
+			// park: nothing committed, nothing consumed beyond stale wakes.
+			r.progressed = false
+			return false, nil
 		}
 		// Wakes are drawn before the commit (scheduling reads no state) in
 		// the same (mover asc × CSR neighbor) order InducedDaemon draws at
@@ -437,6 +574,7 @@ func (r *Runner) Step() (done bool, err error) {
 		db, df, dc = flat.CensusDeltas(r.actionMoves, r.actPrev, rootAct, rootBefore, r.c.Phase(root))
 	}
 	r.res.Steps++
+	r.progressed = true
 	r.rs.Steps, r.rs.Moves = r.res.Steps, r.res.Moves
 	steps := r.res.Steps
 	if r.lat == nil {
@@ -518,27 +656,44 @@ func (r *Runner) Step() (done bool, err error) {
 }
 
 // nextBatch advances the wake queue to the next effective batch: the woken
-// processors (deduplicated) that are currently enabled, in ascending
-// processor order. Ticks whose batch is entirely disabled are consumed
-// silently — they are not computation steps.
+// processors (deduplicated) that are currently enabled — and, under a gate,
+// admitted — in ascending processor order. Ticks whose batch is entirely
+// disabled or withheld are consumed silently — they are not computation
+// steps. A nil, nil return means no progress without failure: the earliest
+// effective batch lies beyond the ServeStep bound, or the schedule is
+// gate-parked (queue drained with every enabled action withheld).
 //
 //snapvet:hotpath
 func (r *Runner) nextBatch() ([]sim.Choice, error) {
 	for {
-		t, bucket, ok := r.q.pop()
+		t, ok := r.q.peek()
 		if !ok {
+			if r.gate != nil && !r.anyEnabledUngated() {
+				return nil, nil
+			}
 			//snapvet:ok cold invariant-violation failure path
 			return nil, fmt.Errorf("event: wake queue drained with %d processors enabled (lost wakeup)", r.enabledCount)
 		}
+		if r.limit >= 0 && t > r.limit {
+			return nil, nil
+		}
+		_, bucket, _ := r.q.pop()
 		r.wakeBuf = r.wakeBuf[:0]
 		for _, p := range bucket {
 			if r.wakeStamp[p] == t {
 				continue
 			}
 			r.wakeStamp[p] = t
-			if r.acts[p] != flat.NoAction {
-				r.wakeBuf = append(r.wakeBuf, p)
+			a := r.acts[p]
+			if a == flat.NoAction {
+				continue
 			}
+			if r.gate != nil && !r.gate(int(p), a) {
+				// Withheld: the wake is consumed. The gate opener owns the
+				// re-arm (Runner.Wake) — see Options.Gate.
+				continue
+			}
+			r.wakeBuf = append(r.wakeBuf, p)
 		}
 		if len(r.wakeBuf) == 0 {
 			continue

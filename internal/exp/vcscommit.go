@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"fmt"
+	"os/exec"
+	"runtime/debug"
+	"strings"
+)
+
+// VCSCommit resolves the commit hash to stamp into benchmark artifacts, with
+// a "+dirty" suffix when the tree has uncommitted changes. It prefers the
+// revision the Go toolchain baked into the binary (absent under `go run` and
+// `go test`), then falls back to asking git directly. Committed benchmark
+// files must carry a real provenance stamp, so an unresolvable revision is
+// an error, never a silent "unknown".
+func VCSCommit() (string, error) {
+	if rev, dirty, ok := buildInfoRevision(); ok {
+		return stamp(rev, dirty), nil
+	}
+	rev, dirty, err := gitRevision()
+	if err != nil {
+		return "", fmt.Errorf("exp: cannot resolve VCS revision (no build info, %w); refusing to stamp a benchmark \"unknown\"", err)
+	}
+	return stamp(rev, dirty), nil
+}
+
+func stamp(rev string, dirty bool) string {
+	if dirty {
+		return rev + "+dirty"
+	}
+	return rev
+}
+
+// buildInfoRevision reads the toolchain-embedded vcs settings.
+func buildInfoRevision() (rev string, dirty, ok bool) {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", false, false
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	return rev, dirty, rev != ""
+}
+
+// gitRevision shells out to git — the go-run/go-test fallback.
+func gitRevision() (rev string, dirty bool, err error) {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "", false, fmt.Errorf("git rev-parse failed: %v", err)
+	}
+	rev = strings.TrimSpace(string(out))
+	if rev == "" {
+		return "", false, fmt.Errorf("git rev-parse returned empty output")
+	}
+	status, err := exec.Command("git", "status", "--porcelain").Output()
+	if err != nil {
+		// The revision itself resolved; treat an unreadable status as clean
+		// rather than failing the whole stamp.
+		return rev, false, nil
+	}
+	return rev, len(strings.TrimSpace(string(status))) > 0, nil
+}

@@ -1,0 +1,52 @@
+package graph
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a graph from a "family:params" spec — the CLI-facing
+// topology syntax shared by pifhunt, pifexplore, and pifserve:
+//
+//	line:N  ring:N  star:N  complete:N  hypercube:DIM  btree:N  grid:RxC
+func Parse(spec string) (*Graph, error) {
+	fam, params, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("topology %q: want family:params (e.g. grid:2x4)", spec)
+	}
+	if fam == "grid" {
+		r, c, ok := strings.Cut(params, "x")
+		if !ok {
+			return nil, fmt.Errorf("topology %q: want grid:RxC", spec)
+		}
+		rows, err := strconv.Atoi(r)
+		if err != nil {
+			return nil, fmt.Errorf("topology %q: %w", spec, err)
+		}
+		cols, err := strconv.Atoi(c)
+		if err != nil {
+			return nil, fmt.Errorf("topology %q: %w", spec, err)
+		}
+		return Grid(rows, cols)
+	}
+	n, err := strconv.Atoi(params)
+	if err != nil {
+		return nil, fmt.Errorf("topology %q: %w", spec, err)
+	}
+	switch fam {
+	case "line":
+		return Line(n)
+	case "ring":
+		return Ring(n)
+	case "star":
+		return Star(n)
+	case "complete":
+		return Complete(n)
+	case "hypercube":
+		return Hypercube(n)
+	case "btree":
+		return BinaryTree(n)
+	}
+	return nil, fmt.Errorf("unknown topology family %q", fam)
+}

@@ -88,6 +88,44 @@ type Scenario struct {
 	// telemetry flight recorder) carry it so replayed waves stamp the same
 	// Msg payloads as the original execution.
 	MsgBase uint64 `json:"msg_base,omitempty"`
+	// Service, when set, makes this a serving-run scenario: an open-loop
+	// arrival stream over per-initiator lanes instead of a single execution.
+	// Service scenarios replay through service.ReplayScenario, not Run —
+	// Root/Fault/Seed/Schedule/Daemon above are ignored.
+	Service *ServiceSpec `json:"service,omitempty"`
+}
+
+// ServiceSpec captures everything a pipelined serving run (internal/service)
+// needs to replay bit-identically: the engine, the per-lane setup, and the
+// exact virtual-time arrival schedule. It lives here (not in the service
+// package) so scenario files stay one self-contained schema; the service
+// package owns the dump/replay conversions.
+type ServiceSpec struct {
+	// Engine is "sim", "flat", or "event".
+	Engine string `json:"engine"`
+	// Latency is the event engine's distribution spec (event.ParseLatency);
+	// "" means the engine default.
+	Latency string `json:"latency,omitempty"`
+	// Initiators are the lane roots, in lane order.
+	Initiators []int `json:"initiators"`
+	// Faults names each lane's start-state injector ("" = clean).
+	Faults []string `json:"faults,omitempty"`
+	// SweepWorkers is forwarded to flat lanes (results are worker-count
+	// independent; recorded for completeness).
+	SweepWorkers int `json:"sweep_workers,omitempty"`
+	// MaxTicks bounds the virtual clock (0 = service default).
+	MaxTicks int64 `json:"max_ticks,omitempty"`
+	// Serial replays the closed-loop baseline instead of pipelined serving.
+	Serial bool `json:"serial,omitempty"`
+	// Arrivals is the exact (t, lane, kind) request stream.
+	Arrivals []ServiceArrival `json:"arrivals"`
+}
+
+// ServiceArrival is one request of a serving scenario's arrival stream.
+type ServiceArrival struct {
+	T    int64  `json:"t"`
+	Lane int    `json:"lane"`
+	Kind string `json:"kind"`
 }
 
 // Graph rebuilds the scenario's network, validating it. The node count is
@@ -114,6 +152,13 @@ func (sc *Scenario) Clone() *Scenario {
 	out.Schedule = make([][][2]int, len(sc.Schedule))
 	for i, step := range sc.Schedule {
 		out.Schedule[i] = append([][2]int(nil), step...)
+	}
+	if sc.Service != nil {
+		svc := *sc.Service
+		svc.Initiators = append([]int(nil), sc.Service.Initiators...)
+		svc.Faults = append([]string(nil), sc.Service.Faults...)
+		svc.Arrivals = append([]ServiceArrival(nil), sc.Service.Arrivals...)
+		out.Service = &svc
 	}
 	return &out
 }
@@ -271,6 +316,9 @@ type Report struct {
 // enabled, receives the full obs event stream (the caller remains
 // responsible for Close).
 func (sc *Scenario) Run(checks []check.Check, tr *obs.Tracer) (*Report, error) {
+	if sc.Service != nil {
+		return nil, fmt.Errorf("hunt: scenario %q is a serving run; replay it with service.ReplayScenario (pifhunt routes this automatically)", sc.Name)
+	}
 	cfg, proto, pr, err := sc.build()
 	if err != nil {
 		return nil, err

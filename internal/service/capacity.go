@@ -1,0 +1,109 @@
+package service
+
+import "fmt"
+
+// SLO is a latency service-level objective on the virtual wave latency.
+type SLO struct {
+	// P99Ticks is the maximum acceptable exact p99 wave latency (> 0).
+	P99Ticks int64
+}
+
+// CapacityResult is PlanCapacity's answer: the highest sustainable offered
+// load under the SLO, the report of the run at that rate, and the probes
+// the binary search made (rate → p99) for the capacity curve.
+type CapacityResult struct {
+	// Sustainable is the highest probed rate (requests per 1000 ticks)
+	// meeting the SLO, 0 if even the lowest probe missed it.
+	Sustainable float64 `json:"sustainable_rate"`
+	// P99Ticks is the exact p99 at the sustainable rate.
+	P99Ticks int64 `json:"p99_ticks"`
+	// WavesPerKTick is the achieved throughput at the sustainable rate.
+	WavesPerKTick float64 `json:"waves_per_ktick"`
+	// Probes records every (rate, p99, achieved) the search evaluated, in
+	// probe order.
+	Probes []CapacityProbe `json:"probes"`
+}
+
+// CapacityProbe is one evaluated rate.
+type CapacityProbe struct {
+	Rate          float64 `json:"rate"`
+	P99Ticks      int64   `json:"p99_ticks"`
+	WavesPerKTick float64 `json:"waves_per_ktick"`
+	OK            bool    `json:"ok"`
+}
+
+// PlanCapacity answers the capacity-planning question "will this topology
+// sustain R requests per kilotick at p99 ≤ L?" by binary-searching the
+// highest sustainable rate in [loRate, hiRate] over `iters` probes. Every
+// probe regenerates the workload at the candidate rate (same seed, same
+// process and mix, same request count) and serves it pipelined on a fresh
+// Server built from opts. The search is deterministic: same inputs, same
+// probes, same answer.
+func PlanCapacity(opts Options, w Workload, slo SLO, loRate, hiRate float64, iters int) (*CapacityResult, error) {
+	if slo.P99Ticks <= 0 {
+		return nil, fmt.Errorf("service: SLO p99 %d must be > 0", slo.P99Ticks)
+	}
+	if !(loRate > 0 && hiRate > loRate) {
+		return nil, fmt.Errorf("service: capacity search range [%g, %g] invalid", loRate, hiRate)
+	}
+	if iters <= 0 {
+		iters = 10
+	}
+
+	res := &CapacityResult{}
+	probe := func(rate float64) (bool, *Report, error) {
+		w := w
+		w.Rate = rate
+		arrivals, err := w.Generate()
+		if err != nil {
+			return false, nil, err
+		}
+		srv, err := New(opts)
+		if err != nil {
+			return false, nil, err
+		}
+		rep, err := srv.Run(arrivals)
+		if err != nil {
+			// An overloaded probe can exhaust MaxTicks; treat it as an SLO
+			// miss rather than a hard failure so the search keeps going.
+			res.Probes = append(res.Probes, CapacityProbe{Rate: rate, OK: false})
+			return false, nil, nil
+		}
+		p99 := rep.QuantileTicks(0.99)
+		ok := p99 <= slo.P99Ticks && len(rep.Waves) == len(arrivals)
+		res.Probes = append(res.Probes, CapacityProbe{
+			Rate: rate, P99Ticks: p99, WavesPerKTick: rep.WavesPerKTick(), OK: ok,
+		})
+		return ok, rep, nil
+	}
+
+	// Anchor the bracket: if even loRate misses the SLO the answer is "no".
+	ok, rep, err := probe(loRate)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return res, nil
+	}
+	res.Sustainable = loRate
+	res.P99Ticks = rep.QuantileTicks(0.99)
+	res.WavesPerKTick = rep.WavesPerKTick()
+
+	lo, hi := loRate, hiRate
+	for i := 0; i < iters; i++ {
+		mid := (lo + hi) / 2
+		ok, rep, err := probe(mid)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			lo = mid
+			res.Sustainable = mid
+			res.P99Ticks = rep.QuantileTicks(0.99)
+			res.WavesPerKTick = rep.WavesPerKTick()
+		} else {
+			hi = mid
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,62 @@
+package service
+
+import (
+	"testing"
+
+	"snappif/internal/graph"
+)
+
+// FuzzServicePipelined fuzzes the tentpole equivalence: for arbitrary
+// (topology, engine, fault, seed, rate, depth), pipelined serving delivers
+// the same per-lane payload sequences as the serial closed-loop baseline,
+// and both deliver every admitted request.
+func FuzzServicePipelined(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(0), int64(1), uint8(50), uint8(6))
+	f.Add(uint8(1), uint8(1), uint8(2), int64(7), uint8(90), uint8(10))
+	f.Add(uint8(2), uint8(2), uint8(5), int64(42), uint8(30), uint8(8))
+	f.Add(uint8(3), uint8(0), uint8(7), int64(99), uint8(120), uint8(12))
+	f.Add(uint8(1), uint8(2), uint8(3), int64(-5), uint8(200), uint8(16))
+
+	topos := []string{"line:7", "ring:8", "grid:3x3", "star:6"}
+	faults := []string{"", "clean", "uniform-random", "partial-random", "phantom-tree",
+		"premature-fok", "stale-feedback", "stale-region"}
+
+	f.Fuzz(func(t *testing.T, topoSel, engSel, faultSel uint8, seed int64, rate, nreq uint8) {
+		spec := topos[int(topoSel)%len(topos)]
+		eng := engines[int(engSel)%len(engines)]
+		fl := faults[int(faultSel)%len(faults)]
+		g, err := graph.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seed == 0 {
+			seed = 1
+		}
+		requests := 1 + int(nreq)%16
+		w := Workload{
+			Rate:     1 + float64(rate),
+			Requests: requests,
+			Lanes:    2,
+			Seed:     seed,
+		}
+		arrivals, err := w.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{
+			Graph: g, Engine: eng, Initiators: []int{0, g.N() - 1},
+			Faults: []string{fl, fl}, Seed: seed,
+		}
+		pipe := mustServe(t, opts, arrivals, false)
+		serial := mustServe(t, opts, arrivals, true)
+		if len(pipe.Waves) != requests || len(serial.Waves) != requests {
+			t.Fatalf("delivered pipelined=%d serial=%d of %d requests",
+				len(pipe.Waves), len(serial.Waves), requests)
+		}
+		for l := 0; l < 2; l++ {
+			if p, s := payloadSeq(pipe, l), payloadSeq(serial, l); p != s {
+				t.Errorf("lane %d diverges:\npipelined %s\nserial    %s", l, p, s)
+			}
+		}
+	})
+}

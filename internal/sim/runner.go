@@ -323,6 +323,16 @@ func (r *Runner) Step() (done bool, err error) {
 	return false, nil
 }
 
+// EnabledCount returns the number of currently enabled processors — the
+// cache's own incremental view, refreshed as part of each committed step.
+func (r *Runner) EnabledCount() int { return r.cache.enabledBits.count() }
+
+// EnabledActionsOf returns processor p's cached enabled actions (nil when p
+// is disabled). The slice is the cache's storage: read-only, valid until
+// the next Step. The serving layer's park check reads it to decide whether
+// a gated lane has fully quiesced.
+func (r *Runner) EnabledActionsOf(p int) []int { return r.cache.acts[p] }
+
 // forceAged appends to selected every enabled processor whose age has
 // reached the fairness bound, keeping at most one choice per processor.
 // enabled is the cache's choice buffer (sorted by processor).

@@ -67,29 +67,56 @@ func (h *LogHist) Mean() float64 {
 	return float64(h.sum.Load()) / float64(c)
 }
 
-// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1): the
-// inclusive upper edge of the first bucket whose cumulative count reaches
-// q·count. The reads are not a consistent snapshot — concurrent Observes
-// can skew a quantile by their in-flight observations, which is fine for
-// monitoring output.
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by locating the bucket
+// covering rank ⌈q·count⌉ and interpolating linearly inside it, assuming
+// observations are uniform within the bucket.
+//
+// Error bounds: the estimate always lies inside the covering bucket
+// [2^(i−1), 2^i), so it is within a factor of 2 of the exact nearest-rank
+// percentile — the bucket's width is its lower edge. Buckets 0 (v ≤ 0) and
+// 1 (v = 1) are single-valued, so estimates landing there are exact, and
+// the result is clamped to the true observed maximum, which makes
+// Quantile(1) exact as well. ExactQuantile is the test oracle for these
+// bounds.
+//
+// The reads are not a consistent snapshot — concurrent Observes can skew a
+// quantile by their in-flight observations, which is fine for monitoring
+// output.
 func (h *LogHist) Quantile(q float64) int64 {
 	total := h.count.Load()
 	if total == 0 {
 		return 0
 	}
 	rank := int64(q * float64(total))
+	if float64(rank) < q*float64(total) {
+		rank++ // ceil: nearest-rank, matching ExactQuantile
+	}
 	if rank < 1 {
 		rank = 1
 	}
+	if rank > total {
+		rank = total
+	}
 	var cum int64
 	for i := 0; i < logBuckets; i++ {
-		cum += h.buckets[i].Load()
-		if cum >= rank {
-			if i == 0 {
-				return 0
-			}
-			return upperEdge(i)
+		n := h.buckets[i].Load()
+		cum += n
+		if cum < rank {
+			continue
 		}
+		if i == 0 {
+			return 0
+		}
+		// Interpolate within [lo, hi]: the rank'th observation is the
+		// (rank − cumBefore)'th of the bucket's n, assumed evenly spread.
+		lo := int64(1) << uint(i-1)
+		hi := upperEdge(i)
+		frac := float64(rank-(cum-n)) / float64(n)
+		v := lo + int64(frac*float64(hi-lo))
+		if m := h.max.Load(); v > m {
+			v = m // the top of the covering bucket can exceed the true max
+		}
+		return v
 	}
 	return h.max.Load()
 }

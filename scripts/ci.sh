@@ -4,6 +4,8 @@
 #   sh scripts/ci.sh               # format check, vet, build, tests, race, allocs
 #   CI_FUZZ=1 sh scripts/ci.sh     # additionally smoke-fuzz the engine oracles
 #   CI_EXPLORE=1 sh scripts/ci.sh  # additionally smoke the exhaustive explorer
+#   CI_SERVICE=1 sh scripts/ci.sh  # additionally gate the pifserve bench grid
+#                                  # (pinned small cell + byte-determinism)
 #   CI_OVERHEAD=1 sh scripts/ci.sh # additionally gate telemetry overhead (timing-
 #                                  # sensitive; needs a quiet box)
 set -eu
@@ -76,6 +78,15 @@ awk -v p="$analysis_pct" 'BEGIN { exit (p + 0 >= 85) ? 0 : 1 }' || {
     exit 1
 }
 
+echo "== coverage floor (internal/service >= 85% of statements) =="
+go test ./internal/service/ -coverprofile=artifacts/service-cover.out -count=1 > /dev/null
+service_pct=$(go tool cover -func=artifacts/service-cover.out | awk '/^total:/ { sub(/%/,"",$NF); print $NF }')
+echo "internal/service statement coverage: ${service_pct}%"
+awk -v p="$service_pct" 'BEGIN { exit (p + 0 >= 85) ? 0 : 1 }' || {
+    echo "internal/service coverage ${service_pct}% below the 85% floor" >&2
+    exit 1
+}
+
 echo "== race: simulation engine, experiment executor, concurrent runtime, tracer =="
 go test -race ./internal/sim/ ./internal/exp/ ./internal/runtime/ ./cmd/pifexp/ ./internal/obs/
 
@@ -90,6 +101,9 @@ go test -race ./internal/hunt/
 
 echo "== race: telemetry (concurrent engine writers + registry readers) =="
 go test -race ./internal/telemetry/
+
+echo "== race: service (open-loop generator + pipelined waves, parallel flat sweeps) =="
+go test -race ./internal/service/ ./cmd/pifserve/
 
 echo "== race: soak (reduced horizon) =="
 go test -race -short -run TestSoakManyWaves -count=1 .
@@ -114,6 +128,10 @@ go test ./cmd/pifexp/ -run TestRunFlatEngineIdenticalStdout -count=1
 echo "== determinism (event engine: three-way differential, latency repeatability) =="
 go test ./internal/event/ -run 'TestEventMatchesThreeWay|TestEventTraceByteIdentical|TestEventRunDeterministic|TestEventLatencyMatchesInducedDaemon' -count=1
 
+echo "== determinism + pipelining (service: pipelined == serial payloads, canonical bytes stable) =="
+go test ./internal/service/ -run 'TestPipelinedMatchesSerial|TestServiceDeterminism|TestScenarioDumpReplayBitIdentical' -count=1
+go test . -run TestMultiInitiatorCrossEngine -count=1
+
 echo "== hunt smoke (clean protocol must hunt clean on a 2x4 grid) =="
 go run ./cmd/pifhunt hunt -topo grid:2x4 -trials 4 -steps 4000
 
@@ -122,6 +140,11 @@ if [ "${CI_EXPLORE:-0}" = "1" ]; then
     go run ./cmd/pifexplore run -topo line:3 -init faults:3 -expect-states 209
     go run ./cmd/pifexplore run -topo star:4 -init faults:3 -depth 6 -expect-states 357
     go run ./cmd/pifexplore certify -quick -json artifacts/explore-smoke.json
+fi
+
+if [ "${CI_SERVICE:-0}" = "1" ]; then
+    echo "== service bench smoke (quick grid: pinned flat/ring:64 cell, byte-determinism) =="
+    CI_SERVICE=1 go test ./cmd/pifserve/ -run TestServiceBenchSmoke -count=1 -v
 fi
 
 if [ "${CI_OVERHEAD:-0}" = "1" ]; then
@@ -137,6 +160,8 @@ if [ "${CI_FUZZ:-0}" = "1" ]; then
     go test ./internal/flat/ -run xxx -fuzz FuzzFlatVsGeneric -fuzztime 10s
     go test ./internal/event/ -run xxx -fuzz FuzzThreeEngines -fuzztime 10s
     go test ./internal/hunt/ -run xxx -fuzz FuzzScenarioJSON -fuzztime 10s
+    go test ./internal/service/ -run xxx -fuzz FuzzServicePipelined -fuzztime 10s
+    go test . -run xxx -fuzz FuzzMultiNetworkWaves -fuzztime 10s
 fi
 
 echo "CI OK"
